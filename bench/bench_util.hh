@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench harness. Every bench
+ * binary prints the rows/series of one table or figure from the paper,
+ * computed from freshly built traces with fixed seeds.
+ */
+
+#ifndef PHI_BENCH_BENCH_UTIL_HH
+#define PHI_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/baselines.hh"
+#include "sim/phi_sim.hh"
+#include "snn/trace.hh"
+
+namespace phi::bench
+{
+
+/** Trace options shared by all benches (fixed seeds, bounded k-means). */
+inline TraceOptions
+standardTraceOptions()
+{
+    TraceOptions opt;
+    opt.seed = 2025;
+    opt.calibSamples = 2;
+    opt.calib.k = 16;
+    opt.calib.q = 128;
+    opt.calib.kmeans.maxIters = 12;
+    opt.calib.kmeans.maxDistinct = 1536;
+    return opt;
+}
+
+/** Build a trace with progress output on stderr. */
+inline ModelTrace
+buildTrace(const ModelSpec& spec, TraceOptions opt = standardTraceOptions())
+{
+    std::cerr << "[trace] building " << modelName(spec.model) << "/"
+              << datasetName(spec.dataset)
+              << (opt.paft ? " (PAFT)" : "") << "...\n";
+    return buildModelTrace(spec, opt);
+}
+
+/** Short workload label, e.g. "VGG16/CIFAR100". */
+inline std::string
+workloadName(const ModelSpec& spec)
+{
+    return modelName(spec.model) + "/" + datasetName(spec.dataset);
+}
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Header banner shared by all bench binaries. */
+inline void
+banner(const std::string& title, const std::string& paper_ref)
+{
+    std::cout << "\n================================================"
+                 "====================\n"
+              << title << "\n(reproduces " << paper_ref
+              << " of the Phi paper, ISCA 2025)\n"
+              << "================================================"
+                 "====================\n\n";
+}
+
+} // namespace phi::bench
+
+#endif // PHI_BENCH_BENCH_UTIL_HH

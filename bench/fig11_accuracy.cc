@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 11 reproduction: accuracy of the DNN counterpart, the SNN with
+ * bit sparsity, Phi without PAFT (lossless) and Phi with PAFT, using
+ * the measured alignment flip rate of each workload.
+ */
+
+#include "analysis/accuracy_model.hh"
+#include "bench/bench_util.hh"
+
+using namespace phi;
+using namespace phi::bench;
+
+int
+main()
+{
+    banner("Fig. 11: PAFT accuracy results", "Fig. 11");
+
+    Table t({"Model", "Dataset", "DNN", "BitSparsity", "Phi(w/oPAFT)",
+             "Phi(wPAFT)", "FlipRate"});
+    for (const auto& spec : table4Models()) {
+        if (spec.model == ModelId::SpikingBERT)
+            continue; // Fig. 11 plots the vision workloads
+        TraceOptions opt = standardTraceOptions();
+        opt.paft = true;
+        ModelTrace tuned = buildTrace(spec, opt);
+
+        // Element-weighted mean flip rate across unique layers.
+        double flipped = 0;
+        double elems = 0;
+        for (const auto& l : tuned.layers) {
+            flipped += static_cast<double>(l.paftStats.bitsFlipped) *
+                       static_cast<double>(l.spec.count);
+            elems += static_cast<double>(l.paftStats.elements) *
+                     static_cast<double>(l.spec.count);
+        }
+        const double flip_rate = elems > 0 ? flipped / elems : 0.0;
+
+        AccuracyEntry e = accuracyFor(spec.model, spec.dataset,
+                                      flip_rate);
+        t.addRow({modelName(spec.model), datasetName(spec.dataset),
+                  e.dnn ? Table::fmt(*e.dnn, 1) + "%" : "n/a",
+                  Table::fmt(e.snnBitSparsity, 1) + "%",
+                  Table::fmt(e.phiNoPaft, 1) + "%",
+                  Table::fmt(e.phiWithPaft, 1) + "%",
+                  Table::fmtPct(flip_rate, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected shape: Phi w/o PAFT equals bit sparsity "
+                 "exactly (lossless);\nPAFT costs well under one "
+                 "point; DNNs are inapplicable on DVS data\n(paper "
+                 "Sec. 5.4.2).\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 8 reproduction: speedup (normalised by Spiking Eyeriss) and
+ * energy (normalised by Phi w/o PAFT, split into core/buffer/DRAM)
+ * for every architecture across all 14 model/dataset pairs, plus the
+ * geometric means the paper reports.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace phi;
+using namespace phi::bench;
+
+int
+main()
+{
+    banner("Fig. 8: speedup and energy across models and datasets",
+           "Fig. 8");
+
+    auto specs = allEvaluatedModels();
+    auto baselines = makeBaselines();
+    PhiSimulator phi_sim;
+
+    Table speedup({"Workload", "Eyeriss", "PTB", "SATO", "SpinalFlow",
+                   "Stellar", "Phi(w/oFT)", "Phi(wFT)"});
+    Table energy({"Workload", "Arch", "Core", "Buffer", "Dram",
+                  "Total(norm)"});
+
+    // Per-arch accumulators for geomeans.
+    std::vector<std::vector<double>> sp(7);
+    std::vector<std::vector<double>> en(7);
+
+    for (const auto& spec : specs) {
+        ModelTrace trace = buildTrace(spec);
+        TraceOptions paft_opt = standardTraceOptions();
+        paft_opt.paft = true;
+        ModelTrace paft_trace = buildTrace(spec, paft_opt);
+
+        std::vector<SimResult> results;
+        results.push_back(baselines[0]->run(trace)); // Eyeriss
+        results.push_back(baselines[3]->run(trace)); // PTB
+        results.push_back(baselines[2]->run(trace)); // SATO
+        results.push_back(baselines[1]->run(trace)); // SpinalFlow
+        results.push_back(baselines[4]->run(trace)); // Stellar
+        results.push_back(phi_sim.run(trace));       // Phi w/o FT
+        results.push_back(phi_sim.run(paft_trace));  // Phi w FT
+
+        const double eyeriss_cycles = results[0].cycles;
+        const double phi_energy = results[5].energy.total();
+
+        std::vector<std::string> row{workloadName(spec)};
+        for (size_t a = 0; a < results.size(); ++a) {
+            const double s = eyeriss_cycles / results[a].cycles;
+            row.push_back(Table::fmtX(s, 2));
+            sp[a].push_back(s);
+        }
+        speedup.addRow(row);
+
+        const char* names[] = {"Eyeriss", "PTB", "SATO", "SpinalFlow",
+                               "Stellar", "Phi(w/oFT)", "Phi(wFT)"};
+        for (size_t a = 0; a < results.size(); ++a) {
+            const auto& e = results[a].energy;
+            energy.addRow({workloadName(spec), names[a],
+                           Table::fmt(e.core / phi_energy, 2),
+                           Table::fmt(e.buffer / phi_energy, 2),
+                           Table::fmt(e.dram / phi_energy, 2),
+                           Table::fmt(e.total() / phi_energy, 2)});
+            en[a].push_back(e.total() / phi_energy);
+        }
+    }
+
+    std::vector<std::string> geo{"Geomean"};
+    for (auto& v : sp)
+        geo.push_back(Table::fmtX(geomean(v), 2));
+    speedup.addRow(geo);
+
+    std::cout << "--- Speedup normalised by Spiking Eyeriss "
+                 "(paper geomeans: Eyeriss 1.00x,\n    PTB ~2.0x, SATO "
+                 "~3.9x, SpinalFlow ~6.3x, Stellar ~6.4x, Phi 22.6x,\n"
+                 "    Phi+PAFT 28.4x; Phi vs Stellar = 3.45x) ---\n\n";
+    speedup.print(std::cout);
+
+    std::cout << "\n--- Energy normalised by Phi w/o PAFT "
+                 "(core/buffer/DRAM breakdown;\n    paper geomeans: "
+                 "Eyeriss 31.6x, PTB 13.5x, SATO ~2.8x, SpinalFlow "
+                 "~2.2x,\n    Stellar 4.93x, Phi 1.0x, Phi+PAFT 0.9x) "
+                 "---\n\n";
+    energy.print(std::cout);
+
+    std::cout << "\nEnergy geomeans:";
+    const char* names[] = {"Eyeriss", "PTB", "SATO", "SpinalFlow",
+                           "Stellar", "Phi(w/oFT)", "Phi(wFT)"};
+    for (size_t a = 0; a < en.size(); ++a)
+        std::cout << "  " << names[a] << "="
+                  << Table::fmtX(geomean(en[a]), 2);
+    std::cout << "\nSpeedup of Phi+PAFT over Phi: "
+              << Table::fmtX(geomean(sp[6]) / geomean(sp[5]), 2)
+              << " (paper: 1.26x)\n";
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the performance-critical
+ * kernels: k-means calibration, pattern assignment, decomposition,
+ * matching, packing, the reconfigurable adder tree and the two GEMM
+ * paths. These quantify the simulator's own throughput, not the
+ * modelled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/adder_tree.hh"
+#include "arch/packer.hh"
+#include "arch/pattern_matcher.hh"
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/pwp.hh"
+#include "snn/activation_gen.hh"
+
+namespace phi
+{
+namespace
+{
+
+BinaryMatrix
+clusteredActs(size_t rows, size_t cols, uint64_t seed)
+{
+    ClusterGenConfig cfg;
+    cfg.bitDensity = 0.12;
+    cfg.l2DensityTarget = 0.025;
+    ClusteredSpikeGenerator gen(cfg, cols, seed);
+    Rng rng(seed + 1);
+    return gen.generate(rows, rng);
+}
+
+void
+BM_KMeansCalibration(benchmark::State& state)
+{
+    BinaryMatrix acts =
+        clusteredActs(static_cast<size_t>(state.range(0)), 256, 1);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 128;
+    cfg.kmeans.maxIters = 12;
+    for (auto _ : state) {
+        PatternTable t = calibrateLayer(acts, cfg);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_KMeansCalibration)->Arg(1024)->Arg(4096);
+
+void
+BM_DecomposeLayer(benchmark::State& state)
+{
+    BinaryMatrix acts =
+        clusteredActs(static_cast<size_t>(state.range(0)), 256, 2);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 128;
+    PatternTable table = calibrateLayer(acts, cfg);
+    for (auto _ : state) {
+        LayerDecomposition dec = decomposeLayer(acts, table);
+        benchmark::DoNotOptimize(dec);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_DecomposeLayer)->Arg(1024)->Arg(4096);
+
+void
+BM_PatternMatch(benchmark::State& state)
+{
+    Rng rng(3);
+    std::vector<uint64_t> pats;
+    for (int i = 0; i < 128; ++i)
+        pats.push_back((rng.next() & 0xffff) | 0b11);
+    PatternMatcher matcher(PatternSet(16, pats));
+    uint64_t row = 0xBEEF;
+    for (auto _ : state) {
+        RowAssignment a = matcher.match(row);
+        benchmark::DoNotOptimize(a);
+        row = (row * 2862933555777941757ull + 1) & 0xffff;
+    }
+    state.SetItemsProcessed(state.iterations() * 129);
+}
+BENCHMARK(BM_PatternMatch);
+
+void
+BM_PackerThroughput(benchmark::State& state)
+{
+    Rng rng(4);
+    std::vector<CompressedRow> rows;
+    for (int i = 0; i < 4096; ++i) {
+        CompressedRow r;
+        r.rowId = static_cast<uint32_t>(rng.nextBounded(256));
+        r.partition = static_cast<uint32_t>(rng.nextBounded(16));
+        r.needsPsum = rng.bernoulli(0.4);
+        int nnz = 1 + static_cast<int>(rng.nextBounded(3));
+        for (int e = 0; e < nnz; ++e)
+            r.entries.emplace_back(static_cast<uint16_t>(e),
+                                   int8_t{1});
+        rows.push_back(r);
+    }
+    for (auto _ : state) {
+        size_t packs = 0;
+        Packer packer({4, 8}, [&](Pack&&) { ++packs; });
+        for (const auto& r : rows)
+            packer.push(r);
+        packer.flush();
+        benchmark::DoNotOptimize(packs);
+    }
+    state.SetItemsProcessed(state.iterations() * rows.size());
+}
+BENCHMARK(BM_PackerThroughput);
+
+void
+BM_AdderTreeReduce(benchmark::State& state)
+{
+    ReconfigurableAdderTree tree(32);
+    Rng rng(5);
+    Matrix<int32_t> inputs(8, 32);
+    for (size_t r = 0; r < 8; ++r)
+        for (size_t c = 0; c < 32; ++c)
+            inputs(r, c) = static_cast<int32_t>(rng.uniformInt(-9, 9));
+    const std::vector<int> segs{3, 3, 2};
+    for (auto _ : state) {
+        auto out = tree.reduce(inputs, segs);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 32);
+}
+BENCHMARK(BM_AdderTreeReduce);
+
+void
+BM_SpikeGemm(benchmark::State& state)
+{
+    BinaryMatrix acts =
+        clusteredActs(static_cast<size_t>(state.range(0)), 256, 6);
+    Rng rng(7);
+    Matrix<int16_t> w(256, 64);
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(-40, 40));
+    for (auto _ : state) {
+        Matrix<int32_t> out = spikeGemm(acts, w);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_SpikeGemm)->Arg(256)->Arg(1024);
+
+void
+BM_PhiGemm(benchmark::State& state)
+{
+    BinaryMatrix acts =
+        clusteredActs(static_cast<size_t>(state.range(0)), 256, 8);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 128;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    Rng rng(9);
+    Matrix<int16_t> w(256, 64);
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(-40, 40));
+    for (auto _ : state) {
+        Matrix<int32_t> out = phiGemm(dec, table, w);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_PhiGemm)->Arg(256)->Arg(1024);
+
+} // namespace
+} // namespace phi
+
+BENCHMARK_MAIN();

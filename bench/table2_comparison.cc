@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table 2 reproduction: Phi vs Spiking Eyeriss, SpinalFlow, SATO, PTB
+ * and Stellar on VGG-16 / CIFAR100 — throughput (GOP/s), energy
+ * efficiency (GOP/J) and area efficiency (GOP/s/mm^2), with the
+ * paper's reported multipliers printed alongside for comparison.
+ */
+
+#include "bench/bench_util.hh"
+#include "sim/energy_model.hh"
+
+using namespace phi;
+using namespace phi::bench;
+
+int
+main()
+{
+    banner("Table 2: comparison of Phi with baselines (VGG16/CIFAR100)",
+           "Table 2");
+
+    ModelTrace trace =
+        buildTrace(makeModel(ModelId::VGG16, DatasetId::CIFAR100));
+
+    struct Row
+    {
+        std::string name;
+        double area;
+        SimResult result;
+        double paperThroughputX;
+        double paperEnergyX;
+        double paperAreaEffX;
+    };
+
+    PhiArchConfig phi_cfg;
+    PhiSimulator phi_sim(phi_cfg);
+    PhiAreaPowerModel area_model(phi_cfg);
+
+    std::vector<Row> rows;
+    auto baselines = makeBaselines();
+    const double paper_tx[] = {1.00, 6.29, 3.96, 1.99, 6.39};
+    const double paper_ex[] = {1.00, 18.57, 10.32, 2.06, 11.96};
+    const double paper_ax[] = {1.00, 3.22, 3.74, 0.0, 8.89};
+    for (size_t i = 0; i < baselines.size(); ++i) {
+        rows.push_back({baselines[i]->name(), baselines[i]->areaMm2(),
+                        baselines[i]->run(trace), paper_tx[i],
+                        paper_ex[i], paper_ax[i]});
+    }
+    rows.push_back({"Phi", area_model.totalAreaMm2(), phi_sim.run(trace),
+                    26.70, 55.41, 43.06});
+
+    const SimResult& eyeriss = rows.front().result;
+
+    Table t({"Arch", "Area(mm2)", "GOP/s", "vs Eyeriss",
+             "paper", "GOP/J", "vs Eyeriss", "paper",
+             "GOP/s/mm2", "vs Eyeriss", "paper"});
+    for (const auto& r : rows) {
+        const double tx = r.result.gops() / eyeriss.gops();
+        const double ex =
+            r.result.gopsPerJoule() / eyeriss.gopsPerJoule();
+        const double ax = r.result.areaEfficiency(r.area) /
+                          eyeriss.areaEfficiency(rows.front().area);
+        t.addRow({r.name, Table::fmt(r.area, 3),
+                  Table::fmt(r.result.gops(), 2), Table::fmtX(tx, 2),
+                  r.paperThroughputX > 0
+                      ? Table::fmtX(r.paperThroughputX, 2)
+                      : "-",
+                  Table::fmt(r.result.gopsPerJoule(), 2),
+                  Table::fmtX(ex, 2),
+                  r.paperEnergyX > 0 ? Table::fmtX(r.paperEnergyX, 2)
+                                     : "-",
+                  Table::fmt(r.result.areaEfficiency(r.area), 2),
+                  Table::fmtX(ax, 2),
+                  r.paperAreaEffX > 0 ? Table::fmtX(r.paperAreaEffX, 2)
+                                      : "-"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nEnergy breakdown (uJ):\n";
+    Table eb({"Arch", "Core", "Buffer", "Dram", "Total"});
+    for (const auto& r : rows) {
+        eb.addRow({r.name, Table::fmt(r.result.energy.core * 1e-6, 1),
+                   Table::fmt(r.result.energy.buffer * 1e-6, 1),
+                   Table::fmt(r.result.energy.dram * 1e-6, 1),
+                   Table::fmt(r.result.energy.total() * 1e-6, 1)});
+    }
+    eb.print(std::cout);
+
+    const double phi_vs_stellar =
+        rows.back().result.gops() / rows[4].result.gops();
+    const double phi_vs_stellar_e = rows.back().result.gopsPerJoule() /
+                                    rows[4].result.gopsPerJoule();
+    std::cout << "\nHeadline: Phi vs Stellar speedup "
+              << Table::fmtX(phi_vs_stellar, 2) << " (paper: 3.45x), "
+              << "energy efficiency "
+              << Table::fmtX(phi_vs_stellar_e, 2)
+              << " (paper: 4.93x)\n";
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 3 reproduction: Phi area and power breakdown per component.
+ */
+
+#include "bench/bench_util.hh"
+#include "sim/energy_model.hh"
+
+using namespace phi;
+using namespace phi::bench;
+
+int
+main()
+{
+    banner("Table 3: Phi area and power breakdown", "Table 3");
+
+    PhiAreaPowerModel model{PhiArchConfig{}};
+    const double paper_area[] = {0.099, 0.074, 0.027, 0.011, 0.452};
+    const double paper_power[] = {22.5, 68.2, 25.6, 9.4, 220.8};
+
+    Table t({"Component", "Area(mm2)", "paper", "Power(mW)", "paper"});
+    auto rows = model.breakdown();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        t.addRow({rows[i].name, Table::fmt(rows[i].areaMm2, 3),
+                  Table::fmt(paper_area[i], 3),
+                  Table::fmt(rows[i].powerMw, 1),
+                  Table::fmt(paper_power[i], 1)});
+    }
+    t.addRow({"Total", Table::fmt(model.totalAreaMm2(), 3), "0.662",
+              Table::fmt(model.totalPowerMw(), 1), "346.6"});
+    t.print(std::cout);
+    return 0;
+}

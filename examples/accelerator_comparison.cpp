@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Accelerator scenario: simulate the Phi architecture against the five
+ * baseline SNN accelerators on a Spikformer/CIFAR100 workload and
+ * print cycles, throughput, energy and per-layer bottlenecks.
+ *
+ * Build & run:  ./build/examples/accelerator_comparison
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/baselines.hh"
+#include "sim/energy_model.hh"
+#include "sim/phi_sim.hh"
+
+using namespace phi;
+
+int
+main()
+{
+    ModelSpec spec = makeModel(ModelId::Spikformer, DatasetId::CIFAR100);
+    std::cout << "Building Spikformer/CIFAR100 trace ("
+              << spec.layers.size() << " unique GEMM layers, "
+              << spec.totalMacs() / 1e6 << " M MAC slots)...\n\n";
+    ModelTrace trace = buildModelTrace(spec);
+
+    PhiSimulator phi_sim;
+    SimResult phi = phi_sim.run(trace);
+
+    Table t({"Arch", "Cycles(M)", "GOP/s", "GOP/J", "vs Eyeriss"});
+    SimResult eyeriss;
+    for (auto& b : makeBaselines()) {
+        SimResult r = b->run(trace);
+        if (b->name() == "Eyeriss")
+            eyeriss = r;
+        t.addRow({b->name(), Table::fmt(r.cycles / 1e6, 2),
+                  Table::fmt(r.gops(), 1),
+                  Table::fmt(r.gopsPerJoule(), 1),
+                  Table::fmtX(eyeriss.cycles / r.cycles, 2)});
+    }
+    t.addRow({"Phi", Table::fmt(phi.cycles / 1e6, 2),
+              Table::fmt(phi.gops(), 1),
+              Table::fmt(phi.gopsPerJoule(), 1),
+              Table::fmtX(eyeriss.cycles / phi.cycles, 2)});
+    t.print(std::cout);
+
+    // Per-layer bottleneck analysis for Phi.
+    std::cout << "\nPhi per-layer bottlenecks:\n\n";
+    Table lt({"Layer", "x", "Cycles", "L1", "L2", "Preproc", "DRAM",
+              "Bound"});
+    for (const auto& l : phi.layers) {
+        const auto& b = l.breakdown;
+        std::string bound = "compute";
+        if (b.dram >= b.bound - 1e-9)
+            bound = "DRAM";
+        else if (b.preprocess >= b.bound - 1e-9)
+            bound = "preproc";
+        else if (b.neuron >= b.bound - 1e-9)
+            bound = "neuron";
+        lt.addRow({l.name, std::to_string(l.count),
+                   Table::fmt(l.cycles, 0), Table::fmt(b.l1, 0),
+                   Table::fmt(b.l2, 0), Table::fmt(b.preprocess, 0),
+                   Table::fmt(b.dram, 0), bound});
+    }
+    lt.print(std::cout);
+
+    PhiAreaPowerModel area{PhiArchConfig{}};
+    std::cout << "\nPhi die area: "
+              << Table::fmt(area.totalAreaMm2(), 3)
+              << " mm^2 @ 28nm; nominal power "
+              << Table::fmt(area.totalPowerMw(), 1) << " mW\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Extension scenario (Sec. 6.2): applying Phi beyond SNNs. An 8-bit
+ * quantised DNN activation matrix is bit-sliced into binary planes;
+ * Phi calibrates patterns per plane and the integer GEMM is rebuilt
+ * exactly from the hierarchical per-plane products.
+ *
+ * Build & run:  ./build/examples/dnn_bitslice
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/bitslice.hh"
+
+using namespace phi;
+
+int
+main()
+{
+    // Quantised DNN activations: ReLU zeros + heavy-tailed magnitudes.
+    Rng rng(42);
+    const size_t m = 512;
+    const size_t k = 128;
+    auto make_acts = [&](uint64_t seed) {
+        Rng r(seed);
+        Matrix<uint8_t> acts(m, k, 0);
+        for (size_t i = 0; i < m; ++i)
+            for (size_t j = 0; j < k; ++j)
+                if (!r.bernoulli(0.55))
+                    acts(i, j) = static_cast<uint8_t>(std::min(
+                        255.0, std::abs(r.gaussian()) * 64.0));
+        return acts;
+    };
+    Matrix<uint8_t> calib = make_acts(1);
+    Matrix<uint8_t> run = make_acts(2);
+
+    Matrix<int16_t> weights(k, 32);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < 32; ++c)
+            weights(r, c) = static_cast<int16_t>(rng.uniformInt(-50, 50));
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 64;
+    BitSliceDecomposition dec = decomposeBitSliced(
+        sliceActivations(calib), sliceActivations(run), cfg);
+
+    Matrix<int32_t> phi_out = bitSlicedPhiGemm(dec, weights);
+    Matrix<int32_t> ref = intGemm(run, weights);
+    std::cout << "8-bit integer GEMM via bit-sliced Phi: "
+              << (phi_out == ref ? "bit-exact" : "MISMATCH") << "\n\n";
+
+    Table t({"Plane", "BitDensity", "PhiL2Density"});
+    for (size_t b = 0; b < dec.stats.size(); ++b)
+        t.addRow({"bit " + std::to_string(b),
+                  Table::fmtPct(dec.stats[b].bitDensity, 1),
+                  Table::fmtPct(dec.stats[b].l2Density(), 1)});
+    t.print(std::cout);
+
+    std::cout << "\nOnline ops: " << dec.totalL2Ops()
+              << " vs bit-serial " << dec.totalBitOps() << " ("
+              << Table::fmtX(dec.speedupOverBitSerial(), 2)
+              << " reduction) — Phi generalises to quantised DNNs as "
+                 "the paper's Sec. 6.2\nanticipates.\n";
+    return phi_out == ref ? 0 : 1;
+}

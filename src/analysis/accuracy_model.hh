@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Accuracy model reproducing Fig. 11.
+ *
+ * Reference accuracies per model/dataset are documented constants read
+ * from the paper's figure (we do not ship trained checkpoints; see
+ * DESIGN.md substitutions). The structural facts the figure conveys are
+ * modelled exactly: DNNs lead on frame datasets and are inapplicable on
+ * event data; Phi without PAFT is lossless (equals bit-sparsity
+ * accuracy); PAFT costs a small, flip-rate-proportional amount.
+ */
+
+#ifndef PHI_ANALYSIS_ACCURACY_MODEL_HH
+#define PHI_ANALYSIS_ACCURACY_MODEL_HH
+
+#include <optional>
+
+#include "snn/model_zoo.hh"
+
+namespace phi
+{
+
+/** One Fig. 11 bar group. */
+struct AccuracyEntry
+{
+    /** DNN counterpart; empty on event-driven datasets where a DNN is
+     *  not applicable. */
+    std::optional<double> dnn;
+    double snnBitSparsity = 0; // trained SNN accuracy
+    double phiNoPaft = 0;      // identical to SNN (lossless)
+    double phiWithPaft = 0;    // after the fine-tuning trade-off
+};
+
+/**
+ * Accuracy for a model/dataset at a given PAFT flip rate (fraction of
+ * activation bits changed by alignment; 0 for the no-PAFT variant).
+ */
+AccuracyEntry accuracyFor(ModelId model, DatasetId ds,
+                          double paft_flip_rate);
+
+/** PAFT accuracy penalty in percentage points for a given flip rate. */
+double paftAccuracyDropPp(double flip_rate);
+
+} // namespace phi
+
+#endif // PHI_ANALYSIS_ACCURACY_MODEL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quantitative cluster metrics backing the t-SNE figures.
+ *
+ * Fig. 9a's claim ("training activations encompass test clusters") is
+ * quantified as the total-variation distance between train and test
+ * pattern-usage histograms; Fig. 9c's ("PAFT yields fewer, denser
+ * clusters") as the effective cluster count and the mean Hamming
+ * distance to the assigned pattern.
+ */
+
+#ifndef PHI_ANALYSIS_CLUSTER_METRICS_HH
+#define PHI_ANALYSIS_CLUSTER_METRICS_HH
+
+#include <vector>
+
+#include "core/pattern.hh"
+#include "numeric/binary_matrix.hh"
+
+namespace phi
+{
+
+/** Cluster-quality summary of one partition's rows vs its patterns. */
+struct ClusterMetrics
+{
+    /** Mean Hamming distance from rows to their assigned pattern
+     *  (assigned rows only). */
+    double meanDistance = 0;
+    /** Fraction of rows with an assigned pattern. */
+    double assignedFraction = 0;
+    /** exp(entropy) of the pattern-usage distribution: the effective
+     *  number of clusters in use. */
+    double effectiveClusters = 0;
+    /** Mean silhouette over assigned rows (Hamming distances to own
+     *  vs nearest other pattern). */
+    double silhouette = 0;
+};
+
+/** Compute cluster metrics of one partition. */
+ClusterMetrics computeClusterMetrics(const BinaryMatrix& acts,
+                                     size_t partition,
+                                     const PatternSet& ps);
+
+/** Pattern-usage histogram of one partition (index 0 = unassigned). */
+std::vector<double> patternUsage(const BinaryMatrix& acts,
+                                 size_t partition, const PatternSet& ps);
+
+/**
+ * Total-variation distance between two usage distributions in [0, 1]
+ * (0 = identical distributions). Quantifies Fig. 9a's train/test
+ * consistency.
+ */
+double totalVariation(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+} // namespace phi
+
+#endif // PHI_ANALYSIS_CLUSTER_METRICS_HH

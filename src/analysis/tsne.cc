@@ -1,0 +1,248 @@
+#include "analysis/tsne.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace phi
+{
+
+namespace
+{
+
+/**
+ * Row conditional probabilities with the bandwidth found by binary
+ * search so the row's perplexity matches the target.
+ */
+void
+computeRowP(const std::vector<double>& sq_dist, size_t n, size_t i,
+            double perplexity, std::vector<double>& p_row)
+{
+    const double target_entropy = std::log(perplexity);
+    double beta = 1.0;
+    double beta_lo = 0.0;
+    double beta_hi = std::numeric_limits<double>::infinity();
+
+    for (int iter = 0; iter < 64; ++iter) {
+        double sum = 0.0;
+        double dot = 0.0;
+        for (size_t j = 0; j < n; ++j) {
+            if (j == i) {
+                p_row[j] = 0.0;
+                continue;
+            }
+            const double d = sq_dist[i * n + j];
+            const double w = std::exp(-beta * d);
+            p_row[j] = w;
+            sum += w;
+            dot += w * d;
+        }
+        if (sum <= 0) {
+            // Degenerate row (all duplicates at distance 0 handled by
+            // exp(0)=1, so this means n == 1).
+            break;
+        }
+        const double entropy = std::log(sum) + beta * dot / sum;
+        const double diff = entropy - target_entropy;
+        if (std::abs(diff) < 1e-5)
+            break;
+        if (diff > 0) {
+            beta_lo = beta;
+            beta = std::isinf(beta_hi) ? beta * 2.0
+                                       : (beta + beta_hi) / 2.0;
+        } else {
+            beta_hi = beta;
+            beta = (beta + beta_lo) / 2.0;
+        }
+    }
+
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j)
+        sum += p_row[j];
+    if (sum > 0)
+        for (size_t j = 0; j < n; ++j)
+            p_row[j] /= sum;
+}
+
+std::vector<double>
+symmetrisedP(const std::vector<double>& sq_dist, size_t n,
+             double perplexity)
+{
+    std::vector<double> p(n * n, 0.0);
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+        computeRowP(sq_dist, n, i, perplexity, row);
+        for (size_t j = 0; j < n; ++j)
+            p[i * n + j] = row[j];
+    }
+    // Symmetrise and normalise.
+    std::vector<double> sym(n * n, 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            sym[i * n + j] =
+                (p[i * n + j] + p[j * n + i]) / (2.0 * n);
+            total += sym[i * n + j];
+        }
+    }
+    if (total > 0)
+        for (auto& v : sym)
+            v /= total;
+    const double floor_p = 1e-12;
+    for (auto& v : sym)
+        v = std::max(v, floor_p);
+    return sym;
+}
+
+} // namespace
+
+std::vector<Point2>
+tsneFromDistances(const std::vector<double>& sq_dist, size_t n,
+                  const TsneConfig& cfg)
+{
+    phi_assert(sq_dist.size() == n * n,
+               "distance matrix must be n x n");
+    if (n == 0)
+        return {};
+    if (n == 1)
+        return {Point2{}};
+
+    const double perp =
+        std::min(cfg.perplexity, static_cast<double>(n - 1) / 3.0);
+    std::vector<double> p = symmetrisedP(sq_dist, n, std::max(2.0, perp));
+
+    Rng rng(cfg.seed);
+    std::vector<Point2> y(n);
+    for (auto& pt : y) {
+        pt.x = rng.gaussian() * 1e-2;
+        pt.y = rng.gaussian() * 1e-2;
+    }
+
+    std::vector<Point2> velocity(n);
+    std::vector<Point2> grad(n);
+    std::vector<double> qnum(n * n);
+
+    for (int iter = 0; iter < cfg.iterations; ++iter) {
+        const double exag =
+            iter < cfg.exaggerationIters ? cfg.earlyExaggeration : 1.0;
+        const double momentum = iter < cfg.momentumSwitchIter
+                                    ? cfg.initialMomentum
+                                    : cfg.finalMomentum;
+
+        // Student-t affinities in the embedding.
+        double qsum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = i + 1; j < n; ++j) {
+                const double dx = y[i].x - y[j].x;
+                const double dy = y[i].y - y[j].y;
+                const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = w;
+                qnum[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+            qnum[i * n + i] = 0.0;
+        }
+        if (qsum < 1e-300)
+            qsum = 1e-300;
+
+        for (size_t i = 0; i < n; ++i) {
+            double gx = 0.0;
+            double gy = 0.0;
+            for (size_t j = 0; j < n; ++j) {
+                if (i == j)
+                    continue;
+                const double w = qnum[i * n + j];
+                const double q = std::max(w / qsum, 1e-12);
+                const double mult =
+                    (exag * p[i * n + j] - q) * w;
+                gx += mult * (y[i].x - y[j].x);
+                gy += mult * (y[i].y - y[j].y);
+            }
+            grad[i].x = 4.0 * gx;
+            grad[i].y = 4.0 * gy;
+        }
+
+        for (size_t i = 0; i < n; ++i) {
+            velocity[i].x = momentum * velocity[i].x -
+                            cfg.learningRate * grad[i].x;
+            velocity[i].y = momentum * velocity[i].y -
+                            cfg.learningRate * grad[i].y;
+            y[i].x += velocity[i].x;
+            y[i].y += velocity[i].y;
+        }
+
+        // Re-centre to keep the embedding bounded.
+        double mx = 0.0;
+        double my = 0.0;
+        for (const auto& pt : y) {
+            mx += pt.x;
+            my += pt.y;
+        }
+        mx /= static_cast<double>(n);
+        my /= static_cast<double>(n);
+        for (auto& pt : y) {
+            pt.x -= mx;
+            pt.y -= my;
+        }
+    }
+    return y;
+}
+
+std::vector<Point2>
+tsneBinaryRows(const BinaryMatrix& rows, const TsneConfig& cfg)
+{
+    const size_t n = rows.rows();
+    std::vector<double> sq(n * n, 0.0);
+    const size_t words = rows.numWordsPerRow();
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            int d = 0;
+            const uint64_t* a = rows.rowWords(i);
+            const uint64_t* b = rows.rowWords(j);
+            for (size_t w = 0; w < words; ++w)
+                d += popcount64(a[w] ^ b[w]);
+            const double dd = static_cast<double>(d);
+            sq[i * n + j] = dd; // squared Hamming == Hamming for 0/1
+            sq[j * n + i] = dd;
+        }
+    }
+    return tsneFromDistances(sq, n, cfg);
+}
+
+double
+tsneKlDivergence(const std::vector<double>& sq_dist, size_t n,
+                 const std::vector<Point2>& y, double perplexity)
+{
+    phi_assert(y.size() == n, "embedding size mismatch");
+    if (n < 2)
+        return 0.0;
+    std::vector<double> p = symmetrisedP(sq_dist, n, perplexity);
+
+    std::vector<double> q(n * n, 0.0);
+    double qsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            const double dx = y[i].x - y[j].x;
+            const double dy = y[i].y - y[j].y;
+            const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+            q[i * n + j] = w;
+            q[j * n + i] = w;
+            qsum += 2.0 * w;
+        }
+    }
+    double kl = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const double pj = p[i * n + j];
+            const double qj = std::max(q[i * n + j] / qsum, 1e-12);
+            kl += pj * std::log(pj / qj);
+        }
+    }
+    return kl;
+}
+
+} // namespace phi

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Exact t-SNE (van der Maaten & Hinton, 2008), used to reproduce the
+ * activation-visualisation figures (Fig. 1 and Fig. 9). O(N^2) — fine
+ * for the few thousand activation rows the figures embed.
+ */
+
+#ifndef PHI_ANALYSIS_TSNE_HH
+#define PHI_ANALYSIS_TSNE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/binary_matrix.hh"
+
+namespace phi
+{
+
+/** t-SNE hyperparameters. */
+struct TsneConfig
+{
+    double perplexity = 30.0;
+    int iterations = 400;
+    double learningRate = 100.0;
+    double earlyExaggeration = 12.0;
+    int exaggerationIters = 100;
+    double initialMomentum = 0.5;
+    double finalMomentum = 0.8;
+    int momentumSwitchIter = 200;
+    uint64_t seed = 7;
+};
+
+/** A 2-D embedding point. */
+struct Point2
+{
+    double x = 0;
+    double y = 0;
+};
+
+/**
+ * Embed points given a precomputed squared-distance matrix (row-major,
+ * n x n). Returns n 2-D points.
+ */
+std::vector<Point2> tsneFromDistances(
+    const std::vector<double>& sq_dist, size_t n,
+    const TsneConfig& cfg = {});
+
+/** Embed binary activation rows under squared Hamming distance. */
+std::vector<Point2> tsneBinaryRows(const BinaryMatrix& rows,
+                                   const TsneConfig& cfg = {});
+
+/**
+ * KL divergence of the final embedding (lower = better fit); exposed
+ * so tests can assert the optimisation made progress.
+ */
+double tsneKlDivergence(const std::vector<double>& sq_dist, size_t n,
+                        const std::vector<Point2>& embedding,
+                        double perplexity = 30.0);
+
+} // namespace phi
+
+#endif // PHI_ANALYSIS_TSNE_HH

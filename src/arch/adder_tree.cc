@@ -1,0 +1,98 @@
+#include "arch/adder_tree.hh"
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+ReconfigurableAdderTree::ReconfigurableAdderTree(size_t simd_width)
+    : simdWidth_(simd_width)
+{
+    phi_assert(simd_width >= 1, "SIMD width must be positive");
+}
+
+std::vector<std::vector<int32_t>>
+ReconfigurableAdderTree::reduce(const Matrix<int32_t>& inputs,
+                                const std::vector<int>& segments) const
+{
+    phi_assert(inputs.rows() == numChannels,
+               "adder tree expects ", numChannels, " input channels");
+    phi_assert(inputs.cols() == simdWidth_,
+               "input width ", inputs.cols(), " != SIMD width ",
+               simdWidth_);
+
+    int total = 0;
+    for (int len : segments) {
+        phi_assert(len >= 1, "segment length must be >= 1");
+        total += len;
+    }
+    phi_assert(total <= static_cast<int>(numChannels),
+               "segments exceed channel count");
+
+    // Model the segmented tree as a boundary-aware pairwise reduction:
+    // at every level adjacent values merge unless a segment boundary
+    // separates them, in which case both propagate (via the bypass
+    // links of Fig. 6). The result per segment equals the sum of its
+    // channels — the invariant the tests check exhaustively.
+    struct Node
+    {
+        std::vector<int32_t> value;
+        int segment; // owning segment id
+    };
+
+    std::vector<Node> level;
+    int seg = 0;
+    int used = 0;
+    for (int len : segments) {
+        for (int i = 0; i < len; ++i, ++used) {
+            Node n;
+            n.value.assign(inputs.rowPtr(used),
+                           inputs.rowPtr(used) + simdWidth_);
+            n.segment = seg;
+            level.push_back(std::move(n));
+        }
+        ++seg;
+    }
+
+    while (level.size() > static_cast<size_t>(seg) && level.size() > 1) {
+        std::vector<Node> next;
+        size_t i = 0;
+        while (i < level.size()) {
+            if (i + 1 < level.size() &&
+                level[i].segment == level[i + 1].segment) {
+                Node merged;
+                merged.segment = level[i].segment;
+                merged.value.resize(simdWidth_);
+                for (size_t c = 0; c < simdWidth_; ++c)
+                    merged.value[c] =
+                        level[i].value[c] + level[i + 1].value[c];
+                next.push_back(std::move(merged));
+                i += 2;
+            } else {
+                next.push_back(std::move(level[i]));
+                i += 1;
+            }
+        }
+        level = std::move(next);
+    }
+
+    std::vector<std::vector<int32_t>> out(
+        static_cast<size_t>(seg));
+    for (auto& node : level) {
+        phi_assert(out[static_cast<size_t>(node.segment)].empty(),
+                   "segment produced twice");
+        out[static_cast<size_t>(node.segment)] = std::move(node.value);
+    }
+    return out;
+}
+
+size_t
+ReconfigurableAdderTree::adderOps(const std::vector<int>& segments)
+{
+    size_t active = 0;
+    for (int len : segments)
+        active += static_cast<size_t>(len);
+    return active - segments.size();
+}
+
+} // namespace phi

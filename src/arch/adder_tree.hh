@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reconfigurable SIMD adder tree (Fig. 6 of the paper).
+ *
+ * Eight input channels, each carrying an n-wide vector, are reduced by a
+ * binary tree whose internal links can be segmented so that disjoint
+ * groups of adjacent channels produce independent sums in one pass. The
+ * paper notes this adds only four extra connections over a conventional
+ * tree; we model the functional network faithfully and verify every
+ * possible segmentation against a naive segmented sum.
+ */
+
+#ifndef PHI_ARCH_ADDER_TREE_HH
+#define PHI_ARCH_ADDER_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace phi
+{
+
+/**
+ * A segmented reduction over 8 vector channels.
+ *
+ * The configuration is a list of segment lengths (>= 1) summing to at
+ * most 8; channels beyond the configured segments are ignored (they
+ * carry no valid data that cycle).
+ */
+class ReconfigurableAdderTree
+{
+  public:
+    static constexpr size_t numChannels = 8;
+
+    /** @param simd_width vector lanes per channel (paper: 32). */
+    explicit ReconfigurableAdderTree(size_t simd_width = 32);
+
+    size_t simdWidth() const { return simdWidth_; }
+
+    /**
+     * Reduce the configured segments.
+     *
+     * @param inputs    numChannels rows x simdWidth vector inputs; only
+     *                  the first sum(segments) rows are consumed.
+     * @param segments  lengths of each contiguous segment.
+     * @return one simdWidth-wide sum per segment.
+     */
+    std::vector<std::vector<int32_t>>
+    reduce(const Matrix<int32_t>& inputs,
+           const std::vector<int>& segments) const;
+
+    /** Adder operations performed by the last reduce() call's shape:
+     *  (#active channels - #segments) vector adds. */
+    static size_t adderOps(const std::vector<int>& segments);
+
+  private:
+    size_t simdWidth_;
+};
+
+} // namespace phi
+
+#endif // PHI_ARCH_ADDER_TREE_HH

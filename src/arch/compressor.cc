@@ -1,0 +1,38 @@
+#include "arch/compressor.hh"
+
+namespace phi
+{
+
+std::optional<CompressedRow>
+Compressor::compress(uint32_t row_id, uint32_t partition,
+                     const RowAssignment& assign, bool needs_psum)
+{
+    ++seen;
+    uint64_t pos = assign.posMask;
+    uint64_t neg = assign.negMask;
+    if (pos == 0 && neg == 0)
+        return std::nullopt;
+
+    CompressedRow row;
+    row.rowId = row_id;
+    row.partition = partition;
+    row.needsPsum = needs_psum;
+    while (pos || neg) {
+        int pb = pos ? std::countr_zero(pos) : 65;
+        int nb = neg ? std::countr_zero(neg) : 65;
+        if (pb < nb) {
+            row.entries.emplace_back(static_cast<uint16_t>(pb),
+                                     int8_t{1});
+            pos &= pos - 1;
+        } else {
+            row.entries.emplace_back(static_cast<uint16_t>(nb),
+                                     int8_t{-1});
+            neg &= neg - 1;
+        }
+    }
+    ++emitted;
+    entries += row.entries.size();
+    return row;
+}
+
+} // namespace phi

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Preprocessor's Compressor (step 4 in Fig. 4): filters all-zero
+ * Level 2 rows and converts the surviving sparse maps into compressed
+ * (column, sign) form for the Packer.
+ */
+
+#ifndef PHI_ARCH_COMPRESSOR_HH
+#define PHI_ARCH_COMPRESSOR_HH
+
+#include <optional>
+
+#include "arch/pack.hh"
+#include "core/decompose.hh"
+
+namespace phi
+{
+
+/** Stateless compressor with traffic accounting. */
+class Compressor
+{
+  public:
+    /**
+     * Compress the Level 2 masks of one row-tile.
+     *
+     * @return nullopt for all-zero rows (filtered out), otherwise the
+     *         compressed row.
+     */
+    std::optional<CompressedRow>
+    compress(uint32_t row_id, uint32_t partition,
+             const RowAssignment& assign, bool needs_psum);
+
+    /** Rows seen / rows surviving, for utilisation stats. */
+    uint64_t rowsSeen() const { return seen; }
+    uint64_t rowsEmitted() const { return emitted; }
+    uint64_t entriesEmitted() const { return entries; }
+
+  private:
+    uint64_t seen = 0;
+    uint64_t emitted = 0;
+    uint64_t entries = 0;
+};
+
+} // namespace phi
+
+#endif // PHI_ARCH_COMPRESSOR_HH

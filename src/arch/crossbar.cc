@@ -1,0 +1,58 @@
+#include "arch/crossbar.hh"
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+Crossbar::Crossbar(int inputs, int outputs)
+    : numInputs(inputs), numOutputs(outputs)
+{
+    phi_assert(inputs >= 1 && outputs >= 1,
+               "crossbar ports must be positive");
+}
+
+std::vector<std::vector<int>>
+Crossbar::schedule(const std::vector<int>& bank_of) const
+{
+    for (int b : bank_of)
+        phi_assert(b >= 0 && b < numInputs, "bank ", b,
+                   " outside crossbar inputs");
+
+    std::vector<bool> done(bank_of.size(), false);
+    size_t remaining = bank_of.size();
+    std::vector<std::vector<int>> cycles;
+
+    while (remaining > 0) {
+        std::vector<int> grants;
+        std::vector<bool> bank_busy(static_cast<size_t>(numInputs),
+                                    false);
+        for (size_t i = 0;
+             i < bank_of.size() &&
+             grants.size() < static_cast<size_t>(numOutputs);
+             ++i) {
+            if (done[i])
+                continue;
+            const size_t bank = static_cast<size_t>(bank_of[i]);
+            if (bank_busy[bank])
+                continue;
+            bank_busy[bank] = true;
+            done[i] = true;
+            grants.push_back(static_cast<int>(i));
+            --remaining;
+        }
+        phi_assert(!grants.empty(), "crossbar made no progress");
+        cycles.push_back(std::move(grants));
+    }
+    return cycles;
+}
+
+uint64_t
+Crossbar::cyclesFor(const std::vector<int>& bank_of) const
+{
+    if (bank_of.empty())
+        return 0;
+    return schedule(bank_of).size();
+}
+
+} // namespace phi

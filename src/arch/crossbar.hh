@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Crossbar models: the L1 processor's 16-to-8 crossbar that routes PWP
+ * reads from 16 partition banks into 8 adder-tree channels (Sec. 4.4),
+ * and the output crossbar that steers adder-tree results to partial-sum
+ * banks (Sec. 4.3 step 7).
+ */
+
+#ifndef PHI_ARCH_CROSSBAR_HH
+#define PHI_ARCH_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace phi
+{
+
+/**
+ * An input-buffered N-to-M grant scheduler. Requests are tags (bank
+ * ids); each cycle at most M requests are granted, at most one per
+ * bank. Used to model the 16-to-8 PWP crossbar: the L1 processor
+ * examines a 16-wide window of pattern indices and forwards up to 8
+ * PWPs per cycle.
+ */
+class Crossbar
+{
+  public:
+    Crossbar(int inputs, int outputs);
+
+    int inputs() const { return numInputs; }
+    int outputs() const { return numOutputs; }
+
+    /**
+     * Schedule a burst of requests.
+     *
+     * @param bank_of  the source bank of each request.
+     * @return cycle-by-cycle grant lists (request indices); every
+     *         request is granted exactly once, no cycle grants two
+     *         requests from one bank or more than `outputs` total.
+     */
+    std::vector<std::vector<int>>
+    schedule(const std::vector<int>& bank_of) const;
+
+    /** Cycles needed for the burst (= schedule(...).size()). */
+    uint64_t cyclesFor(const std::vector<int>& bank_of) const;
+
+  private:
+    int numInputs;
+    int numOutputs;
+};
+
+} // namespace phi
+
+#endif // PHI_ARCH_CROSSBAR_HH

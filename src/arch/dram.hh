@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Off-chip DRAM model: DDR4-2133, 8Gb x8 devices, 4 channels, 64 GB/s
+ * aggregate (Table 1). Traffic is tracked per stream so the memory
+ * benches (Fig. 12) can report weight/PWP/activation traffic separately.
+ */
+
+#ifndef PHI_ARCH_DRAM_HH
+#define PHI_ARCH_DRAM_HH
+
+#include <cstdint>
+
+namespace phi
+{
+
+/** DRAM configuration. */
+struct DramConfig
+{
+    double bandwidthGBs = 64.0; // aggregate across channels
+    int channels = 4;
+    double energyPerBytePj = 110.0; // ~13.75 pJ/bit, DDR4-class
+    double staticPowerMw = 180.0;   // background across 4 channels
+};
+
+/** Traffic categories tracked by the simulators. */
+struct DramTraffic
+{
+    double weightBytes = 0;
+    double pwpBytes = 0;
+    /** Single-pass activation stream (the Fig. 12a accounting). */
+    double activationBytes = 0;
+    /** Extra activation re-streaming when the on-chip buffers cannot
+     *  hold an m-tile's working set across output chunks (the Fig. 7d
+     *  buffer/DRAM trade-off; zero at the paper's 240 KB config). */
+    double refetchBytes = 0;
+    double outputBytes = 0;
+
+    double
+    totalBytes() const
+    {
+        return weightBytes + pwpBytes + activationBytes +
+               refetchBytes + outputBytes;
+    }
+
+    DramTraffic&
+    operator+=(const DramTraffic& o)
+    {
+        weightBytes += o.weightBytes;
+        pwpBytes += o.pwpBytes;
+        activationBytes += o.activationBytes;
+        refetchBytes += o.refetchBytes;
+        outputBytes += o.outputBytes;
+        return *this;
+    }
+};
+
+/** Analytic bandwidth/energy model. */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig cfg = {}) : cfg(cfg) {}
+
+    const DramConfig& config() const { return cfg; }
+
+    /** Bytes transferable per core cycle at the given core frequency. */
+    double
+    bytesPerCycle(double freq_hz) const
+    {
+        return cfg.bandwidthGBs * 1e9 / freq_hz;
+    }
+
+    /** Core cycles to stream the given bytes at full bandwidth. */
+    double
+    transferCycles(double bytes, double freq_hz) const
+    {
+        return bytes / bytesPerCycle(freq_hz);
+    }
+
+    /** Dynamic transfer energy in pJ. */
+    double
+    dynamicEnergyPj(double bytes) const
+    {
+        return bytes * cfg.energyPerBytePj;
+    }
+
+    /** Background energy over a runtime, in pJ. */
+    double
+    staticEnergyPj(double seconds) const
+    {
+        return cfg.staticPowerMw * seconds * 1e9;
+    }
+
+  private:
+    DramConfig cfg;
+};
+
+} // namespace phi
+
+#endif // PHI_ARCH_DRAM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Spiking Neuron Array: the output stage converting aggregated L1+L2
+ * partial sums into next-layer spikes (Sec. 4.1). Functionally a bank
+ * of LIF units; architecturally 32 parallel neurons processing one
+ * output tile row-slice per cycle.
+ */
+
+#ifndef PHI_ARCH_LIF_ARRAY_HH
+#define PHI_ARCH_LIF_ARRAY_HH
+
+#include <cstdint>
+
+#include "numeric/binary_matrix.hh"
+#include "numeric/matrix.hh"
+#include "snn/lif.hh"
+
+namespace phi
+{
+
+/** Cycle + functional model of the spiking neuron array. */
+class LifNeuronArray
+{
+  public:
+    explicit LifNeuronArray(int lanes = 32) : lanes(lanes) {}
+
+    int numLanes() const { return lanes; }
+
+    /** Cycles to process an output tile of the given element count. */
+    uint64_t
+    cycles(uint64_t elements) const
+    {
+        return (elements + static_cast<uint64_t>(lanes) - 1) /
+               static_cast<uint64_t>(lanes);
+    }
+
+    /**
+     * Functional conversion: integer partial sums (scaled by `scale`)
+     * through LIF dynamics, rows = timesteps.
+     */
+    BinaryMatrix
+    fire(const Matrix<int32_t>& psums, float scale,
+         LifParams params = {}) const
+    {
+        Matrix<float> currents(psums.rows(), psums.cols());
+        for (size_t r = 0; r < psums.rows(); ++r)
+            for (size_t c = 0; c < psums.cols(); ++c)
+                currents(r, c) =
+                    static_cast<float>(psums(r, c)) * scale;
+        return runLif(currents, params);
+    }
+
+  private:
+    int lanes;
+};
+
+} // namespace phi
+
+#endif // PHI_ARCH_LIF_ARRAY_HH

@@ -1,0 +1,148 @@
+#include "arch/packer.hh"
+
+#include <algorithm>
+
+namespace phi
+{
+
+Packer::Packer(PackerConfig cfg, Sink sink)
+    : cfg(cfg), sink(std::move(sink)), windows(cfg.windows)
+{
+    phi_assert(cfg.windows >= 1, "packer needs at least one window");
+    phi_assert(cfg.psumBanks >= 1, "packer needs at least one bank");
+}
+
+int
+Packer::psumBank(uint32_t row_id) const
+{
+    return static_cast<int>(row_id % static_cast<uint32_t>(cfg.psumBanks));
+}
+
+bool
+Packer::fits(const Pack& pack, const CompressedRow& row) const
+{
+    return pack.freeSpace() >= row.unitsNeeded();
+}
+
+bool
+Packer::conflicts(const Pack& pack, const CompressedRow& row) const
+{
+    // Each row segment in a pack reads/writes its partial sum in bank
+    // (rowId % banks); two segments in the same bank cannot be served
+    // in the same cycle.
+    const int bank = psumBank(row.rowId);
+    for (const auto& seg : pack.rows)
+        if (psumBank(seg.rowId) == bank)
+            return true;
+    return false;
+}
+
+void
+Packer::admit(Pack& pack, const CompressedRow& row)
+{
+    PackRowSeg seg;
+    seg.rowId = row.rowId;
+    seg.partition = row.partition;
+    seg.hasPsum = row.needsPsum;
+    if (row.needsPsum) {
+        PackUnit psum;
+        psum.label = PackUnit::Label::Psum;
+        // Psum slot index = how many psum units precede it in the pack.
+        uint16_t slot = 0;
+        for (const auto& u : pack.units)
+            if (u.label == PackUnit::Label::Psum)
+                ++slot;
+        psum.index = slot;
+        psum.value = 1;
+        pack.units.push_back(psum);
+        ++seg.unitCount;
+    }
+    for (const auto& [col, sign] : row.entries) {
+        PackUnit u;
+        u.label = PackUnit::Label::Weight;
+        u.index = col;
+        u.value = sign;
+        pack.units.push_back(u);
+        ++seg.unitCount;
+    }
+    pack.rows.push_back(seg);
+    packerStats.unitsPacked += seg.unitCount;
+}
+
+void
+Packer::emit(Pack& pack)
+{
+    if (pack.empty())
+        return;
+    ++packerStats.packsEmitted;
+    sink(std::move(pack));
+    pack = Pack{};
+}
+
+void
+Packer::push(const CompressedRow& row)
+{
+    ++packerStats.rowsPacked;
+
+    // Oversized rows cannot fit even an empty pack: split into chained
+    // chunks, each subsequent chunk accumulating onto the row's psum.
+    if (row.unitsNeeded() > Pack::capacity) {
+        ++packerStats.splitRows;
+        CompressedRow chunk;
+        chunk.rowId = row.rowId;
+        chunk.partition = row.partition;
+        chunk.needsPsum = row.needsPsum;
+        for (const auto& e : row.entries) {
+            if (chunk.unitsNeeded() == Pack::capacity) {
+                push(chunk);
+                chunk.entries.clear();
+                chunk.needsPsum = true; // chained accumulation
+            }
+            chunk.entries.push_back(e);
+        }
+        if (!chunk.entries.empty())
+            push(chunk);
+        // The recursive pushes counted themselves; undo overcount.
+        packerStats.rowsPacked -= 1;
+        return;
+    }
+
+    // Stage 1+2 (Fig. 4c): find a window with space and no bank
+    // conflict.
+    int candidate = -1;
+    for (int w = 0; w < cfg.windows; ++w) {
+        if (!fits(windows[static_cast<size_t>(w)], row))
+            continue;
+        if (conflicts(windows[static_cast<size_t>(w)], row)) {
+            ++packerStats.conflictRejects;
+            continue;
+        }
+        candidate = w;
+        break;
+    }
+
+    if (candidate < 0) {
+        // Evict the fullest window and reuse it.
+        int fullest = 0;
+        for (int w = 1; w < cfg.windows; ++w)
+            if (windows[static_cast<size_t>(w)].used() >
+                windows[static_cast<size_t>(fullest)].used())
+                fullest = w;
+        emit(windows[static_cast<size_t>(fullest)]);
+        ++packerStats.evictions;
+        candidate = fullest;
+    }
+
+    admit(windows[static_cast<size_t>(candidate)], row);
+    if (windows[static_cast<size_t>(candidate)].freeSpace() == 0)
+        emit(windows[static_cast<size_t>(candidate)]);
+}
+
+void
+Packer::flush()
+{
+    for (auto& w : windows)
+        emit(w);
+}
+
+} // namespace phi

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Preprocessor's Packer (Fig. 4c).
+ *
+ * Multiple windows each hold an incomplete pack guarded by a conflict
+ * detector. An incoming compressed row is admitted to a window only if
+ * (1) the window has space for all its units and (2) its partial-sum
+ * bank does not collide with a partial sum already in the pack. When no
+ * window qualifies, the fullest pack is evicted to the pack buffer and
+ * its window reused. Rows larger than a whole pack are split with
+ * partial-sum chaining (a conservative extension; the paper's sparsity
+ * makes this case vanishingly rare).
+ */
+
+#ifndef PHI_ARCH_PACKER_HH
+#define PHI_ARCH_PACKER_HH
+
+#include <functional>
+
+#include "arch/pack.hh"
+
+namespace phi
+{
+
+/** Packer configuration. */
+struct PackerConfig
+{
+    int windows = 4;   // concurrent incomplete packs
+    int psumBanks = 8; // partial-sum buffer banks
+};
+
+/** Packing statistics for utilisation / ablation benches. */
+struct PackerStats
+{
+    uint64_t rowsPacked = 0;
+    uint64_t unitsPacked = 0;
+    uint64_t packsEmitted = 0;
+    uint64_t evictions = 0;      // forced emissions on full/conflict
+    uint64_t conflictRejects = 0; // window rejections due to banks
+    uint64_t splitRows = 0;      // rows split across packs
+
+    double
+    avgOccupancy() const
+    {
+        return packsEmitted
+                   ? static_cast<double>(unitsPacked) /
+                         (static_cast<double>(packsEmitted) *
+                          Pack::capacity)
+                   : 0.0;
+    }
+};
+
+/**
+ * Online row packer. Emitted packs go to the sink callback in emission
+ * order (the order the L2 processor will consume them).
+ */
+class Packer
+{
+  public:
+    using Sink = std::function<void(Pack&&)>;
+
+    Packer(PackerConfig cfg, Sink sink);
+
+    /** Offer one compressed row; always succeeds (may evict). */
+    void push(const CompressedRow& row);
+
+    /** Emit every non-empty window (end of tile / layer). */
+    void flush();
+
+    const PackerStats& stats() const { return packerStats; }
+
+  private:
+    int psumBank(uint32_t row_id) const;
+    bool fits(const Pack& pack, const CompressedRow& row) const;
+    bool conflicts(const Pack& pack, const CompressedRow& row) const;
+    void admit(Pack& pack, const CompressedRow& row);
+    void emit(Pack& pack);
+
+    PackerConfig cfg;
+    Sink sink;
+    std::vector<Pack> windows;
+    PackerStats packerStats;
+};
+
+} // namespace phi
+
+#endif // PHI_ARCH_PACKER_HH

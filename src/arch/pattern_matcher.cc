@@ -1,0 +1,40 @@
+#include "arch/pattern_matcher.hh"
+
+namespace phi
+{
+
+PatternMatcher::PatternMatcher(const PatternSet& ps, int lanes)
+    : set(ps), lanes(lanes), pipelineDepth(ps.size())
+{
+    phi_assert(lanes >= 1, "matcher needs at least one lane");
+}
+
+RowAssignment
+PatternMatcher::match(uint64_t row) const
+{
+    // Step 2: every matcher unit computes difference + popcount.
+    // Step 3: global minimum over units and the no-pattern baseline.
+    RowAssignment best;
+    best.patternId = 0;
+    best.posMask = row;
+    best.negMask = 0;
+    int best_count = popcount64(row);
+
+    if (row == 0)
+        return best;
+
+    const auto& pats = set.patterns();
+    for (size_t u = 0; u < pats.size(); ++u) {
+        const uint64_t diff = row ^ pats[u];
+        const int count = popcount64(diff);
+        if (count < best_count) {
+            best_count = count;
+            best.patternId = static_cast<uint16_t>(u + 1);
+            best.posMask = row & ~pats[u];
+            best.negMask = pats[u] & ~row;
+        }
+    }
+    return best;
+}
+
+} // namespace phi

@@ -1,0 +1,30 @@
+#include "arch/prefetcher.hh"
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+size_t
+PwpPrefetcher::analyzeTile(const std::vector<uint16_t>& ids, size_t q)
+{
+    if (seenStamp.size() < q + 1)
+        seenStamp.resize(q + 1, 0);
+    ++stamp;
+
+    size_t distinct = 0;
+    for (uint16_t id : ids) {
+        if (id == 0)
+            continue;
+        phi_assert(id <= q, "pattern id ", id, " exceeds q=", q);
+        if (seenStamp[id] != stamp) {
+            seenStamp[id] = stamp;
+            ++distinct;
+        }
+    }
+    fetched += distinct;
+    full += q;
+    return distinct;
+}
+
+} // namespace phi

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across phi.
+ */
+
+#ifndef PHI_COMMON_BITOPS_HH
+#define PHI_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace phi
+{
+
+/** Number of set bits in x. */
+inline int
+popcount64(uint64_t x)
+{
+    return std::popcount(x);
+}
+
+/** Mask covering the low n bits (n in [0, 64]). */
+inline uint64_t
+lowMask(int n)
+{
+    if (n <= 0)
+        return 0;
+    if (n >= 64)
+        return ~0ull;
+    return (1ull << n) - 1;
+}
+
+/** Hamming distance between two words restricted to their low bits. */
+inline int
+hammingDistance(uint64_t a, uint64_t b)
+{
+    return popcount64(a ^ b);
+}
+
+/** True iff x has exactly one bit set. */
+inline bool
+isOneHot(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round a up to the next multiple of b. */
+template <typename T>
+constexpr T
+roundUp(T a, T b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+} // namespace phi
+
+#endif // PHI_COMMON_BITOPS_HH

@@ -1,0 +1,58 @@
+#include "common/logging.hh"
+
+#include <stdexcept>
+
+namespace phi
+{
+namespace detail
+{
+
+namespace
+{
+/**
+ * Tests may flip this to make panic/fatal throw instead of aborting so
+ * death paths can be exercised without forking.
+ */
+bool throwOnError = false;
+} // namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throwOnError = enable;
+}
+
+[[noreturn]] void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    if (throwOnError)
+        throw std::logic_error("panic: " + msg);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    if (throwOnError)
+        throw std::runtime_error("fatal: " + msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string& msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace phi

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and aborts;
+ * fatal() is for user-caused conditions (bad configuration) and exits with
+ * an error code; warn() and inform() report conditions without stopping.
+ */
+
+#ifndef PHI_COMMON_LOGGING_HH
+#define PHI_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace phi
+{
+
+namespace detail
+{
+
+/** Compose a message from streamable parts. */
+template <typename... Args>
+std::string
+composeMessage(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line,
+                            const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+/**
+ * Make panic/fatal throw (logic_error/runtime_error) instead of
+ * terminating; used by the test suite to exercise error paths.
+ */
+void setThrowOnError(bool enable);
+
+} // namespace detail
+
+} // namespace phi
+
+/** Abort: something happened that should never happen (a bug in phi). */
+#define phi_panic(...) \
+    ::phi::detail::panicImpl(__FILE__, __LINE__, \
+        ::phi::detail::composeMessage(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user-level error. */
+#define phi_fatal(...) \
+    ::phi::detail::fatalImpl(__FILE__, __LINE__, \
+        ::phi::detail::composeMessage(__VA_ARGS__))
+
+/** Report a suspicious but survivable condition. */
+#define phi_warn(...) \
+    ::phi::detail::warnImpl(::phi::detail::composeMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define phi_inform(...) \
+    ::phi::detail::informImpl(::phi::detail::composeMessage(__VA_ARGS__))
+
+/** Internal invariant check that survives NDEBUG builds. */
+#define phi_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::phi::detail::panicImpl(__FILE__, __LINE__, \
+                ::phi::detail::composeMessage("assertion '", #cond, \
+                                              "' failed: ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // PHI_COMMON_LOGGING_HH

@@ -1,0 +1,126 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto& w : state)
+        w = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    phi_assert(bound > 0, "nextBounded requires bound > 0");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    phi_assert(lo <= hi, "uniformInt requires lo <= hi");
+    return lo + static_cast<int64_t>(
+        nextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::gaussian()
+{
+    // Box-Muller; discard the second variate for simplicity.
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+size_t
+Rng::zipf(size_t n, double s)
+{
+    phi_assert(n > 0, "zipf requires n > 0");
+    // Inverse-CDF sampling over the finite harmonic weights. n is small
+    // (tens of prototypes), so the linear scan is fine.
+    double norm = 0.0;
+    for (size_t i = 1; i <= n; ++i)
+        norm += 1.0 / std::pow(static_cast<double>(i), s);
+    double u = uniform() * norm;
+    double acc = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i), s);
+        if (u <= acc)
+            return i - 1;
+    }
+    return n - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace phi

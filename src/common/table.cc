@@ -1,0 +1,101 @@
+#include "common/table.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+Table::Table(std::vector<std::string> hdr)
+    : header(std::move(hdr))
+{
+    phi_assert(!header.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    phi_assert(row.size() == header.size(),
+               "row width ", row.size(), " != header width ",
+               header.size());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<size_t> width(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto& row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emit_row(header);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows)
+        emit_row(row);
+    os.flush();
+}
+
+void
+Table::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(header);
+    for (const auto& row : rows)
+        emit(row);
+}
+
+void
+Table::writeCsv(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        phi_fatal("cannot open '", path, "' for writing");
+    printCsv(f);
+}
+
+std::string
+Table::fmt(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+Table::fmtX(double v, int decimals)
+{
+    return fmt(v, decimals) + "x";
+}
+
+std::string
+Table::fmtPct(double fraction, int decimals)
+{
+    return fmt(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace phi

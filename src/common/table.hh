@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Console table and CSV emission used by the bench harness to print the
+ * rows and series the paper's tables/figures report.
+ */
+
+#ifndef PHI_COMMON_TABLE_HH
+#define PHI_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace phi
+{
+
+/**
+ * A simple left-aligned text table with a header row.
+ *
+ * Cells are strings; numeric helpers format with fixed precision so the
+ * bench output is stable and diffable across runs.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a fully-formed row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns to an ostream. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream& os) const;
+
+    /** Write CSV to a file path, creating/truncating it. */
+    void writeCsv(const std::string& path) const;
+
+    size_t numRows() const { return rows.size(); }
+    size_t numCols() const { return header.size(); }
+
+    /** Format a double with the given number of decimals. */
+    static std::string fmt(double v, int decimals = 2);
+
+    /** Format as a multiplier, e.g. "3.45x". */
+    static std::string fmtX(double v, int decimals = 2);
+
+    /** Format as a percentage, e.g. "96.80%". */
+    static std::string fmtPct(double fraction, int decimals = 2);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace phi
+
+#endif // PHI_COMMON_TABLE_HH

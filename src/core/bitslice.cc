@@ -1,0 +1,138 @@
+#include "core/bitslice.hh"
+
+#include "core/pwp.hh"
+
+namespace phi
+{
+
+BitPlanes
+sliceActivations(const Matrix<uint8_t>& acts, int bits)
+{
+    phi_assert(bits >= 1 && bits <= 8, "bits must be in [1,8]");
+    BitPlanes bp;
+    bp.bits = bits;
+    bp.planes.reserve(static_cast<size_t>(bits));
+    for (int b = 0; b < bits; ++b)
+        bp.planes.emplace_back(acts.rows(), acts.cols());
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        for (size_t c = 0; c < acts.cols(); ++c) {
+            const uint8_t v = acts(r, c);
+            phi_assert(v < (1u << bits), "activation value ",
+                       static_cast<int>(v), " exceeds ", bits, " bits");
+            for (int b = 0; b < bits; ++b)
+                if ((v >> b) & 1)
+                    bp.planes[static_cast<size_t>(b)].set(r, c, true);
+        }
+    }
+    return bp;
+}
+
+Matrix<uint8_t>
+unsliceActivations(const BitPlanes& bp)
+{
+    Matrix<uint8_t> acts(bp.rows(), bp.cols(), 0);
+    for (int b = 0; b < bp.bits; ++b) {
+        const BinaryMatrix& plane = bp.planes[static_cast<size_t>(b)];
+        for (size_t r = 0; r < acts.rows(); ++r)
+            for (size_t c = 0; c < acts.cols(); ++c)
+                if (plane.get(r, c))
+                    acts(r, c) = static_cast<uint8_t>(
+                        acts(r, c) | (1u << b));
+    }
+    return acts;
+}
+
+double
+BitSliceDecomposition::totalL2Ops() const
+{
+    double ops = 0;
+    for (const auto& p : planes)
+        ops += static_cast<double>(p.totalL2Nnz());
+    return ops;
+}
+
+double
+BitSliceDecomposition::totalBitOps() const
+{
+    double ops = 0;
+    for (const auto& s : stats)
+        ops += static_cast<double>(s.bitOnes);
+    return ops;
+}
+
+double
+BitSliceDecomposition::denseOps() const
+{
+    double ops = 0;
+    for (const auto& s : stats)
+        ops += static_cast<double>(s.elements);
+    return ops;
+}
+
+double
+BitSliceDecomposition::speedupOverBitSerial() const
+{
+    const double l2 = totalL2Ops();
+    return l2 > 0 ? totalBitOps() / l2 : 0.0;
+}
+
+BitSliceDecomposition
+decomposeBitSliced(const BitPlanes& calibration, const BitPlanes& runtime,
+                   const CalibrationConfig& cfg)
+{
+    phi_assert(calibration.bits == runtime.bits,
+               "calibration/runtime plane count mismatch");
+    phi_assert(calibration.cols() == runtime.cols(),
+               "calibration/runtime width mismatch");
+    BitSliceDecomposition dec;
+    dec.tables.reserve(static_cast<size_t>(runtime.bits));
+    dec.planes.reserve(static_cast<size_t>(runtime.bits));
+    for (int b = 0; b < runtime.bits; ++b) {
+        const size_t i = static_cast<size_t>(b);
+        dec.tables.push_back(
+            calibrateLayer(calibration.planes[i], cfg));
+        dec.planes.push_back(
+            decomposeLayer(runtime.planes[i], dec.tables[i]));
+        dec.stats.push_back(computeBreakdown(
+            runtime.planes[i], dec.planes[i], dec.tables[i]));
+    }
+    return dec;
+}
+
+Matrix<int32_t>
+bitSlicedPhiGemm(const BitSliceDecomposition& dec,
+                 const Matrix<int16_t>& weights)
+{
+    phi_assert(!dec.planes.empty(), "no planes to compute");
+    Matrix<int32_t> out(dec.planes[0].m, weights.cols(), 0);
+    for (size_t b = 0; b < dec.planes.size(); ++b) {
+        Matrix<int32_t> plane =
+            phiGemm(dec.planes[b], dec.tables[b], weights);
+        const int32_t scale = 1 << b;
+        for (size_t r = 0; r < out.rows(); ++r)
+            for (size_t c = 0; c < out.cols(); ++c)
+                out(r, c) += scale * plane(r, c);
+    }
+    return out;
+}
+
+Matrix<int32_t>
+intGemm(const Matrix<uint8_t>& acts, const Matrix<int16_t>& weights)
+{
+    phi_assert(acts.cols() == weights.rows(), "gemm shape mismatch");
+    Matrix<int32_t> out(acts.rows(), weights.cols(), 0);
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        int32_t* out_row = out.rowPtr(r);
+        for (size_t k = 0; k < acts.cols(); ++k) {
+            const int32_t a = acts(r, k);
+            if (a == 0)
+                continue;
+            const int16_t* w = weights.rowPtr(k);
+            for (size_t c = 0; c < out.cols(); ++c)
+                out_row[c] += a * w[c];
+        }
+    }
+    return out;
+}
+
+} // namespace phi

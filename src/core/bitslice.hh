@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bit-sliced extension of Phi to multi-bit DNN activations (Sec. 6.2).
+ *
+ * The paper observes that bit-slicing decomposes an integer activation
+ * matrix into binary planes, each of which is exactly the input Phi
+ * consumes — so pattern-based hierarchical sparsity generalises beyond
+ * SNNs. This module implements that extension: per-plane calibration
+ * and decomposition, and an exact reconstruction of the integer GEMM
+ * as the power-of-two-weighted sum of the per-plane hierarchical
+ * products.
+ */
+
+#ifndef PHI_CORE_BITSLICE_HH
+#define PHI_CORE_BITSLICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/calibration.hh"
+#include "core/decompose.hh"
+#include "core/stats.hh"
+#include "numeric/gemm.hh"
+
+namespace phi
+{
+
+/** Binary planes of an unsigned integer activation matrix. */
+struct BitPlanes
+{
+    int bits = 8;                     // planes, LSB first
+    std::vector<BinaryMatrix> planes; // planes[b] holds bit b
+
+    size_t rows() const { return planes.empty() ? 0 : planes[0].rows(); }
+    size_t cols() const { return planes.empty() ? 0 : planes[0].cols(); }
+};
+
+/**
+ * Slice an unsigned activation matrix into bit planes.
+ * Values must fit in `bits` bits.
+ */
+BitPlanes sliceActivations(const Matrix<uint8_t>& acts, int bits = 8);
+
+/** Reassemble the integer matrix (inverse of sliceActivations). */
+Matrix<uint8_t> unsliceActivations(const BitPlanes& planes);
+
+/** Per-plane Phi state of a bit-sliced layer. */
+struct BitSliceDecomposition
+{
+    std::vector<PatternTable> tables;       // per plane
+    std::vector<LayerDecomposition> planes; // per plane
+    std::vector<SparsityBreakdown> stats;   // per plane
+
+    /**
+     * Online Phi operations (L2 corrections summed over planes);
+     * compare against bit-serial ops (total one-bits) and dense ops
+     * (rows * cols * bits).
+     */
+    double totalL2Ops() const;
+    double totalBitOps() const;
+    double denseOps() const;
+
+    /** Speedup of Phi over plane-wise bit-serial processing. */
+    double speedupOverBitSerial() const;
+};
+
+/**
+ * Calibrate and decompose every plane independently (patterns are
+ * per-plane: high-order planes of DNN activations are much sparser and
+ * more structured than low-order ones).
+ */
+BitSliceDecomposition decomposeBitSliced(
+    const BitPlanes& calibration, const BitPlanes& runtime,
+    const CalibrationConfig& cfg);
+
+/**
+ * Exact integer GEMM through the bit-sliced hierarchical form:
+ * out = sum_b 2^b * (L1_b + L2_b) W. Must equal the direct product of
+ * the integer activations with the weights.
+ */
+Matrix<int32_t> bitSlicedPhiGemm(const BitSliceDecomposition& dec,
+                                 const Matrix<int16_t>& weights);
+
+/** Reference: direct integer-activation GEMM. */
+Matrix<int32_t> intGemm(const Matrix<uint8_t>& acts,
+                        const Matrix<int16_t>& weights);
+
+} // namespace phi
+
+#endif // PHI_CORE_BITSLICE_HH

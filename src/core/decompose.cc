@@ -1,0 +1,177 @@
+#include "core/decompose.hh"
+
+namespace phi
+{
+
+PatternAssigner::PatternAssigner(const PatternSet& ps)
+    : set(ps)
+{
+}
+
+const RowAssignment&
+PatternAssigner::assign(uint64_t row) const
+{
+    auto it = cache.find(row);
+    if (it != cache.end())
+        return it->second;
+    auto [ins, ok] = cache.emplace(row, compute(row));
+    return ins->second;
+}
+
+RowAssignment
+PatternAssigner::compute(uint64_t row) const
+{
+    RowAssignment best;
+    best.patternId = 0;
+    best.posMask = row;
+    best.negMask = 0;
+    int best_nnz = popcount64(row);
+
+    // An all-zero row can never be improved; the scan below would only
+    // produce negative corrections.
+    if (row == 0)
+        return best;
+
+    const auto& pats = set.patterns();
+    for (size_t i = 0; i < pats.size(); ++i) {
+        uint64_t diff = row ^ pats[i];
+        int nnz = popcount64(diff);
+        // Strict improvement required: a tie would add an L1 PWP
+        // accumulation without reducing L2 work.
+        if (nnz < best_nnz) {
+            best_nnz = nnz;
+            best.patternId = static_cast<uint16_t>(i + 1);
+            best.posMask = row & ~pats[i]; // 1 in row, 0 in pattern -> +1
+            best.negMask = pats[i] & ~row; // 0 in row, 1 in pattern -> -1
+        }
+    }
+    return best;
+}
+
+TileDecomposition
+decomposeTile(const BinaryMatrix& acts, size_t partition,
+              const PatternAssigner& assigner)
+{
+    const int k = assigner.patternSet().k();
+    const size_t start = partition * static_cast<size_t>(k);
+    phi_assert(start < acts.cols(), "partition ", partition,
+               " beyond activation width ", acts.cols());
+
+    TileDecomposition tile;
+    tile.partition = partition;
+    tile.k = k;
+    tile.patternIds.resize(acts.rows());
+    tile.l2Offsets.resize(acts.rows() + 1, 0);
+
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        uint64_t row = acts.extract(r, start, k);
+        const RowAssignment& a = assigner.assign(row);
+        tile.patternIds[r] = a.patternId;
+        tile.l2Offsets[r] = static_cast<uint32_t>(tile.l2Entries.size());
+        uint64_t pos = a.posMask;
+        uint64_t neg = a.negMask;
+        // Emit entries in ascending column order, merging both signs.
+        while (pos || neg) {
+            int pb = pos ? std::countr_zero(pos) : 65;
+            int nb = neg ? std::countr_zero(neg) : 65;
+            if (pb < nb) {
+                tile.l2Entries.push_back(
+                    {static_cast<uint16_t>(pb), int8_t{1}});
+                pos &= pos - 1;
+            } else {
+                tile.l2Entries.push_back(
+                    {static_cast<uint16_t>(nb), int8_t{-1}});
+                neg &= neg - 1;
+            }
+        }
+    }
+    tile.l2Offsets[acts.rows()] =
+        static_cast<uint32_t>(tile.l2Entries.size());
+    return tile;
+}
+
+LayerDecomposition
+decomposeLayer(const BinaryMatrix& acts, const PatternTable& table)
+{
+    const int k = table.k();
+    const size_t partitions =
+        ceilDiv(acts.cols(), static_cast<size_t>(k));
+    phi_assert(table.numPartitions() >= partitions,
+               "pattern table has ", table.numPartitions(),
+               " partitions, layer needs ", partitions);
+
+    LayerDecomposition dec;
+    dec.m = acts.rows();
+    dec.kTotal = acts.cols();
+    dec.k = k;
+    dec.tiles.reserve(partitions);
+    for (size_t p = 0; p < partitions; ++p) {
+        PatternAssigner assigner(table.partition(p));
+        dec.tiles.push_back(decomposeTile(acts, p, assigner));
+    }
+    return dec;
+}
+
+size_t
+LayerDecomposition::totalL2Nnz() const
+{
+    size_t n = 0;
+    for (const auto& t : tiles)
+        n += t.l2Nnz();
+    return n;
+}
+
+size_t
+LayerDecomposition::totalAssigned() const
+{
+    size_t n = 0;
+    for (const auto& t : tiles)
+        for (uint16_t id : t.patternIds)
+            if (id != 0)
+                ++n;
+    return n;
+}
+
+BinaryMatrix
+reconstructActivations(const LayerDecomposition& dec,
+                       const PatternTable& table)
+{
+    BinaryMatrix acts(dec.m, dec.kTotal);
+    for (const auto& tile : dec.tiles) {
+        const size_t start = tile.partition * static_cast<size_t>(dec.k);
+        const PatternSet& ps = table.partition(tile.partition);
+        for (size_t r = 0; r < tile.numRows(); ++r) {
+            // Signed sum of L1 pattern bits and L2 corrections must land
+            // back in {0, 1}; anything else is a decomposition bug.
+            int64_t value[64] = {};
+            if (tile.patternIds[r] != 0) {
+                uint64_t bits = ps.bitsOf(tile.patternIds[r]);
+                while (bits) {
+                    int b = std::countr_zero(bits);
+                    bits &= bits - 1;
+                    value[b] += 1;
+                }
+            }
+            auto [lo, hi] = tile.rowRange(r);
+            for (uint32_t e = lo; e < hi; ++e)
+                value[tile.l2Entries[e].col] += tile.l2Entries[e].sign;
+
+            for (int b = 0; b < dec.k; ++b) {
+                size_t col = start + static_cast<size_t>(b);
+                if (col >= dec.kTotal) {
+                    phi_assert(value[b] == 0,
+                               "nonzero reconstruction past layer edge");
+                    continue;
+                }
+                phi_assert(value[b] == 0 || value[b] == 1,
+                           "reconstruction value ", value[b],
+                           " not binary at row ", r, " col ", col);
+                if (value[b] == 1)
+                    acts.set(r, col, true);
+            }
+        }
+    }
+    return acts;
+}
+
+} // namespace phi

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Phi hierarchical sparsity decomposition (Sec. 3.1 of the paper).
+ *
+ * For every k-bit row-tile of the activation matrix, the assigner picks
+ * the pattern minimising the Hamming distance. If the best pattern is no
+ * better than the row's own popcount, no pattern is assigned and Level 2
+ * holds the raw +1 bits; otherwise Level 1 records the pattern id and
+ * Level 2 holds the bidirectional {+1, -1} correction so that
+ * L1 + L2 == activation exactly.
+ */
+
+#ifndef PHI_CORE_DECOMPOSE_HH
+#define PHI_CORE_DECOMPOSE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pattern.hh"
+#include "numeric/binary_matrix.hh"
+
+namespace phi
+{
+
+/** One Level 2 correction element within a partition (col in [0, k)). */
+struct L2Entry
+{
+    uint16_t col;
+    int8_t sign; // +1 or -1
+};
+
+/** Result of assigning one row-tile to a pattern. */
+struct RowAssignment
+{
+    uint16_t patternId = 0; // 0 = no pattern
+    uint64_t posMask = 0;   // +1 correction positions
+    uint64_t negMask = 0;   // -1 correction positions
+
+    int nnzPos() const { return popcount64(posMask); }
+    int nnzNeg() const { return popcount64(negMask); }
+    int nnz() const { return nnzPos() + nnzNeg(); }
+};
+
+/**
+ * Assigns row-tiles to patterns with memoisation.
+ *
+ * SNN activations are heavily clustered, so distinct k-bit values repeat
+ * massively; a per-value cache turns the O(q) scan into a hash lookup
+ * for all repeats.
+ */
+class PatternAssigner
+{
+  public:
+    explicit PatternAssigner(const PatternSet& ps);
+
+    /** Best assignment for a k-bit row value. */
+    const RowAssignment& assign(uint64_t row) const;
+
+    const PatternSet& patternSet() const { return set; }
+
+  private:
+    RowAssignment compute(uint64_t row) const;
+
+    PatternSet set;
+    mutable std::unordered_map<uint64_t, RowAssignment> cache;
+};
+
+/** Decomposition of one (M x k) activation partition. */
+struct TileDecomposition
+{
+    size_t partition = 0;   // index along K
+    int k = 16;
+
+    /** Per-row pattern id (0 = none). */
+    std::vector<uint16_t> patternIds;
+
+    /** CSR layout of Level 2 entries: row r owns
+     *  l2Entries[l2Offsets[r] .. l2Offsets[r+1]). */
+    std::vector<uint32_t> l2Offsets;
+    std::vector<L2Entry> l2Entries;
+
+    size_t numRows() const { return patternIds.size(); }
+    size_t l2Nnz() const { return l2Entries.size(); }
+
+    /** Level 2 entries of row r as an index range. */
+    std::pair<uint32_t, uint32_t>
+    rowRange(size_t r) const
+    {
+        return {l2Offsets[r], l2Offsets[r + 1]};
+    }
+};
+
+/** Full-layer decomposition: one tile per K partition. */
+struct LayerDecomposition
+{
+    size_t m = 0;      // activation rows
+    size_t kTotal = 0; // activation columns
+    int k = 16;        // partition width
+
+    std::vector<TileDecomposition> tiles;
+
+    size_t numPartitions() const { return tiles.size(); }
+
+    /** Total Level 2 nonzeros across partitions. */
+    size_t totalL2Nnz() const;
+
+    /** Total assigned (nonzero) pattern ids. */
+    size_t totalAssigned() const;
+};
+
+/** Decompose one partition of the activation matrix. */
+TileDecomposition decomposeTile(const BinaryMatrix& acts, size_t partition,
+                                const PatternAssigner& assigner);
+
+/** Decompose a whole layer against its calibrated pattern table. */
+LayerDecomposition decomposeLayer(const BinaryMatrix& acts,
+                                  const PatternTable& table);
+
+/**
+ * Rebuild the activation matrix from L1 + L2. The result must equal the
+ * original activation bit-for-bit; tests enforce this invariant.
+ */
+BinaryMatrix reconstructActivations(const LayerDecomposition& dec,
+                                    const PatternTable& table);
+
+} // namespace phi
+
+#endif // PHI_CORE_DECOMPOSE_HH

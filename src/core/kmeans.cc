@@ -1,0 +1,222 @@
+#include "core/kmeans.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.hh"
+
+namespace phi
+{
+
+namespace
+{
+
+/** Distance from value to the nearest centre; also reports the index. */
+int
+nearestCentre(uint64_t value, const std::vector<uint64_t>& centres,
+              size_t& best_idx)
+{
+    int best = 65;
+    best_idx = 0;
+    for (size_t c = 0; c < centres.size(); ++c) {
+        int d = hammingDistance(value, centres[c]);
+        if (d < best) {
+            best = d;
+            best_idx = c;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<WeightedRow>
+BinaryKMeans::histogram(const std::vector<uint64_t>& rows)
+{
+    std::unordered_map<uint64_t, uint64_t> counts;
+    for (uint64_t r : rows)
+        ++counts[r];
+    std::vector<WeightedRow> hist(counts.begin(), counts.end());
+    // Sort for determinism independent of hash ordering.
+    std::sort(hist.begin(), hist.end());
+    return hist;
+}
+
+uint64_t
+BinaryKMeans::cost(const std::vector<WeightedRow>& hist,
+                   const PatternSet& ps)
+{
+    if (ps.empty())
+        return ~0ull;
+    uint64_t total = 0;
+    for (const auto& [value, count] : hist) {
+        size_t idx;
+        total += count *
+                 static_cast<uint64_t>(
+                     nearestCentre(value, ps.patterns(), idx));
+    }
+    return total;
+}
+
+PatternSet
+BinaryKMeans::fit(const std::vector<WeightedRow>& hist, int k) const
+{
+    phi_assert(k >= 1 && k <= 64, "k must be in [1,64]");
+    const uint64_t mask = lowMask(k);
+
+    // Step 2 of Alg. 1: filter all-zero and one-hot rows. Zero rows need
+    // no computation; a one-hot pattern's PWP is just a weight row, so
+    // clustering them is meaningless.
+    std::vector<WeightedRow> pts;
+    pts.reserve(hist.size());
+    for (const auto& [value, count] : hist) {
+        uint64_t v = value & mask;
+        if (v == 0 || isOneHot(v))
+            continue;
+        pts.emplace_back(v, count);
+    }
+
+    if (cfg.maxDistinct > 0 && pts.size() > cfg.maxDistinct) {
+        // Keep the most frequent distinct rows; sort is
+        // count-descending with value as a deterministic tie-break.
+        std::sort(pts.begin(), pts.end(),
+                  [](const WeightedRow& a, const WeightedRow& b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return a.first < b.first;
+                  });
+        pts.resize(cfg.maxDistinct);
+        std::sort(pts.begin(), pts.end());
+    }
+
+    const size_t q = static_cast<size_t>(cfg.numClusters);
+    if (pts.empty())
+        return PatternSet(k, {});
+
+    // If there are no more distinct meaningful rows than requested
+    // patterns, the distinct rows themselves are the optimal centres.
+    if (pts.size() <= q) {
+        std::vector<uint64_t> centres;
+        centres.reserve(pts.size());
+        for (const auto& [value, count] : pts)
+            centres.push_back(value);
+        return PatternSet(k, centres);
+    }
+
+    Rng rng(cfg.seed);
+
+    // --- Initialisation ---
+    std::vector<uint64_t> centres;
+    centres.reserve(q);
+    if (cfg.init == KMeansConfig::Init::PlusPlus) {
+        // k-means++ adapted to Hamming distance with multiplicities.
+        centres.push_back(
+            pts[rng.nextBounded(pts.size())].first);
+        std::vector<uint64_t> min_d(pts.size());
+        while (centres.size() < q) {
+            uint64_t total = 0;
+            for (size_t i = 0; i < pts.size(); ++i) {
+                size_t idx;
+                int d = nearestCentre(pts[i].first, centres, idx);
+                min_d[i] = pts[i].second * static_cast<uint64_t>(d) *
+                           static_cast<uint64_t>(d);
+                total += min_d[i];
+            }
+            if (total == 0)
+                break; // every point coincides with a centre
+            uint64_t pick = rng.nextBounded(total);
+            uint64_t acc = 0;
+            size_t chosen = pts.size() - 1;
+            for (size_t i = 0; i < pts.size(); ++i) {
+                acc += min_d[i];
+                if (pick < acc) {
+                    chosen = i;
+                    break;
+                }
+            }
+            centres.push_back(pts[chosen].first);
+        }
+    } else {
+        // Random distinct initial centres from the data (Alg. 1 line 1).
+        std::vector<size_t> order(pts.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        rng.shuffle(order);
+        for (size_t i = 0; i < pts.size() && centres.size() < q; ++i)
+            centres.push_back(pts[order[i]].first);
+    }
+
+    // --- Lloyd iterations (Alg. 1 lines 3-6) ---
+    std::vector<size_t> assign(pts.size(), 0);
+    for (int iter = 0; iter < cfg.maxIters; ++iter) {
+        bool changed = (iter == 0);
+        for (size_t i = 0; i < pts.size(); ++i) {
+            size_t idx;
+            nearestCentre(pts[i].first, centres, idx);
+            if (assign[i] != idx) {
+                assign[i] = idx;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+
+        // Weighted bit-frequency centroid, rounded back to {0,1}
+        // (Alg. 1 lines 5-6). ones[c][b] counts members with bit b set.
+        std::vector<std::vector<uint64_t>> ones(
+            centres.size(), std::vector<uint64_t>(k, 0));
+        std::vector<uint64_t> members(centres.size(), 0);
+        for (size_t i = 0; i < pts.size(); ++i) {
+            const auto& [value, count] = pts[i];
+            members[assign[i]] += count;
+            uint64_t v = value;
+            while (v) {
+                int b = std::countr_zero(v);
+                v &= v - 1;
+                ones[assign[i]][b] += count;
+            }
+        }
+
+        for (size_t c = 0; c < centres.size(); ++c) {
+            if (members[c] == 0) {
+                // Reseed an empty cluster from the point farthest from
+                // its current centre (weighted).
+                uint64_t worst = 0;
+                size_t worst_i = 0;
+                for (size_t i = 0; i < pts.size(); ++i) {
+                    uint64_t d = pts[i].second *
+                        static_cast<uint64_t>(hammingDistance(
+                            pts[i].first, centres[assign[i]]));
+                    if (d > worst) {
+                        worst = d;
+                        worst_i = i;
+                    }
+                }
+                centres[c] = pts[worst_i].first;
+                continue;
+            }
+            uint64_t bits = 0;
+            for (int b = 0; b < k; ++b) {
+                // Round half up: ties favour a set bit.
+                if (2 * ones[c][b] >= members[c])
+                    bits |= 1ull << b;
+            }
+            centres[c] = bits;
+        }
+    }
+
+    // Final clean-up: patterns must be meaningful (not zero / one-hot,
+    // which the assignment stage handles natively) and unique.
+    std::vector<uint64_t> final_centres;
+    final_centres.reserve(centres.size());
+    for (uint64_t c : centres) {
+        if (c == 0 || isOneHot(c))
+            continue;
+        if (std::find(final_centres.begin(), final_centres.end(), c) ==
+            final_centres.end())
+            final_centres.push_back(c);
+    }
+    return PatternSet(k, final_centres);
+}
+
+} // namespace phi

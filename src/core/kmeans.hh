@@ -1,0 +1,88 @@
+/**
+ * @file
+ * K-means-based pattern clustering (Algorithm 1 of the paper).
+ *
+ * Binary activation row-tiles are clustered under Hamming distance; the
+ * rounded cluster centres become the pattern set. Because rows are k-bit
+ * values, we cluster the *histogram* of distinct values with multiplicity
+ * weights instead of individual rows — numerically identical, but the
+ * assignment step costs O(distinct * q) rather than O(rows * q).
+ */
+
+#ifndef PHI_CORE_KMEANS_HH
+#define PHI_CORE_KMEANS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/pattern.hh"
+
+namespace phi
+{
+
+/** Tuning knobs for pattern clustering. */
+struct KMeansConfig
+{
+    /** Number of clusters / patterns per partition (paper: 128). */
+    int numClusters = 128;
+    /** Maximum Lloyd iterations; convergence usually ends earlier. */
+    int maxIters = 25;
+    /** Seed for centre initialisation. */
+    uint64_t seed = 1;
+    /** Initialisation scheme. */
+    enum class Init { Random, PlusPlus };
+    Init init = Init::Random;
+    /**
+     * Cap on distinct histogram entries fed to Lloyd iterations; when
+     * exceeded, the highest-multiplicity entries are kept (dominant
+     * clusters survive, the long tail is dropped). 0 disables the cap.
+     */
+    size_t maxDistinct = 0;
+};
+
+/** One weighted point: (k-bit row value, multiplicity). */
+using WeightedRow = std::pair<uint64_t, uint64_t>;
+
+/**
+ * Weighted binary k-means under Hamming distance.
+ *
+ * Implements Algorithm 1: filters all-zero and one-hot rows, assigns
+ * points to the nearest centre by Hamming distance, updates centres as
+ * the majority-rounded mean, and reseeds empty clusters from the point
+ * farthest from its centre.
+ */
+class BinaryKMeans
+{
+  public:
+    explicit BinaryKMeans(KMeansConfig cfg) : cfg(cfg) {}
+
+    /**
+     * Cluster a weighted histogram of k-bit rows.
+     *
+     * @param hist  distinct (value, count) pairs; values must fit in k
+     *              bits.
+     * @param k     row-tile bit width.
+     * @return the calibrated PatternSet (possibly fewer than q patterns
+     *         if fewer distinct meaningful rows exist).
+     */
+    PatternSet fit(const std::vector<WeightedRow>& hist, int k) const;
+
+    /** Build a multiplicity histogram from raw row values. */
+    static std::vector<WeightedRow>
+    histogram(const std::vector<uint64_t>& rows);
+
+    /**
+     * Weighted clustering cost: sum of count * Hamming(value, centre).
+     * Exposed for tests asserting the Lloyd iterations never increase it.
+     */
+    static uint64_t cost(const std::vector<WeightedRow>& hist,
+                         const PatternSet& ps);
+
+  private:
+    KMeansConfig cfg;
+};
+
+} // namespace phi
+
+#endif // PHI_CORE_KMEANS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pattern-Aware Fine-Tuning (PAFT) simulation (Sec. 3.3).
+ *
+ * The paper fine-tunes the SNN with a Hamming-distance regulariser so
+ * spike activations drift toward their assigned patterns. We do not have
+ * the training loop, so we model its *architectural effect* directly:
+ * each mismatching bit of a pattern-assigned row flips toward the pattern
+ * with probability `alignStrength` (the analogue of the regulariser
+ * weight lambda). The flipped-bit rate feeds the accuracy model, which
+ * charges the documented small accuracy cost.
+ */
+
+#ifndef PHI_CORE_PAFT_HH
+#define PHI_CORE_PAFT_HH
+
+#include "core/pattern.hh"
+#include "numeric/binary_matrix.hh"
+
+namespace phi
+{
+
+class Rng;
+
+/** PAFT knobs. */
+struct PaftConfig
+{
+    /**
+     * Probability that a mismatching bit aligns to the pattern; plays
+     * the role of the paper's lambda/learning-rate search (0 disables,
+     * 1 makes every assigned row exactly match its pattern).
+     */
+    double alignStrength = 0.5;
+};
+
+/** Outcome statistics of one PAFT application. */
+struct PaftResult
+{
+    size_t mismatchBitsBefore = 0; // L2 nnz over assigned rows
+    size_t bitsFlipped = 0;        // activation bits changed
+    size_t elements = 0;           // M*K
+
+    /** Fraction of activation elements modified; drives accuracy loss. */
+    double
+    flipRate() const
+    {
+        return elements ? static_cast<double>(bitsFlipped) /
+                          static_cast<double>(elements)
+                        : 0.0;
+    }
+};
+
+/**
+ * Align activations toward their assigned patterns in place.
+ *
+ * Rows without an assigned pattern are untouched (there is nothing to
+ * align with). The transformation is idempotent at alignStrength = 1.
+ */
+PaftResult applyPaft(BinaryMatrix& acts, const PatternTable& table,
+                     const PaftConfig& cfg, Rng& rng);
+
+} // namespace phi
+
+#endif // PHI_CORE_PAFT_HH

@@ -1,0 +1,85 @@
+#include "core/pipeline.hh"
+
+namespace phi
+{
+
+LayerPipeline::LayerPipeline(std::string name, PatternTable table)
+    : layerName(std::move(name)), patternTable(std::move(table))
+{
+}
+
+void
+LayerPipeline::bindWeights(Matrix<int16_t> weights)
+{
+    phi_assert(ceilDiv(weights.rows(),
+                       static_cast<size_t>(patternTable.k())) <=
+               patternTable.numPartitions(),
+               "weights need more partitions than the calibrated table");
+    weightMatrix = std::move(weights);
+    pwpList = computeLayerPwps(patternTable, weightMatrix);
+}
+
+LayerDecomposition
+LayerPipeline::decompose(const BinaryMatrix& acts) const
+{
+    return decomposeLayer(acts, patternTable);
+}
+
+Matrix<int32_t>
+LayerPipeline::compute(const LayerDecomposition& dec) const
+{
+    phi_assert(hasWeights(), "compute() requires bound weights");
+    return phiGemm(dec, patternTable, weightMatrix);
+}
+
+SparsityBreakdown
+LayerPipeline::breakdown(const BinaryMatrix& acts,
+                         const LayerDecomposition& dec) const
+{
+    return computeBreakdown(acts, dec, patternTable);
+}
+
+Pipeline::Pipeline(CalibrationConfig cfg)
+    : cfg(cfg)
+{
+}
+
+LayerPipeline&
+Pipeline::addLayer(const std::string& name,
+                   const std::vector<const BinaryMatrix*>& samples)
+{
+    layers.emplace_back(name, calibrateLayer(samples, cfg));
+    return layers.back();
+}
+
+LayerPipeline&
+Pipeline::addLayer(const std::string& name, PatternTable table)
+{
+    layers.emplace_back(name, std::move(table));
+    return layers.back();
+}
+
+LayerPipeline&
+Pipeline::layer(size_t idx)
+{
+    phi_assert(idx < layers.size(), "layer ", idx, " out of ",
+               layers.size());
+    return layers[idx];
+}
+
+const LayerPipeline&
+Pipeline::layer(size_t idx) const
+{
+    phi_assert(idx < layers.size(), "layer ", idx, " out of ",
+               layers.size());
+    return layers[idx];
+}
+
+PaftResult
+Pipeline::paft(size_t layer_idx, BinaryMatrix& acts,
+               const PaftConfig& paft_cfg, Rng& rng) const
+{
+    return applyPaft(acts, layer(layer_idx).table(), paft_cfg, rng);
+}
+
+} // namespace phi

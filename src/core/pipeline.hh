@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Public facade tying the Phi workflow together (Sec. 3.4):
+ * calibrate -> (optional PAFT) -> decompose -> verify/compute.
+ *
+ * This is the entry point downstream users consume; the examples are
+ * built exclusively on this API.
+ */
+
+#ifndef PHI_CORE_PIPELINE_HH
+#define PHI_CORE_PIPELINE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hh"
+#include "core/decompose.hh"
+#include "core/paft.hh"
+#include "core/pwp.hh"
+#include "core/stats.hh"
+
+namespace phi
+{
+
+/**
+ * Per-layer Phi pipeline state: the calibrated pattern table plus the
+ * pre-computed PWPs once weights are bound.
+ */
+class LayerPipeline
+{
+  public:
+    LayerPipeline(std::string name, PatternTable table);
+
+    const std::string& name() const { return layerName; }
+    const PatternTable& table() const { return patternTable; }
+
+    /** Bind the weight matrix and pre-compute PWPs (offline stage). */
+    void bindWeights(Matrix<int16_t> weights);
+
+    bool hasWeights() const { return !weightMatrix.empty(); }
+    const Matrix<int16_t>& weights() const { return weightMatrix; }
+    const std::vector<Matrix<int32_t>>& pwps() const { return pwpList; }
+
+    /** Decompose a runtime activation matrix. */
+    LayerDecomposition decompose(const BinaryMatrix& acts) const;
+
+    /** Hierarchical product using the bound weights. */
+    Matrix<int32_t> compute(const LayerDecomposition& dec) const;
+
+    /** Sparsity accounting for a decomposed activation. */
+    SparsityBreakdown breakdown(const BinaryMatrix& acts,
+                                const LayerDecomposition& dec) const;
+
+  private:
+    std::string layerName;
+    PatternTable patternTable;
+    Matrix<int16_t> weightMatrix;
+    std::vector<Matrix<int32_t>> pwpList;
+};
+
+/**
+ * Whole-model pipeline: owns per-layer calibrations keyed by insertion
+ * order, mirrors the paper's per-model/dataset/layer/partition pattern
+ * independence.
+ */
+class Pipeline
+{
+  public:
+    explicit Pipeline(CalibrationConfig cfg = {});
+
+    const CalibrationConfig& config() const { return cfg; }
+
+    /** Calibrate and register a layer from sample activations. */
+    LayerPipeline& addLayer(
+        const std::string& name,
+        const std::vector<const BinaryMatrix*>& samples);
+
+    /** Register a layer with an externally built table. */
+    LayerPipeline& addLayer(const std::string& name, PatternTable table);
+
+    size_t numLayers() const { return layers.size(); }
+    LayerPipeline& layer(size_t idx);
+    const LayerPipeline& layer(size_t idx) const;
+
+    /**
+     * Apply PAFT to an activation matrix using the given layer's
+     * patterns; returns alignment statistics.
+     */
+    PaftResult paft(size_t layer_idx, BinaryMatrix& acts,
+                    const PaftConfig& paft_cfg, Rng& rng) const;
+
+  private:
+    CalibrationConfig cfg;
+    std::vector<LayerPipeline> layers;
+};
+
+} // namespace phi
+
+#endif // PHI_CORE_PIPELINE_HH

@@ -1,0 +1,90 @@
+#include "core/pwp.hh"
+
+namespace phi
+{
+
+Matrix<int32_t>
+computePwp(const PatternSet& ps, const Matrix<int16_t>& weights,
+           size_t kOffset)
+{
+    const size_t n = weights.cols();
+    Matrix<int32_t> pwp(ps.size(), n, 0);
+    for (size_t i = 0; i < ps.size(); ++i) {
+        uint64_t bits = ps.patterns()[i];
+        int32_t* out = pwp.rowPtr(i);
+        while (bits) {
+            int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            size_t kk = kOffset + static_cast<size_t>(b);
+            if (kk >= weights.rows())
+                continue; // ragged final partition: zero-padded weights
+            const int16_t* w = weights.rowPtr(kk);
+            for (size_t c = 0; c < n; ++c)
+                out[c] += w[c];
+        }
+    }
+    return pwp;
+}
+
+std::vector<Matrix<int32_t>>
+computeLayerPwps(const PatternTable& table, const Matrix<int16_t>& weights)
+{
+    std::vector<Matrix<int32_t>> pwps;
+    pwps.reserve(table.numPartitions());
+    for (size_t p = 0; p < table.numPartitions(); ++p) {
+        pwps.push_back(computePwp(table.partition(p), weights,
+                                  p * static_cast<size_t>(table.k())));
+    }
+    return pwps;
+}
+
+Matrix<int32_t>
+phiGemm(const LayerDecomposition& dec, const PatternTable& table,
+        const Matrix<int16_t>& weights)
+{
+    phi_assert(dec.kTotal == weights.rows(),
+               "decomposition K ", dec.kTotal, " != weight rows ",
+               weights.rows());
+    const size_t n = weights.cols();
+    Matrix<int32_t> out(dec.m, n, 0);
+
+    auto pwps = computeLayerPwps(table, weights);
+
+    for (const auto& tile : dec.tiles) {
+        const size_t k_off = tile.partition * static_cast<size_t>(dec.k);
+        const Matrix<int32_t>& pwp = pwps[tile.partition];
+        for (size_t r = 0; r < tile.numRows(); ++r) {
+            int32_t* out_row = out.rowPtr(r);
+            // Level 1: one gather-accumulate of the pre-computed PWP.
+            if (tile.patternIds[r] != 0) {
+                const int32_t* p = pwp.rowPtr(tile.patternIds[r] - 1);
+                for (size_t c = 0; c < n; ++c)
+                    out_row[c] += p[c];
+            }
+            // Level 2: signed corrections against raw weight rows.
+            auto [lo, hi] = tile.rowRange(r);
+            for (uint32_t e = lo; e < hi; ++e) {
+                size_t kk = k_off + tile.l2Entries[e].col;
+                phi_assert(kk < weights.rows(),
+                           "L2 column beyond weight rows");
+                const int16_t* w = weights.rowPtr(kk);
+                if (tile.l2Entries[e].sign > 0) {
+                    for (size_t c = 0; c < n; ++c)
+                        out_row[c] += w[c];
+                } else {
+                    for (size_t c = 0; c < n; ++c)
+                        out_row[c] -= w[c];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+size_t
+pwpBytes(const PatternTable& table, size_t n, size_t bytesPerElem)
+{
+    return table.totalPatterns() * n * bytesPerElem;
+}
+
+} // namespace phi

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pattern-Weight Products (PWPs): the offline pre-computation of Level 1.
+ *
+ * PWP[p] = pattern_p x W_tile is computed once per (partition, pattern)
+ * and retrieved at runtime instead of accumulating individual weight
+ * rows. phiGemm() is the reference implementation of the full hierarchical
+ * product and must equal the plain binary GEMM exactly.
+ */
+
+#ifndef PHI_CORE_PWP_HH
+#define PHI_CORE_PWP_HH
+
+#include <cstdint>
+
+#include "core/decompose.hh"
+#include "core/pattern.hh"
+#include "numeric/gemm.hh"
+#include "numeric/matrix.hh"
+
+namespace phi
+{
+
+/**
+ * Pre-compute PWPs for one partition: row i-1 of the result is
+ * pattern (i) x W[kOffset .. kOffset+k).
+ *
+ * @param ps       pattern set of the partition.
+ * @param weights  full K x N weight matrix.
+ * @param kOffset  first weight row covered by the partition.
+ */
+Matrix<int32_t> computePwp(const PatternSet& ps,
+                           const Matrix<int16_t>& weights, size_t kOffset);
+
+/** All partitions' PWPs for a layer. */
+std::vector<Matrix<int32_t>> computeLayerPwps(
+    const PatternTable& table, const Matrix<int16_t>& weights);
+
+/**
+ * Hierarchical product: for every partition, gather the assigned PWP row
+ * (Level 1) and apply signed weight-row corrections (Level 2), reducing
+ * over partitions. Must equal spikeGemm(acts, weights) exactly.
+ */
+Matrix<int32_t> phiGemm(const LayerDecomposition& dec,
+                        const PatternTable& table,
+                        const Matrix<int16_t>& weights);
+
+/**
+ * Bytes of PWP storage for a layer at the given output-tile width and
+ * element size (paper: 16-bit PWP entries).
+ */
+size_t pwpBytes(const PatternTable& table, size_t n,
+                size_t bytesPerElem = 2);
+
+} // namespace phi
+
+#endif // PHI_CORE_PWP_HH

@@ -1,0 +1,76 @@
+#include "core/stats.hh"
+
+namespace phi
+{
+
+namespace
+{
+
+void
+finalise(SparsityBreakdown& b)
+{
+    if (b.elements == 0)
+        return;
+    const double elems = static_cast<double>(b.elements);
+    b.bitDensity = static_cast<double>(b.bitOnes) / elems;
+    b.l1Density = static_cast<double>(b.l1Ones) / elems;
+    b.l2PosDensity = static_cast<double>(b.l2Pos) / elems;
+    b.l2NegDensity = static_cast<double>(b.l2Neg) / elems;
+    b.vectorDensity = static_cast<double>(b.assigned) / elems;
+    if (b.rowTiles > 0)
+        b.indexDensity = static_cast<double>(b.assigned) /
+                         static_cast<double>(b.rowTiles);
+}
+
+} // namespace
+
+SparsityBreakdown
+computeBreakdown(const BinaryMatrix& acts, const LayerDecomposition& dec,
+                 const PatternTable& table)
+{
+    phi_assert(acts.rows() == dec.m && acts.cols() == dec.kTotal,
+               "activation/decomposition shape mismatch");
+    SparsityBreakdown b;
+    b.elements = dec.m * dec.kTotal;
+    b.rowTiles = dec.m * dec.numPartitions();
+    b.bitOnes = acts.popcount();
+
+    for (const auto& tile : dec.tiles) {
+        const PatternSet& ps = table.partition(tile.partition);
+        for (size_t r = 0; r < tile.numRows(); ++r) {
+            if (tile.patternIds[r] != 0) {
+                ++b.assigned;
+                b.l1Ones += static_cast<size_t>(
+                    popcount64(ps.bitsOf(tile.patternIds[r])));
+            }
+            auto [lo, hi] = tile.rowRange(r);
+            for (uint32_t e = lo; e < hi; ++e) {
+                if (tile.l2Entries[e].sign > 0)
+                    ++b.l2Pos;
+                else
+                    ++b.l2Neg;
+            }
+        }
+    }
+    finalise(b);
+    return b;
+}
+
+SparsityBreakdown
+mergeBreakdowns(const std::vector<SparsityBreakdown>& parts)
+{
+    SparsityBreakdown b;
+    for (const auto& p : parts) {
+        b.elements += p.elements;
+        b.rowTiles += p.rowTiles;
+        b.bitOnes += p.bitOnes;
+        b.l1Ones += p.l1Ones;
+        b.l2Pos += p.l2Pos;
+        b.l2Neg += p.l2Neg;
+        b.assigned += p.assigned;
+    }
+    finalise(b);
+    return b;
+}
+
+} // namespace phi

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparsity accounting matching the paper's Table 4 and Fig. 7a.
+ */
+
+#ifndef PHI_CORE_STATS_HH
+#define PHI_CORE_STATS_HH
+
+#include "core/decompose.hh"
+#include "core/pattern.hh"
+
+namespace phi
+{
+
+/**
+ * Hierarchical sparsity breakdown of one decomposed layer (or an
+ * aggregate over layers). Densities are fractions of M*K elements.
+ */
+struct SparsityBreakdown
+{
+    double bitDensity = 0;   // ones(A) / (M*K)
+    double l1Density = 0;    // ones contributed by assigned patterns
+    double l2PosDensity = 0; // +1 corrections
+    double l2NegDensity = 0; // -1 corrections
+
+    /** Fraction of row-tiles carrying a pattern id (index density,
+     *  paper: 50.66% on average). */
+    double indexDensity = 0;
+
+    /**
+     * Vector-wise computational density (Fig. 7a): one PWP accumulation
+     * per assigned row-tile, normalised per activation element.
+     */
+    double vectorDensity = 0;
+
+    double l2Density() const { return l2PosDensity + l2NegDensity; }
+    double totalComputeDensity() const
+    {
+        return l2Density() + vectorDensity;
+    }
+
+    /** Theoretical speedup over bit sparsity (Table 4 "Over B."):
+     *  online ops shrink from bit nnz to L2 nnz. */
+    double speedupOverBit() const
+    {
+        return l2Density() > 0 ? bitDensity / l2Density() : 0.0;
+    }
+
+    /** Theoretical speedup over dense (Table 4 "Over D."). */
+    double speedupOverDense() const
+    {
+        return l2Density() > 0 ? 1.0 / l2Density() : 0.0;
+    }
+
+    /** Element counts used to merge per-layer breakdowns. */
+    size_t elements = 0;
+    size_t rowTiles = 0;
+    size_t bitOnes = 0;
+    size_t l1Ones = 0;
+    size_t l2Pos = 0;
+    size_t l2Neg = 0;
+    size_t assigned = 0;
+};
+
+/** Compute the breakdown for one decomposed layer. */
+SparsityBreakdown computeBreakdown(const BinaryMatrix& acts,
+                                   const LayerDecomposition& dec,
+                                   const PatternTable& table);
+
+/** Merge several per-layer breakdowns weighted by element counts. */
+SparsityBreakdown mergeBreakdowns(
+    const std::vector<SparsityBreakdown>& parts);
+
+} // namespace phi
+
+#endif // PHI_CORE_STATS_HH

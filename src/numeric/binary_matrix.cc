@@ -1,0 +1,130 @@
+#include "numeric/binary_matrix.hh"
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace phi
+{
+
+BinaryMatrix::BinaryMatrix(size_t rows, size_t cols)
+    : nRows(rows), nCols(cols),
+      wordsPerRow(ceilDiv(cols, static_cast<size_t>(64))),
+      words(rows * wordsPerRow, 0)
+{
+}
+
+bool
+BinaryMatrix::get(size_t r, size_t c) const
+{
+    phi_assert(r < nRows && c < nCols, "bit index (", r, ",", c,
+               ") out of (", nRows, ",", nCols, ")");
+    return (words[r * wordsPerRow + c / 64] >> (c % 64)) & 1;
+}
+
+void
+BinaryMatrix::set(size_t r, size_t c, bool v)
+{
+    phi_assert(r < nRows && c < nCols, "bit index (", r, ",", c,
+               ") out of (", nRows, ",", nCols, ")");
+    uint64_t& w = words[r * wordsPerRow + c / 64];
+    uint64_t mask = 1ull << (c % 64);
+    if (v)
+        w |= mask;
+    else
+        w &= ~mask;
+}
+
+uint64_t
+BinaryMatrix::extract(size_t r, size_t start, int len) const
+{
+    phi_assert(r < nRows, "row ", r, " out of ", nRows);
+    phi_assert(len >= 1 && len <= 64, "extract length must be in [1,64]");
+    if (start >= nCols)
+        return 0;
+
+    const uint64_t* row = rowWords(r);
+    size_t w0 = start / 64;
+    int off = static_cast<int>(start % 64);
+    uint64_t lo = row[w0] >> off;
+    if (off != 0 && w0 + 1 < wordsPerRow)
+        lo |= row[w0 + 1] << (64 - off);
+
+    // Clip to both the requested length and the matrix edge.
+    int avail = static_cast<int>(std::min<size_t>(len, nCols - start));
+    return lo & lowMask(avail);
+}
+
+void
+BinaryMatrix::deposit(size_t r, size_t start, int len, uint64_t value)
+{
+    phi_assert(len >= 1 && len <= 64, "deposit length must be in [1,64]");
+    for (int i = 0; i < len; ++i) {
+        size_t c = start + i;
+        if (c >= nCols)
+            break;
+        set(r, c, (value >> i) & 1);
+    }
+}
+
+size_t
+BinaryMatrix::popcountRow(size_t r) const
+{
+    phi_assert(r < nRows, "row ", r, " out of ", nRows);
+    size_t total = 0;
+    const uint64_t* row = rowWords(r);
+    for (size_t w = 0; w < wordsPerRow; ++w)
+        total += popcount64(row[w]);
+    return total;
+}
+
+size_t
+BinaryMatrix::popcount() const
+{
+    size_t total = 0;
+    for (uint64_t w : words)
+        total += popcount64(w);
+    return total;
+}
+
+double
+BinaryMatrix::density() const
+{
+    if (nRows == 0 || nCols == 0)
+        return 0.0;
+    return static_cast<double>(popcount()) /
+           static_cast<double>(nRows * nCols);
+}
+
+BinaryMatrix
+BinaryMatrix::fromDense(const Matrix<int>& dense)
+{
+    BinaryMatrix m(dense.rows(), dense.cols());
+    for (size_t r = 0; r < dense.rows(); ++r)
+        for (size_t c = 0; c < dense.cols(); ++c)
+            if (dense(r, c) != 0)
+                m.set(r, c, true);
+    return m;
+}
+
+Matrix<int>
+BinaryMatrix::toDense() const
+{
+    Matrix<int> dense(nRows, nCols, 0);
+    for (size_t r = 0; r < nRows; ++r)
+        for (size_t c = 0; c < nCols; ++c)
+            dense(r, c) = get(r, c) ? 1 : 0;
+    return dense;
+}
+
+BinaryMatrix
+BinaryMatrix::random(size_t rows, size_t cols, double density, Rng& rng)
+{
+    BinaryMatrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            if (rng.bernoulli(density))
+                m.set(r, c, true);
+    return m;
+}
+
+} // namespace phi

@@ -1,0 +1,90 @@
+#include "numeric/gemm.hh"
+
+#include "common/bitops.hh"
+
+namespace phi
+{
+
+Matrix<int32_t>
+spikeGemm(const BinaryMatrix& acts, const Matrix<int16_t>& weights)
+{
+    phi_assert(acts.cols() == weights.rows(),
+               "gemm shape mismatch: A is ", acts.rows(), "x", acts.cols(),
+               ", W is ", weights.rows(), "x", weights.cols());
+    const size_t m = acts.rows();
+    const size_t k = acts.cols();
+    const size_t n = weights.cols();
+    Matrix<int32_t> out(m, n, 0);
+
+    for (size_t r = 0; r < m; ++r) {
+        int32_t* out_row = out.rowPtr(r);
+        // Walk set bits word by word: only '1' activations accumulate.
+        const uint64_t* row = acts.rowWords(r);
+        for (size_t w = 0; w < acts.numWordsPerRow(); ++w) {
+            uint64_t bits = row[w];
+            while (bits) {
+                int bit = std::countr_zero(bits);
+                bits &= bits - 1;
+                size_t kk = w * 64 + static_cast<size_t>(bit);
+                if (kk >= k)
+                    break;
+                const int16_t* w_row = weights.rowPtr(kk);
+                for (size_t c = 0; c < n; ++c)
+                    out_row[c] += w_row[c];
+            }
+        }
+    }
+    return out;
+}
+
+Matrix<float>
+denseGemm(const Matrix<float>& a, const Matrix<float>& b)
+{
+    phi_assert(a.cols() == b.rows(), "gemm shape mismatch");
+    const size_t m = a.rows();
+    const size_t k = a.cols();
+    const size_t n = b.cols();
+    Matrix<float> out(m, n, 0.0f);
+    for (size_t r = 0; r < m; ++r) {
+        float* out_row = out.rowPtr(r);
+        for (size_t kk = 0; kk < k; ++kk) {
+            float av = a(r, kk);
+            if (av == 0.0f)
+                continue;
+            const float* b_row = b.rowPtr(kk);
+            for (size_t c = 0; c < n; ++c)
+                out_row[c] += av * b_row[c];
+        }
+    }
+    return out;
+}
+
+Matrix<float>
+spikeGemmF(const BinaryMatrix& acts, const Matrix<float>& weights)
+{
+    phi_assert(acts.cols() == weights.rows(), "gemm shape mismatch");
+    const size_t m = acts.rows();
+    const size_t k = acts.cols();
+    const size_t n = weights.cols();
+    Matrix<float> out(m, n, 0.0f);
+    for (size_t r = 0; r < m; ++r) {
+        float* out_row = out.rowPtr(r);
+        const uint64_t* row = acts.rowWords(r);
+        for (size_t w = 0; w < acts.numWordsPerRow(); ++w) {
+            uint64_t bits = row[w];
+            while (bits) {
+                int bit = std::countr_zero(bits);
+                bits &= bits - 1;
+                size_t kk = w * 64 + static_cast<size_t>(bit);
+                if (kk >= k)
+                    break;
+                const float* w_row = weights.rowPtr(kk);
+                for (size_t c = 0; c < n; ++c)
+                    out_row[c] += w_row[c];
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace phi

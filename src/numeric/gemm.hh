@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reference matrix products. These define ground truth for every sparsity
+ * transformation and for the functional checks of the cycle simulator.
+ */
+
+#ifndef PHI_NUMERIC_GEMM_HH
+#define PHI_NUMERIC_GEMM_HH
+
+#include <cstdint>
+
+#include "numeric/binary_matrix.hh"
+#include "numeric/matrix.hh"
+
+namespace phi
+{
+
+/**
+ * Binary-activation GEMM: out[m][n] = sum_k A[m][k] * W[k][n] where A is
+ * 0/1. This is the SNN accumulate-only workload; with integer weights it
+ * is exact, so it anchors losslessness tests.
+ */
+Matrix<int32_t> spikeGemm(const BinaryMatrix& acts,
+                          const Matrix<int16_t>& weights);
+
+/** Dense float GEMM used by the runnable SNN substrate. */
+Matrix<float> denseGemm(const Matrix<float>& a, const Matrix<float>& b);
+
+/**
+ * Binary-activation GEMM against float weights (for the LIF network's
+ * forward pass, where weights are float).
+ */
+Matrix<float> spikeGemmF(const BinaryMatrix& acts,
+                         const Matrix<float>& weights);
+
+} // namespace phi
+
+#endif // PHI_NUMERIC_GEMM_HH

@@ -1,0 +1,88 @@
+#include "numeric/im2col.hh"
+
+namespace phi
+{
+
+BinaryMatrix
+im2colSpikes(const BinaryMatrix& fmap, const ConvShape& s)
+{
+    phi_assert(fmap.cols() == s.inChannels * s.inHeight * s.inWidth,
+               "feature map width ", fmap.cols(),
+               " does not match conv shape");
+    const size_t t_steps = fmap.rows();
+    const size_t oh = s.outHeight();
+    const size_t ow = s.outWidth();
+    BinaryMatrix out(t_steps * oh * ow, s.gemmK());
+
+    for (size_t t = 0; t < t_steps; ++t) {
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                size_t out_row = (t * oh + oy) * ow + ox;
+                size_t col = 0;
+                for (size_t c = 0; c < s.inChannels; ++c) {
+                    for (size_t ky = 0; ky < s.kernel; ++ky) {
+                        for (size_t kx = 0; kx < s.kernel; ++kx, ++col) {
+                            long iy = static_cast<long>(oy * s.stride + ky)
+                                      - static_cast<long>(s.pad);
+                            long ix = static_cast<long>(ox * s.stride + kx)
+                                      - static_cast<long>(s.pad);
+                            if (iy < 0 || ix < 0 ||
+                                iy >= static_cast<long>(s.inHeight) ||
+                                ix >= static_cast<long>(s.inWidth))
+                                continue;
+                            size_t src = (c * s.inHeight +
+                                          static_cast<size_t>(iy)) *
+                                         s.inWidth +
+                                         static_cast<size_t>(ix);
+                            if (fmap.get(t, src))
+                                out.set(out_row, col, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Matrix<float>
+im2colDense(const Matrix<float>& fmap, const ConvShape& s)
+{
+    phi_assert(fmap.cols() == s.inChannels * s.inHeight * s.inWidth,
+               "feature map width does not match conv shape");
+    const size_t t_steps = fmap.rows();
+    const size_t oh = s.outHeight();
+    const size_t ow = s.outWidth();
+    Matrix<float> out(t_steps * oh * ow, s.gemmK(), 0.0f);
+
+    for (size_t t = 0; t < t_steps; ++t) {
+        for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+                size_t out_row = (t * oh + oy) * ow + ox;
+                size_t col = 0;
+                for (size_t c = 0; c < s.inChannels; ++c) {
+                    for (size_t ky = 0; ky < s.kernel; ++ky) {
+                        for (size_t kx = 0; kx < s.kernel; ++kx, ++col) {
+                            long iy = static_cast<long>(oy * s.stride + ky)
+                                      - static_cast<long>(s.pad);
+                            long ix = static_cast<long>(ox * s.stride + kx)
+                                      - static_cast<long>(s.pad);
+                            if (iy < 0 || ix < 0 ||
+                                iy >= static_cast<long>(s.inHeight) ||
+                                ix >= static_cast<long>(s.inWidth))
+                                continue;
+                            size_t src = (c * s.inHeight +
+                                          static_cast<size_t>(iy)) *
+                                         s.inWidth +
+                                         static_cast<size_t>(ix);
+                            out(out_row, col) = fmap(t, src);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace phi

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * im2col lowering of 2-D convolutions to GEMM, used both to derive the
+ * GEMM shapes of convolutional SNN layers and to run real spiking
+ * convolutions in the runnable network substrate.
+ */
+
+#ifndef PHI_NUMERIC_IM2COL_HH
+#define PHI_NUMERIC_IM2COL_HH
+
+#include <cstddef>
+
+#include "numeric/binary_matrix.hh"
+#include "numeric/matrix.hh"
+
+namespace phi
+{
+
+/** Static description of a conv layer (square kernels, same H/W padding). */
+struct ConvShape
+{
+    size_t inChannels = 1;
+    size_t inHeight = 1;
+    size_t inWidth = 1;
+    size_t outChannels = 1;
+    size_t kernel = 3;
+    size_t stride = 1;
+    size_t pad = 1;
+
+    size_t outHeight() const
+    {
+        return (inHeight + 2 * pad - kernel) / stride + 1;
+    }
+    size_t outWidth() const
+    {
+        return (inWidth + 2 * pad - kernel) / stride + 1;
+    }
+
+    /** GEMM rows per timestep after lowering. */
+    size_t gemmM() const { return outHeight() * outWidth(); }
+    /** GEMM reduction dimension. */
+    size_t gemmK() const { return inChannels * kernel * kernel; }
+    /** GEMM output columns. */
+    size_t gemmN() const { return outChannels; }
+};
+
+/**
+ * Lower a binary feature map to the im2col activation matrix.
+ *
+ * @param fmap   (C*H*W) bits per timestep row; layout row r = timestep,
+ *               column index = c*H*W + y*W + x.
+ * @param shape  conv geometry.
+ * @return matrix with (timesteps * outH * outW) rows and gemmK columns.
+ */
+BinaryMatrix im2colSpikes(const BinaryMatrix& fmap, const ConvShape& shape);
+
+/** Float version for reference conv checks. */
+Matrix<float> im2colDense(const Matrix<float>& fmap, const ConvShape& shape);
+
+} // namespace phi
+
+#endif // PHI_NUMERIC_IM2COL_HH

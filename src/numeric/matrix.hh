@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dense row-major matrix container used for weights, partial sums and
+ * reference results throughout phi.
+ */
+
+#ifndef PHI_NUMERIC_MATRIX_HH
+#define PHI_NUMERIC_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+/**
+ * Minimal dense matrix. Rows are contiguous; element access is
+ * bounds-checked through phi_assert (active in all build types).
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : nRows(0), nCols(0) {}
+
+    Matrix(size_t rows, size_t cols, T init = T{})
+        : nRows(rows), nCols(cols), buf(rows * cols, init)
+    {}
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+    size_t size() const { return buf.size(); }
+    bool empty() const { return buf.empty(); }
+
+    T&
+    at(size_t r, size_t c)
+    {
+        phi_assert(r < nRows && c < nCols,
+                   "matrix index (", r, ",", c, ") out of (",
+                   nRows, ",", nCols, ")");
+        return buf[r * nCols + c];
+    }
+
+    const T&
+    at(size_t r, size_t c) const
+    {
+        phi_assert(r < nRows && c < nCols,
+                   "matrix index (", r, ",", c, ") out of (",
+                   nRows, ",", nCols, ")");
+        return buf[r * nCols + c];
+    }
+
+    /** Unchecked access for hot loops. */
+    T& operator()(size_t r, size_t c) { return buf[r * nCols + c]; }
+    const T& operator()(size_t r, size_t c) const
+    {
+        return buf[r * nCols + c];
+    }
+
+    T* rowPtr(size_t r) { return buf.data() + r * nCols; }
+    const T* rowPtr(size_t r) const { return buf.data() + r * nCols; }
+
+    T* data() { return buf.data(); }
+    const T* data() const { return buf.data(); }
+
+    void
+    fill(T value)
+    {
+        std::fill(buf.begin(), buf.end(), value);
+    }
+
+    bool
+    operator==(const Matrix& other) const
+    {
+        return nRows == other.nRows && nCols == other.nCols &&
+               buf == other.buf;
+    }
+
+  private:
+    size_t nRows;
+    size_t nCols;
+    std::vector<T> buf;
+};
+
+} // namespace phi
+
+#endif // PHI_NUMERIC_MATRIX_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Result containers shared by the Phi simulator and all baselines.
+ *
+ * The paper's OP definition (Sec. 5.1) is used throughout: one OP is
+ * one accumulation for a '1' element of the bit-sparse activation, so
+ * throughput and energy efficiency are comparable across architectures
+ * regardless of how much work each one actually performs.
+ */
+
+#ifndef PHI_SIM_RESULT_HH
+#define PHI_SIM_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/dram.hh"
+
+namespace phi
+{
+
+/** Cycle attribution of one layer. */
+struct CycleBreakdown
+{
+    double l1 = 0;       // L1 processor busy cycles
+    double l2 = 0;       // L2 processor busy cycles
+    double compute = 0;  // max(l1, l2) + per-tile sync
+    double preprocess = 0;
+    double neuron = 0;
+    double dram = 0;
+    double bound = 0;    // max of the overlapped stages = layer cycles
+};
+
+/** Energy attribution in pJ. */
+struct EnergyBreakdownPj
+{
+    double core = 0;   // datapath logic incl. preprocessor
+    double buffer = 0; // on-chip SRAM dynamic + leakage
+    double dram = 0;   // off-chip dynamic + background
+
+    double total() const { return core + buffer + dram; }
+
+    EnergyBreakdownPj&
+    operator+=(const EnergyBreakdownPj& o)
+    {
+        core += o.core;
+        buffer += o.buffer;
+        dram += o.dram;
+        return *this;
+    }
+};
+
+/** One layer's simulation outcome (already scaled by repetition). */
+struct LayerSimResult
+{
+    std::string name;
+    size_t count = 1;
+    double cycles = 0;
+    CycleBreakdown breakdown;
+    EnergyBreakdownPj energy;
+    DramTraffic traffic;
+    double bitOps = 0;   // paper OP definition
+    double denseOps = 0; // MAC slots
+};
+
+/** Whole-model simulation outcome. */
+struct SimResult
+{
+    std::string arch;
+    std::string workload;
+    double freqHz = 500e6;
+    double cycles = 0;
+    EnergyBreakdownPj energy;
+    DramTraffic traffic;
+    double bitOps = 0;
+    double denseOps = 0;
+    std::vector<LayerSimResult> layers;
+
+    double seconds() const { return cycles / freqHz; }
+
+    /** Throughput in GOP/s under the paper's OP definition. */
+    double
+    gops() const
+    {
+        return seconds() > 0 ? bitOps / seconds() / 1e9 : 0.0;
+    }
+
+    /** Energy efficiency in GOP/J. */
+    double
+    gopsPerJoule() const
+    {
+        const double joules = energy.total() * 1e-12;
+        return joules > 0 ? bitOps / joules / 1e9 : 0.0;
+    }
+
+    /** Area efficiency in GOP/s/mm^2. */
+    double
+    areaEfficiency(double area_mm2) const
+    {
+        return area_mm2 > 0 ? gops() / area_mm2 : 0.0;
+    }
+};
+
+} // namespace phi
+
+#endif // PHI_SIM_RESULT_HH

@@ -1,0 +1,155 @@
+#include "snn/activation_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace phi
+{
+
+ClusterGenConfig
+ClusterGenConfig::fromProfile(const ActivationProfile& p, int k)
+{
+    ClusterGenConfig cfg;
+    cfg.bitDensity = p.bitDensity;
+    cfg.l2DensityTarget = p.l2DensityTarget;
+    cfg.zeroRowFrac = p.zeroRowFrac;
+    cfg.randomRowFrac = p.randomRowFrac;
+    cfg.prototypes = p.prototypes;
+    cfg.zipfS = p.zipfS;
+    cfg.k = k;
+    return cfg;
+}
+
+ClusteredSpikeGenerator::ClusteredSpikeGenerator(
+    const ClusterGenConfig& cfg, size_t k_dim, uint64_t seed)
+    : cfg(cfg), kDim(k_dim)
+{
+    phi_assert(cfg.k >= 1 && cfg.k <= 64, "tile width must be in [1,64]");
+    phi_assert(cfg.bitDensity > 0.0 && cfg.bitDensity < 1.0,
+               "bit density must be in (0,1)");
+
+    const double live = 1.0 - cfg.zeroRowFrac;
+    phi_assert(live > 0.05, "zeroRowFrac leaves no live rows");
+
+    // Live row-tiles must carry all the density; solve the prototype
+    // per-bit density so that after symmetric bit-flip noise the overall
+    // density hits the target (d_eff = d_p(1-2e) + e).
+    const double d_eff = std::min(0.95, cfg.bitDensity / live);
+    // Mismatch bits against the latent prototype appear at rate ~noise,
+    // but the k-means calibration recovers *more* patterns than latent
+    // prototypes and absorbs part of the noise — increasingly so at
+    // higher noise levels. The empirical linear correction below was
+    // fit so the measured L2 densities land on the Table 4 targets.
+    const double noise_scale =
+        std::clamp(0.75 + 12.5 * cfg.l2DensityTarget, 0.6, 1.6);
+    noise = std::clamp(cfg.l2DensityTarget / live * noise_scale, 0.001,
+                       0.45);
+    if (noise >= d_eff)
+        noise = d_eff * 0.5; // extremely sparse layers: keep solvable
+    protoDensity =
+        std::clamp((d_eff - noise) / (1.0 - 2.0 * noise), 0.01, 0.98);
+
+    // Fixed latent prototypes per partition. Popcounts are dithered
+    // around protoDensity * k instead of sampled iid so the realised
+    // overall density tracks the target tightly even for layers with
+    // few partitions.
+    Rng rng(seed);
+    const size_t partitions =
+        ceilDiv(kDim, static_cast<size_t>(cfg.k));
+    protos.resize(partitions);
+    for (auto& pp : protos) {
+        pp.resize(static_cast<size_t>(cfg.prototypes));
+        for (auto& proto : pp) {
+            const double mean_ones =
+                protoDensity * static_cast<double>(cfg.k);
+            int n_ones = static_cast<int>(mean_ones);
+            if (rng.bernoulli(mean_ones - n_ones))
+                ++n_ones;
+            n_ones = std::min(n_ones, cfg.k);
+            uint64_t bits = 0;
+            int placed = 0;
+            while (placed < n_ones) {
+                int b = static_cast<int>(
+                    rng.nextBounded(static_cast<uint64_t>(cfg.k)));
+                if (!(bits & (1ull << b))) {
+                    bits |= 1ull << b;
+                    ++placed;
+                }
+            }
+            proto = bits;
+        }
+    }
+
+    // Zipf popularity CDF over prototypes.
+    zipfCdf.resize(static_cast<size_t>(cfg.prototypes));
+    double norm = 0.0;
+    for (int i = 0; i < cfg.prototypes; ++i)
+        norm += 1.0 / std::pow(i + 1.0, cfg.zipfS);
+    double acc = 0.0;
+    for (int i = 0; i < cfg.prototypes; ++i) {
+        acc += 1.0 / std::pow(i + 1.0, cfg.zipfS) / norm;
+        zipfCdf[static_cast<size_t>(i)] = acc;
+    }
+    zipfCdf.back() = 1.0;
+}
+
+const std::vector<uint64_t>&
+ClusteredSpikeGenerator::prototypesOf(size_t partition) const
+{
+    phi_assert(partition < protos.size(), "partition out of range");
+    return protos[partition];
+}
+
+BinaryMatrix
+ClusteredSpikeGenerator::generate(size_t rows, Rng& rng) const
+{
+    BinaryMatrix acts(rows, kDim);
+    const int k = cfg.k;
+    const double d_eff =
+        protoDensity * (1.0 - 2.0 * noise) + noise;
+
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t p = 0; p < protos.size(); ++p) {
+            const size_t start = p * static_cast<size_t>(k);
+            const int width = static_cast<int>(
+                std::min<size_t>(static_cast<size_t>(k), kDim - start));
+
+            double mode = rng.uniform();
+            uint64_t bits = 0;
+            if (mode < cfg.zeroRowFrac) {
+                // all-zero row-tile
+            } else if (mode < cfg.zeroRowFrac + cfg.randomRowFrac) {
+                // unclustered outlier
+                for (int b = 0; b < width; ++b)
+                    if (rng.bernoulli(d_eff))
+                        bits |= 1ull << b;
+            } else {
+                // prototype + bit-flip noise
+                double u = rng.uniform();
+                size_t idx = static_cast<size_t>(
+                    std::lower_bound(zipfCdf.begin(), zipfCdf.end(), u) -
+                    zipfCdf.begin());
+                if (idx >= protos[p].size())
+                    idx = protos[p].size() - 1;
+                bits = protos[p][idx];
+                for (int b = 0; b < width; ++b)
+                    if (rng.bernoulli(noise))
+                        bits ^= 1ull << b;
+                bits &= lowMask(width);
+            }
+            if (bits)
+                acts.deposit(r, start, width, bits);
+        }
+    }
+    return acts;
+}
+
+BinaryMatrix
+randomActivations(size_t rows, size_t cols, double density, Rng& rng)
+{
+    return BinaryMatrix::random(rows, cols, density, rng);
+}
+
+} // namespace phi

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic spike-activation generators.
+ *
+ * The paper's experiments consume activation matrices from trained SNNs.
+ * We do not ship trained models, so the ClusteredSpikeGenerator samples
+ * binary rows from a fixed per-partition set of latent prototypes with
+ * Zipf popularity plus bit-flip noise, reproducing the two statistics
+ * Phi's results depend on: overall bit density and the clustered row
+ * structure (see DESIGN.md, substitution table). The prototype sets are
+ * fixed at construction, so "train" and "test" draws share the same
+ * distribution — exactly the property Fig. 9a establishes for real SNNs.
+ */
+
+#ifndef PHI_SNN_ACTIVATION_GEN_HH
+#define PHI_SNN_ACTIVATION_GEN_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "numeric/binary_matrix.hh"
+#include "snn/model_zoo.hh"
+
+namespace phi
+{
+
+/** Parameters of the clustered generator. */
+struct ClusterGenConfig
+{
+    double bitDensity = 0.10;    // target fraction of one bits
+    double l2DensityTarget = 0.02; // target mismatch (noise) density
+    double zeroRowFrac = 0.30;   // all-zero row-tiles
+    double randomRowFrac = 0.04; // unclustered outlier row-tiles
+    int prototypes = 24;         // latent clusters per partition
+    double zipfS = 1.1;          // prototype popularity skew
+    int k = 16;                  // row-tile width the clusters live in
+
+    /** Derive a generator config from a model's activation profile. */
+    static ClusterGenConfig fromProfile(const ActivationProfile& p,
+                                        int k = 16);
+};
+
+/**
+ * Draws binary activation matrices whose row-tiles cluster around fixed
+ * latent prototypes. Thread-compatible: generation state is external
+ * (caller-provided Rng).
+ */
+class ClusteredSpikeGenerator
+{
+  public:
+    /**
+     * @param cfg   statistical targets.
+     * @param kDim  activation column count of the layer.
+     * @param seed  fixes the latent prototypes (per layer).
+     */
+    ClusteredSpikeGenerator(const ClusterGenConfig& cfg, size_t kDim,
+                            uint64_t seed);
+
+    /** Sample a rows x kDim activation matrix. */
+    BinaryMatrix generate(size_t rows, Rng& rng) const;
+
+    /** Latent prototypes of a partition (exposed for analysis). */
+    const std::vector<uint64_t>& prototypesOf(size_t partition) const;
+
+    size_t numPartitions() const { return protos.size(); }
+    const ClusterGenConfig& config() const { return cfg; }
+
+  private:
+    ClusterGenConfig cfg;
+    size_t kDim;
+    double protoDensity; // per-bit density of prototypes
+    double noise;        // per-bit flip probability
+    std::vector<std::vector<uint64_t>> protos; // [partition][prototype]
+    std::vector<double> zipfCdf;               // prototype popularity
+};
+
+/** iid Bernoulli activation matrix (Table 4 "Random" rows). */
+BinaryMatrix randomActivations(size_t rows, size_t cols, double density,
+                               Rng& rng);
+
+} // namespace phi
+
+#endif // PHI_SNN_ACTIVATION_GEN_HH

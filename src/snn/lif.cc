@@ -1,0 +1,58 @@
+#include "snn/lif.hh"
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+LifPopulation::LifPopulation(size_t num_neurons, LifParams params)
+    : prm(params), membrane(num_neurons, 0.0f)
+{
+    phi_assert(prm.leak >= 0.0f && prm.leak <= 1.0f,
+               "leak must be within [0, 1]");
+    phi_assert(prm.threshold > 0.0f, "threshold must be positive");
+}
+
+void
+LifPopulation::reset()
+{
+    std::fill(membrane.begin(), membrane.end(), 0.0f);
+}
+
+void
+LifPopulation::step(const float* current, std::vector<uint8_t>& spikes)
+{
+    spikes.assign(membrane.size(), 0);
+    for (size_t i = 0; i < membrane.size(); ++i) {
+        float v = prm.leak * membrane[i] + current[i];
+        if (v >= prm.threshold) {
+            spikes[i] = 1;
+            v = prm.hardReset ? 0.0f : v - prm.threshold;
+        }
+        membrane[i] = v;
+    }
+}
+
+float
+LifPopulation::potential(size_t idx) const
+{
+    phi_assert(idx < membrane.size(), "neuron index out of range");
+    return membrane[idx];
+}
+
+BinaryMatrix
+runLif(const Matrix<float>& currents, LifParams params)
+{
+    LifPopulation pop(currents.cols(), params);
+    BinaryMatrix spikes(currents.rows(), currents.cols());
+    std::vector<uint8_t> out;
+    for (size_t t = 0; t < currents.rows(); ++t) {
+        pop.step(currents.rowPtr(t), out);
+        for (size_t i = 0; i < out.size(); ++i)
+            if (out[i])
+                spikes.set(t, i, true);
+    }
+    return spikes;
+}
+
+} // namespace phi

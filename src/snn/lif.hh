@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Leaky-Integrate-and-Fire neuron model (Sec. 2.1).
+ *
+ * v[t+1] = leak * v[t] + I[t]; a spike fires when v crosses the
+ * threshold, after which the membrane either resets to zero (hard reset)
+ * or is reduced by the threshold (soft reset).
+ */
+
+#ifndef PHI_SNN_LIF_HH
+#define PHI_SNN_LIF_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/binary_matrix.hh"
+#include "numeric/matrix.hh"
+
+namespace phi
+{
+
+/** LIF neuron parameters. */
+struct LifParams
+{
+    float leak = 0.5f;      // membrane decay per step, in [0, 1]
+    float threshold = 1.0f; // firing threshold
+    bool hardReset = true;  // true: v -> 0 on spike; false: v -= theta
+};
+
+/**
+ * A population of LIF neurons advanced one timestep at a time.
+ * Membrane potentials persist between step() calls until reset().
+ */
+class LifPopulation
+{
+  public:
+    LifPopulation(size_t num_neurons, LifParams params = {});
+
+    size_t size() const { return membrane.size(); }
+    const LifParams& params() const { return prm; }
+
+    /** Zero all membrane potentials. */
+    void reset();
+
+    /**
+     * Integrate one timestep of input current and report spikes.
+     *
+     * @param current  per-neuron input (size() entries).
+     * @param spikes   output bits, resized to size().
+     */
+    void step(const float* current, std::vector<uint8_t>& spikes);
+
+    /** Current membrane potential of a neuron (for tests). */
+    float potential(size_t idx) const;
+
+  private:
+    LifParams prm;
+    std::vector<float> membrane;
+};
+
+/**
+ * Run a fresh LIF population over a T x N current matrix (row = one
+ * timestep) and return the T x N spike raster. This is the canonical
+ * layout phi uses for activation matrices with time folded into rows.
+ */
+BinaryMatrix runLif(const Matrix<float>& currents, LifParams params = {});
+
+} // namespace phi
+
+#endif // PHI_SNN_LIF_HH

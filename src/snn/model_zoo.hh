@@ -1,0 +1,102 @@
+/**
+ * @file
+ * GEMM-level descriptions of the SNN models the paper evaluates
+ * (Sec. 5.1): spiking VGG16 and ResNet18 (CIFAR10/100), Spikformer and
+ * Spike-driven Transformer (CIFAR10/100, CIFAR10-DVS), and SpikeBERT /
+ * SpikingBERT (SST-2, SST-5, MNLI).
+ *
+ * Each model is a list of binary-activation GEMMs (conv layers are
+ * im2col-lowered). Layers repeated with identical shape and statistics
+ * carry a `count` so the trace builder simulates one instance and scales
+ * the totals — statistically equivalent and much cheaper.
+ */
+
+#ifndef PHI_SNN_MODEL_ZOO_HH
+#define PHI_SNN_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+namespace phi
+{
+
+/** One binary-activation GEMM of a model. */
+struct GemmLayerSpec
+{
+    std::string name;
+    size_t m = 0;     // rows = timesteps x spatial/sequence positions
+    size_t k = 0;     // reduction dim (binary activations)
+    size_t n = 0;     // output features
+    size_t count = 1; // structural repetitions of this shape
+};
+
+/**
+ * Statistical profile of a model/dataset's spike activations, used by
+ * the clustered generator. bitDensity/l2Density targets come straight
+ * from Table 4 of the paper.
+ */
+struct ActivationProfile
+{
+    double bitDensity = 0.10;   // Table 4 "Bit Density"
+    double l2DensityTarget = 0.02; // Table 4 L2(+1) + L2(-1)
+    double zeroRowFrac = 0.30;  // all-zero row-tiles (no computation)
+    int prototypes = 24;        // latent clusters per partition
+    double zipfS = 1.1;         // prototype popularity skew
+    double randomRowFrac = 0.04; // unclustered outlier rows
+};
+
+/** Supported model families. */
+enum class ModelId
+{
+    VGG16,
+    ResNet18,
+    Spikformer,
+    SDT,
+    SpikeBERT,
+    SpikingBERT,
+};
+
+/** Supported datasets. */
+enum class DatasetId
+{
+    CIFAR10,
+    CIFAR100,
+    CIFAR10DVS,
+    SST2,
+    SST5,
+    MNLI,
+};
+
+std::string modelName(ModelId id);
+std::string datasetName(DatasetId id);
+
+/** Full model description. */
+struct ModelSpec
+{
+    ModelId model;
+    DatasetId dataset;
+    int timesteps = 4;
+    std::vector<GemmLayerSpec> layers;
+    ActivationProfile profile;
+
+    /** Total binary-activation MAC-slots = sum count * m * k * n. */
+    double totalMacs() const;
+    /** Total activation elements = sum count * m * k. */
+    double totalElements() const;
+};
+
+/**
+ * Build the layer list + activation profile for a model/dataset pair.
+ * Fatal error if the pairing is not one the paper evaluates.
+ */
+ModelSpec makeModel(ModelId id, DatasetId ds);
+
+/** All 14 (model, dataset) pairs appearing in Fig. 8. */
+std::vector<ModelSpec> allEvaluatedModels();
+
+/** The 10 pairs appearing in Table 4 / Figs. 10-11. */
+std::vector<ModelSpec> table4Models();
+
+} // namespace phi
+
+#endif // PHI_SNN_MODEL_ZOO_HH

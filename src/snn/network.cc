@@ -1,0 +1,192 @@
+#include "snn/network.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "numeric/gemm.hh"
+
+namespace phi
+{
+
+SpikingNetwork::SpikingNetwork(size_t in_channels, size_t in_hw,
+                               int timesteps)
+    : inChannels(in_channels), inHw(in_hw), tSteps(timesteps),
+      currentShape{in_channels, in_hw}
+{
+    phi_assert(timesteps >= 1, "need at least one timestep");
+}
+
+void
+SpikingNetwork::addConv(size_t out_channels, size_t kernel,
+                        LifParams lif)
+{
+    phi_assert(!flattened, "cannot add conv after an FC layer");
+    Layer l;
+    l.type = Layer::Type::Conv;
+    l.conv.inChannels = currentShape.ch;
+    l.conv.inHeight = currentShape.hw;
+    l.conv.inWidth = currentShape.hw;
+    l.conv.outChannels = out_channels;
+    l.conv.kernel = kernel;
+    l.conv.pad = kernel / 2;
+    l.lif = lif;
+    l.weights = Matrix<float>(l.conv.gemmK(), l.conv.gemmN(), 0.0f);
+    inputShapes.push_back(currentShape);
+    layers.push_back(std::move(l));
+    currentShape = {out_channels, currentShape.hw};
+}
+
+void
+SpikingNetwork::addPool()
+{
+    phi_assert(!flattened, "cannot pool after an FC layer");
+    phi_assert(currentShape.hw % 2 == 0, "pool needs even feature maps");
+    Layer l;
+    l.type = Layer::Type::Pool;
+    inputShapes.push_back(currentShape);
+    layers.push_back(std::move(l));
+    currentShape = {currentShape.ch, currentShape.hw / 2};
+}
+
+void
+SpikingNetwork::addFc(size_t out_features, LifParams lif)
+{
+    Layer l;
+    l.type = Layer::Type::Fc;
+    l.fcIn = currentShape.ch * currentShape.hw * currentShape.hw;
+    l.fcOut = out_features;
+    l.lif = lif;
+    l.weights = Matrix<float>(l.fcIn, l.fcOut, 0.0f);
+    inputShapes.push_back(currentShape);
+    layers.push_back(std::move(l));
+    flattened = true;
+    currentShape = {out_features, 1};
+}
+
+void
+SpikingNetwork::randomizeWeights(Rng& rng, double scale)
+{
+    for (auto& l : layers) {
+        if (l.weights.empty())
+            continue;
+        const double std_dev =
+            scale / std::sqrt(static_cast<double>(l.weights.rows()));
+        for (size_t r = 0; r < l.weights.rows(); ++r)
+            for (size_t c = 0; c < l.weights.cols(); ++c)
+                l.weights(r, c) =
+                    static_cast<float>(rng.gaussian() * std_dev);
+    }
+}
+
+SpikingNetwork::GemmShape
+SpikingNetwork::gemmShape(size_t idx) const
+{
+    phi_assert(idx < layers.size(), "layer index out of range");
+    const Layer& l = layers[idx];
+    const size_t t = static_cast<size_t>(tSteps);
+    if (l.type == Layer::Type::Conv)
+        return {t * l.conv.gemmM(), l.conv.gemmK(), l.conv.gemmN()};
+    if (l.type == Layer::Type::Fc)
+        return {t, l.fcIn, l.fcOut};
+    phi_fatal("pool layers have no GEMM shape");
+}
+
+SpikingNetwork::Forward
+SpikingNetwork::forward(const std::vector<float>& image, Rng& rng) const
+{
+    phi_assert(image.size() == inChannels * inHw * inHw,
+               "image size ", image.size(), " != expected ",
+               inChannels * inHw * inHw);
+    const size_t t = static_cast<size_t>(tSteps);
+
+    // Rate-code the input: each pixel spikes with probability equal to
+    // its (clamped) intensity at every timestep.
+    BinaryMatrix fmap(t, image.size());
+    for (size_t ts = 0; ts < t; ++ts)
+        for (size_t i = 0; i < image.size(); ++i) {
+            float p = std::min(1.0f, std::max(0.0f, image[i]));
+            if (rng.bernoulli(p))
+                fmap.set(ts, i, true);
+        }
+
+    Forward result;
+    size_t hw = inHw;
+
+    for (size_t li = 0; li < layers.size(); ++li) {
+        const Layer& l = layers[li];
+        if (l.type == Layer::Type::Pool) {
+            // Spiking max-pool = OR over each 2x2 window, per channel.
+            const size_t ch = inputShapes[li].ch;
+            const size_t out_hw = hw / 2;
+            BinaryMatrix pooled(t, ch * out_hw * out_hw);
+            for (size_t ts = 0; ts < t; ++ts) {
+                for (size_t c = 0; c < ch; ++c) {
+                    for (size_t y = 0; y < out_hw; ++y) {
+                        for (size_t x = 0; x < out_hw; ++x) {
+                            bool v = false;
+                            for (size_t dy = 0; dy < 2 && !v; ++dy)
+                                for (size_t dx = 0; dx < 2 && !v; ++dx)
+                                    v = fmap.get(
+                                        ts, (c * hw + 2 * y + dy) * hw +
+                                            2 * x + dx);
+                            if (v)
+                                pooled.set(
+                                    ts,
+                                    (c * out_hw + y) * out_hw + x,
+                                    true);
+                        }
+                    }
+                }
+            }
+            fmap = std::move(pooled);
+            hw = out_hw;
+            continue;
+        }
+
+        BinaryMatrix acts;
+        size_t out_features;
+        size_t spatial;
+        if (l.type == Layer::Type::Conv) {
+            acts = im2colSpikes(fmap, l.conv);
+            out_features = l.conv.outChannels;
+            spatial = l.conv.outHeight() * l.conv.outWidth();
+        } else {
+            acts = fmap; // already T x features
+            out_features = l.fcOut;
+            spatial = 1;
+        }
+        result.gemmActs.push_back(acts);
+
+        // currents: (t * spatial) x out_features, timestep-major rows.
+        Matrix<float> currents = spikeGemmF(acts, l.weights);
+
+        // LIF dynamics: one population over (spatial x out_features),
+        // advanced sequentially through the timesteps.
+        LifPopulation pop(spatial * out_features, l.lif);
+        std::vector<float> current_row(spatial * out_features);
+        std::vector<uint8_t> spikes;
+        BinaryMatrix out_fmap(t, out_features * spatial);
+        for (size_t ts = 0; ts < t; ++ts) {
+            for (size_t pos = 0; pos < spatial; ++pos)
+                for (size_t f = 0; f < out_features; ++f)
+                    current_row[pos * out_features + f] =
+                        currents(ts * spatial + pos, f);
+            pop.step(current_row.data(), spikes);
+            for (size_t pos = 0; pos < spatial; ++pos)
+                for (size_t f = 0; f < out_features; ++f)
+                    if (spikes[pos * out_features + f])
+                        out_fmap.set(ts, f * spatial + pos, true);
+        }
+        fmap = std::move(out_fmap);
+    }
+
+    result.output = fmap;
+    result.spikeCounts.assign(fmap.cols(), 0);
+    for (size_t ts = 0; ts < t; ++ts)
+        for (size_t f = 0; f < fmap.cols(); ++f)
+            if (fmap.get(ts, f))
+                ++result.spikeCounts[f];
+    return result;
+}
+
+} // namespace phi

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A runnable spiking network with real LIF dynamics.
+ *
+ * This is the genuine SNN substrate: rate-coded input, im2col-lowered
+ * spiking convolutions, OR-based (max) spiking pooling and fully
+ * connected layers, all driving LIF populations over multiple
+ * timesteps. The per-layer binary activation matrices it emits feed
+ * directly into the Phi pipeline in the examples and integration tests.
+ */
+
+#ifndef PHI_SNN_NETWORK_HH
+#define PHI_SNN_NETWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "numeric/im2col.hh"
+#include "snn/lif.hh"
+
+namespace phi
+{
+
+class Rng;
+
+/** A spiking network assembled layer by layer. */
+class SpikingNetwork
+{
+  public:
+    /**
+     * @param in_channels input feature-map channels.
+     * @param in_hw       input height = width.
+     * @param timesteps   simulation timesteps T.
+     */
+    SpikingNetwork(size_t in_channels, size_t in_hw, int timesteps);
+
+    /** Append a 3x3 (or kxk) same-padded spiking conv + LIF. */
+    void addConv(size_t out_channels, size_t kernel = 3,
+                 LifParams lif = {});
+
+    /** Append a 2x2 spiking max-pool (OR of spikes). */
+    void addPool();
+
+    /** Append a fully connected layer + LIF over flattened features. */
+    void addFc(size_t out_features, LifParams lif = {});
+
+    /** Draw all weights from N(0, scale / sqrt(fan_in)). */
+    void randomizeWeights(Rng& rng, double scale = 1.0);
+
+    size_t numLayers() const { return layers.size(); }
+    int timesteps() const { return tSteps; }
+
+    /** GEMM activation matrix shape of layer idx (conv/fc only). */
+    struct GemmShape { size_t m, k, n; };
+    GemmShape gemmShape(size_t idx) const;
+
+    /** Result of one forward pass. */
+    struct Forward
+    {
+        /** Binary GEMM activation matrix per conv/fc layer, in order
+         *  (pool layers contribute no entry). */
+        std::vector<BinaryMatrix> gemmActs;
+        /** Spike raster of the final layer, T x features. */
+        BinaryMatrix output;
+        /** Spike counts per output feature summed over T. */
+        std::vector<int> spikeCounts;
+    };
+
+    /**
+     * Run the network on a real-valued image (C*H*W in [0,1]),
+     * rate-coding it into spikes with the provided Rng.
+     */
+    Forward forward(const std::vector<float>& image, Rng& rng) const;
+
+  private:
+    struct Layer
+    {
+        enum class Type { Conv, Pool, Fc };
+        Type type;
+        ConvShape conv;  // valid for Conv
+        size_t fcIn = 0; // valid for Fc
+        size_t fcOut = 0;
+        LifParams lif;
+        Matrix<float> weights; // K x N for conv/fc
+    };
+
+    // Shape of the feature map entering layer i.
+    struct FmapShape { size_t ch, hw; };
+
+    size_t inChannels;
+    size_t inHw;
+    int tSteps;
+    std::vector<Layer> layers;
+    std::vector<FmapShape> inputShapes; // per layer
+    FmapShape currentShape;
+    bool flattened = false;
+};
+
+} // namespace phi
+
+#endif // PHI_SNN_NETWORK_HH

@@ -1,0 +1,114 @@
+#include "snn/trace.hh"
+
+namespace phi
+{
+
+SparsityBreakdown
+scaleBreakdown(SparsityBreakdown b, size_t count)
+{
+    b.elements *= count;
+    b.rowTiles *= count;
+    b.bitOnes *= count;
+    b.l1Ones *= count;
+    b.l2Pos *= count;
+    b.l2Neg *= count;
+    b.assigned *= count;
+    return b;
+}
+
+SparsityBreakdown
+ModelTrace::aggregate() const
+{
+    std::vector<SparsityBreakdown> parts;
+    parts.reserve(layers.size());
+    for (const auto& l : layers)
+        parts.push_back(scaleBreakdown(l.stats, l.spec.count));
+    return mergeBreakdowns(parts);
+}
+
+double
+ModelTrace::totalBitOps() const
+{
+    double ops = 0;
+    for (const auto& l : layers)
+        ops += static_cast<double>(l.stats.bitOnes) *
+               static_cast<double>(l.spec.n) *
+               static_cast<double>(l.spec.count);
+    return ops;
+}
+
+double
+ModelTrace::totalDenseOps() const
+{
+    double ops = 0;
+    for (const auto& l : layers)
+        ops += static_cast<double>(l.spec.m) *
+               static_cast<double>(l.spec.k) *
+               static_cast<double>(l.spec.n) *
+               static_cast<double>(l.spec.count);
+    return ops;
+}
+
+ModelTrace
+buildModelTrace(const ModelSpec& spec, const TraceOptions& opt)
+{
+    ModelTrace trace;
+    trace.spec = spec;
+    trace.layers.reserve(spec.layers.size());
+
+    Rng master(opt.seed ^ (static_cast<uint64_t>(spec.model) << 8) ^
+               static_cast<uint64_t>(spec.dataset));
+
+    for (const auto& layer_spec : spec.layers) {
+        LayerTrace lt;
+        lt.spec = layer_spec;
+
+        // The latent cluster structure of SNN activations has a fixed
+        // natural width; the calibration tile size k is swept against
+        // it in the DSE (Fig. 7), so the generator must not follow it.
+        ClusterGenConfig gen_cfg =
+            ClusterGenConfig::fromProfile(spec.profile, 16);
+        const uint64_t layer_seed = master.next();
+        ClusteredSpikeGenerator gen(gen_cfg, layer_spec.k, layer_seed);
+
+        // Calibration ("train") samples and the evaluated ("test")
+        // activations are independent draws from the same latent
+        // distribution — the property Fig. 9a establishes.
+        Rng train_rng(layer_seed ^ 0xa5a5a5a5ull);
+        std::vector<BinaryMatrix> samples;
+        samples.reserve(opt.calibSamples);
+        for (size_t s = 0; s < opt.calibSamples; ++s)
+            samples.push_back(gen.generate(layer_spec.m, train_rng));
+        std::vector<const BinaryMatrix*> sample_ptrs;
+        for (const auto& s : samples)
+            sample_ptrs.push_back(&s);
+        lt.table = calibrateLayer(sample_ptrs, opt.calib);
+
+        Rng test_rng(layer_seed ^ 0x5a5a5a5aull);
+        lt.acts = gen.generate(layer_spec.m, test_rng);
+
+        if (opt.paft) {
+            PaftConfig pc;
+            pc.alignStrength = opt.paftStrength;
+            Rng paft_rng(layer_seed ^ 0x77777777ull);
+            lt.paftStats = applyPaft(lt.acts, lt.table, pc, paft_rng);
+        }
+
+        lt.dec = decomposeLayer(lt.acts, lt.table);
+        lt.stats = computeBreakdown(lt.acts, lt.dec, lt.table);
+
+        if (opt.withWeights) {
+            Rng w_rng(layer_seed ^ 0x33333333ull);
+            lt.weights = Matrix<int16_t>(layer_spec.k, layer_spec.n);
+            for (size_t r = 0; r < lt.weights.rows(); ++r)
+                for (size_t c = 0; c < lt.weights.cols(); ++c)
+                    lt.weights(r, c) = static_cast<int16_t>(
+                        w_rng.uniformInt(-64, 63));
+        }
+
+        trace.layers.push_back(std::move(lt));
+    }
+    return trace;
+}
+
+} // namespace phi

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Model traces: per-layer activation matrices, calibrated pattern
+ * tables, decompositions and sparsity statistics for one model/dataset
+ * pair. Traces are the common input format of every accelerator
+ * simulator and bench in this repository.
+ */
+
+#ifndef PHI_SNN_TRACE_HH
+#define PHI_SNN_TRACE_HH
+
+#include <vector>
+
+#include "core/calibration.hh"
+#include "core/decompose.hh"
+#include "core/paft.hh"
+#include "core/stats.hh"
+#include "snn/activation_gen.hh"
+#include "snn/model_zoo.hh"
+
+namespace phi
+{
+
+/** Options controlling trace construction. */
+struct TraceOptions
+{
+    /** Calibration parameters (k, q, k-means settings). */
+    CalibrationConfig calib = defaultCalib();
+    /** Number of independent "training" matrices pooled for calibration
+     *  (the paper notes a small subset suffices). */
+    size_t calibSamples = 2;
+    /** Materialise weights and keep them in the trace (needed only for
+     *  functional checks; structural simulation does not use values). */
+    bool withWeights = false;
+    /** Base seed; every layer derives its own stream. */
+    uint64_t seed = 42;
+    /** Apply PAFT alignment to the test activations before decomposing. */
+    bool paft = false;
+    /** PAFT alignment strength (lambda analogue). */
+    double paftStrength = 0.85;
+
+    static CalibrationConfig
+    defaultCalib()
+    {
+        CalibrationConfig c;
+        c.k = 16;
+        c.q = 128;
+        c.kmeans.maxIters = 15;
+        c.kmeans.maxDistinct = 2048;
+        return c;
+    }
+};
+
+/** Everything known about one (unique) layer of a model trace. */
+struct LayerTrace
+{
+    GemmLayerSpec spec;
+    BinaryMatrix acts;       // test-split activations (M x K)
+    PatternTable table;      // calibrated on the train split
+    LayerDecomposition dec;  // Phi decomposition of acts
+    SparsityBreakdown stats; // Table-4 style accounting
+    Matrix<int16_t> weights; // empty unless TraceOptions::withWeights
+    PaftResult paftStats;    // zeros when PAFT is off
+};
+
+/** A whole model/dataset trace. */
+struct ModelTrace
+{
+    ModelSpec spec;
+    std::vector<LayerTrace> layers;
+
+    /**
+     * Aggregate sparsity over the model, weighting each unique layer by
+     * its structural repetition count.
+     */
+    SparsityBreakdown aggregate() const;
+
+    /** Bit-sparse operation count (paper's OP definition: one AC per
+     *  one-bit), including layer repetition. */
+    double totalBitOps() const;
+
+    /** Dense MAC-slot count, including repetition. */
+    double totalDenseOps() const;
+};
+
+/** Build a trace for a model spec with clustered synthetic activations. */
+ModelTrace buildModelTrace(const ModelSpec& spec,
+                           const TraceOptions& opt = {});
+
+/** Scale a breakdown's raw counters by a layer repetition count. */
+SparsityBreakdown scaleBreakdown(SparsityBreakdown b, size_t count);
+
+} // namespace phi
+
+#endif // PHI_SNN_TRACE_HH

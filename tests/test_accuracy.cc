@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the Fig. 11 accuracy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/accuracy_model.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Accuracy, PhiWithoutPaftIsLossless)
+{
+    for (const auto& spec : table4Models()) {
+        AccuracyEntry e = accuracyFor(spec.model, spec.dataset, 0.0);
+        EXPECT_DOUBLE_EQ(e.phiNoPaft, e.snnBitSparsity)
+            << modelName(spec.model);
+    }
+}
+
+TEST(Accuracy, ZeroFlipRateMeansNoPaftDrop)
+{
+    AccuracyEntry e =
+        accuracyFor(ModelId::VGG16, DatasetId::CIFAR10, 0.0);
+    EXPECT_DOUBLE_EQ(e.phiWithPaft, e.phiNoPaft);
+}
+
+TEST(Accuracy, PaftDropIsSmallAtTypicalRates)
+{
+    // Typical alignment flip rates are below 1% of activation bits.
+    AccuracyEntry e =
+        accuracyFor(ModelId::VGG16, DatasetId::CIFAR100, 0.008);
+    const double drop = e.phiNoPaft - e.phiWithPaft;
+    EXPECT_GT(drop, 0.0);
+    EXPECT_LT(drop, 1.0);
+}
+
+TEST(Accuracy, DropSaturates)
+{
+    EXPECT_NEAR(paftAccuracyDropPp(1.0), 2.5, 1e-12);
+    EXPECT_LT(paftAccuracyDropPp(0.001), 0.1);
+}
+
+TEST(Accuracy, DnnNotApplicableOnEventData)
+{
+    AccuracyEntry spk =
+        accuracyFor(ModelId::Spikformer, DatasetId::CIFAR10DVS, 0.0);
+    EXPECT_FALSE(spk.dnn.has_value());
+    AccuracyEntry sdt =
+        accuracyFor(ModelId::SDT, DatasetId::CIFAR10DVS, 0.0);
+    EXPECT_FALSE(sdt.dnn.has_value());
+}
+
+TEST(Accuracy, DnnLeadsSnnOnFrameData)
+{
+    for (const auto& spec : table4Models()) {
+        if (spec.dataset == DatasetId::CIFAR10DVS)
+            continue;
+        AccuracyEntry e = accuracyFor(spec.model, spec.dataset, 0.0);
+        ASSERT_TRUE(e.dnn.has_value());
+        EXPECT_GT(*e.dnn, e.snnBitSparsity)
+            << modelName(spec.model) << "/"
+            << datasetName(spec.dataset);
+    }
+}
+
+TEST(Accuracy, ValuesAreInPercentRange)
+{
+    for (const auto& spec : allEvaluatedModels()) {
+        AccuracyEntry e = accuracyFor(spec.model, spec.dataset, 0.01);
+        EXPECT_GT(e.snnBitSparsity, 40.0);
+        EXPECT_LT(e.snnBitSparsity, 100.0);
+        EXPECT_GT(e.phiWithPaft, 40.0);
+    }
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the clustered spike generator: density calibration,
+ * determinism, cluster structure and distribution stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/decompose.hh"
+#include "snn/activation_gen.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(ClusteredGen, HitsTargetBitDensity)
+{
+    for (double target : {0.07, 0.10, 0.15, 0.20}) {
+        ClusterGenConfig cfg;
+        cfg.bitDensity = target;
+        cfg.l2DensityTarget = target / 5.0;
+        ClusteredSpikeGenerator gen(cfg, 128,
+                                    static_cast<uint64_t>(target * 100));
+        Rng rng(1);
+        BinaryMatrix acts = gen.generate(2048, rng);
+        EXPECT_NEAR(acts.density(), target, 0.02) << "target " << target;
+    }
+}
+
+TEST(ClusteredGen, DeterministicGivenSeeds)
+{
+    ClusterGenConfig cfg;
+    ClusteredSpikeGenerator gen(cfg, 64, 33);
+    Rng a(5);
+    Rng b(5);
+    EXPECT_TRUE(gen.generate(100, a) == gen.generate(100, b));
+}
+
+TEST(ClusteredGen, PrototypesFixedPerSeed)
+{
+    ClusterGenConfig cfg;
+    ClusteredSpikeGenerator g1(cfg, 64, 42);
+    ClusteredSpikeGenerator g2(cfg, 64, 42);
+    for (size_t p = 0; p < g1.numPartitions(); ++p)
+        EXPECT_EQ(g1.prototypesOf(p), g2.prototypesOf(p));
+    ClusteredSpikeGenerator g3(cfg, 64, 43);
+    EXPECT_NE(g1.prototypesOf(0), g3.prototypesOf(0));
+}
+
+TEST(ClusteredGen, RowsClusterAroundPrototypes)
+{
+    ClusterGenConfig cfg;
+    cfg.bitDensity = 0.15;
+    cfg.l2DensityTarget = 0.02;
+    cfg.zeroRowFrac = 0.0;
+    cfg.randomRowFrac = 0.0;
+    ClusteredSpikeGenerator gen(cfg, 16, 7);
+    Rng rng(2);
+    BinaryMatrix acts = gen.generate(512, rng);
+
+    const auto& protos = gen.prototypesOf(0);
+    size_t close = 0;
+    for (size_t r = 0; r < acts.rows(); ++r) {
+        const uint64_t row = acts.extract(r, 0, 16);
+        int best = 64;
+        for (uint64_t p : protos)
+            best = std::min(best, hammingDistance(row, p));
+        if (best <= 2)
+            ++close;
+    }
+    // The vast majority of rows sit within 2 bits of some prototype.
+    EXPECT_GT(close, acts.rows() * 8 / 10);
+}
+
+TEST(ClusteredGen, ClusteredBeatsRandomOnL2Density)
+{
+    // The core premise of the paper: clustered activations admit far
+    // better pattern coverage than iid ones of the same density.
+    const double density = 0.12;
+    ClusterGenConfig cfg;
+    cfg.bitDensity = density;
+    cfg.l2DensityTarget = 0.02;
+    ClusteredSpikeGenerator gen(cfg, 64, 3);
+    Rng rng(4);
+    BinaryMatrix clustered = gen.generate(2048, rng);
+    BinaryMatrix random = randomActivations(2048, 64, density, rng);
+
+    CalibrationConfig ccfg;
+    ccfg.k = 16;
+    ccfg.q = 128;
+    auto l2_of = [&](const BinaryMatrix& acts) {
+        PatternTable t = calibrateLayer(acts, ccfg);
+        LayerDecomposition dec = decomposeLayer(acts, t);
+        return static_cast<double>(dec.totalL2Nnz()) /
+               static_cast<double>(acts.rows() * acts.cols());
+    };
+    EXPECT_LT(l2_of(clustered), 0.6 * l2_of(random));
+}
+
+TEST(ClusteredGen, ProfileConversion)
+{
+    ActivationProfile p;
+    p.bitDensity = 0.142;
+    p.l2DensityTarget = 0.04;
+    p.zeroRowFrac = 0.28;
+    ClusterGenConfig cfg = ClusterGenConfig::fromProfile(p, 16);
+    EXPECT_DOUBLE_EQ(cfg.bitDensity, 0.142);
+    EXPECT_DOUBLE_EQ(cfg.zeroRowFrac, 0.28);
+    EXPECT_EQ(cfg.k, 16);
+}
+
+TEST(ClusteredGen, RaggedWidthKeepsDensity)
+{
+    ClusterGenConfig cfg;
+    cfg.bitDensity = 0.12;
+    ClusteredSpikeGenerator gen(cfg, 27, 9); // not a multiple of 16
+    Rng rng(6);
+    BinaryMatrix acts = gen.generate(4096, rng);
+    EXPECT_EQ(acts.cols(), 27u);
+    EXPECT_NEAR(acts.density(), 0.12, 0.025);
+}
+
+TEST(RandomActivations, MatchesBernoulliDensity)
+{
+    Rng rng(8);
+    BinaryMatrix acts = randomActivations(512, 128, 0.05, rng);
+    EXPECT_NEAR(acts.density(), 0.05, 0.01);
+}
+
+} // namespace
+} // namespace phi

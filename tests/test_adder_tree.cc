@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the reconfigurable adder tree: every possible segmentation
+ * of the 8 channels must produce exact segmented sums (the Fig. 6
+ * functional contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/adder_tree.hh"
+#include "common/rng.hh"
+
+namespace phi
+{
+namespace
+{
+
+Matrix<int32_t>
+randomInputs(size_t simd, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<int32_t> in(ReconfigurableAdderTree::numChannels, simd);
+    for (size_t r = 0; r < in.rows(); ++r)
+        for (size_t c = 0; c < simd; ++c)
+            in(r, c) = static_cast<int32_t>(rng.uniformInt(-1000, 1000));
+    return in;
+}
+
+std::vector<std::vector<int32_t>>
+naiveSegmentedSum(const Matrix<int32_t>& in,
+                  const std::vector<int>& segments)
+{
+    std::vector<std::vector<int32_t>> out;
+    size_t ch = 0;
+    for (int len : segments) {
+        std::vector<int32_t> sum(in.cols(), 0);
+        for (int i = 0; i < len; ++i, ++ch)
+            for (size_t c = 0; c < in.cols(); ++c)
+                sum[c] += in(ch, c);
+        out.push_back(std::move(sum));
+    }
+    return out;
+}
+
+TEST(AdderTree, PaperExampleThreeThreeTwo)
+{
+    // Fig. 6 demonstrates segments {3, 3, 2}.
+    ReconfigurableAdderTree tree(4);
+    Matrix<int32_t> in = randomInputs(4, 1);
+    auto got = tree.reduce(in, {3, 3, 2});
+    auto expect = naiveSegmentedSum(in, {3, 3, 2});
+    EXPECT_EQ(got, expect);
+}
+
+TEST(AdderTree, FullReduction)
+{
+    ReconfigurableAdderTree tree(8);
+    Matrix<int32_t> in = randomInputs(8, 2);
+    auto got = tree.reduce(in, {8});
+    auto expect = naiveSegmentedSum(in, {8});
+    EXPECT_EQ(got, expect);
+}
+
+TEST(AdderTree, AllSingletons)
+{
+    ReconfigurableAdderTree tree(2);
+    Matrix<int32_t> in = randomInputs(2, 3);
+    std::vector<int> segs(8, 1);
+    auto got = tree.reduce(in, segs);
+    auto expect = naiveSegmentedSum(in, segs);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(AdderTree, PartialOccupancyIgnoresIdleChannels)
+{
+    ReconfigurableAdderTree tree(4);
+    Matrix<int32_t> in = randomInputs(4, 4);
+    auto got = tree.reduce(in, {2, 1});
+    auto expect = naiveSegmentedSum(in, {2, 1});
+    EXPECT_EQ(got, expect);
+}
+
+TEST(AdderTree, EmptyConfiguration)
+{
+    ReconfigurableAdderTree tree(4);
+    Matrix<int32_t> in = randomInputs(4, 5);
+    auto got = tree.reduce(in, {});
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(AdderTree, AdderOpsCount)
+{
+    EXPECT_EQ(ReconfigurableAdderTree::adderOps({8}), 7u);
+    EXPECT_EQ(ReconfigurableAdderTree::adderOps({3, 3, 2}), 5u);
+    EXPECT_EQ(ReconfigurableAdderTree::adderOps({1, 1, 1, 1}), 0u);
+}
+
+TEST(AdderTree, OversizedSegmentsPanic)
+{
+    detail::setThrowOnError(true);
+    ReconfigurableAdderTree tree(2);
+    Matrix<int32_t> in = randomInputs(2, 6);
+    EXPECT_THROW(tree.reduce(in, {5, 4}), std::logic_error);
+    EXPECT_THROW(tree.reduce(in, {0}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+/**
+ * Exhaustive property: every composition of every total <= 8 equals
+ * the naive segmented sum. There are 2^7 = 128 compositions of 8 and
+ * fewer for smaller totals; we enumerate them all.
+ */
+void
+enumerateCompositions(int remaining, std::vector<int>& cur,
+                      std::vector<std::vector<int>>& out)
+{
+    if (remaining == 0) {
+        out.push_back(cur);
+        return;
+    }
+    for (int len = 1; len <= remaining; ++len) {
+        cur.push_back(len);
+        enumerateCompositions(remaining - len, cur, out);
+        cur.pop_back();
+    }
+}
+
+class AdderTreeExhaustive : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AdderTreeExhaustive, AllCompositionsExact)
+{
+    const int total = GetParam();
+    std::vector<std::vector<int>> compositions;
+    std::vector<int> cur;
+    enumerateCompositions(total, cur, compositions);
+
+    ReconfigurableAdderTree tree(4);
+    Matrix<int32_t> in = randomInputs(4, 100 + total);
+    for (const auto& segs : compositions) {
+        auto got = tree.reduce(in, segs);
+        auto expect = naiveSegmentedSum(in, segs);
+        EXPECT_EQ(got, expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, AdderTreeExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the baseline accelerator models and temporal statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/baselines.hh"
+#include "sim/phi_sim.hh"
+
+namespace phi
+{
+namespace
+{
+
+ModelTrace
+tinyTrace(double density = 0.10)
+{
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+    spec.layers = {{"a", 512, 128, 64, 1}, {"b", 256, 64, 32, 2}};
+    spec.profile.bitDensity = density;
+    return buildModelTrace(spec);
+}
+
+TEST(TemporalStats, UnionOfSingleTimestepEqualsNnz)
+{
+    Rng rng(1);
+    BinaryMatrix acts = BinaryMatrix::random(64, 32, 0.2, rng);
+    TemporalStats st = computeTemporalStats(acts, 1);
+    EXPECT_DOUBLE_EQ(st.unionNnz, st.nnz);
+    EXPECT_EQ(st.spatial, 64u);
+}
+
+TEST(TemporalStats, UnionCompressesRepeatedSpikes)
+{
+    // Same spike at every timestep: union counts it once.
+    BinaryMatrix acts(4, 8); // T=4, spatial=1
+    for (size_t t = 0; t < 4; ++t)
+        acts.set(t, 3, true);
+    TemporalStats st = computeTemporalStats(acts, 4);
+    EXPECT_DOUBLE_EQ(st.nnz, 4.0);
+    EXPECT_DOUBLE_EQ(st.unionNnz, 1.0);
+}
+
+TEST(TemporalStats, WindowOccupancyBounds)
+{
+    Rng rng(2);
+    BinaryMatrix acts = BinaryMatrix::random(16, 64, 0.15, rng);
+    TemporalStats st = computeTemporalStats(acts, 4, 32, 4);
+    EXPECT_GE(st.windowOccupancy, 0.0);
+    EXPECT_LE(st.windowOccupancy, 1.0);
+    // Occupancy (any-of-4) must be at least the per-step density.
+    EXPECT_GE(st.windowOccupancy, acts.density() - 1e-9);
+}
+
+TEST(TemporalStats, ImbalanceAtLeastOne)
+{
+    Rng rng(3);
+    BinaryMatrix acts = BinaryMatrix::random(128, 64, 0.1, rng);
+    TemporalStats st = computeTemporalStats(acts, 4);
+    EXPECT_GE(st.laneImbalance, 1.0);
+}
+
+TEST(TemporalStats, NonDivisibleTimestepsDegradeGracefully)
+{
+    Rng rng(4);
+    BinaryMatrix acts = BinaryMatrix::random(7, 16, 0.3, rng);
+    TemporalStats st = computeTemporalStats(acts, 4);
+    EXPECT_EQ(st.timesteps, 1u);
+    EXPECT_EQ(st.spatial, 7u);
+}
+
+TEST(Baselines, AllFiveRunAndProduceOrderedResults)
+{
+    ModelTrace trace = tinyTrace();
+    auto baselines = makeBaselines();
+    ASSERT_EQ(baselines.size(), 5u);
+    EXPECT_EQ(baselines[0]->name(), "Eyeriss");
+
+    SimResult eyeriss = baselines[0]->run(trace);
+    for (auto& b : baselines) {
+        SimResult r = b->run(trace);
+        EXPECT_GT(r.cycles, 0.0) << b->name();
+        EXPECT_GT(r.energy.total(), 0.0) << b->name();
+        EXPECT_DOUBLE_EQ(r.bitOps, eyeriss.bitOps)
+            << "OP definition must be arch-independent";
+    }
+}
+
+TEST(Baselines, SparseArchitecturesBeatDenseEyeriss)
+{
+    ModelTrace trace = tinyTrace();
+    auto baselines = makeBaselines();
+    SimResult eyeriss = baselines[0]->run(trace);
+    for (size_t i = 1; i < baselines.size(); ++i) {
+        SimResult r = baselines[i]->run(trace);
+        EXPECT_LT(r.cycles, eyeriss.cycles) << baselines[i]->name();
+    }
+}
+
+TEST(Baselines, PhiBeatsAllBaselines)
+{
+    ModelTrace trace = tinyTrace();
+    SimResult phi = PhiSimulator().run(trace);
+    for (auto& b : makeBaselines()) {
+        SimResult r = b->run(trace);
+        EXPECT_GT(phi.gops(), r.gops()) << b->name();
+    }
+}
+
+TEST(Baselines, EyerissCyclesAreDense)
+{
+    ModelTrace trace = tinyTrace();
+    EyerissSim eyeriss;
+    SimResult r = eyeriss.run(trace);
+    double dense = 0;
+    for (const auto& l : trace.layers)
+        dense += static_cast<double>(l.spec.m) * l.spec.k * l.spec.n *
+                 static_cast<double>(l.spec.count);
+    double compute = 0;
+    for (const auto& l : r.layers)
+        compute += l.breakdown.compute;
+    EXPECT_NEAR(compute, dense / 168.0, dense / 168.0 * 1e-9);
+}
+
+TEST(Baselines, DensityInsensitiveEyerissVsSensitiveSato)
+{
+    // Eyeriss compute cycles must not depend on sparsity; SATO's must.
+    ModelTrace sparse = tinyTrace(0.05);
+    ModelTrace dense = tinyTrace(0.25);
+    auto compute_of = [](const SimResult& r) {
+        double c = 0;
+        for (const auto& l : r.layers)
+            c += l.breakdown.compute;
+        return c;
+    };
+    EyerissSim eyeriss;
+    EXPECT_NEAR(compute_of(eyeriss.run(sparse)),
+                compute_of(eyeriss.run(dense)), 1.0);
+    SatoSim sato;
+    EXPECT_LT(compute_of(sato.run(sparse)),
+              compute_of(sato.run(dense)));
+}
+
+TEST(Baselines, AreasMatchTable2)
+{
+    EXPECT_NEAR(EyerissSim().areaMm2(), 1.068, 1e-9);
+    EXPECT_NEAR(SpinalFlowSim().areaMm2(), 2.09, 1e-9);
+    EXPECT_NEAR(SatoSim().areaMm2(), 1.13, 1e-9);
+    EXPECT_NEAR(StellarSim().areaMm2(), 0.768, 1e-9);
+}
+
+} // namespace
+} // namespace phi

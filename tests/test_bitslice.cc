@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the bit-sliced DNN extension (Sec. 6.2): plane round-trip,
+ * exactness of the bit-sliced hierarchical GEMM, and the structural
+ * advantage on realistically distributed DNN activations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/bitslice.hh"
+
+namespace phi
+{
+namespace
+{
+
+/** ReLU-like DNN activations: many zeros, heavy-tailed positives. */
+Matrix<uint8_t>
+dnnActivations(size_t m, size_t k, uint64_t seed, int bits = 8)
+{
+    Rng rng(seed);
+    Matrix<uint8_t> acts(m, k, 0);
+    const int max_v = (1 << bits) - 1;
+    for (size_t r = 0; r < m; ++r)
+        for (size_t c = 0; c < k; ++c) {
+            if (rng.bernoulli(0.55))
+                continue; // ReLU zero
+            double g = std::abs(rng.gaussian()) * max_v / 4.0;
+            acts(r, c) = static_cast<uint8_t>(
+                std::min<double>(max_v, g));
+        }
+    return acts;
+}
+
+Matrix<int16_t>
+randomWeights(size_t k, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<int16_t> w(k, n);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < n; ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(-25, 25));
+    return w;
+}
+
+TEST(BitSlice, SliceUnsliceRoundTrip)
+{
+    Matrix<uint8_t> acts = dnnActivations(32, 48, 1);
+    BitPlanes planes = sliceActivations(acts, 8);
+    EXPECT_EQ(planes.planes.size(), 8u);
+    EXPECT_EQ(planes.rows(), 32u);
+    EXPECT_EQ(planes.cols(), 48u);
+    Matrix<uint8_t> back = unsliceActivations(planes);
+    EXPECT_TRUE(back == acts);
+}
+
+TEST(BitSlice, FewerBitsRejectLargeValues)
+{
+    detail::setThrowOnError(true);
+    Matrix<uint8_t> acts(1, 1, 9); // needs 4 bits
+    EXPECT_THROW(sliceActivations(acts, 3), std::logic_error);
+    EXPECT_NO_THROW(sliceActivations(acts, 4));
+    detail::setThrowOnError(false);
+}
+
+TEST(BitSlice, PlaneDensityDecreasesTowardMsb)
+{
+    // DNN magnitudes are heavy-tailed: high-order planes are sparser.
+    Matrix<uint8_t> acts = dnnActivations(256, 128, 2);
+    BitPlanes planes = sliceActivations(acts, 8);
+    const double low = planes.planes[1].density();
+    const double high = planes.planes[7].density();
+    EXPECT_GT(low, high);
+}
+
+TEST(BitSlice, HierarchicalGemmIsExact)
+{
+    Matrix<uint8_t> calib = dnnActivations(256, 64, 3);
+    Matrix<uint8_t> run = dnnActivations(128, 64, 4);
+    Matrix<int16_t> w = randomWeights(64, 16, 5);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 64;
+    BitSliceDecomposition dec = decomposeBitSliced(
+        sliceActivations(calib), sliceActivations(run), cfg);
+    EXPECT_EQ(bitSlicedPhiGemm(dec, w), intGemm(run, w));
+}
+
+TEST(BitSlice, ExactAcrossBitWidths)
+{
+    for (int bits : {2, 4, 6, 8}) {
+        Matrix<uint8_t> calib = dnnActivations(128, 48, 6, bits);
+        Matrix<uint8_t> run = dnnActivations(96, 48, 7, bits);
+        Matrix<int16_t> w = randomWeights(48, 8, 8);
+        CalibrationConfig cfg;
+        cfg.k = 16;
+        cfg.q = 32;
+        BitSliceDecomposition dec = decomposeBitSliced(
+            sliceActivations(calib, bits),
+            sliceActivations(run, bits), cfg);
+        EXPECT_EQ(bitSlicedPhiGemm(dec, w), intGemm(run, w))
+            << "bits=" << bits;
+    }
+}
+
+TEST(BitSlice, PhiReducesOpsBelowBitSerial)
+{
+    Matrix<uint8_t> calib = dnnActivations(1024, 128, 9);
+    Matrix<uint8_t> run = dnnActivations(1024, 128, 10);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 128;
+    BitSliceDecomposition dec = decomposeBitSliced(
+        sliceActivations(calib), sliceActivations(run), cfg);
+
+    EXPECT_LT(dec.totalL2Ops(), dec.totalBitOps());
+    EXPECT_GT(dec.speedupOverBitSerial(), 1.5);
+    EXPECT_LT(dec.totalBitOps(), dec.denseOps());
+}
+
+TEST(BitSlice, OpsAccountingConsistent)
+{
+    Matrix<uint8_t> run = dnnActivations(64, 32, 11);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 16;
+    BitPlanes planes = sliceActivations(run);
+    BitSliceDecomposition dec = decomposeBitSliced(planes, planes, cfg);
+
+    double bits = 0;
+    for (const auto& p : planes.planes)
+        bits += static_cast<double>(p.popcount());
+    EXPECT_DOUBLE_EQ(dec.totalBitOps(), bits);
+    EXPECT_DOUBLE_EQ(dec.denseOps(), 64.0 * 32.0 * 8.0);
+}
+
+TEST(BitSlice, MismatchedPlaneCountsPanic)
+{
+    detail::setThrowOnError(true);
+    Matrix<uint8_t> a = dnnActivations(16, 16, 12, 4);
+    Matrix<uint8_t> b = dnnActivations(16, 16, 13, 8);
+    CalibrationConfig cfg;
+    EXPECT_THROW(decomposeBitSliced(sliceActivations(a, 4),
+                                    sliceActivations(b, 8), cfg),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+class BitSliceSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitSliceSweep, ExactAtVariousPatternBudgets)
+{
+    const int q = GetParam();
+    Matrix<uint8_t> calib = dnnActivations(96, 32, 20 + q);
+    Matrix<uint8_t> run = dnnActivations(64, 32, 21 + q);
+    Matrix<int16_t> w = randomWeights(32, 12, 22 + q);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = q;
+    BitSliceDecomposition dec = decomposeBitSliced(
+        sliceActivations(calib), sliceActivations(run), cfg);
+    EXPECT_EQ(bitSlicedPhiGemm(dec, w), intGemm(run, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(PatternBudgets, BitSliceSweep,
+                         ::testing::Values(4, 16, 64, 256));
+
+} // namespace
+} // namespace phi

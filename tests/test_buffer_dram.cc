@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the SRAM buffer and DRAM models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/buffer.hh"
+#include "arch/dram.hh"
+#include "common/logging.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Sram, EnergyGrowsWithCapacity)
+{
+    EXPECT_LT(SramModel::energyPerBytePj(4),
+              SramModel::energyPerBytePj(64));
+    EXPECT_LT(SramModel::energyPerBytePj(64),
+              SramModel::energyPerBytePj(512));
+}
+
+TEST(Sram, AreaMatchesTable3Calibration)
+{
+    // 240 KiB buffer complement -> ~0.452 mm^2 (Table 3).
+    EXPECT_NEAR(SramModel::areaMm2(240.0), 0.452, 0.01);
+}
+
+TEST(Sram, BufferAccountsAccesses)
+{
+    SramBuffer buf("test", 16 * 1024);
+    buf.read(1000);
+    buf.write(500);
+    EXPECT_EQ(buf.totalReadBytes(), 1000u);
+    EXPECT_EQ(buf.totalWriteBytes(), 500u);
+    EXPECT_GT(buf.dynamicEnergyPj(), 0.0);
+    buf.resetCounters();
+    EXPECT_EQ(buf.dynamicEnergyPj(), 0.0);
+}
+
+TEST(Sram, LeakageScalesWithTime)
+{
+    SramBuffer buf("test", 64 * 1024);
+    EXPECT_NEAR(buf.leakageEnergyPj(2.0),
+                2.0 * buf.leakageEnergyPj(1.0), 1e-6);
+}
+
+TEST(Sram, ZeroCapacityPanics)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(SramBuffer("bad", 0), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Dram, BandwidthMatchesTable1)
+{
+    DramModel dram;
+    // 64 GB/s at 500 MHz = 128 B/cycle.
+    EXPECT_NEAR(dram.bytesPerCycle(500e6), 128.0, 1e-9);
+    EXPECT_NEAR(dram.transferCycles(1280.0, 500e6), 10.0, 1e-9);
+}
+
+TEST(Dram, EnergyProportionalToBytes)
+{
+    DramModel dram;
+    EXPECT_NEAR(dram.dynamicEnergyPj(2000.0),
+                2.0 * dram.dynamicEnergyPj(1000.0), 1e-9);
+    EXPECT_GT(dram.staticEnergyPj(1e-3), 0.0);
+}
+
+TEST(Dram, TrafficAggregation)
+{
+    DramTraffic a;
+    a.weightBytes = 10;
+    a.pwpBytes = 20;
+    DramTraffic b;
+    b.activationBytes = 5;
+    b.outputBytes = 1;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.totalBytes(), 36.0);
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the calibration stage: per-partition pattern tables from
+ * sample pools, subsampling, and multi-sample pooling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/decompose.hh"
+#include "snn/activation_gen.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Calibration, PartitionCountMatchesWidth)
+{
+    Rng rng(1);
+    BinaryMatrix acts = BinaryMatrix::random(32, 100, 0.2, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    PatternTable t = calibrateLayer(acts, cfg);
+    EXPECT_EQ(t.numPartitions(), 7u); // ceil(100/16)
+    EXPECT_EQ(t.k(), 16);
+}
+
+TEST(Calibration, RespectsPatternBudget)
+{
+    Rng rng(2);
+    BinaryMatrix acts = BinaryMatrix::random(512, 64, 0.5, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 32;
+    PatternTable t = calibrateLayer(acts, cfg);
+    for (size_t p = 0; p < t.numPartitions(); ++p)
+        EXPECT_LE(t.partition(p).size(), 32u);
+}
+
+TEST(Calibration, PoolsMultipleSamples)
+{
+    Rng rng(3);
+    BinaryMatrix a = BinaryMatrix::random(64, 32, 0.2, rng);
+    BinaryMatrix b = BinaryMatrix::random(64, 32, 0.2, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 64;
+    PatternTable t = calibrateLayer({&a, &b}, cfg);
+    EXPECT_EQ(t.numPartitions(), 2u);
+}
+
+TEST(Calibration, MismatchedSampleWidthsFatal)
+{
+    detail::setThrowOnError(true);
+    Rng rng(4);
+    BinaryMatrix a = BinaryMatrix::random(8, 32, 0.2, rng);
+    BinaryMatrix b = BinaryMatrix::random(8, 48, 0.2, rng);
+    CalibrationConfig cfg;
+    EXPECT_THROW(calibrateLayer({&a, &b}, cfg), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Calibration, SubsamplingStillFindsDominantPatterns)
+{
+    // A heavily clustered generator with a strict row cap: calibration
+    // must still recover patterns good enough for high L2 sparsity.
+    ClusterGenConfig gen_cfg;
+    gen_cfg.bitDensity = 0.12;
+    gen_cfg.l2DensityTarget = 0.02;
+    gen_cfg.prototypes = 8;
+    ClusteredSpikeGenerator gen(gen_cfg, 64, 42);
+    Rng rng(5);
+    BinaryMatrix acts = gen.generate(4096, rng);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 32;
+    cfg.maxRowsPerPartition = 256; // aggressive subsampling
+    PatternTable t = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, t);
+
+    // Most of the bit nnz must be absorbed by Level 1.
+    const double l2 = static_cast<double>(dec.totalL2Nnz());
+    const double bits = static_cast<double>(acts.popcount());
+    EXPECT_LT(l2, 0.5 * bits);
+}
+
+TEST(Calibration, TrainPatternsGeneraliseToTestDraws)
+{
+    // The Fig. 9a property: patterns calibrated on one draw achieve
+    // nearly the same L2 density on an independent draw.
+    ClusterGenConfig gen_cfg;
+    gen_cfg.bitDensity = 0.10;
+    gen_cfg.l2DensityTarget = 0.02;
+    ClusteredSpikeGenerator gen(gen_cfg, 64, 77);
+    Rng train_rng(6);
+    Rng test_rng(7);
+    BinaryMatrix train = gen.generate(2048, train_rng);
+    BinaryMatrix test = gen.generate(2048, test_rng);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 128;
+    PatternTable t = calibrateLayer(train, cfg);
+
+    auto l2_density = [&](const BinaryMatrix& acts) {
+        LayerDecomposition dec = decomposeLayer(acts, t);
+        return static_cast<double>(dec.totalL2Nnz()) /
+               static_cast<double>(acts.rows() * acts.cols());
+    };
+    const double on_train = l2_density(train);
+    const double on_test = l2_density(test);
+    EXPECT_NEAR(on_train, on_test, 0.01);
+}
+
+} // namespace
+} // namespace phi

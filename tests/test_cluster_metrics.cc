@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for cluster metrics (the quantitative backing of Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cluster_metrics.hh"
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/paft.hh"
+#include "snn/activation_gen.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(ClusterMetrics, PerfectClustersScoreWell)
+{
+    // Rows identical to patterns: distance 0, silhouette positive.
+    BinaryMatrix acts(32, 16);
+    for (size_t r = 0; r < 32; ++r)
+        acts.deposit(r, 0, 16, (r % 2) ? 0xFF00 : 0x00FF);
+    PatternSet ps(16, {0xFF00, 0x00FF});
+    ClusterMetrics m = computeClusterMetrics(acts, 0, ps);
+    EXPECT_DOUBLE_EQ(m.meanDistance, 0.0);
+    EXPECT_DOUBLE_EQ(m.assignedFraction, 1.0);
+    EXPECT_GT(m.silhouette, 0.9);
+    EXPECT_NEAR(m.effectiveClusters, 2.0, 0.01);
+}
+
+TEST(ClusterMetrics, EmptyPatternSet)
+{
+    Rng rng(1);
+    BinaryMatrix acts = BinaryMatrix::random(16, 16, 0.3, rng);
+    ClusterMetrics m = computeClusterMetrics(acts, 0, PatternSet(16, {}));
+    EXPECT_DOUBLE_EQ(m.assignedFraction, 0.0);
+}
+
+TEST(ClusterMetrics, UsageHistogramSumsToOne)
+{
+    Rng rng(2);
+    BinaryMatrix acts = BinaryMatrix::random(128, 16, 0.25, rng);
+    PatternSet ps(16, {0xF0F0, 0x0F0F, 0x00FF});
+    auto usage = patternUsage(acts, 0, ps);
+    ASSERT_EQ(usage.size(), 4u); // 3 patterns + unassigned slot
+    double total = 0;
+    for (double u : usage)
+        total += u;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ClusterMetrics, TotalVariationProperties)
+{
+    std::vector<double> a{0.5, 0.5, 0.0};
+    std::vector<double> b{0.0, 0.5, 0.5};
+    EXPECT_NEAR(totalVariation(a, a), 0.0, 1e-12);
+    EXPECT_NEAR(totalVariation(a, b), 0.5, 1e-12);
+    std::vector<double> c{1.0, 0.0, 0.0};
+    std::vector<double> d{0.0, 0.0, 1.0};
+    EXPECT_NEAR(totalVariation(c, d), 1.0, 1e-12);
+}
+
+TEST(ClusterMetrics, TrainTestUsageIsConsistent)
+{
+    // The Fig. 9a property, quantified: usage histograms of two
+    // independent draws from the same generator nearly coincide.
+    ClusterGenConfig cfg;
+    cfg.bitDensity = 0.12;
+    cfg.l2DensityTarget = 0.02;
+    ClusteredSpikeGenerator gen(cfg, 16, 9);
+    Rng r1(3);
+    Rng r2(4);
+    BinaryMatrix train = gen.generate(3000, r1);
+    BinaryMatrix test = gen.generate(3000, r2);
+
+    CalibrationConfig ccfg;
+    ccfg.k = 16;
+    ccfg.q = 32;
+    PatternTable table = calibrateLayer(train, ccfg);
+    auto u_train = patternUsage(train, 0, table.partition(0));
+    auto u_test = patternUsage(test, 0, table.partition(0));
+    EXPECT_LT(totalVariation(u_train, u_test), 0.08);
+}
+
+TEST(ClusterMetrics, PaftShrinksDistanceAndClusterCount)
+{
+    // The Fig. 9c property: PAFT yields denser (lower mean distance)
+    // and fewer effective clusters.
+    ClusterGenConfig cfg;
+    cfg.bitDensity = 0.15;
+    cfg.l2DensityTarget = 0.04;
+    ClusteredSpikeGenerator gen(cfg, 16, 11);
+    Rng rng(5);
+    BinaryMatrix acts = gen.generate(3000, rng);
+
+    CalibrationConfig ccfg;
+    ccfg.k = 16;
+    ccfg.q = 64;
+    PatternTable table = calibrateLayer(acts, ccfg);
+    ClusterMetrics before =
+        computeClusterMetrics(acts, 0, table.partition(0));
+
+    PaftConfig pc;
+    pc.alignStrength = 0.9;
+    Rng prng(6);
+    applyPaft(acts, table, pc, prng);
+    ClusterMetrics after =
+        computeClusterMetrics(acts, 0, table.partition(0));
+
+    EXPECT_LT(after.meanDistance, before.meanDistance);
+    EXPECT_GE(after.silhouette, before.silhouette);
+}
+
+TEST(ClusterMetrics, MismatchedHistogramsPanic)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(totalVariation({0.5}, {0.5, 0.5}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace phi

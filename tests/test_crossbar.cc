@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the crossbar grant scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/crossbar.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Crossbar, EmptyRequestsTakeNoCycles)
+{
+    Crossbar xbar(16, 8);
+    EXPECT_EQ(xbar.cyclesFor({}), 0u);
+}
+
+TEST(Crossbar, UpToOutputsGrantedPerCycle)
+{
+    Crossbar xbar(16, 8);
+    // 10 requests from 10 distinct banks: 8 + 2.
+    std::vector<int> banks{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto sched = xbar.schedule(banks);
+    ASSERT_EQ(sched.size(), 2u);
+    EXPECT_EQ(sched[0].size(), 8u);
+    EXPECT_EQ(sched[1].size(), 2u);
+}
+
+TEST(Crossbar, BankConflictSerialises)
+{
+    Crossbar xbar(16, 8);
+    // 4 requests all from bank 3: one per cycle.
+    std::vector<int> banks{3, 3, 3, 3};
+    EXPECT_EQ(xbar.cyclesFor(banks), 4u);
+}
+
+TEST(Crossbar, EveryRequestGrantedExactlyOnce)
+{
+    Crossbar xbar(16, 8);
+    Rng rng(1);
+    std::vector<int> banks;
+    for (int i = 0; i < 100; ++i)
+        banks.push_back(static_cast<int>(rng.nextBounded(16)));
+    auto sched = xbar.schedule(banks);
+    std::set<int> granted;
+    for (const auto& cycle : sched) {
+        EXPECT_LE(cycle.size(), 8u);
+        std::set<int> cycle_banks;
+        for (int req : cycle) {
+            EXPECT_TRUE(granted.insert(req).second)
+                << "request granted twice";
+            EXPECT_TRUE(
+                cycle_banks.insert(banks[static_cast<size_t>(req)])
+                    .second)
+                << "two grants from one bank in a cycle";
+        }
+    }
+    EXPECT_EQ(granted.size(), banks.size());
+}
+
+TEST(Crossbar, SixteenToEightL1Shape)
+{
+    // The L1 use case: up to 16 pattern-index hits, 8 forwarded per
+    // cycle, each from its own partition bank -> exactly 2 cycles.
+    Crossbar xbar(16, 8);
+    std::vector<int> banks;
+    for (int i = 0; i < 16; ++i)
+        banks.push_back(i);
+    EXPECT_EQ(xbar.cyclesFor(banks), 2u);
+}
+
+TEST(Crossbar, InvalidBankPanics)
+{
+    detail::setThrowOnError(true);
+    Crossbar xbar(4, 2);
+    EXPECT_THROW(xbar.schedule({5}), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace phi

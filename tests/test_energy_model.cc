@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the 28 nm area/power model (Table 3 calibration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(AreaPower, Table3BreakdownAtDefaultConfig)
+{
+    PhiAreaPowerModel model{PhiArchConfig{}};
+    auto rows = model.breakdown();
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows[0].name, "Preprocessor");
+    EXPECT_NEAR(rows[0].areaMm2, 0.099, 1e-6);
+    EXPECT_NEAR(rows[1].areaMm2, 0.074, 1e-6);
+    EXPECT_NEAR(rows[2].areaMm2, 0.027, 1e-6);
+    EXPECT_NEAR(rows[3].areaMm2, 0.011, 1e-6);
+    EXPECT_NEAR(rows[4].areaMm2, 0.452, 0.01);
+    // Total 0.662 mm^2 / 346.6 mW per Table 3.
+    EXPECT_NEAR(model.totalAreaMm2(), 0.662, 0.02);
+    EXPECT_NEAR(model.totalPowerMw(), 346.6, 5.0);
+}
+
+TEST(AreaPower, BufferDominatesAreaAndPower)
+{
+    PhiAreaPowerModel model{PhiArchConfig{}};
+    auto rows = model.breakdown();
+    for (size_t i = 0; i + 1 < rows.size(); ++i) {
+        EXPECT_LT(rows[i].areaMm2, rows.back().areaMm2);
+        EXPECT_LT(rows[i].powerMw, rows.back().powerMw);
+    }
+}
+
+TEST(AreaPower, L2IsSmallerButRelativelyComplex)
+{
+    // Table 3 observation: L2 logic is smaller than L1 but its
+    // unstructured-sparsity handling is disproportionally complex
+    // (power per area higher than L1's datapath share would suggest).
+    PhiAreaPowerModel model{PhiArchConfig{}};
+    auto rows = model.breakdown();
+    const auto& l1 = rows[1];
+    const auto& l2 = rows[2];
+    EXPECT_LT(l2.areaMm2, l1.areaMm2);
+    EXPECT_GT(l2.powerMw / l2.areaMm2, 0.5 * l1.powerMw / l1.areaMm2);
+}
+
+TEST(AreaPower, ScalesWithDatapathWidth)
+{
+    PhiArchConfig narrow;
+    PhiArchConfig wide = narrow;
+    wide.l1Channels = 16;
+    wide.l2Channels = 16;
+    PhiAreaPowerModel a{narrow};
+    PhiAreaPowerModel b{wide};
+    EXPECT_LT(a.totalAreaMm2(), b.totalAreaMm2());
+}
+
+TEST(AreaPower, BufferScalesWithCapacity)
+{
+    PhiArchConfig small;
+    PhiArchConfig big = small.withTotalBufferBytes(720 * 1024);
+    EXPECT_NEAR(static_cast<double>(big.totalBufferBytes()),
+                720.0 * 1024.0, 8200.0);
+    PhiAreaPowerModel a{small};
+    PhiAreaPowerModel b{big};
+    EXPECT_LT(a.totalAreaMm2(), b.totalAreaMm2());
+}
+
+TEST(AreaPower, LeakageIsFractionOfLogicPower)
+{
+    PhiAreaPowerModel model{PhiArchConfig{}};
+    EXPECT_GT(model.logicLeakageMw(), 0.0);
+    EXPECT_LT(model.logicLeakageMw(), model.totalPowerMw());
+}
+
+TEST(OpEnergies, DefaultsArePositive)
+{
+    OpEnergies e = defaultOpEnergies();
+    EXPECT_GT(e.add16, 0.0);
+    EXPECT_GT(e.patternCompare, 0.0);
+    EXPECT_LT(e.patternCompare, e.add16)
+        << "a 16-bit compare must be cheaper than a SIMD accumulate";
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Reference GEMM and im2col tests: correctness against naive loops and
+ * shape bookkeeping for conv lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "numeric/gemm.hh"
+#include "numeric/im2col.hh"
+
+namespace phi
+{
+namespace
+{
+
+Matrix<int32_t>
+naiveSpikeGemm(const BinaryMatrix& a, const Matrix<int16_t>& w)
+{
+    Matrix<int32_t> out(a.rows(), w.cols(), 0);
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t k = 0; k < a.cols(); ++k)
+            if (a.get(r, k))
+                for (size_t c = 0; c < w.cols(); ++c)
+                    out(r, c) += w(k, c);
+    return out;
+}
+
+Matrix<int16_t>
+randomWeights(size_t k, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<int16_t> w(k, n);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < n; ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(-50, 50));
+    return w;
+}
+
+TEST(SpikeGemm, MatchesNaiveReference)
+{
+    Rng rng(1);
+    BinaryMatrix a = BinaryMatrix::random(37, 90, 0.2, rng);
+    Matrix<int16_t> w = randomWeights(90, 23, 2);
+    EXPECT_EQ(spikeGemm(a, w), naiveSpikeGemm(a, w));
+}
+
+TEST(SpikeGemm, ZeroActivationsGiveZeroOutput)
+{
+    BinaryMatrix a(5, 64);
+    Matrix<int16_t> w = randomWeights(64, 8, 3);
+    Matrix<int32_t> out = spikeGemm(a, w);
+    for (size_t r = 0; r < out.rows(); ++r)
+        for (size_t c = 0; c < out.cols(); ++c)
+            EXPECT_EQ(out(r, c), 0);
+}
+
+TEST(SpikeGemm, FullOnesSumAllWeightRows)
+{
+    Rng rng(4);
+    BinaryMatrix a(1, 16);
+    for (size_t c = 0; c < 16; ++c)
+        a.set(0, c, true);
+    Matrix<int16_t> w = randomWeights(16, 4, 5);
+    Matrix<int32_t> out = spikeGemm(a, w);
+    for (size_t c = 0; c < 4; ++c) {
+        int32_t sum = 0;
+        for (size_t k = 0; k < 16; ++k)
+            sum += w(k, c);
+        EXPECT_EQ(out(0, c), sum);
+    }
+}
+
+TEST(SpikeGemm, ShapeMismatchPanics)
+{
+    detail::setThrowOnError(true);
+    BinaryMatrix a(2, 10);
+    Matrix<int16_t> w(11, 3);
+    EXPECT_THROW(spikeGemm(a, w), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(DenseGemm, SmallKnownResult)
+{
+    Matrix<float> a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    Matrix<float> b(2, 2);
+    b(0, 0) = 5;
+    b(0, 1) = 6;
+    b(1, 0) = 7;
+    b(1, 1) = 8;
+    Matrix<float> c = denseGemm(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 19);
+    EXPECT_FLOAT_EQ(c(0, 1), 22);
+    EXPECT_FLOAT_EQ(c(1, 0), 43);
+    EXPECT_FLOAT_EQ(c(1, 1), 50);
+}
+
+TEST(SpikeGemmF, AgreesWithDenseGemmOnBinaryInput)
+{
+    Rng rng(8);
+    BinaryMatrix a = BinaryMatrix::random(13, 40, 0.3, rng);
+    Matrix<float> w(40, 7);
+    for (size_t r = 0; r < 40; ++r)
+        for (size_t c = 0; c < 7; ++c)
+            w(r, c) = static_cast<float>(rng.uniform() - 0.5);
+
+    Matrix<float> dense_a(13, 40, 0.0f);
+    for (size_t r = 0; r < 13; ++r)
+        for (size_t c = 0; c < 40; ++c)
+            dense_a(r, c) = a.get(r, c) ? 1.0f : 0.0f;
+
+    Matrix<float> expect = denseGemm(dense_a, w);
+    Matrix<float> got = spikeGemmF(a, w);
+    for (size_t r = 0; r < 13; ++r)
+        for (size_t c = 0; c < 7; ++c)
+            EXPECT_NEAR(got(r, c), expect(r, c), 1e-4);
+}
+
+TEST(ConvShape, OutputDims)
+{
+    ConvShape s;
+    s.inChannels = 3;
+    s.inHeight = 32;
+    s.inWidth = 32;
+    s.outChannels = 64;
+    s.kernel = 3;
+    s.stride = 1;
+    s.pad = 1;
+    EXPECT_EQ(s.outHeight(), 32u);
+    EXPECT_EQ(s.outWidth(), 32u);
+    EXPECT_EQ(s.gemmM(), 1024u);
+    EXPECT_EQ(s.gemmK(), 27u);
+    EXPECT_EQ(s.gemmN(), 64u);
+}
+
+TEST(ConvShape, StridedNoPad)
+{
+    ConvShape s;
+    s.inChannels = 8;
+    s.inHeight = 16;
+    s.inWidth = 16;
+    s.outChannels = 16;
+    s.kernel = 2;
+    s.stride = 2;
+    s.pad = 0;
+    EXPECT_EQ(s.outHeight(), 8u);
+    EXPECT_EQ(s.gemmK(), 32u);
+}
+
+TEST(Im2col, SingleChannelIdentityKernel)
+{
+    // 1x1 kernel: im2col is just a reshape.
+    ConvShape s;
+    s.inChannels = 2;
+    s.inHeight = 3;
+    s.inWidth = 3;
+    s.outChannels = 1;
+    s.kernel = 1;
+    s.pad = 0;
+    BinaryMatrix fmap(1, 18);
+    fmap.set(0, 4, true);  // channel 0, (1,1)
+    fmap.set(0, 9, true);  // channel 1, (0,0)
+    BinaryMatrix cols = im2colSpikes(fmap, s);
+    EXPECT_EQ(cols.rows(), 9u);
+    EXPECT_EQ(cols.cols(), 2u);
+    EXPECT_TRUE(cols.get(4, 0));
+    EXPECT_TRUE(cols.get(0, 1));
+    EXPECT_EQ(cols.popcount(), 2u);
+}
+
+TEST(Im2col, PaddingReadsZero)
+{
+    ConvShape s;
+    s.inChannels = 1;
+    s.inHeight = 2;
+    s.inWidth = 2;
+    s.outChannels = 1;
+    s.kernel = 3;
+    s.pad = 1;
+    BinaryMatrix fmap(1, 4);
+    fmap.set(0, 0, true); // (0,0)
+    BinaryMatrix cols = im2colSpikes(fmap, s);
+    // Output (0,0): kernel centred at (0,0); input pixel (0,0) sits at
+    // kernel offset (1,1) -> column 4.
+    EXPECT_TRUE(cols.get(0, 4));
+    // Output (1,1): pixel (0,0) at kernel offset (-1,-1) -> column 0.
+    EXPECT_TRUE(cols.get(3, 0));
+}
+
+TEST(Im2col, ConvViaGemmMatchesDirectConvolution)
+{
+    // Full pipeline check: conv(x, w) computed directly equals
+    // im2col(x) * w_gemm.
+    ConvShape s;
+    s.inChannels = 2;
+    s.inHeight = 5;
+    s.inWidth = 5;
+    s.outChannels = 3;
+    s.kernel = 3;
+    s.pad = 1;
+
+    Rng rng(77);
+    Matrix<float> fmap(1, 2 * 5 * 5);
+    for (size_t c = 0; c < fmap.cols(); ++c)
+        fmap(0, c) = static_cast<float>(rng.uniform());
+    Matrix<float> w(s.gemmK(), s.gemmN());
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            w(r, c) = static_cast<float>(rng.uniform() - 0.5);
+
+    Matrix<float> cols = im2colDense(fmap, s);
+    Matrix<float> out = denseGemm(cols, w);
+
+    // Direct convolution.
+    for (size_t oc = 0; oc < 3; ++oc) {
+        for (size_t oy = 0; oy < 5; ++oy) {
+            for (size_t ox = 0; ox < 5; ++ox) {
+                float acc = 0;
+                for (size_t ic = 0; ic < 2; ++ic)
+                    for (int ky = 0; ky < 3; ++ky)
+                        for (int kx = 0; kx < 3; ++kx) {
+                            int iy = static_cast<int>(oy) + ky - 1;
+                            int ix = static_cast<int>(ox) + kx - 1;
+                            if (iy < 0 || ix < 0 || iy >= 5 || ix >= 5)
+                                continue;
+                            size_t kcol =
+                                (ic * 3 + static_cast<size_t>(ky)) * 3 +
+                                static_cast<size_t>(kx);
+                            acc += fmap(0, (ic * 5 +
+                                            static_cast<size_t>(iy)) *
+                                                   5 +
+                                               static_cast<size_t>(ix)) *
+                                   w(kcol, oc);
+                        }
+                EXPECT_NEAR(out(oy * 5 + ox, oc), acc, 1e-4);
+            }
+        }
+    }
+}
+
+TEST(Im2col, BinaryAndDenseVersionsAgree)
+{
+    ConvShape s;
+    s.inChannels = 3;
+    s.inHeight = 4;
+    s.inWidth = 4;
+    s.outChannels = 2;
+    s.kernel = 3;
+    s.pad = 1;
+    Rng rng(9);
+    BinaryMatrix fmap = BinaryMatrix::random(2, 48, 0.4, rng);
+    Matrix<float> dense(2, 48, 0.0f);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 48; ++c)
+            dense(r, c) = fmap.get(r, c) ? 1.0f : 0.0f;
+
+    BinaryMatrix b = im2colSpikes(fmap, s);
+    Matrix<float> d = im2colDense(dense, s);
+    ASSERT_EQ(b.rows(), d.rows());
+    ASSERT_EQ(b.cols(), d.cols());
+    for (size_t r = 0; r < b.rows(); ++r)
+        for (size_t c = 0; c < b.cols(); ++c)
+            EXPECT_EQ(b.get(r, c) ? 1.0f : 0.0f, d(r, c));
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * End-to-end integration tests: a real LIF spiking network's
+ * activations flow through calibration, decomposition, the simulated
+ * datapath and the cycle simulator — with exact functional agreement
+ * at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+#include "sim/baselines.hh"
+#include "sim/phi_sim.hh"
+#include "snn/network.hh"
+#include "snn/trace.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Integration, RealNetworkActivationsAreLosslesslyDecomposed)
+{
+    // Build and run a real spiking CNN; calibrate Phi on activations
+    // from a few inputs; verify exactness on a held-out input.
+    SpikingNetwork net(3, 8, 4);
+    net.addConv(8);
+    net.addPool();
+    net.addConv(16);
+    net.addFc(10);
+    Rng wrng(1);
+    net.randomizeWeights(wrng, 3.0);
+
+    auto make_image = [](uint64_t seed) {
+        Rng rng(seed);
+        std::vector<float> img(3 * 8 * 8);
+        for (auto& v : img)
+            v = static_cast<float>(rng.uniform());
+        return img;
+    };
+
+    // Calibration inputs ("training data").
+    std::vector<SpikingNetwork::Forward> calib;
+    for (uint64_t s = 0; s < 3; ++s) {
+        Rng rng(100 + s);
+        calib.push_back(net.forward(make_image(10 + s), rng));
+    }
+    // Held-out input ("test data").
+    Rng trng(200);
+    auto test = net.forward(make_image(99), trng);
+
+    const size_t num_layers = test.gemmActs.size();
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 32;
+    Pipeline pipe(cfg);
+    for (size_t l = 0; l < num_layers; ++l) {
+        std::vector<const BinaryMatrix*> samples;
+        for (const auto& f : calib)
+            samples.push_back(&f.gemmActs[l]);
+        pipe.addLayer("layer" + std::to_string(l), samples);
+    }
+
+    for (size_t l = 0; l < num_layers; ++l) {
+        const BinaryMatrix& acts = test.gemmActs[l];
+        if (acts.popcount() == 0)
+            continue; // nothing to verify on a silent layer
+        LayerDecomposition dec = pipe.layer(l).decompose(acts);
+        BinaryMatrix rebuilt =
+            reconstructActivations(dec, pipe.layer(l).table());
+        EXPECT_TRUE(rebuilt == acts) << "layer " << l;
+
+        // Exact product with integer weights.
+        Rng qrng(300 + l);
+        Matrix<int16_t> w(acts.cols(), 8);
+        for (size_t r = 0; r < w.rows(); ++r)
+            for (size_t c = 0; c < w.cols(); ++c)
+                w(r, c) = static_cast<int16_t>(qrng.uniformInt(-20, 20));
+        EXPECT_EQ(phiGemm(dec, pipe.layer(l).table(), w),
+                  spikeGemm(acts, w))
+            << "layer " << l;
+    }
+}
+
+TEST(Integration, FullModelTraceThroughAllSimulators)
+{
+    // A reduced Spikformer trace through Phi and all baselines:
+    // every simulator must produce consistent OP counts and the
+    // paper's efficiency ordering (Phi fastest, Eyeriss slowest).
+    ModelSpec spec = makeModel(ModelId::Spikformer, DatasetId::CIFAR10);
+    // Shrink for test runtime: keep attention block + head shapes.
+    spec.layers = {spec.layers[4], spec.layers[5], spec.layers[6],
+                   spec.layers[10]};
+    ModelTrace trace = buildModelTrace(spec);
+
+    PhiSimulator phi_sim;
+    SimResult phi = phi_sim.run(trace);
+    auto baselines = makeBaselines();
+    SimResult eyeriss = baselines[0]->run(trace);
+
+    EXPECT_DOUBLE_EQ(phi.bitOps, eyeriss.bitOps);
+    EXPECT_LT(phi.cycles, eyeriss.cycles);
+    for (auto& b : baselines) {
+        SimResult r = b->run(trace);
+        EXPECT_LE(phi.cycles, r.cycles) << b->name();
+        EXPECT_GT(phi.gopsPerJoule(), r.gopsPerJoule()) << b->name();
+    }
+}
+
+TEST(Integration, PaftImprovesSimulatedRuntime)
+{
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR100);
+    spec.layers = {{"conv", 1024, 256, 64, 1}};
+    TraceOptions base;
+    TraceOptions paft = base;
+    paft.paft = true;
+    paft.paftStrength = 0.7;
+
+    ModelTrace t0 = buildModelTrace(spec, base);
+    ModelTrace t1 = buildModelTrace(spec, paft);
+    PhiSimulator sim;
+    // PAFT shrinks the L2 correction stream; on this small layer the
+    // L1 window-scan floor dominates total compute, so the improvement
+    // is asserted on the L2 processor cycles it actually targets.
+    double c0 = 0;
+    double c1 = 0;
+    for (const auto& l : sim.run(t0).layers)
+        c0 += l.breakdown.l2;
+    for (const auto& l : sim.run(t1).layers)
+        c1 += l.breakdown.l2;
+    EXPECT_LT(c1, c0);
+}
+
+TEST(Integration, DatapathEmulationOnRealNetworkActivations)
+{
+    // The hardware datapath (packs + reconfigurable adder tree + PWP
+    // gather) reproduces the exact product on activations from real
+    // LIF dynamics, not just on synthetic draws.
+    SpikingNetwork net(1, 8, 4);
+    net.addConv(8);
+    net.addFc(12);
+    Rng wrng(7);
+    net.randomizeWeights(wrng, 3.0);
+    Rng irng(8);
+    std::vector<float> img(64);
+    for (auto& v : img)
+        v = static_cast<float>(irng.uniform());
+    Rng frng(9);
+    auto fwd = net.forward(img, frng);
+
+    const BinaryMatrix& acts = fwd.gemmActs[0];
+    ASSERT_GT(acts.popcount(), 0u);
+
+    LayerTrace lt;
+    lt.spec = {"conv0", acts.rows(), acts.cols(), 16, 1};
+    lt.acts = acts;
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 16;
+    lt.table = calibrateLayer(acts, cfg);
+    lt.dec = decomposeLayer(acts, lt.table);
+    lt.stats = computeBreakdown(acts, lt.dec, lt.table);
+    Rng qrng(10);
+    lt.weights = Matrix<int16_t>(acts.cols(), 16);
+    for (size_t r = 0; r < lt.weights.rows(); ++r)
+        for (size_t c = 0; c < lt.weights.cols(); ++c)
+            lt.weights(r, c) =
+                static_cast<int16_t>(qrng.uniformInt(-15, 15));
+
+    EXPECT_EQ(emulateDatapath(lt), spikeGemm(acts, lt.weights));
+}
+
+} // namespace
+} // namespace phi

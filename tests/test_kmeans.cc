@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the k-means-based pattern clustering (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "core/kmeans.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(KMeansHistogram, CountsMultiplicities)
+{
+    auto hist = BinaryKMeans::histogram({5, 5, 3, 5, 3, 9});
+    ASSERT_EQ(hist.size(), 3u);
+    EXPECT_EQ(hist[0], (WeightedRow{3, 2}));
+    EXPECT_EQ(hist[1], (WeightedRow{5, 3}));
+    EXPECT_EQ(hist[2], (WeightedRow{9, 1}));
+}
+
+TEST(KMeans, FiltersZeroAndOneHotRows)
+{
+    KMeansConfig cfg;
+    cfg.numClusters = 8;
+    BinaryKMeans km(cfg);
+    // Only zero and one-hot rows: nothing to cluster.
+    PatternSet ps = km.fit({{0, 10}, {1, 5}, {2, 5}, {8, 1}}, 4);
+    EXPECT_TRUE(ps.empty());
+}
+
+TEST(KMeans, FewDistinctRowsBecomeExactPatterns)
+{
+    KMeansConfig cfg;
+    cfg.numClusters = 16;
+    BinaryKMeans km(cfg);
+    PatternSet ps = km.fit({{0b1100, 7}, {0b0111, 3}, {0b1111, 2}}, 4);
+    EXPECT_EQ(ps.size(), 3u);
+    std::set<uint64_t> got(ps.patterns().begin(), ps.patterns().end());
+    EXPECT_TRUE(got.count(0b1100));
+    EXPECT_TRUE(got.count(0b0111));
+    EXPECT_TRUE(got.count(0b1111));
+}
+
+TEST(KMeans, CentresAreBinaryAndMeaningful)
+{
+    Rng rng(3);
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 4000; ++i)
+        rows.push_back(rng.next() & 0xffff);
+    KMeansConfig cfg;
+    cfg.numClusters = 32;
+    BinaryKMeans km(cfg);
+    PatternSet ps = km.fit(BinaryKMeans::histogram(rows), 16);
+    EXPECT_GT(ps.size(), 0u);
+    EXPECT_LE(ps.size(), 32u);
+    std::set<uint64_t> unique;
+    for (uint64_t p : ps.patterns()) {
+        EXPECT_EQ(p & ~0xffffull, 0u) << "pattern exceeds k bits";
+        EXPECT_NE(p, 0u) << "zero pattern is meaningless";
+        EXPECT_FALSE(isOneHot(p)) << "one-hot pattern is meaningless";
+        unique.insert(p);
+    }
+    EXPECT_EQ(unique.size(), ps.size()) << "patterns must be unique";
+}
+
+TEST(KMeans, RecoversPlantedClusters)
+{
+    // Three well-separated prototypes with light noise: the calibrated
+    // patterns should sit within 1 bit of each prototype.
+    const std::vector<uint64_t> protos{0xF00F, 0x0FF0, 0xAAAA};
+    Rng rng(11);
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 3000; ++i) {
+        uint64_t base = protos[static_cast<size_t>(i) % 3];
+        if (rng.bernoulli(0.15))
+            base ^= 1ull << rng.nextBounded(16);
+        rows.push_back(base);
+    }
+    KMeansConfig cfg;
+    cfg.numClusters = 3;
+    cfg.maxIters = 30;
+    // Random init with q=3 can place all seeds in one cluster and get
+    // stuck in a local optimum; k-means++ exists for exactly this.
+    cfg.init = KMeansConfig::Init::PlusPlus;
+    BinaryKMeans km(cfg);
+    PatternSet ps = km.fit(BinaryKMeans::histogram(rows), 16);
+    ASSERT_GE(ps.size(), 2u);
+    for (uint64_t proto : protos) {
+        int best = 64;
+        for (uint64_t p : ps.patterns())
+            best = std::min(best, hammingDistance(p, proto));
+        EXPECT_LE(best, 1) << "prototype 0x" << std::hex << proto
+                           << " not recovered";
+    }
+}
+
+TEST(KMeans, DeterministicForFixedSeed)
+{
+    Rng rng(13);
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 2000; ++i)
+        rows.push_back(rng.next() & 0xffff);
+    auto hist = BinaryKMeans::histogram(rows);
+    KMeansConfig cfg;
+    cfg.numClusters = 16;
+    cfg.seed = 99;
+    PatternSet a = BinaryKMeans(cfg).fit(hist, 16);
+    PatternSet b = BinaryKMeans(cfg).fit(hist, 16);
+    EXPECT_EQ(a.patterns(), b.patterns());
+}
+
+TEST(KMeans, CostImprovesOverSingleIteration)
+{
+    Rng rng(17);
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 3000; ++i)
+        rows.push_back(rng.next() & 0xffff);
+    auto hist = BinaryKMeans::histogram(rows);
+
+    KMeansConfig one;
+    one.numClusters = 32;
+    one.maxIters = 1;
+    one.seed = 5;
+    KMeansConfig many = one;
+    many.maxIters = 25;
+
+    uint64_t cost_one =
+        BinaryKMeans::cost(hist, BinaryKMeans(one).fit(hist, 16));
+    uint64_t cost_many =
+        BinaryKMeans::cost(hist, BinaryKMeans(many).fit(hist, 16));
+    EXPECT_LE(cost_many, cost_one);
+}
+
+TEST(KMeans, PlusPlusInitWorks)
+{
+    Rng rng(19);
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 1000; ++i)
+        rows.push_back(rng.next() & 0xffff);
+    KMeansConfig cfg;
+    cfg.numClusters = 16;
+    cfg.init = KMeansConfig::Init::PlusPlus;
+    PatternSet ps =
+        BinaryKMeans(cfg).fit(BinaryKMeans::histogram(rows), 16);
+    EXPECT_GT(ps.size(), 4u);
+}
+
+TEST(KMeans, MaxDistinctCapKeepsHeavyHitters)
+{
+    // One dominant value plus a long tail; with a tight cap the
+    // dominant value must survive as a pattern.
+    std::vector<WeightedRow> hist;
+    hist.emplace_back(0b1111000011110000, 10000);
+    Rng rng(23);
+    for (int i = 0; i < 500; ++i)
+        hist.emplace_back((rng.next() & 0xffff) | 0b11, 1);
+    KMeansConfig cfg;
+    cfg.numClusters = 8;
+    cfg.maxDistinct = 64;
+    PatternSet ps = BinaryKMeans(cfg).fit(hist, 16);
+    int best = 64;
+    for (uint64_t p : ps.patterns())
+        best = std::min(best,
+                        hammingDistance(p, 0b1111000011110000));
+    EXPECT_LE(best, 1);
+}
+
+TEST(KMeans, EmptyInput)
+{
+    KMeansConfig cfg;
+    cfg.numClusters = 8;
+    PatternSet ps = BinaryKMeans(cfg).fit({}, 16);
+    EXPECT_TRUE(ps.empty());
+}
+
+TEST(KMeans, CostOfEmptySetIsInfinite)
+{
+    EXPECT_EQ(BinaryKMeans::cost({{3, 1}}, PatternSet(4, {})), ~0ull);
+}
+
+class KMeansWidthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KMeansWidthSweep, PatternsRespectWidth)
+{
+    const int k = GetParam();
+    Rng rng(29 + static_cast<uint64_t>(k));
+    std::vector<uint64_t> rows;
+    for (int i = 0; i < 1500; ++i)
+        rows.push_back(rng.next() & lowMask(k));
+    KMeansConfig cfg;
+    cfg.numClusters = 16;
+    PatternSet ps =
+        BinaryKMeans(cfg).fit(BinaryKMeans::histogram(rows), k);
+    for (uint64_t p : ps.patterns())
+        EXPECT_EQ(p & ~lowMask(k), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KMeansWidthSweep,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+} // namespace
+} // namespace phi

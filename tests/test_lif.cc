@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the LIF neuron model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "snn/lif.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Lif, IntegratesBelowThresholdWithoutSpiking)
+{
+    LifParams p;
+    p.leak = 1.0f; // pure integrator
+    p.threshold = 1.0f;
+    LifPopulation pop(1, p);
+    std::vector<uint8_t> spikes;
+    float current = 0.3f;
+    pop.step(&current, spikes);
+    EXPECT_EQ(spikes[0], 0);
+    EXPECT_FLOAT_EQ(pop.potential(0), 0.3f);
+    pop.step(&current, spikes);
+    EXPECT_FLOAT_EQ(pop.potential(0), 0.6f);
+}
+
+TEST(Lif, FiresAtThresholdAndHardResets)
+{
+    LifParams p;
+    p.leak = 1.0f;
+    p.threshold = 1.0f;
+    p.hardReset = true;
+    LifPopulation pop(1, p);
+    std::vector<uint8_t> spikes;
+    float current = 0.6f;
+    pop.step(&current, spikes);
+    EXPECT_EQ(spikes[0], 0);
+    pop.step(&current, spikes); // 1.2 >= 1.0
+    EXPECT_EQ(spikes[0], 1);
+    EXPECT_FLOAT_EQ(pop.potential(0), 0.0f);
+}
+
+TEST(Lif, SoftResetKeepsResidual)
+{
+    LifParams p;
+    p.leak = 1.0f;
+    p.threshold = 1.0f;
+    p.hardReset = false;
+    LifPopulation pop(1, p);
+    std::vector<uint8_t> spikes;
+    float current = 1.3f;
+    pop.step(&current, spikes);
+    EXPECT_EQ(spikes[0], 1);
+    EXPECT_NEAR(pop.potential(0), 0.3f, 1e-6);
+}
+
+TEST(Lif, LeakDecaysMembrane)
+{
+    LifParams p;
+    p.leak = 0.5f;
+    p.threshold = 10.0f;
+    LifPopulation pop(1, p);
+    std::vector<uint8_t> spikes;
+    float one = 1.0f;
+    float zero = 0.0f;
+    pop.step(&one, spikes);
+    EXPECT_FLOAT_EQ(pop.potential(0), 1.0f);
+    pop.step(&zero, spikes);
+    EXPECT_FLOAT_EQ(pop.potential(0), 0.5f);
+    pop.step(&zero, spikes);
+    EXPECT_FLOAT_EQ(pop.potential(0), 0.25f);
+}
+
+TEST(Lif, ResetZeroesAllNeurons)
+{
+    LifPopulation pop(4);
+    std::vector<uint8_t> spikes;
+    std::vector<float> current{0.2f, 0.3f, 0.4f, 0.1f};
+    pop.step(current.data(), spikes);
+    pop.reset();
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(pop.potential(i), 0.0f);
+}
+
+TEST(Lif, RunLifRasterShape)
+{
+    Matrix<float> currents(4, 3, 0.0f);
+    currents(0, 0) = 2.0f; // fires at t0
+    currents(2, 1) = 2.0f; // fires at t2
+    BinaryMatrix raster = runLif(currents);
+    EXPECT_EQ(raster.rows(), 4u);
+    EXPECT_EQ(raster.cols(), 3u);
+    EXPECT_TRUE(raster.get(0, 0));
+    EXPECT_TRUE(raster.get(2, 1));
+    EXPECT_EQ(raster.popcount(), 2u);
+}
+
+TEST(Lif, ConstantDriveSpikesPeriodically)
+{
+    // leak=1, threshold=1, current=0.5: spike every 2 steps.
+    LifParams p;
+    p.leak = 1.0f;
+    p.threshold = 1.0f;
+    Matrix<float> currents(8, 1, 0.5f);
+    BinaryMatrix raster = runLif(currents, p);
+    EXPECT_EQ(raster.popcount(), 4u);
+    EXPECT_TRUE(raster.get(1, 0));
+    EXPECT_TRUE(raster.get(3, 0));
+    EXPECT_TRUE(raster.get(5, 0));
+    EXPECT_TRUE(raster.get(7, 0));
+}
+
+TEST(Lif, InvalidParamsPanic)
+{
+    detail::setThrowOnError(true);
+    LifParams bad_leak;
+    bad_leak.leak = 1.5f;
+    EXPECT_THROW(LifPopulation(1, bad_leak), std::logic_error);
+    LifParams bad_thresh;
+    bad_thresh.threshold = 0.0f;
+    EXPECT_THROW(LifPopulation(1, bad_thresh), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Lif, NegativeCurrentInhibits)
+{
+    LifParams p;
+    p.leak = 1.0f;
+    p.threshold = 1.0f;
+    LifPopulation pop(1, p);
+    std::vector<uint8_t> spikes;
+    float pos = 0.8f;
+    float neg = -0.5f;
+    pop.step(&pos, spikes);
+    pop.step(&neg, spikes);
+    EXPECT_FLOAT_EQ(pop.potential(0), 0.3f);
+    EXPECT_EQ(spikes[0], 0);
+}
+
+} // namespace
+} // namespace phi

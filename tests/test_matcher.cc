@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the systolic pattern matcher: functional equivalence with
+ * the algorithmic assigner and the throughput model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/pattern_matcher.hh"
+#include "common/rng.hh"
+#include "core/kmeans.hh"
+
+namespace phi
+{
+namespace
+{
+
+PatternSet
+randomPatterns(int k, size_t q, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> pats;
+    while (pats.size() < q) {
+        uint64_t p = rng.next() & lowMask(k);
+        if (p == 0 || isOneHot(p))
+            continue;
+        pats.push_back(p);
+    }
+    return PatternSet(k, pats);
+}
+
+TEST(Matcher, AgreesWithAssignerOnAllValues)
+{
+    // 8-bit tiles: check all 256 possible rows against 16 patterns.
+    PatternSet ps = randomPatterns(8, 16, 1);
+    PatternMatcher matcher(ps);
+    PatternAssigner assigner(ps);
+    for (uint64_t row = 0; row < 256; ++row) {
+        RowAssignment m = matcher.match(row);
+        const RowAssignment& a = assigner.assign(row);
+        EXPECT_EQ(m.patternId, a.patternId) << "row " << row;
+        EXPECT_EQ(m.posMask, a.posMask) << "row " << row;
+        EXPECT_EQ(m.negMask, a.negMask) << "row " << row;
+    }
+}
+
+TEST(Matcher, AgreesWithAssignerOn16BitSamples)
+{
+    PatternSet ps = randomPatterns(16, 128, 2);
+    PatternMatcher matcher(ps);
+    PatternAssigner assigner(ps);
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t row = rng.next() & 0xffff;
+        RowAssignment m = matcher.match(row);
+        const RowAssignment& a = assigner.assign(row);
+        EXPECT_EQ(m.patternId, a.patternId);
+        EXPECT_EQ(m.posMask, a.posMask);
+        EXPECT_EQ(m.negMask, a.negMask);
+    }
+}
+
+TEST(Matcher, DifferencePopcountIsMinimal)
+{
+    PatternSet ps = randomPatterns(16, 64, 4);
+    PatternMatcher matcher(ps);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t row = rng.next() & 0xffff;
+        RowAssignment m = matcher.match(row);
+        const int chosen = m.nnz();
+        // No pattern (or baseline) may beat the chosen count.
+        EXPECT_LE(chosen, popcount64(row));
+        for (uint64_t p : ps.patterns())
+            EXPECT_LE(chosen, hammingDistance(row, p));
+    }
+}
+
+TEST(Matcher, ThroughputModel)
+{
+    PatternSet ps = randomPatterns(16, 128, 6);
+    PatternMatcher matcher(ps, 8);
+    EXPECT_EQ(matcher.cycles(0), 0u);
+    // Pipeline depth q=128 plus ceil(rows/lanes).
+    EXPECT_EQ(matcher.cycles(1), 128u + 1u);
+    EXPECT_EQ(matcher.cycles(800), 128u + 100u);
+    EXPECT_EQ(matcher.cycles(801), 128u + 101u);
+}
+
+TEST(Matcher, LaneCountScalesThroughput)
+{
+    PatternSet ps = randomPatterns(16, 32, 7);
+    PatternMatcher one(ps, 1);
+    PatternMatcher four(ps, 4);
+    EXPECT_GT(one.cycles(1000), four.cycles(1000));
+}
+
+TEST(Matcher, ComparisonCountIncludesBaseline)
+{
+    PatternSet ps = randomPatterns(16, 32, 8);
+    PatternMatcher matcher(ps);
+    EXPECT_EQ(matcher.comparisonsPerRow(), 33u);
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the SNN model zoo: layer shapes, evaluated pairings and
+ * Table 4 profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "snn/model_zoo.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(ModelZoo, Vgg16FirstLayerShape)
+{
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+    ASSERT_FALSE(spec.layers.empty());
+    const auto& l = spec.layers.front();
+    // conv1_1: T=4 x 32x32 rows, K = 3*3*3, N = 64.
+    EXPECT_EQ(l.m, 4096u);
+    EXPECT_EQ(l.k, 27u);
+    EXPECT_EQ(l.n, 64u);
+}
+
+TEST(ModelZoo, Vgg16ClassifierMatchesDataset)
+{
+    ModelSpec c10 = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+    ModelSpec c100 = makeModel(ModelId::VGG16, DatasetId::CIFAR100);
+    EXPECT_EQ(c10.layers.back().n, 10u);
+    EXPECT_EQ(c100.layers.back().n, 100u);
+}
+
+TEST(ModelZoo, Vgg16TotalMacsAreRealistic)
+{
+    // Spiking VGG16 on CIFAR with T=4: ~1.2 G MAC slots.
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR100);
+    EXPECT_GT(spec.totalMacs(), 0.8e9);
+    EXPECT_LT(spec.totalMacs(), 2.5e9);
+}
+
+TEST(ModelZoo, ResNetHasSkipProjections)
+{
+    ModelSpec spec = makeModel(ModelId::ResNet18, DatasetId::CIFAR10);
+    bool has_skip = false;
+    for (const auto& l : spec.layers)
+        if (l.name.find("skip") != std::string::npos)
+            has_skip = true;
+    EXPECT_TRUE(has_skip);
+}
+
+TEST(ModelZoo, SpikformerAttentionShapes)
+{
+    ModelSpec spec = makeModel(ModelId::Spikformer, DatasetId::CIFAR100);
+    const GemmLayerSpec* qkv = nullptr;
+    const GemmLayerSpec* score = nullptr;
+    for (const auto& l : spec.layers) {
+        if (l.name == "attn_qkv")
+            qkv = &l;
+        if (l.name == "attn_score")
+            score = &l;
+    }
+    ASSERT_NE(qkv, nullptr);
+    ASSERT_NE(score, nullptr);
+    EXPECT_EQ(qkv->k, 384u);
+    EXPECT_EQ(qkv->count, 12u); // 4 blocks x Q,K,V
+    EXPECT_EQ(score->n, 64u);   // token count
+}
+
+TEST(ModelZoo, SdtHasNoScoreGemm)
+{
+    // Spike-driven transformer's SDSA avoids Q*K^T matmuls.
+    ModelSpec spec = makeModel(ModelId::SDT, DatasetId::CIFAR10);
+    for (const auto& l : spec.layers)
+        EXPECT_EQ(l.name.find("attn_score"), std::string::npos);
+}
+
+TEST(ModelZoo, DvsUsesMoreTimesteps)
+{
+    ModelSpec dvs = makeModel(ModelId::Spikformer, DatasetId::CIFAR10DVS);
+    ModelSpec cif = makeModel(ModelId::Spikformer, DatasetId::CIFAR10);
+    EXPECT_GT(dvs.timesteps, cif.timesteps);
+}
+
+TEST(ModelZoo, BertModelsUseHidden768)
+{
+    for (auto ds : {DatasetId::SST2, DatasetId::SST5}) {
+        ModelSpec spec = makeModel(ModelId::SpikeBERT, ds);
+        bool found = false;
+        for (const auto& l : spec.layers)
+            if (l.name == "mlp_fc1") {
+                EXPECT_EQ(l.k, 768u);
+                EXPECT_EQ(l.n, 3072u);
+                found = true;
+            }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(ModelZoo, MnliUsesLongerSequence)
+{
+    ModelSpec sst = makeModel(ModelId::SpikingBERT, DatasetId::SST2);
+    ModelSpec mnli = makeModel(ModelId::SpikingBERT, DatasetId::MNLI);
+    EXPECT_GT(mnli.layers.front().m, sst.layers.front().m);
+}
+
+TEST(ModelZoo, InvalidPairingsAreFatal)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(makeModel(ModelId::VGG16, DatasetId::SST2),
+                 std::logic_error);
+    EXPECT_THROW(makeModel(ModelId::SpikeBERT, DatasetId::CIFAR10),
+                 std::logic_error);
+    EXPECT_THROW(makeModel(ModelId::VGG16, DatasetId::CIFAR10DVS),
+                 std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(ModelZoo, EvaluationRosterSizes)
+{
+    EXPECT_EQ(allEvaluatedModels().size(), 14u); // Fig. 8
+    EXPECT_EQ(table4Models().size(), 10u);       // Table 4
+}
+
+TEST(ModelZoo, ProfilesFollowTable4)
+{
+    ModelSpec vgg10 = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+    EXPECT_NEAR(vgg10.profile.bitDensity, 0.087, 1e-9);
+    ModelSpec bert = makeModel(ModelId::SpikingBERT, DatasetId::SST2);
+    EXPECT_NEAR(bert.profile.bitDensity, 0.203, 1e-9);
+    EXPECT_GT(bert.profile.bitDensity, vgg10.profile.bitDensity);
+}
+
+TEST(ModelZoo, NamesRoundTrip)
+{
+    EXPECT_EQ(modelName(ModelId::SDT), "SDT");
+    EXPECT_EQ(datasetName(DatasetId::CIFAR10DVS), "CIFAR10-DVS");
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the runnable spiking network substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "snn/network.hh"
+
+namespace phi
+{
+namespace
+{
+
+SpikingNetwork
+smallNet()
+{
+    SpikingNetwork net(3, 8, 4);
+    net.addConv(8);
+    net.addPool();
+    net.addConv(16);
+    net.addFc(10);
+    return net;
+}
+
+std::vector<float>
+testImage(size_t size, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> img(size);
+    for (auto& v : img)
+        v = static_cast<float>(rng.uniform());
+    return img;
+}
+
+TEST(Network, GemmShapesFollowArchitecture)
+{
+    SpikingNetwork net = smallNet();
+    auto s0 = net.gemmShape(0);
+    EXPECT_EQ(s0.m, 4u * 64u);
+    EXPECT_EQ(s0.k, 27u);
+    EXPECT_EQ(s0.n, 8u);
+    auto s2 = net.gemmShape(2); // conv after pool: 4x4 grid
+    EXPECT_EQ(s2.m, 4u * 16u);
+    EXPECT_EQ(s2.k, 72u);
+    auto s3 = net.gemmShape(3);
+    EXPECT_EQ(s3.m, 4u);
+    EXPECT_EQ(s3.k, 16u * 16u);
+    EXPECT_EQ(s3.n, 10u);
+}
+
+TEST(Network, ForwardProducesAllGemmActs)
+{
+    SpikingNetwork net = smallNet();
+    Rng wrng(1);
+    net.randomizeWeights(wrng, 2.0);
+    Rng rng(2);
+    auto fwd = net.forward(testImage(3 * 8 * 8, 3), rng);
+    ASSERT_EQ(fwd.gemmActs.size(), 3u); // conv, conv, fc
+    EXPECT_EQ(fwd.gemmActs[0].rows(), 4u * 64u);
+    EXPECT_EQ(fwd.gemmActs[0].cols(), 27u);
+    EXPECT_EQ(fwd.output.rows(), 4u);
+    EXPECT_EQ(fwd.output.cols(), 10u);
+    EXPECT_EQ(fwd.spikeCounts.size(), 10u);
+}
+
+TEST(Network, SpikesPropagateWithReasonableDensity)
+{
+    SpikingNetwork net = smallNet();
+    Rng wrng(4);
+    net.randomizeWeights(wrng, 3.0);
+    Rng rng(5);
+    auto fwd = net.forward(testImage(3 * 8 * 8, 6), rng);
+    // Input layer activations must be nonzero (rate-coded image), and
+    // the hidden layer should emit some spikes with this gain.
+    EXPECT_GT(fwd.gemmActs[0].popcount(), 0u);
+    EXPECT_GT(fwd.gemmActs[1].popcount(), 0u);
+    double d = fwd.gemmActs[1].density();
+    EXPECT_GT(d, 0.001);
+    EXPECT_LT(d, 0.9);
+}
+
+TEST(Network, DeterministicGivenSeeds)
+{
+    SpikingNetwork net = smallNet();
+    Rng wrng(7);
+    net.randomizeWeights(wrng, 2.0);
+    auto img = testImage(3 * 8 * 8, 8);
+    Rng r1(9);
+    Rng r2(9);
+    auto f1 = net.forward(img, r1);
+    auto f2 = net.forward(img, r2);
+    EXPECT_TRUE(f1.output == f2.output);
+    for (size_t i = 0; i < f1.gemmActs.size(); ++i)
+        EXPECT_TRUE(f1.gemmActs[i] == f2.gemmActs[i]);
+}
+
+TEST(Network, ZeroImageProducesNoSpikes)
+{
+    SpikingNetwork net = smallNet();
+    Rng wrng(10);
+    net.randomizeWeights(wrng, 2.0);
+    std::vector<float> img(3 * 8 * 8, 0.0f);
+    Rng rng(11);
+    auto fwd = net.forward(img, rng);
+    EXPECT_EQ(fwd.gemmActs[0].popcount(), 0u);
+    EXPECT_EQ(fwd.output.popcount(), 0u);
+}
+
+TEST(Network, PoolIsSpikeOr)
+{
+    // A single conv->pool: pooling must OR 2x2 spike windows.
+    SpikingNetwork net(1, 4, 1);
+    net.addPool();
+    net.addFc(4);
+    Rng wrng(12);
+    net.randomizeWeights(wrng, 1.0);
+    // Image with one bright pixel: after rate coding with p=1 it spikes
+    // every timestep; pooling keeps it alive in the 2x2 cell.
+    std::vector<float> img(16, 0.0f);
+    img[5] = 1.0f; // (1,1) -> pool cell (0,0)
+    Rng rng(13);
+    auto fwd = net.forward(img, rng);
+    // FC input activation = pooled map: cell (0,0) must be 1 at t=0.
+    ASSERT_EQ(fwd.gemmActs.size(), 1u);
+    EXPECT_TRUE(fwd.gemmActs[0].get(0, 0));
+    EXPECT_FALSE(fwd.gemmActs[0].get(0, 3));
+}
+
+TEST(Network, BadImageSizePanics)
+{
+    detail::setThrowOnError(true);
+    SpikingNetwork net = smallNet();
+    Rng rng(14);
+    std::vector<float> img(7, 0.5f);
+    EXPECT_THROW(net.forward(img, rng), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Network, ConvAfterFcPanics)
+{
+    detail::setThrowOnError(true);
+    SpikingNetwork net(1, 4, 2);
+    net.addFc(8);
+    EXPECT_THROW(net.addConv(4), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the PAFT alignment simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/paft.hh"
+#include "core/stats.hh"
+#include "snn/activation_gen.hh"
+
+namespace phi
+{
+namespace
+{
+
+struct PaftSetup
+{
+    BinaryMatrix acts;
+    PatternTable table;
+};
+
+PaftSetup
+makeSetup(uint64_t seed, double density = 0.12)
+{
+    ClusterGenConfig gen_cfg;
+    gen_cfg.bitDensity = density;
+    gen_cfg.l2DensityTarget = 0.03;
+    ClusteredSpikeGenerator gen(gen_cfg, 64, seed);
+    Rng rng(seed + 1);
+    PaftSetup s{gen.generate(1024, rng), {}};
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 64;
+    s.table = calibrateLayer(s.acts, cfg);
+    return s;
+}
+
+double
+l2Density(const BinaryMatrix& acts, const PatternTable& table)
+{
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    return static_cast<double>(dec.totalL2Nnz()) /
+           static_cast<double>(acts.rows() * acts.cols());
+}
+
+TEST(Paft, ZeroStrengthIsIdentity)
+{
+    PaftSetup s = makeSetup(10);
+    BinaryMatrix before = s.acts;
+    PaftConfig cfg;
+    cfg.alignStrength = 0.0;
+    Rng rng(1);
+    PaftResult res = applyPaft(s.acts, s.table, cfg, rng);
+    EXPECT_EQ(res.bitsFlipped, 0u);
+    EXPECT_TRUE(s.acts == before);
+}
+
+TEST(Paft, FullStrengthEliminatesAssignedMismatches)
+{
+    PaftSetup s = makeSetup(11);
+    PaftConfig cfg;
+    cfg.alignStrength = 1.0;
+    Rng rng(2);
+    PaftResult res = applyPaft(s.acts, s.table, cfg, rng);
+    EXPECT_EQ(res.bitsFlipped, res.mismatchBitsBefore);
+
+    // After full alignment, every previously-assigned row matches its
+    // pattern exactly; a second application flips nothing more.
+    Rng rng2(3);
+    PaftResult res2 = applyPaft(s.acts, s.table, cfg, rng2);
+    EXPECT_EQ(res2.bitsFlipped, 0u);
+}
+
+TEST(Paft, ReducesL2Density)
+{
+    PaftSetup s = makeSetup(12);
+    const double before = l2Density(s.acts, s.table);
+    PaftConfig cfg;
+    cfg.alignStrength = 0.6;
+    Rng rng(4);
+    applyPaft(s.acts, s.table, cfg, rng);
+    const double after = l2Density(s.acts, s.table);
+    EXPECT_LT(after, before);
+}
+
+TEST(Paft, StrongerAlignmentFlipsMore)
+{
+    PaftSetup a = makeSetup(13);
+    PaftSetup b = makeSetup(13);
+    Rng r1(5);
+    Rng r2(5);
+    PaftConfig weak;
+    weak.alignStrength = 0.2;
+    PaftConfig strong;
+    strong.alignStrength = 0.9;
+    PaftResult wr = applyPaft(a.acts, a.table, weak, r1);
+    PaftResult sr = applyPaft(b.acts, b.table, strong, r2);
+    EXPECT_GT(sr.bitsFlipped, wr.bitsFlipped);
+}
+
+TEST(Paft, FlipRateAccounting)
+{
+    PaftSetup s = makeSetup(14);
+    PaftConfig cfg;
+    cfg.alignStrength = 0.5;
+    Rng rng(6);
+    PaftResult res = applyPaft(s.acts, s.table, cfg, rng);
+    EXPECT_EQ(res.elements, s.acts.rows() * s.acts.cols());
+    EXPECT_NEAR(res.flipRate(),
+                static_cast<double>(res.bitsFlipped) /
+                    static_cast<double>(res.elements),
+                1e-12);
+    EXPECT_GT(res.flipRate(), 0.0);
+    EXPECT_LT(res.flipRate(), 0.2);
+}
+
+TEST(Paft, UnassignedRowsUntouched)
+{
+    // With an empty pattern table nothing can be aligned.
+    Rng rng(7);
+    BinaryMatrix acts = BinaryMatrix::random(64, 32, 0.3, rng);
+    BinaryMatrix before = acts;
+    PatternTable table(16, {PatternSet(16, {}), PatternSet(16, {})});
+    PaftConfig cfg;
+    cfg.alignStrength = 1.0;
+    Rng prng(8);
+    PaftResult res = applyPaft(acts, table, cfg, prng);
+    EXPECT_EQ(res.bitsFlipped, 0u);
+    EXPECT_TRUE(acts == before);
+}
+
+} // namespace
+} // namespace phi

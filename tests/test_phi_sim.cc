@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the Phi cycle-level simulator: analytic lower bounds,
+ * monotonicity, ablation toggles and exact datapath emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "core/pwp.hh"
+#include "sim/phi_sim.hh"
+
+namespace phi
+{
+namespace
+{
+
+ModelSpec
+tinySpec(double density = 0.10, double l2 = 0.0)
+{
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+    spec.layers = {{"a", 512, 128, 64, 1}, {"b", 256, 64, 32, 2}};
+    spec.profile.bitDensity = density;
+    // Keep the L2/bit ratio fixed so traces at different densities
+    // stay statistically comparable (Table 4's ratios are ~5x).
+    spec.profile.l2DensityTarget = l2 > 0.0 ? l2 : density / 5.0;
+    return spec;
+}
+
+ModelTrace
+tinyTrace(double density = 0.10, bool with_weights = false)
+{
+    TraceOptions opt;
+    opt.withWeights = with_weights;
+    return buildModelTrace(tinySpec(density), opt);
+}
+
+TEST(PhiSim, CyclesRespectAnalyticLowerBounds)
+{
+    ModelTrace trace = tinyTrace();
+    PhiSimulator sim;
+    for (const auto& layer : trace.layers) {
+        LayerSimResult r = sim.runLayer(layer);
+        // L2 work alone needs at least ceil(units/8) pack cycles per
+        // n-tile pass.
+        const double n_tiles = ceilDiv(layer.spec.n, size_t{32});
+        const double min_l2 =
+            std::ceil(static_cast<double>(layer.dec.totalL2Nnz()) /
+                      8.0) *
+            n_tiles;
+        EXPECT_GE(r.breakdown.l2 + 1e-9, min_l2) << layer.spec.name;
+        EXPECT_GE(r.cycles, r.breakdown.compute - 1e9);
+        EXPECT_GT(r.cycles, 0.0);
+    }
+}
+
+TEST(PhiSim, BoundIsMaxOfStages)
+{
+    ModelTrace trace = tinyTrace();
+    PhiSimulator sim;
+    for (const auto& layer : trace.layers) {
+        LayerSimResult r = sim.runLayer(layer);
+        EXPECT_NEAR(r.breakdown.bound,
+                    std::max({r.breakdown.compute,
+                              r.breakdown.preprocess,
+                              r.breakdown.neuron, r.breakdown.dram}),
+                    1e-6);
+    }
+}
+
+TEST(PhiSim, DenserActivationsCostMoreCompute)
+{
+    // The straightforward L1 zero-skipping floors compute at one cycle
+    // per index window, so density sensitivity shows in the L2 stream
+    // (always) and in total compute under perfect skipping.
+    // Densities are kept in the pattern-viable regime (>= ~0.1): below
+    // that, prototypes degenerate to one-hot rows which Alg. 1 rightly
+    // filters, and L2 falls back to raw bit sparsity — a real property
+    // of the system, not a monotonic one.
+    PhiArchConfig cfg;
+    cfg.perfectL1Skip = true;
+    PhiSimulator sim(cfg);
+    SimResult sparse = sim.run(tinyTrace(0.15));
+    SimResult dense = sim.run(tinyTrace(0.35));
+    double sparse_l2 = 0;
+    double dense_l2 = 0;
+    double sparse_compute = 0;
+    double dense_compute = 0;
+    for (const auto& l : sparse.layers) {
+        sparse_l2 += l.breakdown.l2;
+        sparse_compute += l.breakdown.compute;
+    }
+    for (const auto& l : dense.layers) {
+        dense_l2 += l.breakdown.l2;
+        dense_compute += l.breakdown.compute;
+    }
+    EXPECT_LT(sparse_l2, dense_l2);
+    EXPECT_LE(sparse_compute, dense_compute);
+}
+
+TEST(PhiSim, LayerCountScalesTotals)
+{
+    ModelTrace trace = tinyTrace();
+    PhiSimulator sim;
+    SimResult r = sim.run(trace);
+    // Layer "b" has count=2: its scaled result must be twice the raw
+    // layer run.
+    LayerSimResult raw = sim.runLayer(trace.layers[1]);
+    EXPECT_NEAR(r.layers[1].cycles, 2.0 * raw.cycles, 1e-6);
+    EXPECT_NEAR(r.layers[1].bitOps, 2.0 * raw.bitOps, 1e-6);
+}
+
+TEST(PhiSim, PrefetchReducesPwpTraffic)
+{
+    ModelTrace trace = tinyTrace();
+    PhiArchConfig with;
+    PhiArchConfig without = with;
+    without.prefetchPwp = false;
+    SimResult a = PhiSimulator(with).run(trace);
+    SimResult b = PhiSimulator(without).run(trace);
+    EXPECT_LT(a.traffic.pwpBytes, 0.8 * b.traffic.pwpBytes);
+    EXPECT_DOUBLE_EQ(a.traffic.weightBytes, b.traffic.weightBytes);
+}
+
+TEST(PhiSim, CompressionReducesActivationTraffic)
+{
+    ModelTrace trace = tinyTrace();
+    PhiArchConfig with;
+    PhiArchConfig without = with;
+    without.compressActs = false;
+    SimResult a = PhiSimulator(with).run(trace);
+    SimResult b = PhiSimulator(without).run(trace);
+    EXPECT_LT(a.traffic.activationBytes, b.traffic.activationBytes);
+}
+
+TEST(PhiSim, PerfectSkipNeverSlower)
+{
+    ModelTrace trace = tinyTrace();
+    PhiArchConfig naive;
+    PhiArchConfig perfect = naive;
+    perfect.perfectL1Skip = true;
+    SimResult a = PhiSimulator(naive).run(trace);
+    SimResult b = PhiSimulator(perfect).run(trace);
+    double naive_l1 = 0;
+    double perfect_l1 = 0;
+    for (const auto& l : a.layers)
+        naive_l1 += l.breakdown.l1;
+    for (const auto& l : b.layers)
+        perfect_l1 += l.breakdown.l1;
+    EXPECT_LE(perfect_l1, naive_l1);
+}
+
+TEST(PhiSim, EnergyBreakdownPositiveAndFinite)
+{
+    ModelTrace trace = tinyTrace();
+    SimResult r = PhiSimulator().run(trace);
+    EXPECT_GT(r.energy.core, 0.0);
+    EXPECT_GT(r.energy.buffer, 0.0);
+    EXPECT_GT(r.energy.dram, 0.0);
+    EXPECT_TRUE(std::isfinite(r.energy.total()));
+    EXPECT_GT(r.gops(), 0.0);
+    EXPECT_GT(r.gopsPerJoule(), 0.0);
+}
+
+TEST(PhiSim, OpsFollowPaperDefinition)
+{
+    ModelTrace trace = tinyTrace();
+    SimResult r = PhiSimulator().run(trace);
+    double expect = 0;
+    for (const auto& l : trace.layers)
+        expect += static_cast<double>(l.stats.bitOnes) * l.spec.n *
+                  static_cast<double>(l.spec.count);
+    EXPECT_NEAR(r.bitOps, expect, 1e-6);
+}
+
+TEST(PhiSim, MismatchedSimdWidthPanics)
+{
+    detail::setThrowOnError(true);
+    PhiArchConfig cfg;
+    cfg.simdWidth = 16; // != tileN
+    EXPECT_THROW(PhiSimulator{cfg}, std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(PhiSimDatapath, EmulationMatchesReferenceGemm)
+{
+    // The flagship functional check: the simulated L1 gather + L2
+    // pack/adder-tree datapath reproduces the exact GEMM result.
+    ModelTrace trace = tinyTrace(0.12, true);
+    for (const auto& layer : trace.layers) {
+        Matrix<int32_t> emulated = emulateDatapath(layer);
+        Matrix<int32_t> reference = spikeGemm(layer.acts, layer.weights);
+        EXPECT_EQ(emulated, reference) << layer.spec.name;
+    }
+}
+
+TEST(PhiSimDatapath, EmulationHandlesHighDensity)
+{
+    // Dense activations exercise row splitting in the packer.
+    ModelTrace trace = buildModelTrace(
+        [] {
+            ModelSpec s = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+            s.layers = {{"dense", 64, 48, 40, 1}};
+            s.profile.bitDensity = 0.55;
+            s.profile.l2DensityTarget = 0.30;
+            s.profile.zeroRowFrac = 0.05;
+            return s;
+        }(),
+        [] {
+            TraceOptions o;
+            o.withWeights = true;
+            return o;
+        }());
+    const auto& layer = trace.layers[0];
+    EXPECT_EQ(emulateDatapath(layer), spikeGemm(layer.acts, layer.weights));
+}
+
+} // namespace
+} // namespace phi

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the public Pipeline facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+
+namespace phi
+{
+namespace
+{
+
+Matrix<int16_t>
+randomWeights(size_t k, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<int16_t> w(k, n);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < n; ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(-30, 30));
+    return w;
+}
+
+TEST(Pipeline, CalibrateDecomposeComputeRoundTrip)
+{
+    Rng rng(1);
+    BinaryMatrix train = BinaryMatrix::random(128, 64, 0.15, rng);
+    BinaryMatrix test = BinaryMatrix::random(64, 64, 0.15, rng);
+    Matrix<int16_t> w = randomWeights(64, 16, 2);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 32;
+    Pipeline pipe(cfg);
+    LayerPipeline& layer = pipe.addLayer("l0", {&train});
+    layer.bindWeights(w);
+
+    LayerDecomposition dec = layer.decompose(test);
+    EXPECT_EQ(layer.compute(dec), spikeGemm(test, w));
+}
+
+TEST(Pipeline, BreakdownMatchesDirectComputation)
+{
+    Rng rng(3);
+    BinaryMatrix acts = BinaryMatrix::random(64, 32, 0.2, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 16;
+    Pipeline pipe(cfg);
+    LayerPipeline& layer = pipe.addLayer("l0", {&acts});
+    LayerDecomposition dec = layer.decompose(acts);
+    SparsityBreakdown b = layer.breakdown(acts, dec);
+    EXPECT_EQ(b.bitOnes, acts.popcount());
+}
+
+TEST(Pipeline, MultipleLayersIndexedInOrder)
+{
+    Rng rng(5);
+    BinaryMatrix a = BinaryMatrix::random(32, 32, 0.2, rng);
+    BinaryMatrix b = BinaryMatrix::random(32, 48, 0.2, rng);
+    Pipeline pipe;
+    pipe.addLayer("first", {&a});
+    pipe.addLayer("second", {&b});
+    EXPECT_EQ(pipe.numLayers(), 2u);
+    EXPECT_EQ(pipe.layer(0).name(), "first");
+    EXPECT_EQ(pipe.layer(1).name(), "second");
+    EXPECT_EQ(pipe.layer(1).table().numPartitions(), 3u);
+}
+
+TEST(Pipeline, ComputeWithoutWeightsPanics)
+{
+    detail::setThrowOnError(true);
+    Rng rng(7);
+    BinaryMatrix a = BinaryMatrix::random(16, 16, 0.3, rng);
+    Pipeline pipe;
+    LayerPipeline& layer = pipe.addLayer("l", {&a});
+    LayerDecomposition dec = layer.decompose(a);
+    EXPECT_THROW(layer.compute(dec), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Pipeline, PaftThroughFacade)
+{
+    Rng rng(9);
+    BinaryMatrix acts = BinaryMatrix::random(128, 32, 0.25, rng);
+    Pipeline pipe;
+    pipe.addLayer("l", {&acts});
+    PaftConfig pc;
+    pc.alignStrength = 1.0;
+    Rng prng(10);
+    PaftResult res = pipe.paft(0, acts, pc, prng);
+    EXPECT_EQ(res.bitsFlipped, res.mismatchBitsBefore);
+}
+
+TEST(Pipeline, ExternalTableRegistration)
+{
+    Pipeline pipe;
+    PatternTable table(16, {PatternSet(16, {0xFF})});
+    pipe.addLayer("ext", std::move(table));
+    EXPECT_EQ(pipe.layer(0).table().totalPatterns(), 1u);
+}
+
+} // namespace
+} // namespace phi

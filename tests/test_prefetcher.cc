@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the PWP prefetcher usage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/prefetcher.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Prefetcher, CountsDistinctPatterns)
+{
+    PwpPrefetcher pf;
+    EXPECT_EQ(pf.analyzeTile({1, 2, 2, 0, 3, 1}, 128), 3u);
+    EXPECT_EQ(pf.fetchedPatterns(), 3u);
+    EXPECT_EQ(pf.fullPatterns(), 128u);
+}
+
+TEST(Prefetcher, ZeroIdsAreNotFetched)
+{
+    PwpPrefetcher pf;
+    EXPECT_EQ(pf.analyzeTile({0, 0, 0}, 64), 0u);
+    EXPECT_DOUBLE_EQ(pf.usageFraction(), 0.0);
+}
+
+TEST(Prefetcher, TilesAreIndependent)
+{
+    PwpPrefetcher pf;
+    pf.analyzeTile({1, 2}, 16);
+    pf.analyzeTile({1, 2}, 16); // same patterns, new tile: re-fetched
+    EXPECT_EQ(pf.fetchedPatterns(), 4u);
+    EXPECT_EQ(pf.fullPatterns(), 32u);
+    EXPECT_DOUBLE_EQ(pf.usageFraction(), 4.0 / 32.0);
+}
+
+TEST(Prefetcher, FullUsageWhenAllPatternsAppear)
+{
+    PwpPrefetcher pf;
+    std::vector<uint16_t> ids;
+    for (uint16_t i = 1; i <= 16; ++i)
+        ids.push_back(i);
+    EXPECT_EQ(pf.analyzeTile(ids, 16), 16u);
+    EXPECT_DOUBLE_EQ(pf.usageFraction(), 1.0);
+}
+
+TEST(Prefetcher, TypicalUsageIsWellBelowFull)
+{
+    // Zipf-like pattern popularity: a 256-row tile uses only a
+    // fraction of 128 patterns, which is the entire point of
+    // prefetching (paper: 27.73% average use).
+    PwpPrefetcher pf;
+    Rng rng(3);
+    std::vector<uint16_t> ids;
+    for (int i = 0; i < 256; ++i)
+        ids.push_back(
+            static_cast<uint16_t>(1 + rng.zipf(128, 1.5)));
+    pf.analyzeTile(ids, 128);
+    EXPECT_LT(pf.usageFraction(), 0.6);
+    EXPECT_GT(pf.usageFraction(), 0.05);
+}
+
+TEST(Prefetcher, OutOfRangeIdPanics)
+{
+    detail::setThrowOnError(true);
+    PwpPrefetcher pf;
+    EXPECT_THROW(pf.analyzeTile({200}, 128), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace phi

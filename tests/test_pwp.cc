@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for Pattern-Weight Products and the hierarchical GEMM: the
+ * central losslessness theorem — phiGemm == spikeGemm — with integer
+ * weights (exact arithmetic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/pwp.hh"
+
+namespace phi
+{
+namespace
+{
+
+Matrix<int16_t>
+randomWeights(size_t k, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<int16_t> w(k, n);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < n; ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(-40, 40));
+    return w;
+}
+
+TEST(Pwp, SinglePatternSumsSelectedRows)
+{
+    Matrix<int16_t> w = randomWeights(16, 5, 1);
+    PatternSet ps(16, {0b101}); // rows 0 and 2
+    Matrix<int32_t> pwp = computePwp(ps, w, 0);
+    ASSERT_EQ(pwp.rows(), 1u);
+    for (size_t c = 0; c < 5; ++c)
+        EXPECT_EQ(pwp(0, c), w(0, c) + w(2, c));
+}
+
+TEST(Pwp, OffsetSelectsPartitionRows)
+{
+    Matrix<int16_t> w = randomWeights(32, 3, 2);
+    PatternSet ps(16, {0b11});
+    Matrix<int32_t> pwp = computePwp(ps, w, 16);
+    for (size_t c = 0; c < 3; ++c)
+        EXPECT_EQ(pwp(0, c), w(16, c) + w(17, c));
+}
+
+TEST(Pwp, RaggedPartitionIgnoresOutOfRangeBits)
+{
+    // Weights have 20 rows; partition 1 covers rows 16..19 only, but
+    // the pattern has bits set past row 19.
+    Matrix<int16_t> w = randomWeights(20, 4, 3);
+    PatternSet ps(16, {0xFFFF});
+    Matrix<int32_t> pwp = computePwp(ps, w, 16);
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(pwp(0, c),
+                  w(16, c) + w(17, c) + w(18, c) + w(19, c));
+}
+
+TEST(Pwp, LayerPwpsCoverAllPartitions)
+{
+    Matrix<int16_t> w = randomWeights(48, 6, 4);
+    PatternTable table(16, {PatternSet(16, {1, 2}),
+                            PatternSet(16, {3}),
+                            PatternSet(16, {0xFF})});
+    auto pwps = computeLayerPwps(table, w);
+    ASSERT_EQ(pwps.size(), 3u);
+    EXPECT_EQ(pwps[0].rows(), 2u);
+    EXPECT_EQ(pwps[1].rows(), 1u);
+    EXPECT_EQ(pwps[2].rows(), 1u);
+}
+
+TEST(Pwp, PwpBytesAccounting)
+{
+    PatternTable table(16, {PatternSet(16, {1, 2}),
+                            PatternSet(16, {3})});
+    EXPECT_EQ(pwpBytes(table, 32, 2), 3u * 32u * 2u);
+}
+
+TEST(PhiGemm, EqualsReferenceOnCalibratedData)
+{
+    Rng rng(5);
+    BinaryMatrix acts = BinaryMatrix::random(80, 64, 0.15, rng);
+    Matrix<int16_t> w = randomWeights(64, 24, 6);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 32;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    EXPECT_EQ(phiGemm(dec, table, w), spikeGemm(acts, w));
+}
+
+TEST(PhiGemm, EqualsReferenceWithForeignPatterns)
+{
+    // Patterns calibrated on a different draw (train/test split):
+    // correctness must not depend on calibration quality.
+    Rng rng(7);
+    BinaryMatrix train = BinaryMatrix::random(100, 48, 0.2, rng);
+    BinaryMatrix test = BinaryMatrix::random(60, 48, 0.2, rng);
+    Matrix<int16_t> w = randomWeights(48, 10, 8);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 16;
+    PatternTable table = calibrateLayer(train, cfg);
+    LayerDecomposition dec = decomposeLayer(test, table);
+    EXPECT_EQ(phiGemm(dec, table, w), spikeGemm(test, w));
+}
+
+TEST(PhiGemm, EmptyPatternTableDegradesToBitSparsity)
+{
+    // With no patterns at all, every row lands in L2 as raw bits and
+    // the product must still be exact.
+    Rng rng(9);
+    BinaryMatrix acts = BinaryMatrix::random(40, 32, 0.3, rng);
+    Matrix<int16_t> w = randomWeights(32, 8, 10);
+    PatternTable table(16, {PatternSet(16, {}), PatternSet(16, {})});
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    EXPECT_EQ(dec.totalAssigned(), 0u);
+    EXPECT_EQ(phiGemm(dec, table, w), spikeGemm(acts, w));
+}
+
+struct GemmSweep
+{
+    size_t m, k_total, n;
+    double density;
+    int k, q;
+};
+
+class PhiGemmSweep : public ::testing::TestWithParam<GemmSweep>
+{
+};
+
+TEST_P(PhiGemmSweep, Lossless)
+{
+    const auto p = GetParam();
+    Rng rng(p.m * 7 + p.k_total * 3 + p.n);
+    BinaryMatrix acts =
+        BinaryMatrix::random(p.m, p.k_total, p.density, rng);
+    Matrix<int16_t> w = randomWeights(p.k_total, p.n,
+                                      p.m + p.k_total + p.n);
+    CalibrationConfig cfg;
+    cfg.k = p.k;
+    cfg.q = p.q;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    EXPECT_EQ(phiGemm(dec, table, w), spikeGemm(acts, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PhiGemmSweep,
+    ::testing::Values(GemmSweep{16, 16, 8, 0.1, 16, 8},
+                      GemmSweep{64, 100, 16, 0.1, 16, 32},
+                      GemmSweep{128, 33, 5, 0.25, 16, 16},
+                      GemmSweep{32, 64, 64, 0.5, 8, 64},
+                      GemmSweep{256, 48, 12, 0.05, 16, 128},
+                      GemmSweep{20, 128, 7, 0.8, 32, 16},
+                      GemmSweep{1, 16, 1, 0.5, 16, 4},
+                      GemmSweep{100, 17, 3, 0.3, 16, 8}));
+
+} // namespace
+} // namespace phi

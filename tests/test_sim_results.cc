@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the simulation result containers, arch-config helpers and
+ * cross-simulator consistency properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/baselines.hh"
+#include "sim/phi_sim.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(SimResultMath, ThroughputAndEfficiency)
+{
+    SimResult r;
+    r.freqHz = 500e6;
+    r.cycles = 5e6; // 10 ms
+    r.bitOps = 1e9;
+    r.energy.core = 1e12; // 1 J in pJ
+    EXPECT_NEAR(r.seconds(), 0.01, 1e-12);
+    EXPECT_NEAR(r.gops(), 100.0, 1e-9);
+    EXPECT_NEAR(r.gopsPerJoule(), 1.0, 1e-9);
+    EXPECT_NEAR(r.areaEfficiency(2.0), 50.0, 1e-9);
+}
+
+TEST(SimResultMath, DegenerateInputsAreSafe)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.gops(), 0.0);
+    EXPECT_DOUBLE_EQ(r.gopsPerJoule(), 0.0);
+    EXPECT_DOUBLE_EQ(r.areaEfficiency(0.0), 0.0);
+}
+
+TEST(SimResultMath, EnergyAccumulation)
+{
+    EnergyBreakdownPj a{1.0, 2.0, 3.0};
+    EnergyBreakdownPj b{10.0, 20.0, 30.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.core, 11.0);
+    EXPECT_DOUBLE_EQ(a.buffer, 22.0);
+    EXPECT_DOUBLE_EQ(a.dram, 33.0);
+    EXPECT_DOUBLE_EQ(a.total(), 66.0);
+}
+
+TEST(ArchConfig, Table1Defaults)
+{
+    PhiArchConfig cfg;
+    EXPECT_EQ(cfg.tileM, 256u);
+    EXPECT_EQ(cfg.tileK, 16u);
+    EXPECT_EQ(cfg.tileN, 32u);
+    EXPECT_EQ(cfg.patternsPerPartition, 128);
+    EXPECT_EQ(cfg.totalBufferBytes(), 240u * 1024u);
+    EXPECT_DOUBLE_EQ(cfg.freqHz, 500e6);
+    EXPECT_NEAR(cfg.dram.bandwidthGBs, 64.0, 1e-12);
+}
+
+TEST(ArchConfig, BufferScalingPreservesProportions)
+{
+    PhiArchConfig base;
+    PhiArchConfig doubled =
+        base.withTotalBufferBytes(2 * base.totalBufferBytes());
+    EXPECT_NEAR(static_cast<double>(doubled.psumBufBytes),
+                2.0 * static_cast<double>(base.psumBufBytes), 2.0);
+    EXPECT_NEAR(static_cast<double>(doubled.pwpBufBytes),
+                2.0 * static_cast<double>(base.pwpBufBytes), 2.0);
+    const double ratio_base =
+        static_cast<double>(base.weightBufBytes) / base.packBufBytes;
+    const double ratio_doubled =
+        static_cast<double>(doubled.weightBufBytes) /
+        doubled.packBufBytes;
+    EXPECT_NEAR(ratio_base, ratio_doubled, 0.01);
+}
+
+TEST(DramTrafficMath, RefetchCountsTowardTotal)
+{
+    DramTraffic t;
+    t.activationBytes = 100;
+    t.refetchBytes = 300;
+    EXPECT_DOUBLE_EQ(t.totalBytes(), 400.0);
+    DramTraffic u;
+    u.refetchBytes = 50;
+    t += u;
+    EXPECT_DOUBLE_EQ(t.refetchBytes, 350.0);
+}
+
+ModelTrace
+smallTrace()
+{
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+    spec.layers = {{"a", 512, 96, 64, 1}};
+    return buildModelTrace(spec);
+}
+
+TEST(SimConsistency, SmallBuffersOnlyAddRefetch)
+{
+    ModelTrace trace = smallTrace();
+    PhiArchConfig big;
+    PhiArchConfig tiny = big.withTotalBufferBytes(24 * 1024);
+    SimResult r_big = PhiSimulator(big).run(trace);
+    SimResult r_tiny = PhiSimulator(tiny).run(trace);
+    // Single-pass streams are buffer-independent...
+    EXPECT_DOUBLE_EQ(r_big.traffic.activationBytes,
+                     r_tiny.traffic.activationBytes);
+    EXPECT_DOUBLE_EQ(r_big.traffic.pwpBytes, r_tiny.traffic.pwpBytes);
+    // ...refetch only ever grows as buffers shrink.
+    EXPECT_GE(r_tiny.traffic.refetchBytes,
+              r_big.traffic.refetchBytes);
+}
+
+TEST(SimConsistency, BatchAmortisesWeightsNotActivations)
+{
+    ModelTrace trace = smallTrace();
+    PhiArchConfig small_batch;
+    small_batch.batchSize = 4;
+    PhiArchConfig big_batch;
+    big_batch.batchSize = 16;
+    SimResult a = PhiSimulator(small_batch).run(trace);
+    SimResult b = PhiSimulator(big_batch).run(trace);
+    EXPECT_NEAR(a.traffic.weightBytes, 4.0 * b.traffic.weightBytes,
+                1e-6);
+    EXPECT_NEAR(a.traffic.pwpBytes, 4.0 * b.traffic.pwpBytes, 1e-6);
+    EXPECT_DOUBLE_EQ(a.traffic.activationBytes,
+                     b.traffic.activationBytes);
+}
+
+TEST(SimConsistency, SimulatorIsDeterministic)
+{
+    ModelTrace trace = smallTrace();
+    SimResult a = PhiSimulator().run(trace);
+    SimResult b = PhiSimulator().run(trace);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+    EXPECT_DOUBLE_EQ(a.traffic.totalBytes(), b.traffic.totalBytes());
+}
+
+TEST(SimConsistency, WorkloadLabelNamesModelAndDataset)
+{
+    ModelTrace trace = smallTrace();
+    SimResult phi = PhiSimulator().run(trace);
+    EXPECT_EQ(phi.workload, "VGG16/CIFAR10");
+    SimResult eyeriss = EyerissSim().run(trace);
+    EXPECT_EQ(eyeriss.workload, phi.workload);
+    EXPECT_EQ(eyeriss.arch, "Eyeriss");
+    EXPECT_EQ(phi.arch, "Phi");
+}
+
+} // namespace
+} // namespace phi

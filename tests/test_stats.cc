@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the Table-4 sparsity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/stats.hh"
+
+namespace phi
+{
+namespace
+{
+
+TEST(Stats, IdentityDecompositionAccounting)
+{
+    // Handcrafted: one 4-bit partition, patterns {0110, 1101}.
+    BinaryMatrix acts(4, 4);
+    acts.deposit(0, 0, 4, 0b0110); // exact pattern 1
+    acts.deposit(1, 0, 4, 0b1100); // pattern 2 with one -1
+    acts.deposit(2, 0, 4, 0b1110); // pattern 1 with one +1
+    acts.deposit(3, 0, 4, 0b0001); // unassigned, one +1
+
+    PatternTable table(4, {PatternSet(4, {0b0110, 0b1101})});
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    SparsityBreakdown b = computeBreakdown(acts, dec, table);
+
+    EXPECT_EQ(b.elements, 16u);
+    EXPECT_EQ(b.bitOnes, 8u);
+    // L1 ones: pattern1(2) + pattern2(3) + pattern1(2) = 7.
+    EXPECT_EQ(b.l1Ones, 7u);
+    EXPECT_EQ(b.l2Pos, 2u); // rows 2 and 3
+    EXPECT_EQ(b.l2Neg, 1u); // row 1
+    EXPECT_EQ(b.assigned, 3u);
+    EXPECT_DOUBLE_EQ(b.bitDensity, 8.0 / 16.0);
+    EXPECT_DOUBLE_EQ(b.l1Density, 7.0 / 16.0);
+    EXPECT_DOUBLE_EQ(b.l2PosDensity, 2.0 / 16.0);
+    EXPECT_DOUBLE_EQ(b.l2NegDensity, 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(b.indexDensity, 3.0 / 4.0);
+}
+
+TEST(Stats, SignedIdentityHolds)
+{
+    // ones(A) == ones(L1) + (#+1) - (#-1): the decomposition identity
+    // behind Table 4's near-equality of Bit and L1+L2p-L2n.
+    Rng rng(2);
+    BinaryMatrix acts = BinaryMatrix::random(128, 64, 0.3, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 32;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    SparsityBreakdown b = computeBreakdown(acts, dec, table);
+    EXPECT_EQ(b.bitOnes + b.l2Neg, b.l1Ones + b.l2Pos);
+}
+
+TEST(Stats, TheoreticalSpeedups)
+{
+    SparsityBreakdown b;
+    b.bitDensity = 0.10;
+    b.l2PosDensity = 0.015;
+    b.l2NegDensity = 0.005;
+    EXPECT_NEAR(b.speedupOverBit(), 5.0, 1e-9);
+    EXPECT_NEAR(b.speedupOverDense(), 50.0, 1e-9);
+}
+
+TEST(Stats, MergeIsElementWeighted)
+{
+    SparsityBreakdown a;
+    a.elements = 100;
+    a.rowTiles = 10;
+    a.bitOnes = 10;
+    a.assigned = 5;
+    SparsityBreakdown b;
+    b.elements = 300;
+    b.rowTiles = 30;
+    b.bitOnes = 90;
+    b.assigned = 15;
+    SparsityBreakdown m = mergeBreakdowns({a, b});
+    EXPECT_EQ(m.elements, 400u);
+    EXPECT_DOUBLE_EQ(m.bitDensity, 100.0 / 400.0);
+    EXPECT_DOUBLE_EQ(m.indexDensity, 20.0 / 40.0);
+}
+
+TEST(Stats, VectorDensityDropsWithLargerK)
+{
+    // One PWP accumulation replaces k MACs, so the vector-wise
+    // computational density must scale ~1/k (Fig. 7a trend).
+    Rng rng(3);
+    BinaryMatrix acts = BinaryMatrix::random(256, 64, 0.35, rng);
+    auto vector_density = [&](int k) {
+        CalibrationConfig cfg;
+        cfg.k = k;
+        cfg.q = 64;
+        PatternTable table = calibrateLayer(acts, cfg);
+        LayerDecomposition dec = decomposeLayer(acts, table);
+        return computeBreakdown(acts, dec, table).vectorDensity;
+    };
+    EXPECT_GT(vector_density(4), vector_density(16));
+    EXPECT_GT(vector_density(16), vector_density(64));
+}
+
+TEST(Stats, L2DensityNeverExceedsBitDensity)
+{
+    for (double d : {0.05, 0.1, 0.2, 0.5}) {
+        Rng rng(static_cast<uint64_t>(d * 100));
+        BinaryMatrix acts = BinaryMatrix::random(128, 64, d, rng);
+        CalibrationConfig cfg;
+        cfg.k = 16;
+        cfg.q = 128;
+        PatternTable table = calibrateLayer(acts, cfg);
+        LayerDecomposition dec = decomposeLayer(acts, table);
+        SparsityBreakdown b = computeBreakdown(acts, dec, table);
+        EXPECT_LE(b.l2Density(), b.bitDensity + 1e-12)
+            << "density " << d;
+    }
+}
+
+} // namespace
+} // namespace phi

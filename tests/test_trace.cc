@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for model trace construction: per-layer calibration,
+ * decomposition validity, statistics aggregation, PAFT plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pwp.hh"
+#include "snn/trace.hh"
+
+namespace phi
+{
+namespace
+{
+
+ModelSpec
+tinySpec()
+{
+    // Hand-built spec to keep the test fast.
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR10);
+    spec.layers = {{"a", 256, 64, 32, 1}, {"b", 128, 48, 16, 3}};
+    return spec;
+}
+
+TEST(Trace, BuildsAllLayers)
+{
+    ModelTrace trace = buildModelTrace(tinySpec());
+    ASSERT_EQ(trace.layers.size(), 2u);
+    EXPECT_EQ(trace.layers[0].acts.rows(), 256u);
+    EXPECT_EQ(trace.layers[0].acts.cols(), 64u);
+    EXPECT_EQ(trace.layers[1].spec.count, 3u);
+}
+
+TEST(Trace, DecompositionIsLossless)
+{
+    ModelTrace trace = buildModelTrace(tinySpec());
+    for (const auto& l : trace.layers) {
+        BinaryMatrix rebuilt = reconstructActivations(l.dec, l.table);
+        EXPECT_TRUE(rebuilt == l.acts) << l.spec.name;
+    }
+}
+
+TEST(Trace, DensityNearProfileTarget)
+{
+    ModelSpec spec = tinySpec();
+    spec.profile.bitDensity = 0.10;
+    ModelTrace trace = buildModelTrace(spec);
+    for (const auto& l : trace.layers)
+        EXPECT_NEAR(l.acts.density(), 0.10, 0.035) << l.spec.name;
+}
+
+TEST(Trace, AggregateWeightsByCount)
+{
+    ModelTrace trace = buildModelTrace(tinySpec());
+    SparsityBreakdown agg = trace.aggregate();
+    const size_t expected_elems =
+        256 * 64 * 1 + 128 * 48 * 3;
+    EXPECT_EQ(agg.elements, expected_elems);
+}
+
+TEST(Trace, OpsAccounting)
+{
+    ModelTrace trace = buildModelTrace(tinySpec());
+    const double dense = 256.0 * 64 * 32 + 3.0 * 128 * 48 * 16;
+    EXPECT_DOUBLE_EQ(trace.totalDenseOps(), dense);
+    EXPECT_GT(trace.totalBitOps(), 0.0);
+    EXPECT_LT(trace.totalBitOps(), dense);
+}
+
+TEST(Trace, DeterministicForFixedSeed)
+{
+    TraceOptions opt;
+    opt.seed = 1234;
+    ModelTrace a = buildModelTrace(tinySpec(), opt);
+    ModelTrace b = buildModelTrace(tinySpec(), opt);
+    for (size_t i = 0; i < a.layers.size(); ++i)
+        EXPECT_TRUE(a.layers[i].acts == b.layers[i].acts);
+}
+
+TEST(Trace, WithWeightsEnablesExactCompute)
+{
+    TraceOptions opt;
+    opt.withWeights = true;
+    ModelTrace trace = buildModelTrace(tinySpec(), opt);
+    for (const auto& l : trace.layers) {
+        ASSERT_FALSE(l.weights.empty());
+        EXPECT_EQ(phiGemm(l.dec, l.table, l.weights),
+                  spikeGemm(l.acts, l.weights));
+    }
+}
+
+TEST(Trace, PaftReducesL2Work)
+{
+    TraceOptions plain;
+    TraceOptions paft = plain;
+    paft.paft = true;
+    paft.paftStrength = 0.8;
+    ModelTrace base = buildModelTrace(tinySpec(), plain);
+    ModelTrace tuned = buildModelTrace(tinySpec(), paft);
+    EXPECT_LT(tuned.aggregate().l2Density(),
+              base.aggregate().l2Density());
+    EXPECT_GT(tuned.layers[0].paftStats.bitsFlipped, 0u);
+    EXPECT_EQ(base.layers[0].paftStats.bitsFlipped, 0u);
+}
+
+TEST(Trace, RealModelTraceHasTable4ShapedStats)
+{
+    // Build the full VGG16/CIFAR10 trace and verify the hierarchy:
+    // L2 density << bit density, L1 close to bit density.
+    ModelTrace trace =
+        buildModelTrace(makeModel(ModelId::VGG16, DatasetId::CIFAR10));
+    SparsityBreakdown agg = trace.aggregate();
+    EXPECT_NEAR(agg.bitDensity, 0.087, 0.03);
+    EXPECT_LT(agg.l2Density(), 0.45 * agg.bitDensity);
+    EXPECT_GT(agg.l1Density, 0.5 * agg.bitDensity);
+    EXPECT_GT(agg.speedupOverBit(), 2.0);
+}
+
+} // namespace
+} // namespace phi

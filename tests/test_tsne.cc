@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the exact t-SNE implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/tsne.hh"
+#include "common/rng.hh"
+
+namespace phi
+{
+namespace
+{
+
+/** Two well-separated Gaussian blobs in 1-D distance space. */
+std::vector<double>
+twoBlobDistances(size_t n, std::vector<int>& labels)
+{
+    Rng rng(1);
+    std::vector<double> coord(n);
+    labels.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        labels[i] = static_cast<int>(i % 2);
+        coord[i] = labels[i] * 10.0 + rng.gaussian() * 0.3;
+    }
+    std::vector<double> d(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j) {
+            const double diff = coord[i] - coord[j];
+            d[i * n + j] = diff * diff;
+        }
+    return d;
+}
+
+TEST(Tsne, HandlesDegenerateSizes)
+{
+    EXPECT_TRUE(tsneFromDistances({}, 0).empty());
+    auto one = tsneFromDistances({0.0}, 1);
+    ASSERT_EQ(one.size(), 1u);
+}
+
+TEST(Tsne, OutputIsFiniteAndCentred)
+{
+    std::vector<int> labels;
+    auto d = twoBlobDistances(40, labels);
+    TsneConfig cfg;
+    cfg.iterations = 150;
+    auto y = tsneFromDistances(d, 40, cfg);
+    ASSERT_EQ(y.size(), 40u);
+    double mx = 0;
+    double my = 0;
+    for (const auto& p : y) {
+        EXPECT_TRUE(std::isfinite(p.x));
+        EXPECT_TRUE(std::isfinite(p.y));
+        mx += p.x;
+        my += p.y;
+    }
+    EXPECT_NEAR(mx / 40.0, 0.0, 1e-6);
+    EXPECT_NEAR(my / 40.0, 0.0, 1e-6);
+}
+
+TEST(Tsne, SeparatesTwoBlobs)
+{
+    std::vector<int> labels;
+    const size_t n = 60;
+    auto d = twoBlobDistances(n, labels);
+    TsneConfig cfg;
+    cfg.iterations = 300;
+    cfg.perplexity = 10;
+    auto y = tsneFromDistances(d, n, cfg);
+
+    // Mean intra-class distance must be well below inter-class.
+    double intra = 0;
+    double inter = 0;
+    size_t n_intra = 0;
+    size_t n_inter = 0;
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j) {
+            const double dx = y[i].x - y[j].x;
+            const double dy = y[i].y - y[j].y;
+            const double dist = std::sqrt(dx * dx + dy * dy);
+            if (labels[i] == labels[j]) {
+                intra += dist;
+                ++n_intra;
+            } else {
+                inter += dist;
+                ++n_inter;
+            }
+        }
+    intra /= static_cast<double>(n_intra);
+    inter /= static_cast<double>(n_inter);
+    EXPECT_GT(inter, 1.5 * intra);
+}
+
+TEST(Tsne, KlDivergenceImprovesWithOptimisation)
+{
+    std::vector<int> labels;
+    const size_t n = 50;
+    auto d = twoBlobDistances(n, labels);
+    TsneConfig none;
+    none.iterations = 1;
+    TsneConfig full;
+    full.iterations = 300;
+    auto y0 = tsneFromDistances(d, n, none);
+    auto y1 = tsneFromDistances(d, n, full);
+    EXPECT_LT(tsneKlDivergence(d, n, y1, 10.0),
+              tsneKlDivergence(d, n, y0, 10.0));
+}
+
+TEST(Tsne, DeterministicForSeed)
+{
+    std::vector<int> labels;
+    auto d = twoBlobDistances(30, labels);
+    TsneConfig cfg;
+    cfg.iterations = 100;
+    auto a = tsneFromDistances(d, 30, cfg);
+    auto b = tsneFromDistances(d, 30, cfg);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+        EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+    }
+}
+
+TEST(Tsne, BinaryRowsClusterByPattern)
+{
+    // Rows drawn from two binary prototypes must form two groups.
+    Rng rng(3);
+    const size_t n = 48;
+    BinaryMatrix rows(n, 32);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t proto = (i % 2) ? 0xFFFF0000ull : 0x0000FFFFull;
+        if (rng.bernoulli(0.5))
+            proto ^= 1ull << rng.nextBounded(32);
+        rows.deposit(i, 0, 32, proto);
+    }
+    TsneConfig cfg;
+    cfg.iterations = 250;
+    cfg.perplexity = 8;
+    auto y = tsneBinaryRows(rows, cfg);
+    double intra = 0;
+    double inter = 0;
+    size_t ni = 0;
+    size_t nj = 0;
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j) {
+            const double dx = y[i].x - y[j].x;
+            const double dy = y[i].y - y[j].y;
+            const double dist = std::sqrt(dx * dx + dy * dy);
+            if ((i % 2) == (j % 2)) {
+                intra += dist;
+                ++ni;
+            } else {
+                inter += dist;
+                ++nj;
+            }
+        }
+    EXPECT_GT(inter / static_cast<double>(nj),
+              1.3 * intra / static_cast<double>(ni));
+}
+
+} // namespace
+} // namespace phi
