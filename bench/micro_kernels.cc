@@ -2,9 +2,14 @@
  * @file
  * google-benchmark micro-benchmarks of the performance-critical
  * kernels: k-means calibration, pattern assignment, decomposition,
- * matching, packing, the reconfigurable adder tree and the two GEMM
- * paths. These quantify the simulator's own throughput, not the
- * modelled hardware.
+ * matching, packing, the reconfigurable adder tree and the GEMM paths.
+ * These quantify the simulator's own throughput, not the modelled
+ * hardware.
+ *
+ * The parallel kernels take the thread count as the trailing benchmark
+ * argument (1 = the sequential baseline identical to the seed scalar
+ * path); speedup at t threads is the ratio of the two times at equal
+ * problem size.
  */
 
 #include <benchmark/benchmark.h>
@@ -33,6 +38,15 @@ clusteredActs(size_t rows, size_t cols, uint64_t seed)
     return gen.generate(rows, rng);
 }
 
+/** Engine config for the benchmark's trailing threads argument. */
+ExecutionConfig
+benchExec(const benchmark::State& state)
+{
+    ExecutionConfig exec;
+    exec.threads = static_cast<int>(state.range(1));
+    return exec;
+}
+
 void
 BM_KMeansCalibration(benchmark::State& state)
 {
@@ -42,13 +56,15 @@ BM_KMeansCalibration(benchmark::State& state)
     cfg.k = 16;
     cfg.q = 128;
     cfg.kmeans.maxIters = 12;
+    cfg.exec = benchExec(state);
     for (auto _ : state) {
         PatternTable t = calibrateLayer(acts, cfg);
         benchmark::DoNotOptimize(t);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
 }
-BENCHMARK(BM_KMeansCalibration)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_KMeansCalibration)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
 
 void
 BM_DecomposeLayer(benchmark::State& state)
@@ -59,13 +75,14 @@ BM_DecomposeLayer(benchmark::State& state)
     cfg.k = 16;
     cfg.q = 128;
     PatternTable table = calibrateLayer(acts, cfg);
+    const ExecutionConfig exec = benchExec(state);
     for (auto _ : state) {
-        LayerDecomposition dec = decomposeLayer(acts, table);
+        LayerDecomposition dec = decomposeLayer(acts, table, exec);
         benchmark::DoNotOptimize(dec);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
 }
-BENCHMARK(BM_DecomposeLayer)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DecomposeLayer)->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
 
 void
 BM_PatternMatch(benchmark::State& state)
@@ -84,6 +101,27 @@ BM_PatternMatch(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 129);
 }
 BENCHMARK(BM_PatternMatch);
+
+void
+BM_PatternMatchAll(benchmark::State& state)
+{
+    Rng rng(3);
+    std::vector<uint64_t> pats;
+    for (int i = 0; i < 128; ++i)
+        pats.push_back((rng.next() & 0xffff) | 0b11);
+    PatternMatcher matcher(PatternSet(16, pats));
+    std::vector<uint64_t> rows(16384);
+    for (auto& r : rows)
+        r = rng.next() & 0xffff;
+    const ExecutionConfig exec = benchExec(state);
+    for (auto _ : state) {
+        auto out = matcher.matchAll(rows, exec);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(rows.size()) * 129);
+}
+BENCHMARK(BM_PatternMatchAll)->ArgsProduct({{0}, {1, 2, 4, 8}});
 
 void
 BM_PackerThroughput(benchmark::State& state)
@@ -141,12 +179,31 @@ BM_SpikeGemm(benchmark::State& state)
     for (size_t r = 0; r < w.rows(); ++r)
         for (size_t c = 0; c < w.cols(); ++c)
             w(r, c) = static_cast<int16_t>(rng.uniformInt(-40, 40));
+    const ExecutionConfig exec = benchExec(state);
     for (auto _ : state) {
-        Matrix<int32_t> out = spikeGemm(acts, w);
+        Matrix<int32_t> out = spikeGemm(acts, w, exec);
         benchmark::DoNotOptimize(out);
     }
 }
-BENCHMARK(BM_SpikeGemm)->Arg(256)->Arg(1024);
+BENCHMARK(BM_SpikeGemm)->ArgsProduct({{256, 1024}, {1, 2, 4, 8}});
+
+void
+BM_SpikeGemmF(benchmark::State& state)
+{
+    BinaryMatrix acts =
+        clusteredActs(static_cast<size_t>(state.range(0)), 256, 10);
+    Rng rng(11);
+    Matrix<float> w(256, 64);
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            w(r, c) = static_cast<float>(rng.uniform()) - 0.5f;
+    const ExecutionConfig exec = benchExec(state);
+    for (auto _ : state) {
+        Matrix<float> out = spikeGemmF(acts, w, exec);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_SpikeGemmF)->ArgsProduct({{256, 1024}, {1, 2, 4, 8}});
 
 void
 BM_PhiGemm(benchmark::State& state)
@@ -163,12 +220,13 @@ BM_PhiGemm(benchmark::State& state)
     for (size_t r = 0; r < w.rows(); ++r)
         for (size_t c = 0; c < w.cols(); ++c)
             w(r, c) = static_cast<int16_t>(rng.uniformInt(-40, 40));
+    const ExecutionConfig exec = benchExec(state);
     for (auto _ : state) {
-        Matrix<int32_t> out = phiGemm(dec, table, w);
+        Matrix<int32_t> out = phiGemm(dec, table, w, exec);
         benchmark::DoNotOptimize(out);
     }
 }
-BENCHMARK(BM_PhiGemm)->Arg(256)->Arg(1024);
+BENCHMARK(BM_PhiGemm)->ArgsProduct({{256, 1024}, {1, 2, 4, 8}});
 
 } // namespace
 } // namespace phi

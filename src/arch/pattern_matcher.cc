@@ -37,4 +37,18 @@ PatternMatcher::match(uint64_t row) const
     return best;
 }
 
+std::vector<RowAssignment>
+PatternMatcher::matchAll(const std::vector<uint64_t>& rows,
+                         const ExecutionConfig& exec) const
+{
+    constexpr size_t kMatchGrain = 512;
+    std::vector<RowAssignment> out(rows.size());
+    parallelFor(exec, 0, rows.size(), kMatchGrain,
+                [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            out[i] = match(rows[i]);
+    });
+    return out;
+}
+
 } // namespace phi

@@ -13,7 +13,9 @@
 #define PHI_ARCH_PATTERN_MATCHER_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "core/decompose.hh"
 #include "core/pattern.hh"
 
@@ -38,6 +40,16 @@ class PatternMatcher
      * cross-checked by tests.
      */
     RowAssignment match(uint64_t row) const;
+
+    /**
+     * Match a batch of row-tiles with a parallel sweep over fixed-size
+     * chunks. Each result slot is written by exactly one chunk, so the
+     * output is bit-identical to calling match() per row at any thread
+     * count.
+     */
+    std::vector<RowAssignment> matchAll(
+        const std::vector<uint64_t>& rows,
+        const ExecutionConfig& exec = {}) const;
 
     /** Cycles to stream `rows` row-tiles through the pipeline. */
     uint64_t

@@ -1,0 +1,275 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace phi
+{
+
+namespace
+{
+
+/**
+ * True while the current thread is executing chunks of an active job —
+ * on pool-owned worker threads always, and on a submitting thread for
+ * the duration of its drain. Nested run() calls from such a thread
+ * execute inline: a worker re-entering run() would deadlock, and a
+ * submitter re-entering would clobber the shared counters of its own
+ * in-flight job.
+ */
+thread_local bool insideParallelRegion = false;
+
+/** RAII flag for the submitting thread's drain. */
+struct ParallelRegionGuard
+{
+    ParallelRegionGuard() { insideParallelRegion = true; }
+    ~ParallelRegionGuard() { insideParallelRegion = false; }
+};
+
+int
+defaultThreadCount()
+{
+    if (const char* env = std::getenv("PHI_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+int
+ExecutionConfig::resolvedThreads() const
+{
+    if (threads >= 1)
+        return threads;
+    return defaultThreadCount();
+}
+
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> workers;
+
+    /** Serialises whole jobs: held by a submitter for its entire run()
+     *  so concurrent top-level submitters cannot clobber the one-job
+     *  state below. Nested calls never reach it (they run inline). */
+    std::mutex submitMtx;
+
+    std::mutex mtx;
+    std::condition_variable wake;  // workers wait for a new job
+    std::condition_variable done;  // submitter waits for completion
+    bool shutdown = false;
+
+    // One job at a time. Published under mtx; chunk claims go through
+    // the atomics so the drain loop itself is lock-free.
+    uint64_t generation = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t chunkCount = 0;
+    std::atomic<size_t> nextChunk{0};
+    std::atomic<size_t> pendingChunks{0};
+    std::atomic<int> activeSlots{0};
+    int drainers = 0; // workers currently inside the drain loop
+    std::exception_ptr firstError;
+
+    void
+    drainChunks(const std::function<void(size_t)>& job, size_t chunks)
+    {
+        // Claim chunk indices until exhausted. Exceptions are recorded
+        // once; remaining chunks still drain so completion is reached.
+        while (true) {
+            size_t c = nextChunk.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                break;
+            try {
+                job(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            if (pendingChunks.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> lock(mtx);
+                done.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        insideParallelRegion = true;
+        uint64_t seen = 0;
+        while (true) {
+            const std::function<void(size_t)>* job = nullptr;
+            size_t chunks = 0;
+            {
+                std::unique_lock<std::mutex> lock(mtx);
+                wake.wait(lock, [&] {
+                    return shutdown || generation != seen;
+                });
+                if (shutdown)
+                    return;
+                seen = generation;
+                // Respect the per-job thread cap: the submitter holds
+                // one slot, helpers take the rest first-come. The job
+                // state is copied under the lock; run() cannot republish
+                // while any drainer is active.
+                if (activeSlots.fetch_sub(
+                        1, std::memory_order_acq_rel) <= 0)
+                    continue;
+                job = fn;
+                chunks = chunkCount;
+                ++drainers;
+            }
+            if (job)
+                drainChunks(*job, chunks);
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                --drainers;
+                done.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int workers) : impl(new Impl)
+{
+    phi_assert(workers >= 0, "negative worker count");
+    impl->workers.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        impl->workers.emplace_back([this] { impl->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl->mtx);
+        impl->shutdown = true;
+    }
+    impl->wake.notify_all();
+    for (auto& t : impl->workers)
+        t.join();
+    delete impl;
+}
+
+int
+ThreadPool::maxParallelism() const
+{
+    return static_cast<int>(impl->workers.size()) + 1;
+}
+
+void
+ThreadPool::run(size_t numChunks, int maxThreads,
+                const std::function<void(size_t)>& fn)
+{
+    if (numChunks == 0)
+        return;
+    if (maxThreads < 1)
+        maxThreads = 1;
+
+    // Sequential fast path: one thread requested, a single chunk, no
+    // helpers, or a nested call from a thread already draining a job
+    // (re-publishing would corrupt the in-flight job's shared state).
+    if (maxThreads == 1 || numChunks == 1 || impl->workers.empty() ||
+        insideParallelRegion) {
+        for (size_t c = 0; c < numChunks; ++c)
+            fn(c);
+        return;
+    }
+
+    // One job at a time: a concurrent top-level submitter falls back to
+    // inline execution instead of idling on the lock, preserving
+    // caller-level parallelism for applications that shard work across
+    // their own threads.
+    std::unique_lock<std::mutex> submit(impl->submitMtx,
+                                        std::try_to_lock);
+    if (!submit.owns_lock()) {
+        for (size_t c = 0; c < numChunks; ++c)
+            fn(c);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl->mtx);
+        impl->fn = &fn;
+        impl->chunkCount = numChunks;
+        impl->nextChunk.store(0, std::memory_order_relaxed);
+        impl->pendingChunks.store(numChunks, std::memory_order_relaxed);
+        impl->activeSlots.store(maxThreads - 1,
+                                std::memory_order_relaxed);
+        impl->firstError = nullptr;
+        ++impl->generation;
+    }
+    impl->wake.notify_all();
+
+    {
+        ParallelRegionGuard guard;
+        impl->drainChunks(fn, numChunks);
+    }
+
+    std::unique_lock<std::mutex> lock(impl->mtx);
+    impl->done.wait(lock, [&] {
+        return impl->pendingChunks.load(std::memory_order_acquire) ==
+                   0 &&
+               impl->drainers == 0;
+    });
+    impl->fn = nullptr;
+    if (impl->firstError) {
+        std::exception_ptr err = impl->firstError;
+        impl->firstError = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreadCount() - 1);
+    return pool;
+}
+
+void
+parallelFor(const ExecutionConfig& cfg, size_t begin, size_t end,
+            size_t grain, const std::function<void(size_t, size_t)>& fn)
+{
+    parallelForChunks(cfg, begin, end, grain,
+                      [&](size_t, size_t b, size_t e) { fn(b, e); });
+}
+
+void
+parallelForChunks(const ExecutionConfig& cfg, size_t begin, size_t end,
+                  size_t grain,
+                  const std::function<void(size_t, size_t, size_t)>& fn)
+{
+    if (end <= begin)
+        return;
+    if (grain < 1)
+        grain = 1;
+    const size_t chunks = numChunks(begin, end, grain);
+    const int threads = cfg.resolvedThreads();
+
+    auto runChunk = [&](size_t c) {
+        const size_t b = begin + c * grain;
+        const size_t e = b + grain < end ? b + grain : end;
+        fn(c, b, e);
+    };
+
+    if (threads <= 1 || chunks <= 1) {
+        for (size_t c = 0; c < chunks; ++c)
+            runChunk(c);
+        return;
+    }
+    ThreadPool::global().run(chunks, threads, runChunk);
+}
+
+} // namespace phi

@@ -92,7 +92,7 @@ decomposeBitSliced(const BitPlanes& calibration, const BitPlanes& runtime,
         dec.tables.push_back(
             calibrateLayer(calibration.planes[i], cfg));
         dec.planes.push_back(
-            decomposeLayer(runtime.planes[i], dec.tables[i]));
+            decomposeLayer(runtime.planes[i], dec.tables[i], cfg.exec));
         dec.stats.push_back(computeBreakdown(
             runtime.planes[i], dec.planes[i], dec.tables[i]));
     }
@@ -101,17 +101,20 @@ decomposeBitSliced(const BitPlanes& calibration, const BitPlanes& runtime,
 
 Matrix<int32_t>
 bitSlicedPhiGemm(const BitSliceDecomposition& dec,
-                 const Matrix<int16_t>& weights)
+                 const Matrix<int16_t>& weights,
+                 const ExecutionConfig& exec)
 {
     phi_assert(!dec.planes.empty(), "no planes to compute");
     Matrix<int32_t> out(dec.planes[0].m, weights.cols(), 0);
     for (size_t b = 0; b < dec.planes.size(); ++b) {
         Matrix<int32_t> plane =
-            phiGemm(dec.planes[b], dec.tables[b], weights);
+            phiGemm(dec.planes[b], dec.tables[b], weights, exec);
         const int32_t scale = 1 << b;
-        for (size_t r = 0; r < out.rows(); ++r)
-            for (size_t c = 0; c < out.cols(); ++c)
-                out(r, c) += scale * plane(r, c);
+        parallelFor(exec, 0, out.rows(), 64, [&](size_t r0, size_t r1) {
+            for (size_t r = r0; r < r1; ++r)
+                for (size_t c = 0; c < out.cols(); ++c)
+                    out(r, c) += scale * plane(r, c);
+        });
     }
     return out;
 }

@@ -79,7 +79,8 @@ BitSliceDecomposition decomposeBitSliced(
  * the integer activations with the weights.
  */
 Matrix<int32_t> bitSlicedPhiGemm(const BitSliceDecomposition& dec,
-                                 const Matrix<int16_t>& weights);
+                                 const Matrix<int16_t>& weights,
+                                 const ExecutionConfig& exec = {});
 
 /** Reference: direct integer-activation GEMM. */
 Matrix<int32_t> intGemm(const Matrix<uint8_t>& acts,

@@ -21,10 +21,8 @@ calibrateLayer(const std::vector<const BinaryMatrix*>& samples,
 
     KMeansConfig km = cfg.kmeans;
     km.numClusters = cfg.q;
+    km.exec = cfg.exec;
     BinaryKMeans clustering(km);
-
-    std::vector<PatternSet> parts;
-    parts.reserve(partitions);
 
     // Deterministic row subsampling when the pooled sample exceeds the
     // per-partition cap: take every ceil(total/cap)-th row.
@@ -36,17 +34,22 @@ calibrateLayer(const std::vector<const BinaryMatrix*>& samples,
         total_rows > cfg.maxRowsPerPartition)
         stride = ceilDiv(total_rows, cfg.maxRowsPerPartition);
 
-    for (size_t p = 0; p < partitions; ++p) {
-        const size_t start = p * static_cast<size_t>(k);
-        std::unordered_map<uint64_t, uint64_t> counts;
-        for (const auto* s : samples)
-            for (size_t r = 0; r < s->rows(); r += stride)
-                ++counts[s->extract(r, start, k)];
+    // Partitions are fully independent: parallel sweep with disjoint
+    // writes, one calibrated PatternSet per slot.
+    std::vector<PatternSet> parts(partitions);
+    parallelFor(cfg.exec, 0, partitions, 1, [&](size_t p0, size_t p1) {
+        for (size_t p = p0; p < p1; ++p) {
+            const size_t start = p * static_cast<size_t>(k);
+            std::unordered_map<uint64_t, uint64_t> counts;
+            for (const auto* s : samples)
+                for (size_t r = 0; r < s->rows(); r += stride)
+                    ++counts[s->extract(r, start, k)];
 
-        std::vector<WeightedRow> hist(counts.begin(), counts.end());
-        std::sort(hist.begin(), hist.end());
-        parts.push_back(clustering.fit(hist, k));
-    }
+            std::vector<WeightedRow> hist(counts.begin(), counts.end());
+            std::sort(hist.begin(), hist.end());
+            parts[p] = clustering.fit(hist, k);
+        }
+    });
     return PatternTable(k, std::move(parts));
 }
 

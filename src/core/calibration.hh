@@ -31,6 +31,12 @@ struct CalibrationConfig
      * 0 disables the cap.
      */
     size_t maxRowsPerPartition = 16384;
+    /**
+     * Execution engine knobs: partitions calibrate in parallel (each is
+     * fully independent), and the same config feeds the clustering's
+     * own sweeps. Results are identical at any thread count.
+     */
+    ExecutionConfig exec;
 };
 
 /**

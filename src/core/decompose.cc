@@ -1,7 +1,37 @@
 #include "core/decompose.hh"
 
+#include <unordered_map>
+
 namespace phi
 {
+
+namespace
+{
+
+/** Rows per decomposition chunk; fixed so chunk boundaries (and with
+ *  them the per-chunk memo caches) never depend on the thread count. */
+constexpr size_t kDecomposeRowGrain = 256;
+
+/** Append row's merged-sign Level 2 entries in ascending column order. */
+void
+emitL2Entries(const RowAssignment& a, std::vector<L2Entry>& entries)
+{
+    uint64_t pos = a.posMask;
+    uint64_t neg = a.negMask;
+    while (pos || neg) {
+        int pb = pos ? std::countr_zero(pos) : 65;
+        int nb = neg ? std::countr_zero(neg) : 65;
+        if (pb < nb) {
+            entries.push_back({static_cast<uint16_t>(pb), int8_t{1}});
+            pos &= pos - 1;
+        } else {
+            entries.push_back({static_cast<uint16_t>(nb), int8_t{-1}});
+            neg &= neg - 1;
+        }
+    }
+}
+
+} // namespace
 
 PatternAssigner::PatternAssigner(const PatternSet& ps)
     : set(ps)
@@ -50,48 +80,59 @@ PatternAssigner::compute(uint64_t row) const
 
 TileDecomposition
 decomposeTile(const BinaryMatrix& acts, size_t partition,
-              const PatternAssigner& assigner)
+              const PatternAssigner& assigner,
+              const ExecutionConfig& exec)
 {
     const int k = assigner.patternSet().k();
     const size_t start = partition * static_cast<size_t>(k);
     phi_assert(start < acts.cols(), "partition ", partition,
                " beyond activation width ", acts.cols());
 
+    const size_t rows = acts.rows();
     TileDecomposition tile;
     tile.partition = partition;
     tile.k = k;
-    tile.patternIds.resize(acts.rows());
-    tile.l2Offsets.resize(acts.rows() + 1, 0);
+    tile.patternIds.resize(rows);
+    tile.l2Offsets.resize(rows + 1, 0);
 
-    for (size_t r = 0; r < acts.rows(); ++r) {
-        uint64_t row = acts.extract(r, start, k);
-        const RowAssignment& a = assigner.assign(row);
-        tile.patternIds[r] = a.patternId;
-        tile.l2Offsets[r] = static_cast<uint32_t>(tile.l2Entries.size());
-        uint64_t pos = a.posMask;
-        uint64_t neg = a.negMask;
-        // Emit entries in ascending column order, merging both signs.
-        while (pos || neg) {
-            int pb = pos ? std::countr_zero(pos) : 65;
-            int nb = neg ? std::countr_zero(neg) : 65;
-            if (pb < nb) {
-                tile.l2Entries.push_back(
-                    {static_cast<uint16_t>(pb), int8_t{1}});
-                pos &= pos - 1;
-            } else {
-                tile.l2Entries.push_back(
-                    {static_cast<uint16_t>(nb), int8_t{-1}});
-                neg &= neg - 1;
+    // Parallel sweep: pattern ids and per-row entry counts are disjoint
+    // writes; Level 2 entries land in per-chunk buffers concatenated in
+    // chunk order below, so the layout equals the sequential one.
+    const size_t chunks = numChunks(0, rows, kDecomposeRowGrain);
+    std::vector<std::vector<L2Entry>> chunkEntries(chunks);
+    parallelForChunks(
+        exec, 0, rows, kDecomposeRowGrain,
+        [&](size_t chunk, size_t r0, size_t r1) {
+            std::unordered_map<uint64_t, RowAssignment> memo;
+            std::vector<L2Entry>& entries = chunkEntries[chunk];
+            for (size_t r = r0; r < r1; ++r) {
+                const uint64_t row = acts.extract(r, start, k);
+                auto it = memo.find(row);
+                if (it == memo.end())
+                    it = memo.emplace(row, assigner.assignUncached(row))
+                             .first;
+                const RowAssignment& a = it->second;
+                tile.patternIds[r] = a.patternId;
+                const size_t before = entries.size();
+                emitL2Entries(a, entries);
+                tile.l2Offsets[r + 1] =
+                    static_cast<uint32_t>(entries.size() - before);
             }
-        }
-    }
-    tile.l2Offsets[acts.rows()] =
-        static_cast<uint32_t>(tile.l2Entries.size());
+        });
+
+    // Row counts -> CSR offsets, then stitch the chunks back together.
+    for (size_t r = 0; r < rows; ++r)
+        tile.l2Offsets[r + 1] += tile.l2Offsets[r];
+    tile.l2Entries.reserve(tile.l2Offsets[rows]);
+    for (const auto& entries : chunkEntries)
+        tile.l2Entries.insert(tile.l2Entries.end(), entries.begin(),
+                              entries.end());
     return tile;
 }
 
 LayerDecomposition
-decomposeLayer(const BinaryMatrix& acts, const PatternTable& table)
+decomposeLayer(const BinaryMatrix& acts, const PatternTable& table,
+               const ExecutionConfig& exec)
 {
     const int k = table.k();
     const size_t partitions =
@@ -107,7 +148,7 @@ decomposeLayer(const BinaryMatrix& acts, const PatternTable& table)
     dec.tiles.reserve(partitions);
     for (size_t p = 0; p < partitions; ++p) {
         PatternAssigner assigner(table.partition(p));
-        dec.tiles.push_back(decomposeTile(acts, p, assigner));
+        dec.tiles.push_back(decomposeTile(acts, p, assigner, exec));
     }
     return dec;
 }

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "core/pattern.hh"
 #include "numeric/binary_matrix.hh"
 
@@ -54,8 +55,16 @@ class PatternAssigner
   public:
     explicit PatternAssigner(const PatternSet& ps);
 
-    /** Best assignment for a k-bit row value. */
+    /** Best assignment for a k-bit row value (memoised). */
     const RowAssignment& assign(uint64_t row) const;
+
+    /**
+     * As assign(), but bypassing the shared memo cache. The parallel
+     * decomposition sweep uses this with one cache per work chunk —
+     * the shared map is not thread-safe, and per-chunk memoisation
+     * still captures the massive value repetition of SNN activations.
+     */
+    RowAssignment assignUncached(uint64_t row) const { return compute(row); }
 
     const PatternSet& patternSet() const { return set; }
 
@@ -109,13 +118,20 @@ struct LayerDecomposition
     size_t totalAssigned() const;
 };
 
-/** Decompose one partition of the activation matrix. */
+/**
+ * Decompose one partition of the activation matrix. Rows are swept in
+ * parallel over fixed-size chunks; per-chunk Level 2 buffers are
+ * concatenated in chunk order, so the result is bit-identical at any
+ * thread count.
+ */
 TileDecomposition decomposeTile(const BinaryMatrix& acts, size_t partition,
-                                const PatternAssigner& assigner);
+                                const PatternAssigner& assigner,
+                                const ExecutionConfig& exec = {});
 
 /** Decompose a whole layer against its calibrated pattern table. */
 LayerDecomposition decomposeLayer(const BinaryMatrix& acts,
-                                  const PatternTable& table);
+                                  const PatternTable& table,
+                                  const ExecutionConfig& exec = {});
 
 /**
  * Rebuild the activation matrix from L1 + L2. The result must equal the

@@ -11,6 +11,9 @@ namespace phi
 namespace
 {
 
+/** Points per parallel chunk of the assignment / distance sweeps. */
+constexpr size_t kKmeansPointGrain = 256;
+
 /** Distance from value to the nearest centre; also reports the index. */
 int
 nearestCentre(uint64_t value, const std::vector<uint64_t>& centres,
@@ -113,15 +116,29 @@ BinaryKMeans::fit(const std::vector<WeightedRow>& hist, int k) const
         centres.push_back(
             pts[rng.nextBounded(pts.size())].first);
         std::vector<uint64_t> min_d(pts.size());
+        const size_t chunks = numChunks(0, pts.size(), kKmeansPointGrain);
+        std::vector<uint64_t> chunkTotals(chunks);
         while (centres.size() < q) {
+            // Parallel distance sweep; chunk subtotals are summed in
+            // chunk order so the seeding stream is thread-count
+            // independent.
+            parallelForChunks(
+                cfg.exec, 0, pts.size(), kKmeansPointGrain,
+                [&](size_t chunk, size_t i0, size_t i1) {
+                    uint64_t sub = 0;
+                    for (size_t i = i0; i < i1; ++i) {
+                        size_t idx;
+                        int d = nearestCentre(pts[i].first, centres, idx);
+                        min_d[i] = pts[i].second *
+                                   static_cast<uint64_t>(d) *
+                                   static_cast<uint64_t>(d);
+                        sub += min_d[i];
+                    }
+                    chunkTotals[chunk] = sub;
+                });
             uint64_t total = 0;
-            for (size_t i = 0; i < pts.size(); ++i) {
-                size_t idx;
-                int d = nearestCentre(pts[i].first, centres, idx);
-                min_d[i] = pts[i].second * static_cast<uint64_t>(d) *
-                           static_cast<uint64_t>(d);
-                total += min_d[i];
-            }
+            for (size_t c = 0; c < chunks; ++c)
+                total += chunkTotals[c];
             if (total == 0)
                 break; // every point coincides with a centre
             uint64_t pick = rng.nextBounded(total);
@@ -148,16 +165,45 @@ BinaryKMeans::fit(const std::vector<WeightedRow>& hist, int k) const
 
     // --- Lloyd iterations (Alg. 1 lines 3-6) ---
     std::vector<size_t> assign(pts.size(), 0);
+    const size_t aChunks = numChunks(0, pts.size(), kKmeansPointGrain);
+    std::vector<uint8_t> chunkChanged(aChunks);
+    // Per-chunk centroid partials (ones flattened as centre * k + bit),
+    // merged sequentially in chunk order: the deterministic-reduction
+    // pattern — no atomics, bit-identical at any thread count.
+    std::vector<std::vector<uint64_t>> chunkOnes(aChunks);
+    std::vector<std::vector<uint64_t>> chunkMembers(aChunks);
     for (int iter = 0; iter < cfg.maxIters; ++iter) {
+        const size_t ku = static_cast<size_t>(k);
+        parallelForChunks(
+            cfg.exec, 0, pts.size(), kKmeansPointGrain,
+            [&](size_t chunk, size_t i0, size_t i1) {
+                chunkChanged[chunk] = 0;
+                auto& lones = chunkOnes[chunk];
+                auto& lmembers = chunkMembers[chunk];
+                lones.assign(centres.size() * ku, 0);
+                lmembers.assign(centres.size(), 0);
+                for (size_t i = i0; i < i1; ++i) {
+                    size_t idx;
+                    nearestCentre(pts[i].first, centres, idx);
+                    if (assign[i] != idx) {
+                        assign[i] = idx;
+                        chunkChanged[chunk] = 1;
+                    }
+                    const auto& [value, count] = pts[i];
+                    lmembers[idx] += count;
+                    uint64_t v = value;
+                    while (v) {
+                        int b = std::countr_zero(v);
+                        v &= v - 1;
+                        lones[idx * ku + static_cast<size_t>(b)] +=
+                            count;
+                    }
+                }
+            });
+
         bool changed = (iter == 0);
-        for (size_t i = 0; i < pts.size(); ++i) {
-            size_t idx;
-            nearestCentre(pts[i].first, centres, idx);
-            if (assign[i] != idx) {
-                assign[i] = idx;
-                changed = true;
-            }
-        }
+        for (size_t c = 0; c < aChunks; ++c)
+            changed = changed || chunkChanged[c] != 0;
         if (!changed)
             break;
 
@@ -166,14 +212,11 @@ BinaryKMeans::fit(const std::vector<WeightedRow>& hist, int k) const
         std::vector<std::vector<uint64_t>> ones(
             centres.size(), std::vector<uint64_t>(k, 0));
         std::vector<uint64_t> members(centres.size(), 0);
-        for (size_t i = 0; i < pts.size(); ++i) {
-            const auto& [value, count] = pts[i];
-            members[assign[i]] += count;
-            uint64_t v = value;
-            while (v) {
-                int b = std::countr_zero(v);
-                v &= v - 1;
-                ones[assign[i]][b] += count;
+        for (size_t chunk = 0; chunk < aChunks; ++chunk) {
+            for (size_t c = 0; c < centres.size(); ++c) {
+                members[c] += chunkMembers[chunk][c];
+                for (size_t b = 0; b < ku; ++b)
+                    ones[c][b] += chunkOnes[chunk][c * ku + b];
             }
         }
 

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "core/pattern.hh"
 
 namespace phi
@@ -39,6 +40,12 @@ struct KMeansConfig
      * clusters survive, the long tail is dropped). 0 disables the cap.
      */
     size_t maxDistinct = 0;
+    /**
+     * Execution engine knobs for the parallel assignment sweeps.
+     * Assignment and centroid statistics reduce over fixed chunks in
+     * chunk order, so results are bit-identical at any thread count.
+     */
+    ExecutionConfig exec;
 };
 
 /** One weighted point: (k-bit row value, multiplicity). */

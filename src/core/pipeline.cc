@@ -3,8 +3,10 @@
 namespace phi
 {
 
-LayerPipeline::LayerPipeline(std::string name, PatternTable table)
-    : layerName(std::move(name)), patternTable(std::move(table))
+LayerPipeline::LayerPipeline(std::string name, PatternTable table,
+                             ExecutionConfig exec)
+    : layerName(std::move(name)), patternTable(std::move(table)),
+      execCfg(exec)
 {
 }
 
@@ -16,20 +18,21 @@ LayerPipeline::bindWeights(Matrix<int16_t> weights)
                patternTable.numPartitions(),
                "weights need more partitions than the calibrated table");
     weightMatrix = std::move(weights);
-    pwpList = computeLayerPwps(patternTable, weightMatrix);
+    pwpList = computeLayerPwps(patternTable, weightMatrix, execCfg);
 }
 
 LayerDecomposition
 LayerPipeline::decompose(const BinaryMatrix& acts) const
 {
-    return decomposeLayer(acts, patternTable);
+    return decomposeLayer(acts, patternTable, execCfg);
 }
 
 Matrix<int32_t>
 LayerPipeline::compute(const LayerDecomposition& dec) const
 {
     phi_assert(hasWeights(), "compute() requires bound weights");
-    return phiGemm(dec, patternTable, weightMatrix);
+    // Steady-state path: reuse the PWPs cached by bindWeights().
+    return phiGemmWithPwps(dec, pwpList, weightMatrix, execCfg);
 }
 
 SparsityBreakdown
@@ -44,18 +47,32 @@ Pipeline::Pipeline(CalibrationConfig cfg)
 {
 }
 
+Pipeline::Pipeline(CalibrationConfig cfg, ExecutionConfig exec)
+    : cfg(cfg)
+{
+    this->cfg.exec = exec;
+}
+
+void
+Pipeline::setExecution(const ExecutionConfig& exec)
+{
+    cfg.exec = exec;
+    for (auto& l : layers)
+        l.setExecution(exec);
+}
+
 LayerPipeline&
 Pipeline::addLayer(const std::string& name,
                    const std::vector<const BinaryMatrix*>& samples)
 {
-    layers.emplace_back(name, calibrateLayer(samples, cfg));
+    layers.emplace_back(name, calibrateLayer(samples, cfg), cfg.exec);
     return layers.back();
 }
 
 LayerPipeline&
 Pipeline::addLayer(const std::string& name, PatternTable table)
 {
-    layers.emplace_back(name, std::move(table));
+    layers.emplace_back(name, std::move(table), cfg.exec);
     return layers.back();
 }
 

@@ -30,10 +30,15 @@ namespace phi
 class LayerPipeline
 {
   public:
-    LayerPipeline(std::string name, PatternTable table);
+    LayerPipeline(std::string name, PatternTable table,
+                  ExecutionConfig exec = {});
 
     const std::string& name() const { return layerName; }
     const PatternTable& table() const { return patternTable; }
+
+    /** Execution engine knobs used by decompose()/compute(). */
+    const ExecutionConfig& execution() const { return execCfg; }
+    void setExecution(const ExecutionConfig& exec) { execCfg = exec; }
 
     /** Bind the weight matrix and pre-compute PWPs (offline stage). */
     void bindWeights(Matrix<int16_t> weights);
@@ -55,6 +60,7 @@ class LayerPipeline
   private:
     std::string layerName;
     PatternTable patternTable;
+    ExecutionConfig execCfg;
     Matrix<int16_t> weightMatrix;
     std::vector<Matrix<int32_t>> pwpList;
 };
@@ -67,9 +73,24 @@ class LayerPipeline
 class Pipeline
 {
   public:
+    /** Calibration knobs; cfg.exec doubles as the engine config. */
     explicit Pipeline(CalibrationConfig cfg = {});
 
+    /**
+     * @param cfg   calibration knobs.
+     * @param exec  execution engine knobs {threads, tileN, tileK}; they
+     *              govern calibration (overriding cfg.exec) and are
+     *              inherited by every layer added afterwards.
+     */
+    Pipeline(CalibrationConfig cfg, ExecutionConfig exec);
+
     const CalibrationConfig& config() const { return cfg; }
+
+    /** Execution engine knobs shared by calibration and all layers. */
+    const ExecutionConfig& execution() const { return cfg.exec; }
+
+    /** Re-tune the engine; applies to existing and future layers. */
+    void setExecution(const ExecutionConfig& exec);
 
     /** Calibrate and register a layer from sample activations. */
     LayerPipeline& addLayer(

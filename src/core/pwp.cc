@@ -1,83 +1,143 @@
 #include "core/pwp.hh"
 
+#include <algorithm>
+#include <utility>
+
 namespace phi
 {
 
+namespace
+{
+
+/** Patterns per PWP chunk and rows per phiGemm chunk; fixed grains keep
+ *  chunking independent of the thread count (determinism contract). */
+constexpr size_t kPwpPatternGrain = 16;
+constexpr size_t kPhiGemmRowGrain = 32;
+
+} // namespace
+
 Matrix<int32_t>
 computePwp(const PatternSet& ps, const Matrix<int16_t>& weights,
-           size_t kOffset)
+           size_t kOffset, const ExecutionConfig& exec)
 {
     const size_t n = weights.cols();
     Matrix<int32_t> pwp(ps.size(), n, 0);
-    for (size_t i = 0; i < ps.size(); ++i) {
-        uint64_t bits = ps.patterns()[i];
-        int32_t* out = pwp.rowPtr(i);
-        while (bits) {
-            int b = std::countr_zero(bits);
-            bits &= bits - 1;
-            size_t kk = kOffset + static_cast<size_t>(b);
-            if (kk >= weights.rows())
-                continue; // ragged final partition: zero-padded weights
-            const int16_t* w = weights.rowPtr(kk);
-            for (size_t c = 0; c < n; ++c)
-                out[c] += w[c];
+    parallelFor(exec, 0, ps.size(), kPwpPatternGrain,
+                [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            uint64_t bits = ps.patterns()[i];
+            int32_t* out = pwp.rowPtr(i);
+            while (bits) {
+                int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                size_t kk = kOffset + static_cast<size_t>(b);
+                if (kk >= weights.rows())
+                    continue; // ragged final partition: zero-padded weights
+                const int16_t* w = weights.rowPtr(kk);
+                for (size_t c = 0; c < n; ++c)
+                    out[c] += w[c];
+            }
         }
-    }
+    });
     return pwp;
 }
 
 std::vector<Matrix<int32_t>>
-computeLayerPwps(const PatternTable& table, const Matrix<int16_t>& weights)
+computeLayerPwps(const PatternTable& table, const Matrix<int16_t>& weights,
+                 const ExecutionConfig& exec)
 {
-    std::vector<Matrix<int32_t>> pwps;
-    pwps.reserve(table.numPartitions());
-    for (size_t p = 0; p < table.numPartitions(); ++p) {
-        pwps.push_back(computePwp(table.partition(p), weights,
-                                  p * static_cast<size_t>(table.k())));
-    }
+    std::vector<Matrix<int32_t>> pwps(table.numPartitions());
+    parallelFor(exec, 0, table.numPartitions(), 1,
+                [&](size_t p0, size_t p1) {
+        for (size_t p = p0; p < p1; ++p)
+            pwps[p] = computePwp(table.partition(p), weights,
+                                 p * static_cast<size_t>(table.k()), exec);
+    });
     return pwps;
 }
 
 Matrix<int32_t>
 phiGemm(const LayerDecomposition& dec, const PatternTable& table,
-        const Matrix<int16_t>& weights)
+        const Matrix<int16_t>& weights, const ExecutionConfig& exec)
+{
+    return phiGemmWithPwps(dec, computeLayerPwps(table, weights, exec),
+                           weights, exec);
+}
+
+Matrix<int32_t>
+phiGemmWithPwps(const LayerDecomposition& dec,
+                const std::vector<Matrix<int32_t>>& pwps,
+                const Matrix<int16_t>& weights,
+                const ExecutionConfig& exec)
 {
     phi_assert(dec.kTotal == weights.rows(),
                "decomposition K ", dec.kTotal, " != weight rows ",
                weights.rows());
+    phi_assert(pwps.size() >= dec.numPartitions(),
+               "PWPs cover ", pwps.size(), " partitions, need ",
+               dec.numPartitions());
     const size_t n = weights.cols();
     Matrix<int32_t> out(dec.m, n, 0);
 
-    auto pwps = computeLayerPwps(table, weights);
+    const size_t tileN = exec.resolvedTileN(n);
 
-    for (const auto& tile : dec.tiles) {
-        const size_t k_off = tile.partition * static_cast<size_t>(dec.k);
-        const Matrix<int32_t>& pwp = pwps[tile.partition];
-        for (size_t r = 0; r < tile.numRows(); ++r) {
-            int32_t* out_row = out.rowPtr(r);
-            // Level 1: one gather-accumulate of the pre-computed PWP.
-            if (tile.patternIds[r] != 0) {
-                const int32_t* p = pwp.rowPtr(tile.patternIds[r] - 1);
-                for (size_t c = 0; c < n; ++c)
-                    out_row[c] += p[c];
-            }
-            // Level 2: signed corrections against raw weight rows.
-            auto [lo, hi] = tile.rowRange(r);
-            for (uint32_t e = lo; e < hi; ++e) {
-                size_t kk = k_off + tile.l2Entries[e].col;
-                phi_assert(kk < weights.rows(),
-                           "L2 column beyond weight rows");
-                const int16_t* w = weights.rowPtr(kk);
-                if (tile.l2Entries[e].sign > 0) {
-                    for (size_t c = 0; c < n; ++c)
-                        out_row[c] += w[c];
-                } else {
-                    for (size_t c = 0; c < n; ++c)
-                        out_row[c] -= w[c];
+    parallelFor(exec, 0, dec.m, kPhiGemmRowGrain,
+                [&](size_t r0, size_t r1) {
+        // (patternId, row) pairs of the block, regrouped per partition.
+        std::vector<std::pair<uint16_t, uint32_t>> matched;
+        matched.reserve(r1 - r0);
+
+        for (const auto& tile : dec.tiles) {
+            const size_t k_off =
+                tile.partition * static_cast<size_t>(dec.k);
+            const Matrix<int32_t>& pwp = pwps[tile.partition];
+
+            // Batch rows by pattern id so each PWP row is fetched once
+            // per block and broadcast into every matching output row.
+            matched.clear();
+            for (size_t r = r0; r < r1; ++r)
+                if (tile.patternIds[r] != 0)
+                    matched.emplace_back(tile.patternIds[r],
+                                         static_cast<uint32_t>(r));
+            std::sort(matched.begin(), matched.end());
+
+            for (size_t n0 = 0; n0 < n; n0 += tileN) {
+                const size_t n1 = std::min(n, n0 + tileN);
+
+                // Level 1: one pass per distinct pattern of the block.
+                for (size_t i = 0; i < matched.size();) {
+                    const uint16_t id = matched[i].first;
+                    const int32_t* p = pwp.rowPtr(id - 1);
+                    do {
+                        int32_t* out_row = out.rowPtr(matched[i].second);
+                        for (size_t c = n0; c < n1; ++c)
+                            out_row[c] += p[c];
+                        ++i;
+                    } while (i < matched.size() &&
+                             matched[i].first == id);
+                }
+
+                // Level 2: signed corrections against raw weight rows.
+                for (size_t r = r0; r < r1; ++r) {
+                    int32_t* out_row = out.rowPtr(r);
+                    auto [lo, hi] = tile.rowRange(r);
+                    for (uint32_t e = lo; e < hi; ++e) {
+                        size_t kk = k_off + tile.l2Entries[e].col;
+                        phi_assert(kk < weights.rows(),
+                                   "L2 column beyond weight rows");
+                        const int16_t* w = weights.rowPtr(kk);
+                        if (tile.l2Entries[e].sign > 0) {
+                            for (size_t c = n0; c < n1; ++c)
+                                out_row[c] += w[c];
+                        } else {
+                            for (size_t c = n0; c < n1; ++c)
+                                out_row[c] -= w[c];
+                        }
+                    }
                 }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -23,27 +23,47 @@ namespace phi
 
 /**
  * Pre-compute PWPs for one partition: row i-1 of the result is
- * pattern (i) x W[kOffset .. kOffset+k).
+ * pattern (i) x W[kOffset .. kOffset+k). Patterns are swept in parallel
+ * (each pattern owns its output row).
  *
  * @param ps       pattern set of the partition.
  * @param weights  full K x N weight matrix.
  * @param kOffset  first weight row covered by the partition.
  */
 Matrix<int32_t> computePwp(const PatternSet& ps,
-                           const Matrix<int16_t>& weights, size_t kOffset);
+                           const Matrix<int16_t>& weights, size_t kOffset,
+                           const ExecutionConfig& exec = {});
 
-/** All partitions' PWPs for a layer. */
+/** All partitions' PWPs for a layer, computed in parallel. */
 std::vector<Matrix<int32_t>> computeLayerPwps(
-    const PatternTable& table, const Matrix<int16_t>& weights);
+    const PatternTable& table, const Matrix<int16_t>& weights,
+    const ExecutionConfig& exec = {});
 
 /**
  * Hierarchical product: for every partition, gather the assigned PWP row
  * (Level 1) and apply signed weight-row corrections (Level 2), reducing
  * over partitions. Must equal spikeGemm(acts, weights) exactly.
+ *
+ * Runs on the shared execution engine: row blocks in parallel, and
+ * within each block rows are regrouped by pattern id per partition so
+ * one PWP row is broadcast-accumulated into every row that matched it
+ * while it is cache-hot (N-blocked by exec.tileN). Accumulation is pure
+ * int32, so results are bit-identical at any thread count and tiling.
  */
 Matrix<int32_t> phiGemm(const LayerDecomposition& dec,
                         const PatternTable& table,
-                        const Matrix<int16_t>& weights);
+                        const Matrix<int16_t>& weights,
+                        const ExecutionConfig& exec = {});
+
+/**
+ * As phiGemm, but reusing PWPs precomputed by computeLayerPwps — the
+ * steady-state path when weights are bound once and many activation
+ * batches stream through (LayerPipeline caches them this way).
+ */
+Matrix<int32_t> phiGemmWithPwps(const LayerDecomposition& dec,
+                                const std::vector<Matrix<int32_t>>& pwps,
+                                const Matrix<int16_t>& weights,
+                                const ExecutionConfig& exec = {});
 
 /**
  * Bytes of PWP storage for a layer at the given output-tile width and

@@ -66,6 +66,25 @@ BinaryMatrix::deposit(size_t r, size_t start, int len, uint64_t value)
     }
 }
 
+uint64_t
+BinaryMatrix::tailMask() const
+{
+    const int rem = static_cast<int>(nCols % 64);
+    return rem == 0 ? ~0ull : lowMask(rem);
+}
+
+bool
+BinaryMatrix::tailBitsClear() const
+{
+    if (wordsPerRow == 0)
+        return true;
+    const uint64_t invalid = ~tailMask();
+    for (size_t r = 0; r < nRows; ++r)
+        if (rowWords(r)[wordsPerRow - 1] & invalid)
+            return false;
+    return true;
+}
+
 size_t
 BinaryMatrix::popcountRow(size_t r) const
 {

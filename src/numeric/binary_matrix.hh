@@ -66,6 +66,18 @@ class BinaryMatrix
 
     size_t numWordsPerRow() const { return wordsPerRow; }
 
+    /**
+     * Mask of the valid bits in the last word of a row (all ones when
+     * cols() is a multiple of 64). Invariant: bits of the last word
+     * outside this mask are always zero — every mutator clips to
+     * cols() — so hot loops may consume whole words without a per-bit
+     * column check.
+     */
+    uint64_t tailMask() const;
+
+    /** Verify the tail-bit invariant over the whole matrix. */
+    bool tailBitsClear() const;
+
     bool operator==(const BinaryMatrix& o) const
     {
         return nRows == o.nRows && nCols == o.nCols && words == o.words;

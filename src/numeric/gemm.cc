@@ -5,85 +5,118 @@
 namespace phi
 {
 
+namespace
+{
+
+/** Rows per parallel chunk; fixed so chunking never depends on the
+ *  thread count (determinism contract of the execution engine). */
+constexpr size_t kGemmRowGrain = 32;
+
+/**
+ * Shared skeleton of the two spike GEMMs. Each row chunk is processed
+ * with N-blocks outermost and K-blocks (whole 64-bit activation words)
+ * inside, so the weight rows touched by a K-block stay cache-resident
+ * while every row of the chunk streams over them. The tail word of each
+ * activation row is masked once — BinaryMatrix guarantees bits beyond
+ * cols() are zero, and spikeGemm asserts it — instead of the historic
+ * per-set-bit `kk >= k` guard.
+ */
+template <typename W, typename Acc>
+Matrix<Acc>
+spikeGemmImpl(const BinaryMatrix& acts, const Matrix<W>& weights,
+              const ExecutionConfig& exec)
+{
+    const size_t m = acts.rows();
+    const size_t n = weights.cols();
+    Matrix<Acc> out(m, n, Acc{});
+
+    const size_t wpr = acts.numWordsPerRow();
+    if (wpr == 0 || n == 0)
+        return out;
+    const uint64_t tail = acts.tailMask();
+    const size_t tileN = exec.resolvedTileN(n);
+    const size_t tileKW = exec.tileKWords();
+
+    parallelFor(exec, 0, m, kGemmRowGrain, [&](size_t r0, size_t r1) {
+        for (size_t n0 = 0; n0 < n; n0 += tileN) {
+            const size_t n1 = n0 + tileN < n ? n0 + tileN : n;
+            for (size_t w0 = 0; w0 < wpr; w0 += tileKW) {
+                const size_t w1 = w0 + tileKW < wpr ? w0 + tileKW : wpr;
+                for (size_t r = r0; r < r1; ++r) {
+                    Acc* out_row = out.rowPtr(r);
+                    const uint64_t* row = acts.rowWords(r);
+                    for (size_t w = w0; w < w1; ++w) {
+                        uint64_t bits = row[w];
+                        if (w == wpr - 1)
+                            bits &= tail;
+                        while (bits) {
+                            const int bit = std::countr_zero(bits);
+                            bits &= bits - 1;
+                            const size_t kk =
+                                w * 64 + static_cast<size_t>(bit);
+                            const W* w_row = weights.rowPtr(kk);
+                            for (size_t c = n0; c < n1; ++c)
+                                out_row[c] += w_row[c];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    return out;
+}
+
+} // namespace
+
 Matrix<int32_t>
-spikeGemm(const BinaryMatrix& acts, const Matrix<int16_t>& weights)
+spikeGemm(const BinaryMatrix& acts, const Matrix<int16_t>& weights,
+          const ExecutionConfig& exec)
 {
     phi_assert(acts.cols() == weights.rows(),
                "gemm shape mismatch: A is ", acts.rows(), "x", acts.cols(),
                ", W is ", weights.rows(), "x", weights.cols());
-    const size_t m = acts.rows();
-    const size_t k = acts.cols();
-    const size_t n = weights.cols();
-    Matrix<int32_t> out(m, n, 0);
-
-    for (size_t r = 0; r < m; ++r) {
-        int32_t* out_row = out.rowPtr(r);
-        // Walk set bits word by word: only '1' activations accumulate.
-        const uint64_t* row = acts.rowWords(r);
-        for (size_t w = 0; w < acts.numWordsPerRow(); ++w) {
-            uint64_t bits = row[w];
-            while (bits) {
-                int bit = std::countr_zero(bits);
-                bits &= bits - 1;
-                size_t kk = w * 64 + static_cast<size_t>(bit);
-                if (kk >= k)
-                    break;
-                const int16_t* w_row = weights.rowPtr(kk);
-                for (size_t c = 0; c < n; ++c)
-                    out_row[c] += w_row[c];
-            }
-        }
-    }
-    return out;
+    phi_assert(acts.tailBitsClear(),
+               "BinaryMatrix tail bits beyond cols() must be zero");
+    return spikeGemmImpl<int16_t, int32_t>(acts, weights, exec);
 }
 
 Matrix<float>
-denseGemm(const Matrix<float>& a, const Matrix<float>& b)
+spikeGemmF(const BinaryMatrix& acts, const Matrix<float>& weights,
+           const ExecutionConfig& exec)
+{
+    phi_assert(acts.cols() == weights.rows(), "gemm shape mismatch");
+    phi_assert(acts.tailBitsClear(),
+               "BinaryMatrix tail bits beyond cols() must be zero");
+    return spikeGemmImpl<float, float>(acts, weights, exec);
+}
+
+Matrix<float>
+denseGemm(const Matrix<float>& a, const Matrix<float>& b,
+          const ExecutionConfig& exec)
 {
     phi_assert(a.cols() == b.rows(), "gemm shape mismatch");
     const size_t m = a.rows();
     const size_t k = a.cols();
     const size_t n = b.cols();
     Matrix<float> out(m, n, 0.0f);
-    for (size_t r = 0; r < m; ++r) {
-        float* out_row = out.rowPtr(r);
-        for (size_t kk = 0; kk < k; ++kk) {
-            float av = a(r, kk);
-            if (av == 0.0f)
-                continue;
-            const float* b_row = b.rowPtr(kk);
-            for (size_t c = 0; c < n; ++c)
-                out_row[c] += av * b_row[c];
-        }
-    }
-    return out;
-}
+    const size_t tileN = exec.resolvedTileN(n);
 
-Matrix<float>
-spikeGemmF(const BinaryMatrix& acts, const Matrix<float>& weights)
-{
-    phi_assert(acts.cols() == weights.rows(), "gemm shape mismatch");
-    const size_t m = acts.rows();
-    const size_t k = acts.cols();
-    const size_t n = weights.cols();
-    Matrix<float> out(m, n, 0.0f);
-    for (size_t r = 0; r < m; ++r) {
-        float* out_row = out.rowPtr(r);
-        const uint64_t* row = acts.rowWords(r);
-        for (size_t w = 0; w < acts.numWordsPerRow(); ++w) {
-            uint64_t bits = row[w];
-            while (bits) {
-                int bit = std::countr_zero(bits);
-                bits &= bits - 1;
-                size_t kk = w * 64 + static_cast<size_t>(bit);
-                if (kk >= k)
-                    break;
-                const float* w_row = weights.rowPtr(kk);
-                for (size_t c = 0; c < n; ++c)
-                    out_row[c] += w_row[c];
+    parallelFor(exec, 0, m, kGemmRowGrain, [&](size_t r0, size_t r1) {
+        for (size_t n0 = 0; n0 < n; n0 += tileN) {
+            const size_t n1 = n0 + tileN < n ? n0 + tileN : n;
+            for (size_t r = r0; r < r1; ++r) {
+                float* out_row = out.rowPtr(r);
+                for (size_t kk = 0; kk < k; ++kk) {
+                    const float av = a(r, kk);
+                    if (av == 0.0f)
+                        continue;
+                    const float* b_row = b.rowPtr(kk);
+                    for (size_t c = n0; c < n1; ++c)
+                        out_row[c] += av * b_row[c];
+                }
             }
         }
-    }
+    });
     return out;
 }
 

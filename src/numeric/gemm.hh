@@ -2,6 +2,12 @@
  * @file
  * Reference matrix products. These define ground truth for every sparsity
  * transformation and for the functional checks of the cycle simulator.
+ *
+ * The spike GEMMs run on the shared execution engine: row-parallel outer
+ * loops over fixed-size row chunks with N/K cache blocking inside each
+ * chunk. Per-output-element accumulation order is K-ascending regardless
+ * of tiling or thread count, so results are bit-identical to the scalar
+ * implementation for both the integer and the float path.
  */
 
 #ifndef PHI_NUMERIC_GEMM_HH
@@ -9,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/parallel.hh"
 #include "numeric/binary_matrix.hh"
 #include "numeric/matrix.hh"
 
@@ -21,17 +28,20 @@ namespace phi
  * is exact, so it anchors losslessness tests.
  */
 Matrix<int32_t> spikeGemm(const BinaryMatrix& acts,
-                          const Matrix<int16_t>& weights);
+                          const Matrix<int16_t>& weights,
+                          const ExecutionConfig& exec = {});
 
 /** Dense float GEMM used by the runnable SNN substrate. */
-Matrix<float> denseGemm(const Matrix<float>& a, const Matrix<float>& b);
+Matrix<float> denseGemm(const Matrix<float>& a, const Matrix<float>& b,
+                        const ExecutionConfig& exec = {});
 
 /**
  * Binary-activation GEMM against float weights (for the LIF network's
  * forward pass, where weights are float).
  */
 Matrix<float> spikeGemmF(const BinaryMatrix& acts,
-                         const Matrix<float>& weights);
+                         const Matrix<float>& weights,
+                         const ExecutionConfig& exec = {});
 
 } // namespace phi
 

@@ -12,8 +12,9 @@
 namespace phi
 {
 
-PhiSimulator::PhiSimulator(PhiArchConfig cfg, OpEnergies energies)
-    : cfg(cfg), ops(energies)
+PhiSimulator::PhiSimulator(PhiArchConfig cfg, OpEnergies energies,
+                           ExecutionConfig exec)
+    : cfg(cfg), ops(energies), exec(exec)
 {
     phi_assert(cfg.tileK >= 1 && cfg.tileK <= 64,
                "tile k must be in [1,64]");
@@ -319,9 +320,20 @@ PhiSimulator::run(const ModelTrace& trace) const
                       datasetName(trace.spec.dataset);
     result.freqHz = cfg.freqHz;
 
-    for (const auto& layer : trace.layers) {
-        LayerSimResult lr = runLayer(layer);
-        const double c = static_cast<double>(layer.spec.count);
+    // Unique layers are independent: simulate them in parallel, then
+    // accumulate sequentially in layer order (float sums stay
+    // bit-identical at any thread count).
+    std::vector<LayerSimResult> layerResults(trace.layers.size());
+    parallelFor(exec, 0, trace.layers.size(), 1,
+                [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i)
+            layerResults[i] = runLayer(trace.layers[i]);
+    });
+
+    for (size_t i = 0; i < trace.layers.size(); ++i) {
+        LayerSimResult lr = std::move(layerResults[i]);
+        const double c =
+            static_cast<double>(trace.layers[i].spec.count);
         lr.cycles *= c;
         lr.energy.core *= c;
         lr.energy.buffer *= c;
@@ -345,7 +357,8 @@ PhiSimulator::run(const ModelTrace& trace) const
 }
 
 Matrix<int32_t>
-emulateDatapath(const LayerTrace& layer, const PhiArchConfig& cfg)
+emulateDatapath(const LayerTrace& layer, const PhiArchConfig& cfg,
+                const ExecutionConfig& exec)
 {
     phi_assert(!layer.weights.empty(),
                "datapath emulation requires trace weights");
@@ -354,31 +367,38 @@ emulateDatapath(const LayerTrace& layer, const PhiArchConfig& cfg)
     const int k = layer.dec.k;
     Matrix<int32_t> out(m, n, 0);
 
-    // L1: gather PWP rows by pattern id.
-    auto pwps = computeLayerPwps(layer.table, layer.weights);
-    for (const auto& tile : layer.dec.tiles) {
-        const auto& pwp = pwps[tile.partition];
-        for (size_t r = 0; r < m; ++r) {
-            if (tile.patternIds[r] == 0)
-                continue;
-            const int32_t* src = pwp.rowPtr(tile.patternIds[r] - 1);
-            int32_t* dst = out.rowPtr(r);
-            for (size_t c = 0; c < n; ++c)
-                dst[c] += src[c];
+    // L1: gather PWP rows by pattern id, row-parallel (disjoint rows).
+    auto pwps = computeLayerPwps(layer.table, layer.weights, exec);
+    parallelFor(exec, 0, m, 64, [&](size_t r0, size_t r1) {
+        for (const auto& tile : layer.dec.tiles) {
+            const auto& pwp = pwps[tile.partition];
+            for (size_t r = r0; r < r1; ++r) {
+                if (tile.patternIds[r] == 0)
+                    continue;
+                const int32_t* src = pwp.rowPtr(tile.patternIds[r] - 1);
+                int32_t* dst = out.rowPtr(r);
+                for (size_t c = 0; c < n; ++c)
+                    dst[c] += src[c];
+            }
         }
-    }
+    });
 
     // L2: stream packs through dispatcher + reconfigurable adder tree
-    // per n-tile, maintaining a real psum store.
+    // per n-tile, maintaining a real psum store. Every (n-tile, m-tile)
+    // pair touches a disjoint output block, so the grid runs in
+    // parallel with all pack/psum state local to a grid cell.
     const size_t n_tiles = ceilDiv(n, cfg.tileN);
     const size_t m_tiles = ceilDiv(m, cfg.tileM);
 
-    for (size_t nt = 0; nt < n_tiles; ++nt) {
-        const size_t col_lo = nt * cfg.tileN;
-        const size_t col_hi = std::min(n, col_lo + cfg.tileN);
-        const size_t width = col_hi - col_lo;
+    parallelFor(exec, 0, n_tiles * m_tiles, 1,
+                [&](size_t t0, size_t t1) {
+        for (size_t t = t0; t < t1; ++t) {
+            const size_t nt = t / m_tiles;
+            const size_t mt = t % m_tiles;
+            const size_t col_lo = nt * cfg.tileN;
+            const size_t col_hi = std::min(n, col_lo + cfg.tileN);
+            const size_t width = col_hi - col_lo;
 
-        for (size_t mt = 0; mt < m_tiles; ++mt) {
             const size_t row_lo = mt * cfg.tileM;
             const size_t row_hi = std::min(m, row_lo + cfg.tileM);
 
@@ -474,7 +494,7 @@ emulateDatapath(const LayerTrace& layer, const PhiArchConfig& cfg)
                 for (size_t c = 0; c < width; ++c)
                     out(r, col_lo + c) += psums(r - row_lo, c);
         }
-    }
+    });
     return out;
 }
 

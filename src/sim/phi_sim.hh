@@ -15,6 +15,7 @@
 #define PHI_SIM_PHI_SIM_HH
 
 #include "arch/packer.hh"
+#include "common/parallel.hh"
 #include "sim/arch_config.hh"
 #include "sim/energy_model.hh"
 #include "sim/result.hh"
@@ -28,14 +29,23 @@ class PhiSimulator
 {
   public:
     explicit PhiSimulator(PhiArchConfig cfg = {},
-                          OpEnergies energies = defaultOpEnergies());
+                          OpEnergies energies = defaultOpEnergies(),
+                          ExecutionConfig exec = {});
 
     const PhiArchConfig& config() const { return cfg; }
+
+    /** Execution engine knobs for the host-side parallel layer sweep. */
+    const ExecutionConfig& execution() const { return exec; }
+    void setExecution(const ExecutionConfig& e) { exec = e; }
 
     /** Simulate one layer (result is NOT scaled by spec.count). */
     LayerSimResult runLayer(const LayerTrace& layer) const;
 
-    /** Simulate a whole model trace (scales layers by count). */
+    /**
+     * Simulate a whole model trace (scales layers by count). Unique
+     * layers simulate in parallel; aggregation runs sequentially in
+     * layer order, so totals are bit-identical at any thread count.
+     */
     SimResult run(const ModelTrace& trace) const;
 
     /** Name used in comparison tables. */
@@ -44,6 +54,7 @@ class PhiSimulator
   private:
     PhiArchConfig cfg;
     OpEnergies ops;
+    ExecutionConfig exec;
 };
 
 /**
@@ -54,7 +65,8 @@ class PhiSimulator
  * Requires the trace to carry weights.
  */
 Matrix<int32_t> emulateDatapath(const LayerTrace& layer,
-                                const PhiArchConfig& cfg = {});
+                                const PhiArchConfig& cfg = {},
+                                const ExecutionConfig& exec = {});
 
 } // namespace phi
 

@@ -158,7 +158,7 @@ SpikingNetwork::forward(const std::vector<float>& image, Rng& rng) const
         result.gemmActs.push_back(acts);
 
         // currents: (t * spatial) x out_features, timestep-major rows.
-        Matrix<float> currents = spikeGemmF(acts, l.weights);
+        Matrix<float> currents = spikeGemmF(acts, l.weights, execCfg);
 
         // LIF dynamics: one population over (spatial x out_features),
         // advanced sequentially through the timesteps.

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "numeric/im2col.hh"
 #include "snn/lif.hh"
 
@@ -49,6 +50,10 @@ class SpikingNetwork
 
     size_t numLayers() const { return layers.size(); }
     int timesteps() const { return tSteps; }
+
+    /** Execution engine knobs for the forward-pass GEMMs. */
+    const ExecutionConfig& execution() const { return execCfg; }
+    void setExecution(const ExecutionConfig& exec) { execCfg = exec; }
 
     /** GEMM activation matrix shape of layer idx (conv/fc only). */
     struct GemmShape { size_t m, k, n; };
@@ -90,6 +95,7 @@ class SpikingNetwork
     size_t inChannels;
     size_t inHw;
     int tSteps;
+    ExecutionConfig execCfg;
     std::vector<Layer> layers;
     std::vector<FmapShape> inputShapes; // per layer
     FmapShape currentShape;

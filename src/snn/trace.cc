@@ -82,7 +82,9 @@ buildModelTrace(const ModelSpec& spec, const TraceOptions& opt)
         std::vector<const BinaryMatrix*> sample_ptrs;
         for (const auto& s : samples)
             sample_ptrs.push_back(&s);
-        lt.table = calibrateLayer(sample_ptrs, opt.calib);
+        CalibrationConfig calib = opt.calib;
+        calib.exec = opt.exec;
+        lt.table = calibrateLayer(sample_ptrs, calib);
 
         Rng test_rng(layer_seed ^ 0x5a5a5a5aull);
         lt.acts = gen.generate(layer_spec.m, test_rng);
@@ -94,7 +96,7 @@ buildModelTrace(const ModelSpec& spec, const TraceOptions& opt)
             lt.paftStats = applyPaft(lt.acts, lt.table, pc, paft_rng);
         }
 
-        lt.dec = decomposeLayer(lt.acts, lt.table);
+        lt.dec = decomposeLayer(lt.acts, lt.table, opt.exec);
         lt.stats = computeBreakdown(lt.acts, lt.dec, lt.table);
 
         if (opt.withWeights) {

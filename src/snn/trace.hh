@@ -38,6 +38,9 @@ struct TraceOptions
     bool paft = false;
     /** PAFT alignment strength (lambda analogue). */
     double paftStrength = 0.85;
+    /** Execution engine knobs for trace construction (calibration and
+     *  decomposition); overrides calib.exec. */
+    ExecutionConfig exec;
 
     static CalibrationConfig
     defaultCalib()
