@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/accuracy_model.cc" "CMakeFiles/phi_core.dir/src/analysis/accuracy_model.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/analysis/accuracy_model.cc.o.d"
+  "/root/repo/src/analysis/cluster_metrics.cc" "CMakeFiles/phi_core.dir/src/analysis/cluster_metrics.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/analysis/cluster_metrics.cc.o.d"
+  "/root/repo/src/analysis/tsne.cc" "CMakeFiles/phi_core.dir/src/analysis/tsne.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/analysis/tsne.cc.o.d"
+  "/root/repo/src/arch/adder_tree.cc" "CMakeFiles/phi_core.dir/src/arch/adder_tree.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/arch/adder_tree.cc.o.d"
+  "/root/repo/src/arch/buffer.cc" "CMakeFiles/phi_core.dir/src/arch/buffer.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/arch/buffer.cc.o.d"
+  "/root/repo/src/arch/compressor.cc" "CMakeFiles/phi_core.dir/src/arch/compressor.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/arch/compressor.cc.o.d"
+  "/root/repo/src/arch/crossbar.cc" "CMakeFiles/phi_core.dir/src/arch/crossbar.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/arch/crossbar.cc.o.d"
+  "/root/repo/src/arch/packer.cc" "CMakeFiles/phi_core.dir/src/arch/packer.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/arch/packer.cc.o.d"
+  "/root/repo/src/arch/pattern_matcher.cc" "CMakeFiles/phi_core.dir/src/arch/pattern_matcher.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/arch/pattern_matcher.cc.o.d"
+  "/root/repo/src/arch/prefetcher.cc" "CMakeFiles/phi_core.dir/src/arch/prefetcher.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/arch/prefetcher.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/phi_core.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "CMakeFiles/phi_core.dir/src/common/parallel.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/common/parallel.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/phi_core.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/phi_core.dir/src/common/table.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/common/table.cc.o.d"
+  "/root/repo/src/core/bitslice.cc" "CMakeFiles/phi_core.dir/src/core/bitslice.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/bitslice.cc.o.d"
+  "/root/repo/src/core/calibration.cc" "CMakeFiles/phi_core.dir/src/core/calibration.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/calibration.cc.o.d"
+  "/root/repo/src/core/decompose.cc" "CMakeFiles/phi_core.dir/src/core/decompose.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/decompose.cc.o.d"
+  "/root/repo/src/core/kmeans.cc" "CMakeFiles/phi_core.dir/src/core/kmeans.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/kmeans.cc.o.d"
+  "/root/repo/src/core/paft.cc" "CMakeFiles/phi_core.dir/src/core/paft.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/paft.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "CMakeFiles/phi_core.dir/src/core/pipeline.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/pipeline.cc.o.d"
+  "/root/repo/src/core/pwp.cc" "CMakeFiles/phi_core.dir/src/core/pwp.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/pwp.cc.o.d"
+  "/root/repo/src/core/stats.cc" "CMakeFiles/phi_core.dir/src/core/stats.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/core/stats.cc.o.d"
+  "/root/repo/src/numeric/binary_matrix.cc" "CMakeFiles/phi_core.dir/src/numeric/binary_matrix.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/numeric/binary_matrix.cc.o.d"
+  "/root/repo/src/numeric/gemm.cc" "CMakeFiles/phi_core.dir/src/numeric/gemm.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/numeric/gemm.cc.o.d"
+  "/root/repo/src/numeric/im2col.cc" "CMakeFiles/phi_core.dir/src/numeric/im2col.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/numeric/im2col.cc.o.d"
+  "/root/repo/src/sim/baselines.cc" "CMakeFiles/phi_core.dir/src/sim/baselines.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/sim/baselines.cc.o.d"
+  "/root/repo/src/sim/energy_model.cc" "CMakeFiles/phi_core.dir/src/sim/energy_model.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/sim/energy_model.cc.o.d"
+  "/root/repo/src/sim/phi_sim.cc" "CMakeFiles/phi_core.dir/src/sim/phi_sim.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/sim/phi_sim.cc.o.d"
+  "/root/repo/src/snn/activation_gen.cc" "CMakeFiles/phi_core.dir/src/snn/activation_gen.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/snn/activation_gen.cc.o.d"
+  "/root/repo/src/snn/lif.cc" "CMakeFiles/phi_core.dir/src/snn/lif.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/snn/lif.cc.o.d"
+  "/root/repo/src/snn/model_zoo.cc" "CMakeFiles/phi_core.dir/src/snn/model_zoo.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/snn/model_zoo.cc.o.d"
+  "/root/repo/src/snn/network.cc" "CMakeFiles/phi_core.dir/src/snn/network.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/snn/network.cc.o.d"
+  "/root/repo/src/snn/trace.cc" "CMakeFiles/phi_core.dir/src/snn/trace.cc.o" "gcc" "CMakeFiles/phi_core.dir/src/snn/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

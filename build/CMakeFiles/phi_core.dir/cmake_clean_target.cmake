@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphi_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_preprocessing.dir/disc_preprocessing.cc.o"
+  "CMakeFiles/disc_preprocessing.dir/disc_preprocessing.cc.o.d"
+  "disc_preprocessing"
+  "disc_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bitslice.dir/ext_bitslice.cc.o"
+  "CMakeFiles/ext_bitslice.dir/ext_bitslice.cc.o.d"
+  "ext_bitslice"
+  "ext_bitslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bitslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

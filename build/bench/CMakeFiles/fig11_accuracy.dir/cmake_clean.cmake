@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_accuracy.dir/fig11_accuracy.cc.o"
+  "CMakeFiles/fig11_accuracy.dir/fig11_accuracy.cc.o.d"
+  "fig11_accuracy"
+  "fig11_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

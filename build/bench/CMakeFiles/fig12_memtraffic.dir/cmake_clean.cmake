@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memtraffic.dir/fig12_memtraffic.cc.o"
+  "CMakeFiles/fig12_memtraffic.dir/fig12_memtraffic.cc.o.d"
+  "fig12_memtraffic"
+  "fig12_memtraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memtraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

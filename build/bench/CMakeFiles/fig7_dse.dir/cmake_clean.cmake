@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dse.dir/fig7_dse.cc.o"
+  "CMakeFiles/fig7_dse.dir/fig7_dse.cc.o.d"
+  "fig7_dse"
+  "fig7_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_speedup_energy.dir/fig8_speedup_energy.cc.o"
+  "CMakeFiles/fig8_speedup_energy.dir/fig8_speedup_energy.cc.o.d"
+  "fig8_speedup_energy"
+  "fig8_speedup_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_speedup_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tsne.dir/fig9_tsne.cc.o"
+  "CMakeFiles/fig9_tsne.dir/fig9_tsne.cc.o.d"
+  "fig9_tsne"
+  "fig9_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

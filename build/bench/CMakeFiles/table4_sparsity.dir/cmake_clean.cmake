@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sparsity.dir/table4_sparsity.cc.o"
+  "CMakeFiles/table4_sparsity.dir/table4_sparsity.cc.o.d"
+  "table4_sparsity"
+  "table4_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

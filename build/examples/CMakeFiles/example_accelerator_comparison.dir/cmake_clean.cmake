@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_accelerator_comparison.dir/accelerator_comparison.cpp.o"
+  "CMakeFiles/example_accelerator_comparison.dir/accelerator_comparison.cpp.o.d"
+  "example_accelerator_comparison"
+  "example_accelerator_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_accelerator_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dnn_bitslice.dir/dnn_bitslice.cpp.o"
+  "CMakeFiles/example_dnn_bitslice.dir/dnn_bitslice.cpp.o.d"
+  "example_dnn_bitslice"
+  "example_dnn_bitslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dnn_bitslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

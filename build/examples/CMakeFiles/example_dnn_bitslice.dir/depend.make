@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dnn_bitslice.
+# This may be replaced when dependencies are built.

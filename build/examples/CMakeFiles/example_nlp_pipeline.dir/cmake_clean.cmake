@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nlp_pipeline.dir/nlp_pipeline.cpp.o"
+  "CMakeFiles/example_nlp_pipeline.dir/nlp_pipeline.cpp.o.d"
+  "example_nlp_pipeline"
+  "example_nlp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nlp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

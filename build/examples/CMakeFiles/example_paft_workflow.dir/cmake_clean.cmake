@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paft_workflow.dir/paft_workflow.cpp.o"
+  "CMakeFiles/example_paft_workflow.dir/paft_workflow.cpp.o.d"
+  "example_paft_workflow"
+  "example_paft_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paft_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vision_pipeline.dir/vision_pipeline.cpp.o"
+  "CMakeFiles/example_vision_pipeline.dir/vision_pipeline.cpp.o.d"
+  "example_vision_pipeline"
+  "example_vision_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vision_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accuracy.cc" "tests/CMakeFiles/phi_tests.dir/test_accuracy.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_accuracy.cc.o.d"
+  "/root/repo/tests/test_activation_gen.cc" "tests/CMakeFiles/phi_tests.dir/test_activation_gen.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_activation_gen.cc.o.d"
+  "/root/repo/tests/test_adder_tree.cc" "tests/CMakeFiles/phi_tests.dir/test_adder_tree.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_adder_tree.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/phi_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_bitslice.cc" "tests/CMakeFiles/phi_tests.dir/test_bitslice.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_bitslice.cc.o.d"
+  "/root/repo/tests/test_buffer_dram.cc" "tests/CMakeFiles/phi_tests.dir/test_buffer_dram.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_buffer_dram.cc.o.d"
+  "/root/repo/tests/test_calibration.cc" "tests/CMakeFiles/phi_tests.dir/test_calibration.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_calibration.cc.o.d"
+  "/root/repo/tests/test_cluster_metrics.cc" "tests/CMakeFiles/phi_tests.dir/test_cluster_metrics.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_cluster_metrics.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/phi_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_compressor_packer.cc" "tests/CMakeFiles/phi_tests.dir/test_compressor_packer.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_compressor_packer.cc.o.d"
+  "/root/repo/tests/test_crossbar.cc" "tests/CMakeFiles/phi_tests.dir/test_crossbar.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_crossbar.cc.o.d"
+  "/root/repo/tests/test_decompose.cc" "tests/CMakeFiles/phi_tests.dir/test_decompose.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_decompose.cc.o.d"
+  "/root/repo/tests/test_energy_model.cc" "tests/CMakeFiles/phi_tests.dir/test_energy_model.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_energy_model.cc.o.d"
+  "/root/repo/tests/test_gemm_im2col.cc" "tests/CMakeFiles/phi_tests.dir/test_gemm_im2col.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_gemm_im2col.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/phi_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kmeans.cc" "tests/CMakeFiles/phi_tests.dir/test_kmeans.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_kmeans.cc.o.d"
+  "/root/repo/tests/test_lif.cc" "tests/CMakeFiles/phi_tests.dir/test_lif.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_lif.cc.o.d"
+  "/root/repo/tests/test_matcher.cc" "tests/CMakeFiles/phi_tests.dir/test_matcher.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_matcher.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/phi_tests.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_model_zoo.cc" "tests/CMakeFiles/phi_tests.dir/test_model_zoo.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_model_zoo.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/phi_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_paft.cc" "tests/CMakeFiles/phi_tests.dir/test_paft.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_paft.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/phi_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_phi_sim.cc" "tests/CMakeFiles/phi_tests.dir/test_phi_sim.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_phi_sim.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/phi_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/phi_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_pwp.cc" "tests/CMakeFiles/phi_tests.dir/test_pwp.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_pwp.cc.o.d"
+  "/root/repo/tests/test_sim_results.cc" "tests/CMakeFiles/phi_tests.dir/test_sim_results.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_sim_results.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/phi_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/phi_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_tsne.cc" "tests/CMakeFiles/phi_tests.dir/test_tsne.cc.o" "gcc" "tests/CMakeFiles/phi_tests.dir/test_tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/phi_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
