@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Serving-runtime micro-benchmark: requests/sec and p50/p99 latency of
+ * PhiEngine batched serving, swept over batch size and thread count.
+ *
+ * The workload is the steady-state serving loop the compile/serve split
+ * exists for: one compiled layer (K=256, N=64, 128 patterns/partition),
+ * a stream of M=256-row activation requests, PWPs reused across every
+ * request. Results (the computed matrices) are bit-identical across all
+ * configurations; only the timing varies.
+ *
+ * Usage:  serving_throughput [out.json]
+ *         writes a BENCH_serving.json-style report when a path is given.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/pipeline.hh"
+#include "runtime/engine.hh"
+#include "snn/activation_gen.hh"
+
+using namespace phi;
+
+namespace
+{
+
+/** Workload constants; emitted into the JSON report so the recorded
+ *  metadata always matches what was measured. */
+constexpr size_t kRequestRows = 256;
+constexpr size_t kReductionK = 256;
+constexpr size_t kOutputN = 64;
+constexpr int kPatternsQ = 128;
+constexpr size_t kNumRequests = 96;
+
+struct Result
+{
+    int threads;
+    size_t batch;
+    uint64_t requests;
+    double rps;
+    double rowsPerSec;
+    double p50Ms;
+    double p99Ms;
+    double meanMs;
+};
+
+CompiledModel
+buildModel()
+{
+    ClusterGenConfig gen_cfg;
+    gen_cfg.bitDensity = 0.10;
+    gen_cfg.l2DensityTarget = 0.02;
+    ClusteredSpikeGenerator gen(gen_cfg, kReductionK, /*seed=*/7);
+    Rng rng(1);
+    BinaryMatrix train = gen.generate(2048, rng);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = kPatternsQ;
+    Pipeline pipe(cfg);
+    LayerPipeline& layer = pipe.addLayer("serve", {&train});
+
+    Rng wrng(2);
+    Matrix<int16_t> weights(kReductionK, kOutputN);
+    for (size_t r = 0; r < weights.rows(); ++r)
+        for (size_t c = 0; c < weights.cols(); ++c)
+            weights(r, c) = static_cast<int16_t>(wrng.uniformInt(-64, 63));
+    layer.bindWeights(weights);
+    return pipe.compile();
+}
+
+std::vector<BinaryMatrix>
+buildRequests(size_t count)
+{
+    ClusterGenConfig gen_cfg;
+    gen_cfg.bitDensity = 0.10;
+    gen_cfg.l2DensityTarget = 0.02;
+    ClusteredSpikeGenerator gen(gen_cfg, kReductionK, /*seed=*/9);
+    Rng rng(3);
+    std::vector<BinaryMatrix> reqs;
+    reqs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        reqs.push_back(gen.generate(kRequestRows, rng));
+    return reqs;
+}
+
+Result
+runConfig(const CompiledModel& model,
+          const std::vector<BinaryMatrix>& requests, int threads,
+          size_t batch)
+{
+    ExecutionConfig exec;
+    exec.threads = threads;
+    PhiEngine engine(model, exec);
+
+    // Warm-up batch (pattern memo caches, pool spin-up) then the
+    // measured stream.
+    engine.serve(0, requests[0]);
+    engine.resetStats();
+
+    size_t i = 0;
+    while (i < requests.size()) {
+        const size_t end = std::min(requests.size(), i + batch);
+        for (; i < end; ++i)
+            engine.enqueue(0, requests[i]);
+        engine.flush();
+    }
+
+    const ServingStats& s = engine.stats();
+    return {threads,
+            batch,
+            s.requests,
+            s.throughputRps(),
+            s.rowThroughputRps(),
+            s.latencyPercentileMs(50),
+            s.latencyPercentileMs(99),
+            s.meanLatencyMs()};
+}
+
+void
+writeJson(const std::string& path, const std::vector<Result>& results)
+{
+    std::ofstream out(path);
+    out << "{\n  \"benchmark\": \"serving_throughput\",\n"
+        << "  \"workload\": {\"layers\": 1, \"m\": " << kRequestRows
+        << ", \"k\": " << kReductionK << ", \"n\": " << kOutputN
+        << ", \"q\": " << kPatternsQ << ", \"requests\": "
+        << kNumRequests << "},\n"
+        << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        out << "    {\"threads\": " << r.threads
+            << ", \"batch\": " << r.batch
+            << ", \"requests\": " << r.requests
+            << ", \"rps\": " << r.rps
+            << ", \"rows_per_sec\": " << r.rowsPerSec
+            << ", \"p50_ms\": " << r.p50Ms
+            << ", \"p99_ms\": " << r.p99Ms
+            << ", \"mean_ms\": " << r.meanMs << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::cerr << "building compiled model (K=" << kReductionK << ", N="
+              << kOutputN << ", q=" << kPatternsQ << ")...\n";
+    const CompiledModel model = buildModel();
+    const std::vector<BinaryMatrix> requests = buildRequests(kNumRequests);
+
+    std::vector<Result> results;
+    Table t({"Threads", "Batch", "Req/s", "kRows/s", "p50 ms", "p99 ms",
+             "mean ms"});
+    for (int threads : {1, 2, 4, 8}) {
+        for (size_t batch : {size_t{1}, size_t{8}, size_t{32}}) {
+            Result r = runConfig(model, requests, threads, batch);
+            results.push_back(r);
+            t.addRow({std::to_string(r.threads), std::to_string(r.batch),
+                      Table::fmt(r.rps, 1), Table::fmt(r.rowsPerSec / 1e3, 1),
+                      Table::fmt(r.p50Ms, 3), Table::fmt(r.p99Ms, 3),
+                      Table::fmt(r.meanMs, 3)});
+            std::cerr << "  threads=" << threads << " batch=" << batch
+                      << " done\n";
+        }
+    }
+    t.print(std::cout);
+
+    if (argc > 1) {
+        writeJson(argv[1], results);
+        std::cerr << "wrote " << argv[1] << "\n";
+    }
+    return 0;
+}

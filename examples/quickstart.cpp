@@ -1,20 +1,25 @@
 /**
  * @file
- * Quickstart: the Phi pipeline in ~60 lines.
+ * Quickstart: compile once, serve many.
  *
- * Calibrates patterns on sample spike activations, decomposes a fresh
- * activation matrix into Level 1 (pattern) + Level 2 (correction)
- * sparsity, verifies the hierarchical product is bit-exact against the
- * reference GEMM, and prints the sparsity accounting.
+ * Offline: calibrate patterns on sample spike activations, bind
+ * weights, compile to an immutable artifact and save it as
+ * quickstart.phim. Online: load the artifact into a PhiEngine and serve
+ * a batch of fresh activation matrices, verifying every result is
+ * bit-exact against the reference GEMM, then print the sparsity
+ * accounting.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/examples/example_quickstart
  */
 
+#include <filesystem>
 #include <iostream>
 
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/pipeline.hh"
+#include "io/model_io.hh"
+#include "runtime/engine.hh"
 #include "snn/activation_gen.hh"
 
 using namespace phi;
@@ -30,16 +35,16 @@ main()
     ClusteredSpikeGenerator gen(gen_cfg, 256, /*seed=*/7);
     Rng rng(1);
     BinaryMatrix train = gen.generate(1024, rng); // calibration split
-    BinaryMatrix test = gen.generate(1024, rng);  // runtime split
 
-    // 2. Calibrate: k-means patterns per 16-bit partition (Alg. 1).
+    // 2. Offline compile: calibrate k-means patterns per 16-bit
+    //    partition (Alg. 1), bind weights (pattern-weight products are
+    //    precomputed here), snapshot into an immutable artifact.
     CalibrationConfig cfg;
     cfg.k = 16;  // partition width
     cfg.q = 128; // patterns per partition
     Pipeline pipe(cfg);
     LayerPipeline& layer = pipe.addLayer("demo", {&train});
 
-    // 3. Bind weights: pattern-weight products are precomputed here.
     Rng wrng(2);
     Matrix<int16_t> weights(256, 64);
     for (size_t r = 0; r < weights.rows(); ++r)
@@ -47,18 +52,37 @@ main()
             weights(r, c) = static_cast<int16_t>(wrng.uniformInt(-64, 63));
     layer.bindWeights(weights);
 
-    // 4. Runtime: decompose fresh activations and compute.
-    LayerDecomposition dec = layer.decompose(test);
-    Matrix<int32_t> phi_out = layer.compute(dec);
+    const CompiledModel compiled = phi::compile(pipe);
+    io::saveModel(compiled, "quickstart.phim");
+    std::cout << "Compiled 1 layer -> quickstart.phim ("
+              << std::filesystem::file_size("quickstart.phim")
+              << " bytes, "
+              << compiled.layer(0).table().totalPatterns()
+              << " patterns, PWP footprint "
+              << compiled.pwpFootprintBytes() << " bytes)\n\n";
 
-    // 5. Verify losslessness against the reference binary GEMM.
-    Matrix<int32_t> ref = spikeGemm(test, weights);
-    std::cout << "Lossless: "
-              << (phi_out == ref ? "YES (bit-exact)" : "NO (bug!)")
-              << "\n\n";
+    // 3. Online serve: a fresh process would start exactly here.
+    PhiEngine engine(io::loadModel("quickstart.phim"));
 
-    // 6. Report the hierarchical sparsity (Table 4 style).
-    SparsityBreakdown b = layer.breakdown(test, dec);
+    std::vector<BinaryMatrix> requests;
+    for (int i = 0; i < 4; ++i)
+        requests.push_back(gen.generate(1024, rng));
+    for (const BinaryMatrix& acts : requests)
+        engine.enqueue(0, acts);
+    std::vector<EngineResponse> responses = engine.flush();
+
+    // 4. Verify losslessness against the reference binary GEMM.
+    bool all_exact = true;
+    for (size_t i = 0; i < requests.size(); ++i)
+        all_exact &= responses[i].out == spikeGemm(requests[i], weights);
+    std::cout << "Served " << engine.stats().requests << " requests in "
+              << engine.stats().batches << " batch; lossless: "
+              << (all_exact ? "YES (bit-exact)" : "NO (bug!)") << "\n\n";
+
+    // 5. Report the hierarchical sparsity of one request (Table 4
+    //    style) straight from the served decomposition.
+    SparsityBreakdown b =
+        engine.model().layer(0).breakdown(requests[0], responses[0].dec);
     Table t({"Metric", "Value"});
     t.addRow({"Bit density", Table::fmtPct(b.bitDensity)});
     t.addRow({"L1 (pattern) density", Table::fmtPct(b.l1Density)});
@@ -70,5 +94,5 @@ main()
     t.addRow({"Theoretical speedup vs dense",
               Table::fmtX(b.speedupOverDense())});
     t.print(std::cout);
-    return phi_out == ref ? 0 : 1;
+    return all_exact ? 0 : 1;
 }

@@ -89,13 +89,16 @@ main()
             samples.push_back(&f.gemmActs[l]);
         pipe.addLayer("layer" + std::to_string(l), samples);
     }
+    // Snapshot the calibrations; the runtime below only touches the
+    // immutable compiled artifact.
+    const CompiledModel model = pipe.compile();
 
     Table t({"Layer", "Shape(MxK)", "BitDensity", "L2Density",
              "IdxDensity", "OverBit", "Exact"});
     for (size_t l = 0; l < layers; ++l) {
         const BinaryMatrix& acts = test.gemmActs[l];
-        LayerDecomposition dec = pipe.layer(l).decompose(acts);
-        SparsityBreakdown b = pipe.layer(l).breakdown(acts, dec);
+        LayerDecomposition dec = model.layer(l).decompose(acts);
+        SparsityBreakdown b = model.layer(l).breakdown(acts, dec);
 
         // Exactness versus the reference GEMM with integer weights.
         Rng qrng(500 + l);
@@ -104,7 +107,7 @@ main()
             for (size_t c = 0; c < w.cols(); ++c)
                 w(r, c) = static_cast<int16_t>(qrng.uniformInt(-32, 31));
         const bool exact =
-            phiGemm(dec, pipe.layer(l).table(), w) == spikeGemm(acts, w);
+            phiGemm(dec, model.layer(l).table(), w) == spikeGemm(acts, w);
 
         t.addRow({"layer" + std::to_string(l),
                   std::to_string(acts.rows()) + "x" +

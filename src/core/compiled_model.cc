@@ -1,0 +1,89 @@
+#include "core/compiled_model.hh"
+
+namespace phi
+{
+
+CompiledLayer::CompiledLayer(std::string name, PatternTable table)
+    : layerName(std::move(name)), patternTable(std::move(table))
+{
+}
+
+CompiledLayer::CompiledLayer(std::string name, PatternTable table,
+                             Matrix<int16_t> weights,
+                             std::vector<Matrix<int32_t>> pwps)
+    : layerName(std::move(name)), patternTable(std::move(table)),
+      weightMatrix(std::move(weights)), pwpList(std::move(pwps))
+{
+    phi_assert(ceilDiv(weightMatrix.rows(),
+                       static_cast<size_t>(patternTable.k())) <=
+               patternTable.numPartitions(),
+               "weights need more partitions than the calibrated table");
+    phi_assert(pwpList.size() == patternTable.numPartitions(),
+               "PWP list must hold one matrix per partition (got ",
+               pwpList.size(), ", need ", patternTable.numPartitions(),
+               ")");
+    for (size_t p = 0; p < pwpList.size(); ++p) {
+        phi_assert(pwpList[p].rows() == patternTable.partition(p).size() &&
+                   (pwpList[p].rows() == 0 ||
+                    pwpList[p].cols() == weightMatrix.cols()),
+                   "PWP shape mismatch in partition ", p);
+    }
+}
+
+LayerDecomposition
+CompiledLayer::decompose(const BinaryMatrix& acts,
+                         const ExecutionConfig& exec) const
+{
+    return decomposeLayer(acts, patternTable, exec);
+}
+
+Matrix<int32_t>
+CompiledLayer::compute(const LayerDecomposition& dec,
+                       const ExecutionConfig& exec) const
+{
+    phi_assert(hasWeights(),
+               "compute() requires a layer compiled with weights");
+    return phiGemmWithPwps(dec, pwpList, weightMatrix, exec);
+}
+
+SparsityBreakdown
+CompiledLayer::breakdown(const BinaryMatrix& acts,
+                         const LayerDecomposition& dec) const
+{
+    return computeBreakdown(acts, dec, patternTable);
+}
+
+CompiledModel::CompiledModel(std::vector<CompiledLayer> layers,
+                             CalibrationConfig calibration)
+    : layerList(std::move(layers)), calib(calibration)
+{
+}
+
+const CompiledLayer&
+CompiledModel::layer(size_t idx) const
+{
+    phi_assert(idx < layerList.size(), "layer ", idx, " out of ",
+               layerList.size());
+    return layerList[idx];
+}
+
+std::optional<size_t>
+CompiledModel::findLayer(const std::string& name) const
+{
+    for (size_t i = 0; i < layerList.size(); ++i)
+        if (layerList[i].name() == name)
+            return i;
+    return std::nullopt;
+}
+
+size_t
+CompiledModel::pwpFootprintBytes() const
+{
+    size_t bytes = 0;
+    for (const auto& l : layerList)
+        if (l.hasWeights())
+            bytes += pwpBytes(l.table(), l.weights().cols());
+    return bytes;
+}
+
+} // namespace phi

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The serve-side artifact of the Phi workflow: an immutable compiled
+ * model holding everything the online phase needs (pattern tables,
+ * weights, precomputed PWPs) and nothing it does not (no calibration
+ * samples, no k-means state).
+ *
+ * A CompiledModel is produced offline by Pipeline::compile() or loaded
+ * from a .phim artifact via io::loadModel(); it is consumed by the
+ * PhiEngine runtime or used directly through CompiledLayer's
+ * decompose()/compute() for single-shot work.
+ */
+
+#ifndef PHI_CORE_COMPILED_MODEL_HH
+#define PHI_CORE_COMPILED_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hh"
+#include "core/decompose.hh"
+#include "core/pattern.hh"
+#include "core/pwp.hh"
+#include "core/stats.hh"
+
+namespace phi
+{
+
+/**
+ * One compiled layer: calibrated pattern table plus (optionally) bound
+ * weights and their precomputed PWPs. Immutable after construction, so
+ * it is safe to share across serving threads without synchronisation.
+ */
+class CompiledLayer
+{
+  public:
+    /** Weightless layer: decompose()/breakdown() only. */
+    CompiledLayer(std::string name, PatternTable table);
+
+    /**
+     * Fully bound layer. @p pwps must be exactly the output of
+     * computeLayerPwps(table, weights) — loadModel() trusts but
+     * re-validates shape; compile() computes them itself.
+     */
+    CompiledLayer(std::string name, PatternTable table,
+                  Matrix<int16_t> weights,
+                  std::vector<Matrix<int32_t>> pwps);
+
+    const std::string& name() const { return layerName; }
+    const PatternTable& table() const { return patternTable; }
+
+    bool hasWeights() const { return !weightMatrix.empty(); }
+    const Matrix<int16_t>& weights() const { return weightMatrix; }
+    const std::vector<Matrix<int32_t>>& pwps() const { return pwpList; }
+
+    /** Decompose a runtime activation matrix (online, stateless). */
+    LayerDecomposition decompose(const BinaryMatrix& acts,
+                                 const ExecutionConfig& exec = {}) const;
+
+    /** Hierarchical product reusing the precomputed PWPs. */
+    Matrix<int32_t> compute(const LayerDecomposition& dec,
+                            const ExecutionConfig& exec = {}) const;
+
+    /** Sparsity accounting for a decomposed activation. */
+    SparsityBreakdown breakdown(const BinaryMatrix& acts,
+                                const LayerDecomposition& dec) const;
+
+  private:
+    std::string layerName;
+    PatternTable patternTable;
+    Matrix<int16_t> weightMatrix;
+    std::vector<Matrix<int32_t>> pwpList;
+};
+
+/**
+ * A whole compiled model: the ordered layer list plus the calibration
+ * config it was compiled with (provenance; the online phase only needs
+ * it for reporting). Immutable after construction.
+ */
+class CompiledModel
+{
+  public:
+    CompiledModel() = default;
+
+    CompiledModel(std::vector<CompiledLayer> layers,
+                  CalibrationConfig calibration);
+
+    size_t numLayers() const { return layerList.size(); }
+    bool empty() const { return layerList.empty(); }
+
+    const CompiledLayer& layer(size_t idx) const;
+
+    /** Index of the layer with the given name, if any. */
+    std::optional<size_t> findLayer(const std::string& name) const;
+
+    const std::vector<CompiledLayer>& layers() const { return layerList; }
+
+    /** Calibration knobs the model was compiled with (provenance). */
+    const CalibrationConfig& calibration() const { return calib; }
+
+    /** Total PWP bytes across layers at the stored output widths. */
+    size_t pwpFootprintBytes() const;
+
+  private:
+    std::vector<CompiledLayer> layerList;
+    CalibrationConfig calib;
+};
+
+} // namespace phi
+
+#endif // PHI_CORE_COMPILED_MODEL_HH

@@ -3,10 +3,8 @@
 namespace phi
 {
 
-LayerPipeline::LayerPipeline(std::string name, PatternTable table,
-                             ExecutionConfig exec)
-    : layerName(std::move(name)), patternTable(std::move(table)),
-      execCfg(exec)
+LayerPipeline::LayerPipeline(std::string name, PatternTable table)
+    : layerName(std::move(name)), patternTable(std::move(table))
 {
 }
 
@@ -18,28 +16,6 @@ LayerPipeline::bindWeights(Matrix<int16_t> weights)
                patternTable.numPartitions(),
                "weights need more partitions than the calibrated table");
     weightMatrix = std::move(weights);
-    pwpList = computeLayerPwps(patternTable, weightMatrix, execCfg);
-}
-
-LayerDecomposition
-LayerPipeline::decompose(const BinaryMatrix& acts) const
-{
-    return decomposeLayer(acts, patternTable, execCfg);
-}
-
-Matrix<int32_t>
-LayerPipeline::compute(const LayerDecomposition& dec) const
-{
-    phi_assert(hasWeights(), "compute() requires bound weights");
-    // Steady-state path: reuse the PWPs cached by bindWeights().
-    return phiGemmWithPwps(dec, pwpList, weightMatrix, execCfg);
-}
-
-SparsityBreakdown
-LayerPipeline::breakdown(const BinaryMatrix& acts,
-                         const LayerDecomposition& dec) const
-{
-    return computeBreakdown(acts, dec, patternTable);
 }
 
 Pipeline::Pipeline(CalibrationConfig cfg)
@@ -53,26 +29,18 @@ Pipeline::Pipeline(CalibrationConfig cfg, ExecutionConfig exec)
     this->cfg.exec = exec;
 }
 
-void
-Pipeline::setExecution(const ExecutionConfig& exec)
-{
-    cfg.exec = exec;
-    for (auto& l : layers)
-        l.setExecution(exec);
-}
-
 LayerPipeline&
 Pipeline::addLayer(const std::string& name,
                    const std::vector<const BinaryMatrix*>& samples)
 {
-    layers.emplace_back(name, calibrateLayer(samples, cfg), cfg.exec);
+    layers.emplace_back(name, calibrateLayer(samples, cfg));
     return layers.back();
 }
 
 LayerPipeline&
 Pipeline::addLayer(const std::string& name, PatternTable table)
 {
-    layers.emplace_back(name, std::move(table), cfg.exec);
+    layers.emplace_back(name, std::move(table));
     return layers.back();
 }
 
@@ -97,6 +65,22 @@ Pipeline::paft(size_t layer_idx, BinaryMatrix& acts,
                const PaftConfig& paft_cfg, Rng& rng) const
 {
     return applyPaft(acts, layer(layer_idx).table(), paft_cfg, rng);
+}
+
+CompiledModel
+Pipeline::compile() const
+{
+    std::vector<CompiledLayer> compiled;
+    compiled.reserve(layers.size());
+    for (const auto& l : layers) {
+        if (l.hasWeights())
+            compiled.emplace_back(
+                l.name(), l.table(), l.weights(),
+                computeLayerPwps(l.table(), l.weights(), cfg.exec));
+        else
+            compiled.emplace_back(l.name(), l.table());
+    }
+    return CompiledModel(std::move(compiled), cfg);
 }
 
 } // namespace phi

@@ -1,10 +1,15 @@
 /**
  * @file
- * Public facade tying the Phi workflow together (Sec. 3.4):
- * calibrate -> (optional PAFT) -> decompose -> verify/compute.
+ * The offline *compiler* half of the Phi workflow (Sec. 3.4):
+ * calibrate -> (optional PAFT) -> bind weights -> compile.
  *
- * This is the entry point downstream users consume; the examples are
- * built exclusively on this API.
+ * Pipeline owns the calibration-time state (sample pooling, k-means
+ * configuration, mutable per-layer staging) and emits an immutable
+ * CompiledModel — tables + weights + precomputed PWPs, no calibration
+ * state — which the online phase consumes via CompiledLayer or the
+ * runtime PhiEngine. Artifacts round-trip through io::saveModel() /
+ * io::loadModel(), so calibration runs once per model, not once per
+ * serving process.
  */
 
 #ifndef PHI_CORE_PIPELINE_HH
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "core/calibration.hh"
+#include "core/compiled_model.hh"
 #include "core/decompose.hh"
 #include "core/paft.hh"
 #include "core/pwp.hh"
@@ -24,51 +30,36 @@ namespace phi
 {
 
 /**
- * Per-layer Phi pipeline state: the calibrated pattern table plus the
- * pre-computed PWPs once weights are bound.
+ * Per-layer compiler staging: the calibrated pattern table plus the
+ * weight matrix once bound. Decompose/compute live on the compiled
+ * artifact (CompiledLayer), not here — this class only accumulates
+ * what compile() needs.
  */
 class LayerPipeline
 {
   public:
-    LayerPipeline(std::string name, PatternTable table,
-                  ExecutionConfig exec = {});
+    LayerPipeline(std::string name, PatternTable table);
 
     const std::string& name() const { return layerName; }
     const PatternTable& table() const { return patternTable; }
 
-    /** Execution engine knobs used by decompose()/compute(). */
-    const ExecutionConfig& execution() const { return execCfg; }
-    void setExecution(const ExecutionConfig& exec) { execCfg = exec; }
-
-    /** Bind the weight matrix and pre-compute PWPs (offline stage). */
+    /** Stage the weight matrix for compile(). */
     void bindWeights(Matrix<int16_t> weights);
 
     bool hasWeights() const { return !weightMatrix.empty(); }
     const Matrix<int16_t>& weights() const { return weightMatrix; }
-    const std::vector<Matrix<int32_t>>& pwps() const { return pwpList; }
-
-    /** Decompose a runtime activation matrix. */
-    LayerDecomposition decompose(const BinaryMatrix& acts) const;
-
-    /** Hierarchical product using the bound weights. */
-    Matrix<int32_t> compute(const LayerDecomposition& dec) const;
-
-    /** Sparsity accounting for a decomposed activation. */
-    SparsityBreakdown breakdown(const BinaryMatrix& acts,
-                                const LayerDecomposition& dec) const;
 
   private:
     std::string layerName;
     PatternTable patternTable;
-    ExecutionConfig execCfg;
     Matrix<int16_t> weightMatrix;
-    std::vector<Matrix<int32_t>> pwpList;
 };
 
 /**
- * Whole-model pipeline: owns per-layer calibrations keyed by insertion
+ * Whole-model compiler: owns per-layer calibrations keyed by insertion
  * order, mirrors the paper's per-model/dataset/layer/partition pattern
- * independence.
+ * independence. compile() snapshots the staged layers into an immutable
+ * CompiledModel.
  */
 class Pipeline
 {
@@ -79,18 +70,18 @@ class Pipeline
     /**
      * @param cfg   calibration knobs.
      * @param exec  execution engine knobs {threads, tileN, tileK}; they
-     *              govern calibration (overriding cfg.exec) and are
-     *              inherited by every layer added afterwards.
+     *              govern calibration (overriding cfg.exec) and the
+     *              PWP precomputation in compile().
      */
     Pipeline(CalibrationConfig cfg, ExecutionConfig exec);
 
     const CalibrationConfig& config() const { return cfg; }
 
-    /** Execution engine knobs shared by calibration and all layers. */
+    /** Execution engine knobs shared by calibration and compile(). */
     const ExecutionConfig& execution() const { return cfg.exec; }
 
-    /** Re-tune the engine; applies to existing and future layers. */
-    void setExecution(const ExecutionConfig& exec);
+    /** Re-tune the engine for subsequent calibration/compile work. */
+    void setExecution(const ExecutionConfig& exec) { cfg.exec = exec; }
 
     /** Calibrate and register a layer from sample activations. */
     LayerPipeline& addLayer(
@@ -111,10 +102,25 @@ class Pipeline
     PaftResult paft(size_t layer_idx, BinaryMatrix& acts,
                     const PaftConfig& paft_cfg, Rng& rng) const;
 
+    /**
+     * Snapshot the staged layers into an immutable serving artifact.
+     * PWPs are precomputed here for every layer with bound weights;
+     * weightless layers compile to decompose-only CompiledLayers.
+     * The Pipeline is left untouched and may keep compiling.
+     */
+    CompiledModel compile() const;
+
   private:
     CalibrationConfig cfg;
     std::vector<LayerPipeline> layers;
 };
+
+/** Free-function spelling of the offline step: phi::compile(pipe). */
+inline CompiledModel
+compile(const Pipeline& pipe)
+{
+    return pipe.compile();
+}
 
 } // namespace phi
 

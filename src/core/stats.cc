@@ -1,5 +1,7 @@
 #include "core/stats.hh"
 
+#include <algorithm>
+
 namespace phi
 {
 
@@ -71,6 +73,67 @@ mergeBreakdowns(const std::vector<SparsityBreakdown>& parts)
     }
     finalise(b);
     return b;
+}
+
+void
+ServingStats::recordLatency(double seconds)
+{
+    if (latencySeconds.size() < kMaxLatencySamples) {
+        latencySeconds.push_back(seconds);
+        return;
+    }
+    latencySeconds[latencyRingNext] = seconds;
+    latencyRingNext = (latencyRingNext + 1) % kMaxLatencySamples;
+}
+
+double
+ServingStats::throughputRps() const
+{
+    return busySeconds > 0 ? static_cast<double>(requests) / busySeconds
+                           : 0.0;
+}
+
+double
+ServingStats::rowThroughputRps() const
+{
+    return busySeconds > 0 ? static_cast<double>(rows) / busySeconds
+                           : 0.0;
+}
+
+double
+ServingStats::latencyPercentileMs(double p) const
+{
+    if (latencySeconds.empty())
+        return 0.0;
+    std::vector<double> sorted = latencySeconds;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::min(100.0, std::max(0.0, p));
+    // Nearest-rank percentile on the sorted samples.
+    const size_t rank = static_cast<size_t>(
+        clamped / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[rank] * 1e3;
+}
+
+double
+ServingStats::meanLatencyMs() const
+{
+    if (latencySeconds.empty())
+        return 0.0;
+    double sum = 0;
+    for (double s : latencySeconds)
+        sum += s;
+    return sum / static_cast<double>(latencySeconds.size()) * 1e3;
+}
+
+void
+ServingStats::merge(const ServingStats& other)
+{
+    requests += other.requests;
+    batches += other.batches;
+    rows += other.rows;
+    busySeconds += other.busySeconds;
+    for (double s : other.latencySeconds)
+        recordLatency(s);
 }
 
 } // namespace phi

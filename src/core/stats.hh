@@ -1,10 +1,14 @@
 /**
  * @file
- * Sparsity accounting matching the paper's Table 4 and Fig. 7a.
+ * Sparsity accounting matching the paper's Table 4 and Fig. 7a, plus
+ * the throughput/latency counters surfaced by the serving runtime.
  */
 
 #ifndef PHI_CORE_STATS_HH
 #define PHI_CORE_STATS_HH
+
+#include <cstdint>
+#include <vector>
 
 #include "core/decompose.hh"
 #include "core/pattern.hh"
@@ -70,6 +74,63 @@ SparsityBreakdown computeBreakdown(const BinaryMatrix& acts,
 /** Merge several per-layer breakdowns weighted by element counts. */
 SparsityBreakdown mergeBreakdowns(
     const std::vector<SparsityBreakdown>& parts);
+
+/**
+ * Throughput/latency accounting of the serving runtime (PhiEngine).
+ *
+ * Counters are cumulative since construction or the last reset; the
+ * engine records one latency sample per request (time from the request
+ * starting execution to its result being ready) and the wall time of
+ * each flushed batch. Only the counters are timing-dependent — served
+ * results themselves stay bit-deterministic.
+ */
+struct ServingStats
+{
+    /**
+     * Cap on retained latency samples: a sliding window over the most
+     * recent requests, so a long-running engine's memory footprint and
+     * percentile cost stay bounded no matter how many requests it has
+     * served. 8192 samples give sub-percent p99 resolution.
+     */
+    static constexpr size_t kMaxLatencySamples = 8192;
+
+    uint64_t requests = 0; // requests completed
+    uint64_t batches = 0;  // flush() calls that served >= 1 request
+    uint64_t rows = 0;     // activation rows across served requests
+    double busySeconds = 0; // wall time spent inside flush()
+
+    /**
+     * Per-request service-time samples, seconds — the most recent
+     * kMaxLatencySamples, maintained as a ring by recordLatency() (so
+     * order is the ring's, not strictly completion order, once full).
+     */
+    std::vector<double> latencySeconds;
+
+    /** Record one sample, evicting the oldest once the window is full. */
+    void recordLatency(double seconds);
+
+    /** Requests per second of busy time (0 when idle). */
+    double throughputRps() const;
+
+    /** Activation rows per second of busy time. */
+    double rowThroughputRps() const;
+
+    /**
+     * Latency percentile in milliseconds over the recorded samples;
+     * p in [0, 100]. Returns 0 with no samples.
+     */
+    double latencyPercentileMs(double p) const;
+
+    /** Mean request latency in milliseconds. */
+    double meanLatencyMs() const;
+
+    /** Fold another stats block into this one. */
+    void merge(const ServingStats& other);
+
+  private:
+    /** Ring cursor once latencySeconds reaches kMaxLatencySamples. */
+    size_t latencyRingNext = 0;
+};
 
 } // namespace phi
 

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The .phim artifact format: versioned, endian-stable serialization of
+ * compiled models and model traces.
+ *
+ * Layout (all little-endian):
+ *
+ *   offset 0   u32  magic           "PHIM" (0x4D494850)
+ *              u32  format version  (currently 1)
+ *              u32  file kind       (1 = compiled model, 2 = trace)
+ *              u32  section count
+ *              u64  total file size (redundant; catches truncation)
+ *   then       section table: per section
+ *              u32  tag (fourcc)    u32 reserved
+ *              u64  payload offset  u64 payload size
+ *   then       the section payloads.
+ *
+ * A compiled model carries sections 'CFG ' (calibration provenance) and
+ * 'LYRS' (tables + weights + PWPs per layer); a trace carries 'TRAC'.
+ * Unknown sections are ignored on read, so the format can grow without
+ * breaking old readers; a bumped version field rejects incompatible
+ * layouts outright.
+ *
+ * Readers never trust the input: every count is bounds-checked against
+ * the remaining payload and every structural inconsistency (PWP shape
+ * vs. table, weights vs. partitions) throws io::IoError instead of
+ * constructing a broken model.
+ */
+
+#ifndef PHI_IO_MODEL_IO_HH
+#define PHI_IO_MODEL_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compiled_model.hh"
+#include "io/serialize.hh"
+#include "snn/trace.hh"
+
+namespace phi::io
+{
+
+/** "PHIM" interpreted as a little-endian u32. */
+constexpr uint32_t kMagic = 0x4D494850u;
+constexpr uint32_t kFormatVersion = 1;
+
+constexpr uint32_t kKindModel = 1;
+constexpr uint32_t kKindTrace = 2;
+
+/** Section tags (fourcc, little-endian). */
+constexpr uint32_t kSectionConfig = 0x20474643u; // "CFG "
+constexpr uint32_t kSectionLayers = 0x5352594Cu; // "LYRS"
+constexpr uint32_t kSectionTrace = 0x43415254u;  // "TRAC"
+
+// ---- Component writers/readers (exposed for tests and tooling) ----
+
+void writePatternTable(ByteWriter& w, const PatternTable& table);
+PatternTable readPatternTable(ByteReader& r);
+
+void writeCalibrationConfig(ByteWriter& w, const CalibrationConfig& cfg);
+CalibrationConfig readCalibrationConfig(ByteReader& r);
+
+void writeBinaryMatrix(ByteWriter& w, const BinaryMatrix& m);
+BinaryMatrix readBinaryMatrix(ByteReader& r);
+
+void writeWeights(ByteWriter& w, const Matrix<int16_t>& m);
+Matrix<int16_t> readWeights(ByteReader& r);
+
+void writePwps(ByteWriter& w, const std::vector<Matrix<int32_t>>& pwps);
+std::vector<Matrix<int32_t>> readPwps(ByteReader& r);
+
+// ---- Whole-artifact API ----
+
+/** Encode a compiled model as a .phim byte image. */
+std::vector<uint8_t> serializeModel(const CompiledModel& model);
+
+/** Decode a .phim byte image; throws IoError on any malformation. */
+CompiledModel parseModel(const uint8_t* data, size_t size);
+
+/** serializeModel + write to disk; throws IoError on I/O failure. */
+void saveModel(const CompiledModel& model, const std::string& path);
+
+/** Read + parseModel; throws IoError on I/O failure or malformation. */
+CompiledModel loadModel(const std::string& path);
+
+/** Trace artifacts share the container format under kind 2. */
+std::vector<uint8_t> serializeTrace(const ModelTrace& trace);
+ModelTrace parseTrace(const uint8_t* data, size_t size);
+void saveTrace(const ModelTrace& trace, const std::string& path);
+ModelTrace loadTrace(const std::string& path);
+
+} // namespace phi::io
+
+#endif // PHI_IO_MODEL_IO_HH

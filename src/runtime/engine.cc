@@ -1,0 +1,110 @@
+#include "runtime/engine.hh"
+
+#include <chrono>
+
+namespace phi
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+PhiEngine::PhiEngine(CompiledModel model, ExecutionConfig exec)
+    : compiled(std::move(model)), exec(exec)
+{
+    phi_assert(!compiled.empty(),
+               "PhiEngine needs a model with at least one layer");
+}
+
+void
+PhiEngine::validateRequest(size_t layer, const BinaryMatrix& acts) const
+{
+    phi_assert(layer < compiled.numLayers(), "request for layer ", layer,
+               " of a ", compiled.numLayers(), "-layer model");
+    const CompiledLayer& l = compiled.layer(layer);
+    phi_assert(l.hasWeights(), "layer '", l.name(),
+               "' was compiled without weights and cannot serve compute");
+    phi_assert(acts.cols() == l.weights().rows(),
+               "activation K ", acts.cols(), " != weight rows ",
+               l.weights().rows(), " for layer '", l.name(), "'");
+}
+
+size_t
+PhiEngine::enqueue(size_t layer, BinaryMatrix acts)
+{
+    validateRequest(layer, acts);
+    queue.push_back({layer, std::move(acts)});
+    return queue.size() - 1;
+}
+
+std::vector<EngineResponse>
+PhiEngine::flush()
+{
+    if (queue.empty())
+        return {};
+
+    const size_t n = queue.size();
+    std::vector<EngineResponse> responses(n);
+    std::vector<double> latencies(n, 0.0);
+    const auto batchStart = Clock::now();
+
+    // One chunk per request: requests spread across the pool while each
+    // request's inner kernels run with the same deterministic chunking
+    // they use stand-alone (nested submissions execute inline).
+    parallelFor(exec, 0, n, 1, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            const auto reqStart = Clock::now();
+            const EngineRequest& req = queue[i];
+            const CompiledLayer& l = compiled.layer(req.layer);
+            EngineResponse& resp = responses[i];
+            resp.layer = req.layer;
+            resp.dec = l.decompose(req.acts, exec);
+            resp.out = l.compute(resp.dec, exec);
+            latencies[i] = secondsSince(reqStart);
+        }
+    });
+
+    counters.busySeconds += secondsSince(batchStart);
+    counters.batches += 1;
+    counters.requests += n;
+    for (const auto& req : queue)
+        counters.rows += req.acts.rows();
+    for (double s : latencies)
+        counters.recordLatency(s);
+    queue.clear();
+    return responses;
+}
+
+EngineResponse
+PhiEngine::serve(size_t layer, const BinaryMatrix& acts)
+{
+    phi_assert(queue.empty(),
+               "serve() with requests pending; flush() them first");
+    enqueue(layer, acts);
+    std::vector<EngineResponse> responses = flush();
+    return std::move(responses.front());
+}
+
+std::vector<EngineResponse>
+PhiEngine::serveBatch(size_t layer,
+                      const std::vector<const BinaryMatrix*>& batch)
+{
+    phi_assert(queue.empty(),
+               "serveBatch() with requests pending; flush() them first");
+    for (const BinaryMatrix* acts : batch) {
+        phi_assert(acts != nullptr, "null activation in batch");
+        enqueue(layer, *acts);
+    }
+    return flush();
+}
+
+} // namespace phi

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The online serving runtime: a PhiEngine owns an immutable
+ * CompiledModel and serves decompose+compute over batches of activation
+ * matrices.
+ *
+ * Requests accumulate in a queue and are dispatched as one batch on the
+ * shared ThreadPool (common/parallel.hh): one fixed-grain chunk per
+ * request, so requests run concurrently while each request's own
+ * kernels keep their deterministic chunking. Because every kernel in
+ * the stack is bit-deterministic at any thread count, a batch's results
+ * are identical to serving the same requests one at a time on a single
+ * thread — the property the engine tests pin down at 1/2/8 threads.
+ *
+ * PWPs are precomputed once at compile time and shared read-only across
+ * all requests and threads; serving a request never mutates the model.
+ * Throughput and latency counters are surfaced as core/stats
+ * ServingStats.
+ */
+
+#ifndef PHI_RUNTIME_ENGINE_HH
+#define PHI_RUNTIME_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "core/compiled_model.hh"
+#include "core/stats.hh"
+
+namespace phi
+{
+
+/** One queued unit of serving work: a layer id plus its activations. */
+struct EngineRequest
+{
+    size_t layer = 0;
+    BinaryMatrix acts;
+};
+
+/** Full result of one served request. */
+struct EngineResponse
+{
+    size_t layer = 0;
+    Matrix<int32_t> out;
+
+    /** Decomposition is returned too so callers can account sparsity
+     *  (stats/breakdown) without re-decomposing. */
+    LayerDecomposition dec;
+};
+
+class PhiEngine
+{
+  public:
+    /**
+     * @param model  the compiled artifact to serve; the engine takes
+     *               ownership and never mutates it.
+     * @param exec   engine knobs; threads bounds batch concurrency and
+     *               is inherited by the per-request kernels.
+     */
+    explicit PhiEngine(CompiledModel model, ExecutionConfig exec = {});
+
+    const CompiledModel& model() const { return compiled; }
+    const ExecutionConfig& execution() const { return exec; }
+
+    /**
+     * Queue a request; returns its index within the pending batch.
+     * Results come back from flush() in enqueue order regardless of
+     * thread count. Fatal if the layer id is out of range or the layer
+     * was compiled without weights.
+     */
+    size_t enqueue(size_t layer, BinaryMatrix acts);
+
+    size_t pending() const { return queue.size(); }
+
+    /**
+     * Serve every queued request as one batch and clear the queue.
+     * Deterministic: response i is bit-identical to
+     * layer.compute(layer.decompose(acts_i)) run stand-alone.
+     */
+    std::vector<EngineResponse> flush();
+
+    /** enqueue + flush for a single request. */
+    EngineResponse serve(size_t layer, const BinaryMatrix& acts);
+
+    /** Serve a homogeneous batch against one layer. */
+    std::vector<EngineResponse> serveBatch(
+        size_t layer, const std::vector<const BinaryMatrix*>& batch);
+
+    /** Cumulative throughput/latency counters. */
+    const ServingStats& stats() const { return counters; }
+    void resetStats() { counters = ServingStats{}; }
+
+  private:
+    void validateRequest(size_t layer, const BinaryMatrix& acts) const;
+
+    CompiledModel compiled;
+    ExecutionConfig exec;
+    std::vector<EngineRequest> queue;
+    ServingStats counters;
+};
+
+} // namespace phi
+
+#endif // PHI_RUNTIME_ENGINE_HH

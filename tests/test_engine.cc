@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Runtime engine tests: the compile/serve split end to end. A model
+ * compiled and saved by one "process" (the fixture) is loaded from the
+ * artifact file by a fresh PhiEngine and must produce bit-identical
+ * outputs to the in-memory compute path at 1, 2 and 8 threads — the
+ * acceptance criterion of the compile/serve refactor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+#include "test_support.hh"
+#include "io/model_io.hh"
+#include "runtime/engine.hh"
+
+namespace phi
+{
+namespace
+{
+
+ExecutionConfig
+withThreads(int threads)
+{
+    ExecutionConfig exec;
+    exec.threads = threads;
+    return exec;
+}
+
+/**
+ * Shared offline half: calibrate + bind + compile once, save the .phim
+ * artifact to a temp path, and keep the in-memory model as reference.
+ */
+class PhiEngineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(17);
+        train0 = BinaryMatrix::random(160, 96, 0.15, rng);
+        train1 = BinaryMatrix::random(128, 64, 0.2, rng);
+
+        CalibrationConfig cfg;
+        cfg.k = 16;
+        cfg.q = 24;
+        cfg.kmeans.maxIters = 8;
+        Pipeline pipe(cfg);
+        pipe.addLayer("proj", {&train0})
+            .bindWeights(test::randomWeights(96, 24, 2));
+        pipe.addLayer("head", {&train1})
+            .bindWeights(test::randomWeights(64, 10, 3));
+        reference = pipe.compile();
+
+        artifact = (std::filesystem::temp_directory_path() /
+                    ("phi_engine_test_" + std::to_string(::getpid()) +
+                     ".phim"))
+                       .string();
+        io::saveModel(reference, artifact);
+    }
+
+    void TearDown() override { std::remove(artifact.c_str()); }
+
+    std::vector<BinaryMatrix>
+    makeRequests(size_t count, size_t k, uint64_t seed) const
+    {
+        Rng rng(seed);
+        std::vector<BinaryMatrix> reqs;
+        for (size_t i = 0; i < count; ++i)
+            reqs.push_back(BinaryMatrix::random(48 + 16 * i, k, 0.18, rng));
+        return reqs;
+    }
+
+    BinaryMatrix train0, train1;
+    CompiledModel reference;
+    std::string artifact;
+};
+
+TEST_F(PhiEngineTest, LoadedEngineMatchesInMemoryComputeAtAnyThreadCount)
+{
+    // The acceptance fixture: offline process compiled + saved; the
+    // serving process starts from the artifact file alone.
+    const std::vector<BinaryMatrix> reqs = makeRequests(5, 96, 101);
+
+    // In-memory reference path (offline object, single-shot compute).
+    std::vector<Matrix<int32_t>> ref;
+    for (const auto& acts : reqs)
+        ref.push_back(reference.layer(0).compute(
+            reference.layer(0).decompose(acts)));
+
+    for (int threads : {1, 2, 8}) {
+        PhiEngine engine(io::loadModel(artifact), withThreads(threads));
+        for (const auto& acts : reqs)
+            engine.enqueue(0, acts);
+        const std::vector<EngineResponse> out = engine.flush();
+        ASSERT_EQ(out.size(), reqs.size());
+        for (size_t i = 0; i < reqs.size(); ++i)
+            EXPECT_EQ(out[i].out, ref[i])
+                << "request " << i << " at " << threads << " threads";
+    }
+}
+
+TEST_F(PhiEngineTest, MixedLayerBatchKeepsEnqueueOrder)
+{
+    PhiEngine engine(io::loadModel(artifact), withThreads(8));
+    Rng rng(55);
+    BinaryMatrix a0 = BinaryMatrix::random(40, 96, 0.2, rng);
+    BinaryMatrix a1 = BinaryMatrix::random(72, 64, 0.15, rng);
+    BinaryMatrix a2 = BinaryMatrix::random(24, 96, 0.25, rng);
+
+    EXPECT_EQ(engine.enqueue(0, a0), 0u);
+    EXPECT_EQ(engine.enqueue(1, a1), 1u);
+    EXPECT_EQ(engine.enqueue(0, a2), 2u);
+    EXPECT_EQ(engine.pending(), 3u);
+
+    const auto out = engine.flush();
+    EXPECT_EQ(engine.pending(), 0u);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].layer, 0u);
+    EXPECT_EQ(out[1].layer, 1u);
+    EXPECT_EQ(out[2].layer, 0u);
+    EXPECT_EQ(out[0].out,
+              reference.layer(0).compute(reference.layer(0).decompose(a0)));
+    EXPECT_EQ(out[1].out,
+              reference.layer(1).compute(reference.layer(1).decompose(a1)));
+    EXPECT_EQ(out[2].out,
+              reference.layer(0).compute(reference.layer(0).decompose(a2)));
+}
+
+TEST_F(PhiEngineTest, ServeAndServeBatchConveniences)
+{
+    PhiEngine engine(io::loadModel(artifact));
+    Rng rng(66);
+    BinaryMatrix acts = BinaryMatrix::random(32, 64, 0.2, rng);
+    const EngineResponse one = engine.serve(1, acts);
+    EXPECT_EQ(one.out,
+              reference.layer(1).compute(reference.layer(1).decompose(acts)));
+    // The response carries the decomposition for sparsity accounting.
+    EXPECT_EQ(one.dec.m, acts.rows());
+    EXPECT_GT(one.dec.numPartitions(), 0u);
+
+    const std::vector<BinaryMatrix> reqs = makeRequests(3, 64, 67);
+    std::vector<const BinaryMatrix*> ptrs;
+    for (const auto& r : reqs)
+        ptrs.push_back(&r);
+    const auto out = engine.serveBatch(1, ptrs);
+    ASSERT_EQ(out.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(out[i].out, reference.layer(1).compute(
+                                  reference.layer(1).decompose(reqs[i])));
+}
+
+TEST_F(PhiEngineTest, ServingCountersAccumulate)
+{
+    PhiEngine engine(io::loadModel(artifact));
+    const std::vector<BinaryMatrix> reqs = makeRequests(4, 96, 77);
+    size_t rows = 0;
+    for (const auto& acts : reqs) {
+        engine.enqueue(0, acts);
+        rows += acts.rows();
+    }
+    engine.flush();
+    engine.flush(); // empty flush: no batch, no request counted
+
+    const ServingStats& s = engine.stats();
+    EXPECT_EQ(s.requests, reqs.size());
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.rows, rows);
+    EXPECT_EQ(s.latencySeconds.size(), reqs.size());
+    EXPECT_GT(s.busySeconds, 0.0);
+    EXPECT_GT(s.throughputRps(), 0.0);
+    EXPECT_GT(s.rowThroughputRps(), 0.0);
+    EXPECT_GE(s.latencyPercentileMs(99), s.latencyPercentileMs(50));
+
+    engine.resetStats();
+    EXPECT_EQ(engine.stats().requests, 0u);
+    EXPECT_EQ(engine.stats().latencySeconds.size(), 0u);
+}
+
+TEST_F(PhiEngineTest, RejectsInvalidRequests)
+{
+    detail::setThrowOnError(true);
+    PhiEngine engine(io::loadModel(artifact));
+    Rng rng(88);
+    BinaryMatrix wrongK = BinaryMatrix::random(16, 32, 0.2, rng);
+    EXPECT_THROW(engine.enqueue(0, wrongK), std::logic_error);
+    BinaryMatrix ok = BinaryMatrix::random(16, 96, 0.2, rng);
+    EXPECT_THROW(engine.enqueue(7, ok), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST_F(PhiEngineTest, WeightlessLayerCannotServe)
+{
+    detail::setThrowOnError(true);
+    Rng rng(91);
+    BinaryMatrix train = BinaryMatrix::random(64, 32, 0.2, rng);
+    Pipeline pipe;
+    pipe.addLayer("tableOnly", {&train});
+    PhiEngine engine(pipe.compile());
+    BinaryMatrix acts = BinaryMatrix::random(8, 32, 0.2, rng);
+    EXPECT_THROW(engine.enqueue(0, acts), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(ServingStats, LatencyWindowIsBounded)
+{
+    // A long-running engine must not grow without bound: the sample
+    // window is a fixed-size ring over the most recent requests.
+    ServingStats s;
+    const size_t n = ServingStats::kMaxLatencySamples + 1000;
+    for (size_t i = 0; i < n; ++i)
+        s.recordLatency(static_cast<double>(i));
+    EXPECT_EQ(s.latencySeconds.size(), ServingStats::kMaxLatencySamples);
+    // The oldest 1000 samples were evicted: the minimum retained value
+    // is 1000.
+    EXPECT_DOUBLE_EQ(s.latencyPercentileMs(0), 1000.0 * 1e3);
+}
+
+TEST(ServingStats, PercentilesOnKnownSamples)
+{
+    ServingStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.recordLatency(i * 1e-3); // 1ms .. 100ms
+    s.requests = 100;
+    s.busySeconds = 2.0;
+    EXPECT_NEAR(s.latencyPercentileMs(50), 50.5, 1.0);
+    EXPECT_NEAR(s.latencyPercentileMs(99), 99.0, 1.0);
+    EXPECT_NEAR(s.latencyPercentileMs(0), 1.0, 1e-9);
+    EXPECT_NEAR(s.latencyPercentileMs(100), 100.0, 1e-9);
+    EXPECT_NEAR(s.meanLatencyMs(), 50.5, 1e-9);
+    EXPECT_DOUBLE_EQ(s.throughputRps(), 50.0);
+
+    ServingStats other;
+    other.requests = 10;
+    other.batches = 1;
+    other.rows = 5;
+    other.busySeconds = 1.0;
+    other.latencySeconds = {0.5};
+    s.merge(other);
+    EXPECT_EQ(s.requests, 110u);
+    EXPECT_EQ(s.latencySeconds.size(), 101u);
+    EXPECT_DOUBLE_EQ(s.busySeconds, 3.0);
+}
+
+} // namespace
+} // namespace phi

@@ -62,13 +62,15 @@ TEST(Integration, RealNetworkActivationsAreLosslesslyDecomposed)
         pipe.addLayer("layer" + std::to_string(l), samples);
     }
 
+    // Decompose-only layers compile to weightless CompiledLayers.
+    const CompiledModel model = pipe.compile();
     for (size_t l = 0; l < num_layers; ++l) {
         const BinaryMatrix& acts = test.gemmActs[l];
         if (acts.popcount() == 0)
             continue; // nothing to verify on a silent layer
-        LayerDecomposition dec = pipe.layer(l).decompose(acts);
+        LayerDecomposition dec = model.layer(l).decompose(acts);
         BinaryMatrix rebuilt =
-            reconstructActivations(dec, pipe.layer(l).table());
+            reconstructActivations(dec, model.layer(l).table());
         EXPECT_TRUE(rebuilt == acts) << "layer " << l;
 
         // Exact product with integer weights.
@@ -77,7 +79,7 @@ TEST(Integration, RealNetworkActivationsAreLosslesslyDecomposed)
         for (size_t r = 0; r < w.rows(); ++r)
             for (size_t c = 0; c < w.cols(); ++c)
                 w(r, c) = static_cast<int16_t>(qrng.uniformInt(-20, 20));
-        EXPECT_EQ(phiGemm(dec, pipe.layer(l).table(), w),
+        EXPECT_EQ(phiGemm(dec, model.layer(l).table(), w),
                   spikeGemm(acts, w))
             << "layer " << l;
     }

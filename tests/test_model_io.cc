@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Serialization tests: .phim round trips preserve every component
+ * (tables, weights, PWPs, config, traces) exactly, and malformed
+ * artifacts — bad magic, bad version, truncations at any byte, lying
+ * section tables — are rejected with io::IoError, never a crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "common/rng.hh"
+#include "core/pipeline.hh"
+#include "test_support.hh"
+#include "io/model_io.hh"
+#include "snn/trace.hh"
+
+namespace phi
+{
+namespace
+{
+
+CompiledModel
+makeCompiledModel(uint64_t seed = 1, bool secondLayerWeightless = true)
+{
+    Rng rng(seed);
+    BinaryMatrix train0 = BinaryMatrix::random(128, 64, 0.15, rng);
+    BinaryMatrix train1 = BinaryMatrix::random(96, 48, 0.2, rng);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 24;
+    cfg.kmeans.maxIters = 8;
+    cfg.kmeans.seed = 5;
+    cfg.kmeans.maxDistinct = 512;
+    Pipeline pipe(cfg);
+    pipe.addLayer("proj", {&train0}).bindWeights(test::randomWeights(64, 20, 2));
+    LayerPipeline& l1 = pipe.addLayer("head", {&train1});
+    if (!secondLayerWeightless)
+        l1.bindWeights(test::randomWeights(48, 8, 3));
+    return pipe.compile();
+}
+
+void
+expectTablesEqual(const PatternTable& a, const PatternTable& b)
+{
+    ASSERT_EQ(a.k(), b.k());
+    ASSERT_EQ(a.numPartitions(), b.numPartitions());
+    for (size_t p = 0; p < a.numPartitions(); ++p)
+        EXPECT_EQ(a.partition(p).patterns(), b.partition(p).patterns())
+            << "partition " << p;
+}
+
+void
+expectModelsEqual(const CompiledModel& a, const CompiledModel& b)
+{
+    ASSERT_EQ(a.numLayers(), b.numLayers());
+    EXPECT_EQ(a.calibration().k, b.calibration().k);
+    EXPECT_EQ(a.calibration().q, b.calibration().q);
+    EXPECT_EQ(a.calibration().maxRowsPerPartition,
+              b.calibration().maxRowsPerPartition);
+    EXPECT_EQ(a.calibration().kmeans.numClusters,
+              b.calibration().kmeans.numClusters);
+    EXPECT_EQ(a.calibration().kmeans.maxIters,
+              b.calibration().kmeans.maxIters);
+    EXPECT_EQ(a.calibration().kmeans.seed, b.calibration().kmeans.seed);
+    EXPECT_EQ(a.calibration().kmeans.init, b.calibration().kmeans.init);
+    EXPECT_EQ(a.calibration().kmeans.maxDistinct,
+              b.calibration().kmeans.maxDistinct);
+    for (size_t l = 0; l < a.numLayers(); ++l) {
+        const CompiledLayer& la = a.layer(l);
+        const CompiledLayer& lb = b.layer(l);
+        EXPECT_EQ(la.name(), lb.name());
+        expectTablesEqual(la.table(), lb.table());
+        ASSERT_EQ(la.hasWeights(), lb.hasWeights());
+        if (la.hasWeights()) {
+            EXPECT_EQ(la.weights(), lb.weights());
+            ASSERT_EQ(la.pwps().size(), lb.pwps().size());
+            for (size_t p = 0; p < la.pwps().size(); ++p)
+                EXPECT_EQ(la.pwps()[p], lb.pwps()[p])
+                    << "layer " << l << " partition " << p;
+        }
+    }
+}
+
+std::string
+tempArtifactPath(const char* stem)
+{
+    return (std::filesystem::temp_directory_path() /
+            (std::string("phi_test_") + stem + "_" +
+             std::to_string(::getpid()) + ".phim"))
+        .string();
+}
+
+/** Deletes the temp artifact even when an assertion fails mid-test. */
+struct TempFile
+{
+    explicit TempFile(const char* stem) : path(tempArtifactPath(stem)) {}
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+TEST(ModelIo, InMemoryRoundTripPreservesEverything)
+{
+    const CompiledModel model = makeCompiledModel();
+    const std::vector<uint8_t> bytes = io::serializeModel(model);
+    const CompiledModel back = io::parseModel(bytes.data(), bytes.size());
+    expectModelsEqual(model, back);
+}
+
+TEST(ModelIo, SerializationIsByteStable)
+{
+    // parse -> serialize must reproduce the identical byte image, so
+    // artifacts can be content-addressed / diffed.
+    const CompiledModel model = makeCompiledModel();
+    const std::vector<uint8_t> bytes = io::serializeModel(model);
+    const CompiledModel back = io::parseModel(bytes.data(), bytes.size());
+    EXPECT_EQ(io::serializeModel(back), bytes);
+}
+
+TEST(ModelIo, FileRoundTripThroughSaveAndLoad)
+{
+    TempFile f("roundtrip");
+    const CompiledModel model = makeCompiledModel(7, false);
+    io::saveModel(model, f.path);
+    const CompiledModel back = io::loadModel(f.path);
+    expectModelsEqual(model, back);
+}
+
+TEST(ModelIo, LoadedModelComputesIdenticallyToOriginal)
+{
+    TempFile f("compute");
+    const CompiledModel model = makeCompiledModel(9, false);
+    io::saveModel(model, f.path);
+    const CompiledModel back = io::loadModel(f.path);
+
+    Rng rng(21);
+    BinaryMatrix acts = BinaryMatrix::random(64, 64, 0.15, rng);
+    const auto ref = model.layer(0).compute(model.layer(0).decompose(acts));
+    EXPECT_EQ(back.layer(0).compute(back.layer(0).decompose(acts)), ref);
+}
+
+TEST(ModelIo, RejectsBadMagic)
+{
+    std::vector<uint8_t> bytes = io::serializeModel(makeCompiledModel());
+    bytes[0] ^= 0xFF;
+    EXPECT_THROW(io::parseModel(bytes.data(), bytes.size()), io::IoError);
+}
+
+TEST(ModelIo, RejectsUnsupportedVersion)
+{
+    std::vector<uint8_t> bytes = io::serializeModel(makeCompiledModel());
+    bytes[4] = 99; // version field, little-endian low byte
+    EXPECT_THROW(io::parseModel(bytes.data(), bytes.size()), io::IoError);
+}
+
+TEST(ModelIo, RejectsWrongKind)
+{
+    // A trace artifact is not a model artifact.
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR100);
+    spec.layers = {{"conv", 64, 48, 8, 1}};
+    TraceOptions opt;
+    opt.calib.q = 8;
+    opt.calib.kmeans.maxIters = 4;
+    const std::vector<uint8_t> bytes =
+        io::serializeTrace(buildModelTrace(spec, opt));
+    EXPECT_THROW(io::parseModel(bytes.data(), bytes.size()), io::IoError);
+}
+
+TEST(ModelIo, RejectsTruncationAtEveryBoundary)
+{
+    const std::vector<uint8_t> bytes =
+        io::serializeModel(makeCompiledModel());
+    // Every prefix must reject cleanly: the declared-size check catches
+    // all of them, and the bounds-checked reader backstops it.
+    const size_t cuts[] = {0, 1, 7, 8, 15, 23, 24, 40,
+                           bytes.size() / 2, bytes.size() - 1};
+    for (size_t cut : cuts) {
+        ASSERT_LT(cut, bytes.size());
+        EXPECT_THROW(io::parseModel(bytes.data(), cut), io::IoError)
+            << "prefix of " << cut << " bytes";
+    }
+}
+
+TEST(ModelIo, RejectsLyingSectionTable)
+{
+    std::vector<uint8_t> bytes = io::serializeModel(makeCompiledModel());
+    // First section entry starts at byte 24; its offset field is at
+    // +8. Point it past the end of the file.
+    const size_t offsetField = 24 + 8;
+    for (int i = 0; i < 8; ++i)
+        bytes[offsetField + i] = 0xFF;
+    EXPECT_THROW(io::parseModel(bytes.data(), bytes.size()), io::IoError);
+}
+
+TEST(ModelIo, RejectsCorruptPatternWidth)
+{
+    const CompiledModel model = makeCompiledModel();
+    io::ByteWriter w;
+    io::writePatternTable(w, model.layer(0).table());
+    std::vector<uint8_t> bytes = w.buffer();
+    bytes[0] = 200; // k = 200 is outside [1, 64]
+    io::ByteReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(io::readPatternTable(r), io::IoError);
+}
+
+TEST(ModelIo, RejectsOversizedElementCounts)
+{
+    // A weights matrix claiming 2^40 rows in a tiny buffer must be
+    // rejected by the count guard, not attempted as an allocation.
+    io::ByteWriter w;
+    w.u64(uint64_t{1} << 40);
+    w.u64(uint64_t{1} << 40);
+    std::vector<uint8_t> bytes = w.buffer();
+    io::ByteReader r(bytes.data(), bytes.size());
+    EXPECT_THROW(io::readWeights(r), io::IoError);
+}
+
+TEST(ModelIo, RejectsTraceWithCorruptDecomposition)
+{
+    // Structural lies that survive the byte-level checks must still be
+    // rejected: consumers index pattern ids and CSR offsets unchecked.
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR100);
+    spec.layers = {{"conv", 64, 48, 8, 1}};
+    TraceOptions opt;
+    opt.calib.q = 8;
+    opt.calib.kmeans.maxIters = 4;
+    const ModelTrace good = buildModelTrace(spec, opt);
+    ASSERT_FALSE(good.layers[0].dec.tiles.empty());
+
+    {
+        ModelTrace bad = good;
+        bad.layers[0].dec.tiles[0].patternIds[0] = 999; // > q patterns
+        const auto bytes = io::serializeTrace(bad);
+        EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
+                     io::IoError);
+    }
+    {
+        ModelTrace bad = good;
+        bad.layers[0].dec.tiles[0].partition = 77; // no such partition
+        const auto bytes = io::serializeTrace(bad);
+        EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
+                     io::IoError);
+    }
+    {
+        ModelTrace bad = good;
+        auto& offs = bad.layers[0].dec.tiles[0].l2Offsets;
+        if (offs.size() > 2)
+            offs[1] = offs.back() + 100; // non-monotone interior offset
+        const auto bytes = io::serializeTrace(bad);
+        EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
+                     io::IoError);
+    }
+    {
+        // A pattern width smuggled past [1,64] would let L2 columns
+        // index out of bounds downstream.
+        ModelTrace bad = good;
+        bad.layers[0].dec.k = 1000;
+        for (auto& tile : bad.layers[0].dec.tiles)
+            tile.k = 1000;
+        const auto bytes = io::serializeTrace(bad);
+        EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
+                     io::IoError);
+    }
+    {
+        // Width mismatch vs. the table must reject even when the
+        // decomposition is internally consistent (k=24 covers the same
+        // 3 tiles, but the table was calibrated at k=16).
+        ModelTrace bad = good;
+        bad.layers[0].dec.k = 24;
+        bad.layers[0].dec.kTotal = 72;
+        for (auto& tile : bad.layers[0].dec.tiles)
+            tile.k = 24;
+        const auto bytes = io::serializeTrace(bad);
+        EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
+                     io::IoError);
+    }
+    {
+        // kTotal inflated to force a huge reconstruction allocation.
+        ModelTrace bad = good;
+        bad.layers[0].dec.kTotal = size_t{1} << 60;
+        const auto bytes = io::serializeTrace(bad);
+        EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
+                     io::IoError);
+    }
+}
+
+TEST(ModelIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(io::loadModel("/nonexistent/phi_no_such_model.phim"),
+                 io::IoError);
+}
+
+TEST(ModelIo, ComponentRoundTrips)
+{
+    const CompiledModel model = makeCompiledModel(3, false);
+
+    io::ByteWriter w;
+    io::writeCalibrationConfig(w, model.calibration());
+    io::writePatternTable(w, model.layer(0).table());
+    io::writeWeights(w, model.layer(0).weights());
+    io::writePwps(w, model.layer(0).pwps());
+
+    io::ByteReader r(w.buffer().data(), w.buffer().size());
+    const CalibrationConfig cfg = io::readCalibrationConfig(r);
+    EXPECT_EQ(cfg.q, model.calibration().q);
+    expectTablesEqual(io::readPatternTable(r), model.layer(0).table());
+    EXPECT_EQ(io::readWeights(r), model.layer(0).weights());
+    const auto pwps = io::readPwps(r);
+    ASSERT_EQ(pwps.size(), model.layer(0).pwps().size());
+    for (size_t p = 0; p < pwps.size(); ++p)
+        EXPECT_EQ(pwps[p], model.layer(0).pwps()[p]);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ModelIo, BinaryMatrixRoundTripIncludingRaggedTail)
+{
+    Rng rng(31);
+    for (size_t cols : {1u, 63u, 64u, 65u, 130u}) {
+        BinaryMatrix m = BinaryMatrix::random(17, cols, 0.3, rng);
+        io::ByteWriter w;
+        io::writeBinaryMatrix(w, m);
+        io::ByteReader r(w.buffer().data(), w.buffer().size());
+        BinaryMatrix back = io::readBinaryMatrix(r);
+        EXPECT_TRUE(back == m) << "cols=" << cols;
+        EXPECT_TRUE(back.tailBitsClear());
+    }
+}
+
+TEST(ModelIo, TraceRoundTripPreservesLayers)
+{
+    ModelSpec spec = makeModel(ModelId::VGG16, DatasetId::CIFAR100);
+    spec.layers = {{"conv", 128, 96, 16, 2}};
+    TraceOptions opt;
+    opt.calib.q = 16;
+    opt.calib.kmeans.maxIters = 6;
+    opt.withWeights = true;
+    const ModelTrace trace = buildModelTrace(spec, opt);
+
+    TempFile f("trace");
+    io::saveTrace(trace, f.path);
+    const ModelTrace back = io::loadTrace(f.path);
+
+    ASSERT_EQ(back.layers.size(), trace.layers.size());
+    EXPECT_EQ(back.spec.model, trace.spec.model);
+    EXPECT_EQ(back.spec.dataset, trace.spec.dataset);
+    EXPECT_EQ(back.spec.timesteps, trace.spec.timesteps);
+    ASSERT_EQ(back.spec.layers.size(), trace.spec.layers.size());
+    EXPECT_EQ(back.spec.layers[0].name, trace.spec.layers[0].name);
+    EXPECT_EQ(back.spec.layers[0].count, trace.spec.layers[0].count);
+    EXPECT_DOUBLE_EQ(back.spec.profile.bitDensity,
+                     trace.spec.profile.bitDensity);
+
+    for (size_t l = 0; l < trace.layers.size(); ++l) {
+        const LayerTrace& a = trace.layers[l];
+        const LayerTrace& b = back.layers[l];
+        EXPECT_TRUE(a.acts == b.acts);
+        expectTablesEqual(a.table, b.table);
+        EXPECT_EQ(a.weights, b.weights);
+        ASSERT_EQ(a.dec.tiles.size(), b.dec.tiles.size());
+        for (size_t t = 0; t < a.dec.tiles.size(); ++t) {
+            EXPECT_EQ(a.dec.tiles[t].patternIds, b.dec.tiles[t].patternIds);
+            EXPECT_EQ(a.dec.tiles[t].l2Offsets, b.dec.tiles[t].l2Offsets);
+            EXPECT_EQ(a.dec.tiles[t].l2Nnz(), b.dec.tiles[t].l2Nnz());
+        }
+        EXPECT_EQ(a.stats.bitOnes, b.stats.bitOnes);
+        EXPECT_EQ(a.stats.l2Pos, b.stats.l2Pos);
+        EXPECT_DOUBLE_EQ(a.stats.bitDensity, b.stats.bitDensity);
+        EXPECT_EQ(a.paftStats.elements, b.paftStats.elements);
+        // The reconstructed trace must still satisfy the losslessness
+        // invariant end to end.
+        EXPECT_TRUE(reconstructActivations(b.dec, b.table) == b.acts);
+    }
+    EXPECT_EQ(back.aggregate().bitOnes, trace.aggregate().bitOnes);
+}
+
+} // namespace
+} // namespace phi

@@ -433,9 +433,12 @@ TEST(ParallelKernels, PipelineComputeMatchesReferenceAtAnyThreadCount)
     const Matrix<int32_t> ref = naiveSpikeGemm(acts, w);
     for (int threads : {1, 8}) {
         Pipeline pipe(calib, withThreads(threads));
-        LayerPipeline& layer = pipe.addLayer("l0", {&acts});
-        layer.bindWeights(w);
-        EXPECT_EQ(layer.compute(layer.decompose(acts)), ref);
+        pipe.addLayer("l0", {&acts}).bindWeights(w);
+        const CompiledModel model = pipe.compile();
+        const CompiledLayer& layer = model.layer(0);
+        EXPECT_EQ(layer.compute(layer.decompose(acts, withThreads(threads)),
+                                withThreads(threads)),
+                  ref);
     }
 }
 

@@ -1,48 +1,39 @@
 /**
  * @file
- * Tests for the public Pipeline facade.
+ * Tests for the offline compiler facade (Pipeline -> CompiledModel).
  */
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
 #include "core/pipeline.hh"
+#include "test_support.hh"
 
 namespace phi
 {
 namespace
 {
 
-Matrix<int16_t>
-randomWeights(size_t k, size_t n, uint64_t seed)
-{
-    Rng rng(seed);
-    Matrix<int16_t> w(k, n);
-    for (size_t r = 0; r < k; ++r)
-        for (size_t c = 0; c < n; ++c)
-            w(r, c) = static_cast<int16_t>(rng.uniformInt(-30, 30));
-    return w;
-}
-
-TEST(Pipeline, CalibrateDecomposeComputeRoundTrip)
+TEST(Pipeline, CalibrateCompileComputeRoundTrip)
 {
     Rng rng(1);
     BinaryMatrix train = BinaryMatrix::random(128, 64, 0.15, rng);
     BinaryMatrix test = BinaryMatrix::random(64, 64, 0.15, rng);
-    Matrix<int16_t> w = randomWeights(64, 16, 2);
+    Matrix<int16_t> w = test::randomWeights(64, 16, 2);
 
     CalibrationConfig cfg;
     cfg.k = 16;
     cfg.q = 32;
     Pipeline pipe(cfg);
-    LayerPipeline& layer = pipe.addLayer("l0", {&train});
-    layer.bindWeights(w);
+    pipe.addLayer("l0", {&train}).bindWeights(w);
 
+    const CompiledModel model = pipe.compile();
+    const CompiledLayer& layer = model.layer(0);
     LayerDecomposition dec = layer.decompose(test);
     EXPECT_EQ(layer.compute(dec), spikeGemm(test, w));
 }
 
-TEST(Pipeline, BreakdownMatchesDirectComputation)
+TEST(Pipeline, CompiledBreakdownMatchesDirectComputation)
 {
     Rng rng(3);
     BinaryMatrix acts = BinaryMatrix::random(64, 32, 0.2, rng);
@@ -50,9 +41,10 @@ TEST(Pipeline, BreakdownMatchesDirectComputation)
     cfg.k = 16;
     cfg.q = 16;
     Pipeline pipe(cfg);
-    LayerPipeline& layer = pipe.addLayer("l0", {&acts});
-    LayerDecomposition dec = layer.decompose(acts);
-    SparsityBreakdown b = layer.breakdown(acts, dec);
+    pipe.addLayer("l0", {&acts});
+    const CompiledModel model = pipe.compile();
+    LayerDecomposition dec = model.layer(0).decompose(acts);
+    SparsityBreakdown b = model.layer(0).breakdown(acts, dec);
     EXPECT_EQ(b.bitOnes, acts.popcount());
 }
 
@@ -68,6 +60,12 @@ TEST(Pipeline, MultipleLayersIndexedInOrder)
     EXPECT_EQ(pipe.layer(0).name(), "first");
     EXPECT_EQ(pipe.layer(1).name(), "second");
     EXPECT_EQ(pipe.layer(1).table().numPartitions(), 3u);
+
+    const CompiledModel model = pipe.compile();
+    EXPECT_EQ(model.numLayers(), 2u);
+    EXPECT_EQ(model.layer(0).name(), "first");
+    EXPECT_EQ(model.findLayer("second"), std::optional<size_t>{1});
+    EXPECT_EQ(model.findLayer("absent"), std::nullopt);
 }
 
 TEST(Pipeline, ComputeWithoutWeightsPanics)
@@ -76,9 +74,11 @@ TEST(Pipeline, ComputeWithoutWeightsPanics)
     Rng rng(7);
     BinaryMatrix a = BinaryMatrix::random(16, 16, 0.3, rng);
     Pipeline pipe;
-    LayerPipeline& layer = pipe.addLayer("l", {&a});
-    LayerDecomposition dec = layer.decompose(a);
-    EXPECT_THROW(layer.compute(dec), std::logic_error);
+    pipe.addLayer("l", {&a});
+    const CompiledModel model = pipe.compile();
+    EXPECT_FALSE(model.layer(0).hasWeights());
+    LayerDecomposition dec = model.layer(0).decompose(a);
+    EXPECT_THROW(model.layer(0).compute(dec), std::logic_error);
     detail::setThrowOnError(false);
 }
 
@@ -101,6 +101,55 @@ TEST(Pipeline, ExternalTableRegistration)
     PatternTable table(16, {PatternSet(16, {0xFF})});
     pipe.addLayer("ext", std::move(table));
     EXPECT_EQ(pipe.layer(0).table().totalPatterns(), 1u);
+}
+
+TEST(Pipeline, CompileSnapshotsAndPipelineKeepsCompiling)
+{
+    // compile() must not consume the pipeline: binding more layers
+    // afterwards yields a second, larger artifact while the first
+    // snapshot stays valid.
+    Rng rng(11);
+    BinaryMatrix a = BinaryMatrix::random(64, 32, 0.2, rng);
+    BinaryMatrix b = BinaryMatrix::random(64, 32, 0.2, rng);
+    Pipeline pipe;
+    pipe.addLayer("a", {&a}).bindWeights(test::randomWeights(32, 8, 12));
+
+    const CompiledModel first = pipe.compile();
+    pipe.addLayer("b", {&b});
+    const CompiledModel second = pipe.compile();
+
+    EXPECT_EQ(first.numLayers(), 1u);
+    EXPECT_EQ(second.numLayers(), 2u);
+    EXPECT_TRUE(first.layer(0).hasWeights());
+    EXPECT_GT(first.pwpFootprintBytes(), 0u);
+}
+
+TEST(Pipeline, CompiledPwpsMatchDirectComputation)
+{
+    Rng rng(13);
+    BinaryMatrix train = BinaryMatrix::random(96, 48, 0.2, rng);
+    Matrix<int16_t> w = test::randomWeights(48, 12, 14);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 16;
+    Pipeline pipe(cfg);
+    pipe.addLayer("l0", {&train}).bindWeights(w);
+    const CompiledModel model = pipe.compile();
+
+    const auto direct = computeLayerPwps(model.layer(0).table(), w);
+    ASSERT_EQ(model.layer(0).pwps().size(), direct.size());
+    for (size_t p = 0; p < direct.size(); ++p)
+        EXPECT_EQ(model.layer(0).pwps()[p], direct[p]) << "partition " << p;
+}
+
+TEST(Pipeline, FreeFunctionCompileSpelling)
+{
+    Rng rng(15);
+    BinaryMatrix a = BinaryMatrix::random(32, 16, 0.25, rng);
+    Pipeline pipe;
+    pipe.addLayer("l", {&a});
+    const CompiledModel model = phi::compile(pipe);
+    EXPECT_EQ(model.numLayers(), 1u);
 }
 
 } // namespace

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Helpers shared across the test suite.
+ */
+
+#ifndef PHI_TESTS_TEST_SUPPORT_HH
+#define PHI_TESTS_TEST_SUPPORT_HH
+
+#include "common/rng.hh"
+#include "numeric/matrix.hh"
+
+namespace phi::test
+{
+
+/** Deterministic random int16 weight matrix for exactness checks. */
+inline Matrix<int16_t>
+randomWeights(size_t k, size_t n, uint64_t seed, int lo = -30, int hi = 30)
+{
+    Rng rng(seed);
+    Matrix<int16_t> w(k, n);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < n; ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(lo, hi));
+    return w;
+}
+
+} // namespace phi::test
+
+#endif // PHI_TESTS_TEST_SUPPORT_HH
