@@ -9,6 +9,8 @@
 #define PHI_BENCH_BENCH_UTIL_HH
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,6 +22,50 @@
 
 namespace phi::bench
 {
+
+/**
+ * True when this bench binary was compiled with NDEBUG (Release /
+ * RelWithDebInfo). Recorded baselines must come from optimised builds
+ * — the original BENCH_micro.json was accidentally captured from a
+ * debug build — so the JSON writers below refuse to run otherwise.
+ */
+#ifdef NDEBUG
+inline constexpr bool kReleaseBuild = true;
+#else
+inline constexpr bool kReleaseBuild = false;
+#endif
+
+/** Die unless this binary may write benchmark JSON (Release only). */
+inline void
+requireReleaseForJson(const std::string& path)
+{
+    if (kReleaseBuild)
+        return;
+    std::cerr << "refusing to write benchmark JSON '" << path
+              << "': this binary was built without NDEBUG "
+                 "(non-Release). Rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release to record baselines.\n";
+    std::exit(1);
+}
+
+/**
+ * Guard for google-benchmark binaries: refuse --benchmark_out in
+ * non-Release builds before benchmark::Initialize consumes the flags.
+ */
+inline void
+guardJsonOutput(int argc, char** argv)
+{
+    if (kReleaseBuild)
+        return;
+    for (int i = 1; i < argc; ++i) {
+        // Match only the output-file flag itself — not its siblings
+        // like --benchmark_out_format, which write nothing.
+        if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+            std::strncmp(argv[i], "--benchmark_out=",
+                         std::strlen("--benchmark_out=")) == 0)
+            requireReleaseForJson(argv[i]);
+    }
+}
 
 /** Trace options shared by all benches (fixed seeds, bounded k-means). */
 inline TraceOptions

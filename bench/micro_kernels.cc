@@ -17,9 +17,11 @@
 #include "arch/adder_tree.hh"
 #include "arch/packer.hh"
 #include "arch/pattern_matcher.hh"
+#include "bench/bench_util.hh"
 #include "common/rng.hh"
 #include "core/calibration.hh"
 #include "core/pwp.hh"
+#include "numeric/simd.hh"
 #include "snn/activation_gen.hh"
 
 namespace phi
@@ -231,4 +233,24 @@ BENCHMARK(BM_PhiGemm)->ArgsProduct({{256, 1024}, {1, 2, 4, 8}});
 } // namespace
 } // namespace phi
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // Baselines must come from optimised binaries; a non-Release build
+    // refuses to write JSON at all. The context records this binary's
+    // build type and the SIMD backend Auto resolves to (the benchmark
+    // library's own library_build_type reflects how libbenchmark was
+    // compiled, not this binary).
+    phi::bench::guardJsonOutput(argc, argv);
+    benchmark::AddCustomContext(
+        "phi_build_type",
+        phi::bench::kReleaseBuild ? "release" : "debug");
+    benchmark::AddCustomContext(
+        "phi_simd", phi::simdIsaName(phi::simd::activeIsa()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -4,9 +4,13 @@
  * PhiEngine batched serving, swept over batch size and thread count.
  *
  * The workload is the steady-state serving loop the compile/serve split
- * exists for: one compiled layer (K=256, N=64, 128 patterns/partition),
- * a stream of M=256-row activation requests, PWPs reused across every
- * request. Results (the computed matrices) are bit-identical across all
+ * exists for: one compiled layer (K=256, N=256, 128 patterns/partition),
+ * a stream of M=1024-row activation requests, PWPs reused across every
+ * request. The per-request work is sized so that spreading a batch
+ * across pool threads amortises dispatch: a request is ~16x the work
+ * of the original 256-row/64-column bench, whose requests were so
+ * small that 8-thread serving lost to 1-thread on dispatch overhead.
+ * Results (the computed matrices) are bit-identical across all
  * configurations; only the timing varies.
  *
  * Usage:  serving_throughput [out.json]
@@ -18,9 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/pipeline.hh"
+#include "numeric/simd.hh"
 #include "runtime/engine.hh"
 #include "snn/activation_gen.hh"
 
@@ -31,11 +37,11 @@ namespace
 
 /** Workload constants; emitted into the JSON report so the recorded
  *  metadata always matches what was measured. */
-constexpr size_t kRequestRows = 256;
+constexpr size_t kRequestRows = 1024;
 constexpr size_t kReductionK = 256;
-constexpr size_t kOutputN = 64;
+constexpr size_t kOutputN = 256;
 constexpr int kPatternsQ = 128;
-constexpr size_t kNumRequests = 96;
+constexpr size_t kNumRequests = 64;
 
 struct Result
 {
@@ -127,6 +133,10 @@ writeJson(const std::string& path, const std::vector<Result>& results)
 {
     std::ofstream out(path);
     out << "{\n  \"benchmark\": \"serving_throughput\",\n"
+        << "  \"build_type\": \""
+        << (phi::bench::kReleaseBuild ? "release" : "debug")
+        << "\",\n  \"simd\": \"" << simdIsaName(simd::activeIsa())
+        << "\",\n"
         << "  \"workload\": {\"layers\": 1, \"m\": " << kRequestRows
         << ", \"k\": " << kReductionK << ", \"n\": " << kOutputN
         << ", \"q\": " << kPatternsQ << ", \"requests\": "
@@ -175,6 +185,7 @@ main(int argc, char** argv)
     t.print(std::cout);
 
     if (argc > 1) {
+        phi::bench::requireReleaseForJson(argv[1]);
         writeJson(argv[1], results);
         std::cerr << "wrote " << argv[1] << "\n";
     }

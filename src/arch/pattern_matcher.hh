@@ -43,9 +43,10 @@ class PatternMatcher
 
     /**
      * Match a batch of row-tiles with a parallel sweep over fixed-size
-     * chunks. Each result slot is written by exactly one chunk, so the
-     * output is bit-identical to calling match() per row at any thread
-     * count.
+     * chunks. Inside a chunk the whole pattern partition is scanned
+     * word-parallel (SIMD XOR+popcount via the kernel layer) before a
+     * scalar first-minimum argmin, so the output is bit-identical to
+     * calling match() per row at any thread count and on any backend.
      */
     std::vector<RowAssignment> matchAll(
         const std::vector<uint64_t>& rows,

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Cache-line-aligned storage for the numeric containers.
+ *
+ * The SIMD kernel layer (numeric/simd.hh) wants every matrix row to
+ * start on a 64-byte boundary and to be padded to a whole number of
+ * cache lines, so vector loops can run full-width to the padded edge
+ * without tail branches. AlignedVec is a std::vector with an aligned
+ * allocator: it keeps value semantics (copy, move, operator==) while
+ * guaranteeing the alignment of the buffer start.
+ */
+
+#ifndef PHI_COMMON_ALIGNED_HH
+#define PHI_COMMON_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace phi
+{
+
+/** Alignment of all SIMD-visible buffers: one x86 cache line, and wide
+ *  enough for any AVX-512 load. */
+inline constexpr size_t kSimdAlign = 64;
+
+namespace detail
+{
+
+/**
+ * Small thread-local recycler for aligned blocks. Kernel-sized buffers
+ * (PWP tables, GEMM outputs) are allocated and freed once per call in
+ * the hot paths; glibc hands such aligned chunks straight back to the
+ * OS (trim/munmap), so every call pays fresh minor page faults —
+ * measured at ~100us per phiGemm on a 1-core host. Keeping the last
+ * few blocks per thread turns that into a pointer swap. Bounded (32
+ * entries / 8 MiB per thread, page-sized blocks and up) and emptied at
+ * thread exit.
+ */
+template <size_t Align>
+class AlignedBlockCache
+{
+  public:
+    ~AlignedBlockCache()
+    {
+        for (size_t i = 0; i < count; ++i)
+            ::operator delete(entries[i].ptr, std::align_val_t(Align));
+    }
+
+    /** A cached block of exactly `bytes`, or nullptr. */
+    void*
+    take(size_t bytes)
+    {
+        for (size_t i = count; i-- > 0;) {
+            if (entries[i].bytes == bytes) {
+                void* p = entries[i].ptr;
+                entries[i] = entries[--count];
+                total -= bytes;
+                return p;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Adopt a block; false when full (caller frees it normally). */
+    bool
+    put(void* p, size_t bytes)
+    {
+        if (bytes < kMinBlockBytes || count >= kMaxEntries ||
+            total + bytes > kMaxTotalBytes)
+            return false;
+        entries[count++] = {p, bytes};
+        total += bytes;
+        return true;
+    }
+
+    static AlignedBlockCache&
+    forThread()
+    {
+        static thread_local AlignedBlockCache cache;
+        return cache;
+    }
+
+  private:
+    static constexpr size_t kMaxEntries = 32;
+    static constexpr size_t kMaxTotalBytes = size_t{8} << 20;
+    static constexpr size_t kMinBlockBytes = 4096;
+
+    struct Entry
+    {
+        void* ptr;
+        size_t bytes;
+    };
+
+    Entry entries[kMaxEntries];
+    size_t count = 0;
+    size_t total = 0;
+};
+
+} // namespace detail
+
+/**
+ * Minimal C++17 aligned allocator. All instances are interchangeable.
+ *
+ * DefaultInit selects the construct() semantics for trivial element
+ * types: false (the AlignedVec default) keeps standard vector
+ * behaviour — vector(n)/resize(n) value-initialise (zero) elements;
+ * true makes them default-initialise (leave memory as allocated),
+ * which Matrix uses internally for buffers it overwrites in full.
+ * Keep DefaultInit out of general-purpose containers: with the block
+ * recycler below, "uninitialised" means plausible-looking stale data,
+ * not zeros.
+ */
+template <typename T, size_t Align = kSimdAlign, bool DefaultInit = false>
+struct AlignedAlloc
+{
+    using value_type = T;
+
+    /** Explicit rebind: the non-type Align parameter defeats the
+     *  allocator_traits auto-rebind machinery. */
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAlloc<U, Align, DefaultInit>;
+    };
+
+    AlignedAlloc() = default;
+
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, Align, DefaultInit>&)
+    {
+    }
+
+    T*
+    allocate(size_t n)
+    {
+        const size_t bytes = n * sizeof(T);
+        if (void* p =
+                detail::AlignedBlockCache<Align>::forThread().take(
+                    bytes))
+            return static_cast<T*>(p);
+        return static_cast<T*>(
+            ::operator new(bytes, std::align_val_t(Align)));
+    }
+
+    /**
+     * Zero-argument construct honouring DefaultInit; the fill
+     * constructors (vector(n, v)) are unaffected either way.
+     */
+    template <typename U>
+    void
+    construct(U* p)
+    {
+        if constexpr (DefaultInit)
+            ::new (static_cast<void*>(p)) U;
+        else
+            ::new (static_cast<void*>(p)) U();
+    }
+
+    void
+    deallocate(T* p, size_t n)
+    {
+        if (detail::AlignedBlockCache<Align>::forThread().put(
+                p, n * sizeof(T)))
+            return;
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAlloc<U, Align, DefaultInit>&) const
+    {
+        return true;
+    }
+};
+
+/** Value-semantic buffer whose data() is 64-byte aligned; standard
+ *  vector semantics (vector(n)/resize(n) zero trivial elements). */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAlloc<T>>;
+
+/**
+ * As AlignedVec, but vector(n)/resize(n) leave trivial elements
+ * uninitialised. Strictly for container internals (Matrix) whose
+ * every element is provably written before being read — with the
+ * block recycler above, "uninitialised" means plausible-looking
+ * stale data, not zeros.
+ */
+template <typename T>
+using AlignedUninitVec =
+    std::vector<T, AlignedAlloc<T, kSimdAlign, true>>;
+
+} // namespace phi
+
+#endif // PHI_COMMON_ALIGNED_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Instruction-set identifiers for the SIMD kernel layer.
+ *
+ * Kept separate from numeric/simd.hh so ExecutionConfig
+ * (common/parallel.hh) can carry an ISA override without pulling the
+ * kernel vtable into every header.
+ */
+
+#ifndef PHI_COMMON_ISA_HH
+#define PHI_COMMON_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace phi
+{
+
+/**
+ * SIMD backend selector. Auto resolves at runtime to the widest backend
+ * the host CPU supports (or to the PHI_SIMD environment override);
+ * the named values force one backend, falling back to Scalar when that
+ * backend is not compiled in or not supported by the host.
+ */
+enum class SimdIsa : uint8_t
+{
+    Auto,
+    Scalar,
+    Avx2,
+    Avx512,
+    Neon,
+};
+
+/** Stable lower-case name, e.g. for logs and bench metadata. */
+constexpr const char*
+simdIsaName(SimdIsa isa)
+{
+    switch (isa) {
+      case SimdIsa::Auto:
+        return "auto";
+      case SimdIsa::Scalar:
+        return "scalar";
+      case SimdIsa::Avx2:
+        return "avx2";
+      case SimdIsa::Avx512:
+        return "avx512";
+      case SimdIsa::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+/** Parse a name as produced by simdIsaName (PHI_SIMD values). */
+inline std::optional<SimdIsa>
+parseSimdIsa(std::string_view name)
+{
+    for (SimdIsa isa : {SimdIsa::Auto, SimdIsa::Scalar, SimdIsa::Avx2,
+                        SimdIsa::Avx512, SimdIsa::Neon})
+        if (name == simdIsaName(isa))
+            return isa;
+    return std::nullopt;
+}
+
+} // namespace phi
+
+#endif // PHI_COMMON_ISA_HH

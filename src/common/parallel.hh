@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "common/bitops.hh"
+#include "common/isa.hh"
 
 namespace phi
 {
@@ -45,6 +46,15 @@ struct ExecutionConfig
      * rounded up internally to a multiple of 64 (one activation word).
      */
     size_t tileK = 4096;
+
+    /**
+     * SIMD backend override for the kernel layer (numeric/simd.hh).
+     * Auto picks the widest backend the host supports, honouring the
+     * PHI_SIMD environment variable; forcing a specific backend is for
+     * testing and benchmarking. Every backend is bit-identical, so
+     * this knob never changes results — only speed.
+     */
+    SimdIsa isa = SimdIsa::Auto;
 
     /** Effective thread count: resolves 0 against the machine. */
     int resolvedThreads() const;

@@ -46,6 +46,16 @@ CompiledLayer::compute(const LayerDecomposition& dec,
     return phiGemmWithPwps(dec, pwpList, weightMatrix, exec);
 }
 
+void
+CompiledLayer::computeInto(Matrix<int32_t>& out,
+                           const LayerDecomposition& dec,
+                           const ExecutionConfig& exec) const
+{
+    phi_assert(hasWeights(),
+               "computeInto() requires a layer compiled with weights");
+    phiGemmWithPwpsInto(out, dec, pwpList, weightMatrix, exec);
+}
+
 SparsityBreakdown
 CompiledLayer::breakdown(const BinaryMatrix& acts,
                          const LayerDecomposition& dec) const

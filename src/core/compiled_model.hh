@@ -63,6 +63,15 @@ class CompiledLayer
     Matrix<int32_t> compute(const LayerDecomposition& dec,
                             const ExecutionConfig& exec = {}) const;
 
+    /**
+     * As compute(), but into a caller-owned dec.m x weights().cols()
+     * matrix whose previous contents are overwritten. Lets the serving
+     * runtime allocate responses before dispatching a batch, so
+     * worker threads never touch the allocator.
+     */
+    void computeInto(Matrix<int32_t>& out, const LayerDecomposition& dec,
+                     const ExecutionConfig& exec = {}) const;
+
     /** Sparsity accounting for a decomposed activation. */
     SparsityBreakdown breakdown(const BinaryMatrix& acts,
                                 const LayerDecomposition& dec) const;

@@ -150,7 +150,42 @@ decomposeLayer(const BinaryMatrix& acts, const PatternTable& table,
         PatternAssigner assigner(table.partition(p));
         dec.tiles.push_back(decomposeTile(acts, p, assigner, exec));
     }
+    dec.buildRowIndex();
     return dec;
+}
+
+void
+buildRowIndexInto(const LayerDecomposition& dec,
+                  std::vector<uint16_t>& rowIds,
+                  std::vector<uint8_t>& rowCounts)
+{
+    const size_t numTiles = dec.tiles.size();
+    rowIds.assign(dec.m * numTiles, 0);
+    rowCounts.assign(dec.m * numTiles, 0);
+    // One sequential pass per tile; the strided writes transpose the
+    // tile-major arrays into the row-major index.
+    for (size_t t = 0; t < numTiles; ++t) {
+        const TileDecomposition& tile = dec.tiles[t];
+        phi_assert(tile.patternIds.size() == dec.m,
+                   "tile ", t, " holds ", tile.patternIds.size(),
+                   " rows, layer has ", dec.m);
+        for (size_t r = 0; r < dec.m; ++r) {
+            rowIds[r * numTiles + t] = tile.patternIds[r];
+            auto [lo, hi] = tile.rowRange(r);
+            phi_assert(hi - lo <= static_cast<uint32_t>(tile.k),
+                       "row ", r, " holds ", hi - lo,
+                       " L2 entries, more than partition width ",
+                       tile.k);
+            rowCounts[r * numTiles + t] =
+                static_cast<uint8_t>(hi - lo);
+        }
+    }
+}
+
+void
+LayerDecomposition::buildRowIndex()
+{
+    buildRowIndexInto(*this, rowPatternIds, rowL2Counts);
 }
 
 size_t

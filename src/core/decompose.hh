@@ -109,7 +109,35 @@ struct LayerDecomposition
 
     std::vector<TileDecomposition> tiles;
 
+    /**
+     * Row-major serving index, derived from tiles by buildRowIndex():
+     * rowPatternIds[r * tiles.size() + t] mirrors
+     * tiles[t].patternIds[r], and rowL2Counts[r * tiles.size() + t]
+     * is the row's Level 2 entry count in tile t (counts fit uint8_t
+     * because a partition holds at most k <= 64 columns).
+     *
+     * The tile-major layout is what decomposition and serialization
+     * produce, but the phiGemm hot loop walks one output row across
+     * every tile — with tile-major storage that is tiles-many scattered
+     * loads per row; with this index it is one contiguous line. Not
+     * serialized: loaders rebuild it.
+     */
+    std::vector<uint16_t> rowPatternIds;
+    std::vector<uint8_t> rowL2Counts;
+
     size_t numPartitions() const { return tiles.size(); }
+
+    /** True when the row-major index matches the tile data shape. */
+    bool
+    hasRowIndex() const
+    {
+        return !tiles.empty() &&
+               rowPatternIds.size() == m * tiles.size() &&
+               rowL2Counts.size() == m * tiles.size();
+    }
+
+    /** (Re)build the row-major serving index from the tiles. */
+    void buildRowIndex();
 
     /** Total Level 2 nonzeros across partitions. */
     size_t totalL2Nnz() const;
@@ -117,6 +145,18 @@ struct LayerDecomposition
     /** Total assigned (nonzero) pattern ids. */
     size_t totalAssigned() const;
 };
+
+/**
+ * Fill row-major pattern-id/L2-count arrays from a decomposition's
+ * tile-major data — the one transpose shared by
+ * LayerDecomposition::buildRowIndex and phiGemm's fallback for
+ * hand-assembled decompositions. Fatal if any row-tile holds more
+ * than k Level 2 entries (legit rows have at most k distinct
+ * correction columns; more would also overflow the uint8_t counts).
+ */
+void buildRowIndexInto(const LayerDecomposition& dec,
+                       std::vector<uint16_t>& rowIds,
+                       std::vector<uint8_t>& rowCounts);
 
 /**
  * Decompose one partition of the activation matrix. Rows are swept in

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "numeric/simd.hh"
+
 namespace phi
 {
 
@@ -21,22 +23,30 @@ computePwp(const PatternSet& ps, const Matrix<int16_t>& weights,
            size_t kOffset, const ExecutionConfig& exec)
 {
     const size_t n = weights.cols();
-    Matrix<int32_t> pwp(ps.size(), n, 0);
+    // Each PWP row is produced by exactly one overwriting batched
+    // reduction over whole padded rows (weight-row padding is zero, so
+    // the vector loop runs tail-free over the stride, and an empty
+    // pattern stores zeros) — the output storage needs no pre-zeroing.
+    // A pattern has at most 64 bits, so all its weight rows fit one
+    // gathered batch and the PWP row is stored once per column block.
+    Matrix<int32_t> pwp = Matrix<int32_t>::uninitialized(ps.size(), n);
+    const size_t span = pwp.paddedCols();
+    const simd::Kernels& kr = simd::kernels(exec.isa);
     parallelFor(exec, 0, ps.size(), kPwpPatternGrain,
                 [&](size_t i0, size_t i1) {
+        const int16_t* gathered[64];
         for (size_t i = i0; i < i1; ++i) {
             uint64_t bits = ps.patterns()[i];
-            int32_t* out = pwp.rowPtr(i);
+            size_t batch = 0;
             while (bits) {
                 int b = std::countr_zero(bits);
                 bits &= bits - 1;
                 size_t kk = kOffset + static_cast<size_t>(b);
                 if (kk >= weights.rows())
                     continue; // ragged final partition: zero-padded weights
-                const int16_t* w = weights.rowPtr(kk);
-                for (size_t c = 0; c < n; ++c)
-                    out[c] += w[c];
+                gathered[batch++] = weights.rowPtr(kk);
             }
+            kr.storeRowsI16(pwp.rowPtr(i), gathered, batch, span);
         }
     });
     return pwp;
@@ -70,75 +80,137 @@ phiGemmWithPwps(const LayerDecomposition& dec,
                 const Matrix<int16_t>& weights,
                 const ExecutionConfig& exec)
 {
+    // Into() overwrites every row via storeRowsI32, so the fresh
+    // output needs no zero fill.
+    Matrix<int32_t> out =
+        Matrix<int32_t>::uninitialized(dec.m, weights.cols());
+    phiGemmWithPwpsInto(out, dec, pwps, weights, exec);
+    return out;
+}
+
+void
+phiGemmWithPwpsInto(Matrix<int32_t>& out, const LayerDecomposition& dec,
+                    const std::vector<Matrix<int32_t>>& pwps,
+                    const Matrix<int16_t>& weights,
+                    const ExecutionConfig& exec)
+{
     phi_assert(dec.kTotal == weights.rows(),
                "decomposition K ", dec.kTotal, " != weight rows ",
                weights.rows());
     phi_assert(pwps.size() >= dec.numPartitions(),
                "PWPs cover ", pwps.size(), " partitions, need ",
                dec.numPartitions());
+    phi_assert(out.rows() == dec.m && out.cols() == weights.cols(),
+               "output shape ", out.rows(), "x", out.cols(),
+               " != expected ", dec.m, "x", weights.cols());
     const size_t n = weights.cols();
-    Matrix<int32_t> out(dec.m, n, 0);
+    const size_t numTiles = dec.tiles.size();
 
     const size_t tileN = exec.resolvedTileN(n);
+    const size_t nPad = out.paddedCols();
+    const simd::Kernels& kr = simd::kernels(exec.isa);
+
+    // The hot loop walks the row-major serving index (one contiguous
+    // line per output row instead of tiles-many scattered vector
+    // accesses); decomposeLayer and the .phim loader always build it,
+    // so the rebuild here only covers hand-assembled decompositions.
+    std::vector<uint16_t> localIds;
+    std::vector<uint8_t> localCounts;
+    const uint16_t* rowIds = dec.rowPatternIds.data();
+    const uint8_t* rowCounts = dec.rowL2Counts.data();
+    if (!dec.hasRowIndex() && numTiles > 0) {
+        buildRowIndexInto(dec, localIds, localCounts);
+        rowIds = localIds.data();
+        rowCounts = localCounts.data();
+    }
+
+    // Per-tile tables hoisted out of the row loop: PWP row base and
+    // stride, Level 2 entry stream and the tile's first weight row.
+    // The historical per-entry bounds assert is hoisted too: checking
+    // each tile's maximum Level 2 column once proves every entry's
+    // weight row is in range.
+    std::vector<const int32_t*> pwpBase(numTiles);
+    std::vector<size_t> pwpStride(numTiles);
+    std::vector<const L2Entry*> l2Entries(numTiles);
+    std::vector<const int16_t*> wBase(numTiles);
+    const size_t wStride = weights.stride();
+    for (size_t t = 0; t < numTiles; ++t) {
+        const TileDecomposition& tile = dec.tiles[t];
+        const size_t k_off =
+            tile.partition * static_cast<size_t>(dec.k);
+        uint16_t maxCol = 0;
+        for (const L2Entry& e : tile.l2Entries)
+            maxCol = std::max(maxCol, e.col);
+        phi_assert(tile.l2Entries.empty() ||
+                   k_off + maxCol < weights.rows(),
+                   "L2 column beyond weight rows");
+        pwpBase[t] = pwps[tile.partition].rowPtr(0);
+        pwpStride[t] = pwps[tile.partition].stride();
+        l2Entries[t] = tile.l2Entries.data();
+        wBase[t] = k_off < weights.rows() ? weights.rowPtr(k_off)
+                                          : nullptr;
+    }
 
     parallelFor(exec, 0, dec.m, kPhiGemmRowGrain,
                 [&](size_t r0, size_t r1) {
-        // (patternId, row) pairs of the block, regrouped per partition.
-        std::vector<std::pair<uint16_t, uint32_t>> matched;
-        matched.reserve(r1 - r0);
+        // Per output row, the whole hierarchical product is gathered
+        // into pointer batches — the assigned PWP row of every
+        // partition (Level 1) plus the signed Level 2 weight-row
+        // corrections — then reduced by three multi-row kernel calls
+        // that hold the output block in registers across the batch.
+        // The Level 1 batch overwrites the block (zeroing it when no
+        // partition matched), so the output never needs pre-zeroing.
+        // int32 addition is associative, so regrouping the partition
+        // order into batches keeps results bit-identical to the
+        // per-partition reference at any thread count.
+        std::vector<const int32_t*> l1(numTiles);
+        std::vector<const int16_t*> l2pos;
+        std::vector<const int16_t*> l2neg;
+        std::vector<uint32_t> l2Cursor(numTiles);
 
-        for (const auto& tile : dec.tiles) {
-            const size_t k_off =
-                tile.partition * static_cast<size_t>(dec.k);
-            const Matrix<int32_t>& pwp = pwps[tile.partition];
+        for (size_t n0 = 0; n0 < n; n0 += tileN) {
+            const size_t n1 = std::min(n, n0 + tileN);
+            const size_t span = (n1 == n ? nPad : n1) - n0;
 
-            // Batch rows by pattern id so each PWP row is fetched once
-            // per block and broadcast into every matching output row.
-            matched.clear();
-            for (size_t r = r0; r < r1; ++r)
-                if (tile.patternIds[r] != 0)
-                    matched.emplace_back(tile.patternIds[r],
-                                         static_cast<uint32_t>(r));
-            std::sort(matched.begin(), matched.end());
+            // Level 2 entries are consumed in row order per tile; the
+            // cursors pick up each tile's CSR stream at this chunk.
+            for (size_t t = 0; t < numTiles; ++t)
+                l2Cursor[t] = dec.tiles[t].l2Offsets.empty()
+                                  ? 0
+                                  : dec.tiles[t].l2Offsets[r0];
 
-            for (size_t n0 = 0; n0 < n; n0 += tileN) {
-                const size_t n1 = std::min(n, n0 + tileN);
-
-                // Level 1: one pass per distinct pattern of the block.
-                for (size_t i = 0; i < matched.size();) {
-                    const uint16_t id = matched[i].first;
-                    const int32_t* p = pwp.rowPtr(id - 1);
-                    do {
-                        int32_t* out_row = out.rowPtr(matched[i].second);
-                        for (size_t c = n0; c < n1; ++c)
-                            out_row[c] += p[c];
-                        ++i;
-                    } while (i < matched.size() &&
-                             matched[i].first == id);
-                }
-
-                // Level 2: signed corrections against raw weight rows.
-                for (size_t r = r0; r < r1; ++r) {
-                    int32_t* out_row = out.rowPtr(r);
-                    auto [lo, hi] = tile.rowRange(r);
-                    for (uint32_t e = lo; e < hi; ++e) {
-                        size_t kk = k_off + tile.l2Entries[e].col;
-                        phi_assert(kk < weights.rows(),
-                                   "L2 column beyond weight rows");
-                        const int16_t* w = weights.rowPtr(kk);
-                        if (tile.l2Entries[e].sign > 0) {
-                            for (size_t c = n0; c < n1; ++c)
-                                out_row[c] += w[c];
-                        } else {
-                            for (size_t c = n0; c < n1; ++c)
-                                out_row[c] -= w[c];
+            for (size_t r = r0; r < r1; ++r) {
+                const uint16_t* ids = rowIds + r * numTiles;
+                const uint8_t* counts = rowCounts + r * numTiles;
+                size_t b1 = 0;
+                l2pos.clear();
+                l2neg.clear();
+                for (size_t t = 0; t < numTiles; ++t) {
+                    const uint16_t id = ids[t];
+                    if (id != 0)
+                        l1[b1++] = pwpBase[t] +
+                                   (id - size_t{1}) * pwpStride[t] +
+                                   n0;
+                    const uint32_t cnt = counts[t];
+                    if (cnt != 0) {
+                        const L2Entry* e = l2Entries[t] + l2Cursor[t];
+                        for (uint32_t i = 0; i < cnt; ++i) {
+                            const int16_t* w =
+                                wBase[t] + e[i].col * wStride + n0;
+                            if (e[i].sign > 0)
+                                l2pos.push_back(w);
+                            else
+                                l2neg.push_back(w);
                         }
+                        l2Cursor[t] += cnt;
                     }
                 }
+                kr.fusedStoreAddSub(out.rowPtr(r) + n0, l1.data(), b1,
+                                    l2pos.data(), l2pos.size(),
+                                    l2neg.data(), l2neg.size(), span);
             }
         }
     });
-    return out;
 }
 
 size_t

@@ -66,6 +66,19 @@ Matrix<int32_t> phiGemmWithPwps(const LayerDecomposition& dec,
                                 const ExecutionConfig& exec = {});
 
 /**
+ * As phiGemmWithPwps, but computing into a caller-owned output matrix
+ * of shape dec.m x weights.cols(); every row (padding included) is
+ * overwritten, so the prior contents don't matter. Lets the serving
+ * runtime pre-allocate responses outside its batch loop so worker
+ * threads never contend in the allocator.
+ */
+void phiGemmWithPwpsInto(Matrix<int32_t>& out,
+                         const LayerDecomposition& dec,
+                         const std::vector<Matrix<int32_t>>& pwps,
+                         const Matrix<int16_t>& weights,
+                         const ExecutionConfig& exec = {});
+
+/**
  * Bytes of PWP storage for a layer at the given output-tile width and
  * element size (paper: 16-bit PWP entries).
  */

@@ -1,5 +1,6 @@
 #include "io/model_io.hh"
 
+#include <bit>
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -31,33 +32,61 @@ checkedElems(const ByteReader& r, uint64_t rows, uint64_t cols,
     return static_cast<size_t>(rows * cols);
 }
 
+/** True when raw memcpy of T rows equals the per-element LE encoding. */
+template <typename T>
+constexpr bool kPodLittleEndian =
+    std::endian::native == std::endian::little &&
+    std::is_integral_v<T>;
+
+/**
+ * Matrix rows are encoded densely (cols() elements per row, no
+ * padding), so artifacts are independent of the in-memory stride. On
+ * little-endian hosts whole rows are copied directly between the
+ * artifact and the 64-byte-aligned row storage — the loader rehydrates
+ * PWP tables into SIMD-ready memory with no per-element decode and no
+ * intermediate copy.
+ */
 template <typename T, typename WriteElem>
 void
 writeMatrix(ByteWriter& w, const Matrix<T>& m, WriteElem&& elem)
 {
     w.u64(m.rows());
     w.u64(m.cols());
-    for (size_t i = 0; i < m.size(); ++i)
-        elem(m.data()[i]);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        const T* row = m.rowPtr(r);
+        if constexpr (kPodLittleEndian<T>) {
+            w.bytes(row, m.cols() * sizeof(T));
+        } else {
+            for (size_t c = 0; c < m.cols(); ++c)
+                elem(row[c]);
+        }
+    }
 }
 
 template <typename T, typename ReadElem>
 Matrix<T>
-readMatrix(ByteReader& r, uint64_t elemBytes, ReadElem&& elem)
+readMatrix(ByteReader& r, ReadElem&& elem)
 {
     const uint64_t rows = r.u64();
     const uint64_t cols = r.u64();
-    const size_t n = checkedElems(r, rows, cols, elemBytes);
+    checkedElems(r, rows, cols, sizeof(T));
     Matrix<T> m(static_cast<size_t>(rows), static_cast<size_t>(cols));
-    for (size_t i = 0; i < n; ++i)
-        m.data()[i] = elem();
+    for (size_t row = 0; row < m.rows(); ++row) {
+        T* dst = m.rowPtr(row);
+        if constexpr (kPodLittleEndian<T>) {
+            r.bytesInto(dst, m.cols() * sizeof(T));
+        } else {
+            for (size_t c = 0; c < m.cols(); ++c)
+                dst[c] = elem();
+        }
+    }
     return m;
 }
 
 Matrix<int32_t>
 readMatrixI32(ByteReader& r)
 {
-    return readMatrix<int32_t>(r, 4, [&r] { return r.i32(); });
+    return readMatrix<int32_t>(r, [&r] { return r.i32(); });
 }
 
 void
@@ -351,6 +380,18 @@ readDecomposition(ByteReader& r)
                                   std::to_string(j));
             if (t.l2Offsets.back() != entries)
                 throw IoError("CSR terminator does not match entry count");
+            // A row-tile has at most k distinct correction columns; a
+            // larger count means duplicate columns, and it would also
+            // overflow the uint8_t row-major count index.
+            for (uint64_t j = 1; j < offs; ++j)
+                if (t.l2Offsets[j] - t.l2Offsets[j - 1] >
+                    static_cast<uint32_t>(t.k))
+                    throw IoError(
+                        "row " + std::to_string(j - 1) + " holds " +
+                        std::to_string(t.l2Offsets[j] -
+                                       t.l2Offsets[j - 1]) +
+                        " L2 entries, more than the partition width " +
+                        std::to_string(t.k));
         } else if (entries != 0) {
             throw IoError("L2 entries without CSR offsets");
         }
@@ -369,6 +410,10 @@ readDecomposition(ByteReader& r)
         }
         d.tiles.push_back(std::move(t));
     }
+    // The row-major serving index is derived, not serialized; rebuild
+    // it so loaded decompositions serve as fast as freshly computed
+    // ones.
+    d.buildRowIndex();
     return d;
 }
 
@@ -551,7 +596,7 @@ writeWeights(ByteWriter& w, const Matrix<int16_t>& m)
 Matrix<int16_t>
 readWeights(ByteReader& r)
 {
-    return readMatrix<int16_t>(r, 2, [&r] { return r.i16(); });
+    return readMatrix<int16_t>(r, [&r] { return r.i16(); });
 }
 
 void

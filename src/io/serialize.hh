@@ -174,6 +174,21 @@ class ByteReader
     int32_t i32() { return static_cast<int32_t>(u32()); }
     int64_t i64() { return static_cast<int64_t>(u64()); }
 
+    /**
+     * Bulk copy of n raw bytes into caller storage. Only correct for
+     * data whose encoded layout matches the destination's in-memory
+     * layout (e.g. little-endian PODs on a little-endian host); the
+     * matrix readers use it to rehydrate rows straight into their
+     * aligned buffers without a per-element decode.
+     */
+    void
+    bytesInto(void* dst, size_t n)
+    {
+        need(n);
+        std::memcpy(dst, base + pos, n);
+        pos += n;
+    }
+
     double
     f64()
     {

@@ -2,14 +2,28 @@
 
 #include "common/bitops.hh"
 #include "common/rng.hh"
+#include "numeric/simd.hh"
 
 namespace phi
 {
 
+namespace
+{
+
+/** Words per row rounded to a whole 64-byte cache line. */
+size_t
+paddedWordStride(size_t wordsPerRow)
+{
+    return roundUp(wordsPerRow, kSimdAlign / sizeof(uint64_t));
+}
+
+} // namespace
+
 BinaryMatrix::BinaryMatrix(size_t rows, size_t cols)
     : nRows(rows), nCols(cols),
       wordsPerRow(ceilDiv(cols, static_cast<size_t>(64))),
-      words(rows * wordsPerRow, 0)
+      wordStride(paddedWordStride(wordsPerRow)),
+      words(rows * wordStride, 0)
 {
 }
 
@@ -18,7 +32,7 @@ BinaryMatrix::get(size_t r, size_t c) const
 {
     phi_assert(r < nRows && c < nCols, "bit index (", r, ",", c,
                ") out of (", nRows, ",", nCols, ")");
-    return (words[r * wordsPerRow + c / 64] >> (c % 64)) & 1;
+    return (words[r * wordStride + c / 64] >> (c % 64)) & 1;
 }
 
 void
@@ -26,7 +40,7 @@ BinaryMatrix::set(size_t r, size_t c, bool v)
 {
     phi_assert(r < nRows && c < nCols, "bit index (", r, ",", c,
                ") out of (", nRows, ",", nCols, ")");
-    uint64_t& w = words[r * wordsPerRow + c / 64];
+    uint64_t& w = words[r * wordStride + c / 64];
     uint64_t mask = 1ull << (c % 64);
     if (v)
         w |= mask;
@@ -79,9 +93,14 @@ BinaryMatrix::tailBitsClear() const
     if (wordsPerRow == 0)
         return true;
     const uint64_t invalid = ~tailMask();
-    for (size_t r = 0; r < nRows; ++r)
-        if (rowWords(r)[wordsPerRow - 1] & invalid)
+    for (size_t r = 0; r < nRows; ++r) {
+        const uint64_t* row = rowWords(r);
+        if (row[wordsPerRow - 1] & invalid)
             return false;
+        for (size_t w = wordsPerRow; w < wordStride; ++w)
+            if (row[w] != 0)
+                return false;
+    }
     return true;
 }
 
@@ -89,20 +108,17 @@ size_t
 BinaryMatrix::popcountRow(size_t r) const
 {
     phi_assert(r < nRows, "row ", r, " out of ", nRows);
-    size_t total = 0;
-    const uint64_t* row = rowWords(r);
-    for (size_t w = 0; w < wordsPerRow; ++w)
-        total += popcount64(row[w]);
-    return total;
+    // Padding words are zero, so counting the whole padded row is
+    // branch-free and exact.
+    return static_cast<size_t>(
+        simd::kernels().popcountWords(rowWords(r), wordStride));
 }
 
 size_t
 BinaryMatrix::popcount() const
 {
-    size_t total = 0;
-    for (uint64_t w : words)
-        total += popcount64(w);
-    return total;
+    return static_cast<size_t>(
+        simd::kernels().popcountWords(words.data(), words.size()));
 }
 
 double

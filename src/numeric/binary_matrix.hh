@@ -5,6 +5,12 @@
  * Rows are packed into 64-bit words. The K dimension is partitioned into
  * tiles of k bits (k <= 64) for pattern matching, so the container offers
  * fast extraction of an arbitrary k-bit field of a row as a single word.
+ *
+ * Like Matrix, storage is SIMD-ready: each row's words start on a
+ * 64-byte boundary and are padded to a whole cache line. Padding words
+ * (and the bits of the last logical word beyond cols()) are always
+ * zero, so word-parallel loops may consume whole padded rows without
+ * per-bit column checks.
  */
 
 #ifndef PHI_NUMERIC_BINARY_MATRIX_HH
@@ -13,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hh"
 #include "numeric/matrix.hh"
 
 namespace phi
@@ -24,7 +31,9 @@ class Rng;
 class BinaryMatrix
 {
   public:
-    BinaryMatrix() : nRows(0), nCols(0), wordsPerRow(0) {}
+    BinaryMatrix() : nRows(0), nCols(0), wordsPerRow(0), wordStride(0)
+    {
+    }
 
     /** Create an all-zero matrix of the given shape. */
     BinaryMatrix(size_t rows, size_t cols);
@@ -58,13 +67,22 @@ class BinaryMatrix
     /** Fraction of one bits. */
     double density() const;
 
-    /** Per-row word storage, for hot loops. */
+    /** 64-byte-aligned per-row word storage, for hot loops. */
     const uint64_t* rowWords(size_t r) const
     {
-        return words.data() + r * wordsPerRow;
+        return words.data() + r * wordStride;
     }
 
+    /** Words holding logical bits per row (excludes padding words). */
     size_t numWordsPerRow() const { return wordsPerRow; }
+
+    /**
+     * Words between consecutive row starts (a multiple of 8, one
+     * cache line). Words in [numWordsPerRow(), wordsStride()) of every
+     * row are always zero, so whole-stride word loops see no phantom
+     * bits.
+     */
+    size_t wordsStride() const { return wordStride; }
 
     /**
      * Mask of the valid bits in the last word of a row (all ones when
@@ -75,11 +93,13 @@ class BinaryMatrix
      */
     uint64_t tailMask() const;
 
-    /** Verify the tail-bit invariant over the whole matrix. */
+    /** Verify the tail-bit and padding-word invariants everywhere. */
     bool tailBitsClear() const;
 
     bool operator==(const BinaryMatrix& o) const
     {
+        // Same shape implies same stride, and padding is always zero,
+        // so whole-buffer equality equals logical equality.
         return nRows == o.nRows && nCols == o.nCols && words == o.words;
     }
 
@@ -97,7 +117,8 @@ class BinaryMatrix
     size_t nRows;
     size_t nCols;
     size_t wordsPerRow;
-    std::vector<uint64_t> words;
+    size_t wordStride;
+    AlignedVec<uint64_t> words;
 };
 
 } // namespace phi

@@ -1,6 +1,9 @@
 #include "numeric/gemm.hh"
 
+#include <type_traits>
+
 #include "common/bitops.hh"
+#include "numeric/simd.hh"
 
 namespace phi
 {
@@ -13,13 +16,29 @@ namespace
 constexpr size_t kGemmRowGrain = 32;
 
 /**
+ * Weight-row pointers gathered per (output row, K-block) before one
+ * batched accumulate. Deep enough that a typical spiking density never
+ * splits a K-block's rows across flushes.
+ */
+constexpr size_t kRowGatherDepth = 64;
+
+/**
  * Shared skeleton of the two spike GEMMs. Each row chunk is processed
  * with N-blocks outermost and K-blocks (whole 64-bit activation words)
  * inside, so the weight rows touched by a K-block stay cache-resident
  * while every row of the chunk streams over them. The tail word of each
  * activation row is masked once — BinaryMatrix guarantees bits beyond
- * cols() are zero, and spikeGemm asserts it — instead of the historic
- * per-set-bit `kk >= k` guard.
+ * cols() are zero, and spikeGemm asserts it.
+ *
+ * The inner accumulate runs on the SIMD kernel layer: set bits are
+ * gathered K-ascending into a pointer batch and flushed through one
+ * multi-row kernel call, which holds the output block in registers
+ * across the whole batch. On the integer path the output matrix is
+ * not even pre-zeroed: the first flush of each (row, N-block) region
+ * overwrites (storeRows), later flushes accumulate. N-blocks that
+ * reach the row edge extend to the padded stride, so the vector loops
+ * never branch on a column tail (padding accumulates zeros into
+ * zeros).
  */
 template <typename W, typename Acc>
 Matrix<Acc>
@@ -28,23 +47,52 @@ spikeGemmImpl(const BinaryMatrix& acts, const Matrix<W>& weights,
 {
     const size_t m = acts.rows();
     const size_t n = weights.cols();
-    Matrix<Acc> out(m, n, Acc{});
-
     const size_t wpr = acts.numWordsPerRow();
     if (wpr == 0 || n == 0)
-        return out;
+        return Matrix<Acc>(m, n, Acc{});
+
+    // Integer outputs are fully written by the store-first flushing
+    // below; float outputs keep the zeroed + accumulate-only scheme
+    // (0.0f + x is not always bitwise x, e.g. x == -0.0f).
+    constexpr bool kStoreFirst = std::is_same_v<Acc, int32_t>;
+    Matrix<Acc> out = kStoreFirst ? Matrix<Acc>::uninitialized(m, n)
+                                  : Matrix<Acc>(m, n, Acc{});
+
     const uint64_t tail = acts.tailMask();
     const size_t tileN = exec.resolvedTileN(n);
     const size_t tileKW = exec.tileKWords();
+    const size_t nPad = out.paddedCols();
+    const simd::Kernels& kr = simd::kernels(exec.isa);
 
     parallelFor(exec, 0, m, kGemmRowGrain, [&](size_t r0, size_t r1) {
+        const W* gathered[kRowGatherDepth];
+        auto flush = [&](Acc* out_row, size_t batch, size_t span,
+                         bool store) {
+            if constexpr (kStoreFirst) {
+                if (store) {
+                    simd::storeRows(kr, out_row, gathered, batch,
+                                    span);
+                    return;
+                }
+            }
+            simd::accumulateRows(kr, out_row, gathered, batch, span);
+        };
         for (size_t n0 = 0; n0 < n; n0 += tileN) {
             const size_t n1 = n0 + tileN < n ? n0 + tileN : n;
+            // Row-edge blocks run to the padded stride (no tails);
+            // interior blocks stop exactly at the block edge.
+            const size_t span = (n1 == n ? nPad : n1) - n0;
             for (size_t w0 = 0; w0 < wpr; w0 += tileKW) {
                 const size_t w1 = w0 + tileKW < wpr ? w0 + tileKW : wpr;
+                // The first K-block's first flush overwrites the
+                // region (or zeroes it when the row has no set bits
+                // there); later K-blocks always accumulate.
+                const bool firstKBlock = kStoreFirst && w0 == 0;
                 for (size_t r = r0; r < r1; ++r) {
-                    Acc* out_row = out.rowPtr(r);
+                    Acc* out_row = out.rowPtr(r) + n0;
                     const uint64_t* row = acts.rowWords(r);
+                    bool pending = firstKBlock;
+                    size_t batch = 0;
                     for (size_t w = w0; w < w1; ++w) {
                         uint64_t bits = row[w];
                         if (w == wpr - 1)
@@ -54,11 +102,17 @@ spikeGemmImpl(const BinaryMatrix& acts, const Matrix<W>& weights,
                             bits &= bits - 1;
                             const size_t kk =
                                 w * 64 + static_cast<size_t>(bit);
-                            const W* w_row = weights.rowPtr(kk);
-                            for (size_t c = n0; c < n1; ++c)
-                                out_row[c] += w_row[c];
+                            gathered[batch++] =
+                                weights.rowPtr(kk) + n0;
+                            if (batch == kRowGatherDepth) {
+                                flush(out_row, batch, span, pending);
+                                pending = false;
+                                batch = 0;
+                            }
                         }
                     }
+                    if (batch > 0 || pending)
+                        flush(out_row, batch, span, pending);
                 }
             }
         }
@@ -100,19 +154,20 @@ denseGemm(const Matrix<float>& a, const Matrix<float>& b,
     const size_t n = b.cols();
     Matrix<float> out(m, n, 0.0f);
     const size_t tileN = exec.resolvedTileN(n);
+    const size_t nPad = out.paddedCols();
+    const simd::Kernels& kr = simd::kernels(exec.isa);
 
     parallelFor(exec, 0, m, kGemmRowGrain, [&](size_t r0, size_t r1) {
         for (size_t n0 = 0; n0 < n; n0 += tileN) {
             const size_t n1 = n0 + tileN < n ? n0 + tileN : n;
+            const size_t span = (n1 == n ? nPad : n1) - n0;
             for (size_t r = r0; r < r1; ++r) {
-                float* out_row = out.rowPtr(r);
+                float* out_row = out.rowPtr(r) + n0;
                 for (size_t kk = 0; kk < k; ++kk) {
                     const float av = a(r, kk);
                     if (av == 0.0f)
                         continue;
-                    const float* b_row = b.rowPtr(kk);
-                    for (size_t c = n0; c < n1; ++c)
-                        out_row[c] += av * b_row[c];
+                    kr.fmaRowF32(out_row, b.rowPtr(kk) + n0, av, span);
                 }
             }
         }

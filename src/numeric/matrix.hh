@@ -2,37 +2,68 @@
  * @file
  * Dense row-major matrix container used for weights, partial sums and
  * reference results throughout phi.
+ *
+ * Storage is SIMD-ready: every row starts on a 64-byte boundary and is
+ * padded to a whole number of cache lines (stride() elements apart).
+ * Padding elements are zero on construction and are kept zero by every
+ * container mutator; the SIMD kernels rely on this to run full-width
+ * vector loops to the padded edge of a row (accumulating zeros into
+ * zeros) instead of branching on tails. Code that writes rows through
+ * rowPtr()/data() must stay within cols() elements per row.
  */
 
 #ifndef PHI_NUMERIC_MATRIX_HH
 #define PHI_NUMERIC_MATRIX_HH
 
+#include <algorithm>
 #include <cstddef>
-#include <vector>
 
+#include "common/aligned.hh"
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace phi
 {
 
 /**
- * Minimal dense matrix. Rows are contiguous; element access is
- * bounds-checked through phi_assert (active in all build types).
+ * Minimal dense matrix. Rows are contiguous within a padded stride;
+ * element access is bounds-checked through phi_assert (active in all
+ * build types).
  */
 template <typename T>
 class Matrix
 {
+    static_assert(kSimdAlign % sizeof(T) == 0,
+                  "element size must divide the SIMD alignment");
+
   public:
-    Matrix() : nRows(0), nCols(0) {}
+    Matrix() : nRows(0), nCols(0), rowStride(0) {}
 
     Matrix(size_t rows, size_t cols, T init = T{})
-        : nRows(rows), nCols(cols), buf(rows * cols, init)
-    {}
+        : nRows(rows), nCols(cols), rowStride(paddedStride(cols)),
+          buf(rows * rowStride, T{})
+    {
+        if (!(init == T{}))
+            fill(init);
+    }
 
     size_t rows() const { return nRows; }
     size_t cols() const { return nCols; }
-    size_t size() const { return buf.size(); }
-    bool empty() const { return buf.empty(); }
+
+    /** Logical element count (excludes row padding). */
+    size_t size() const { return nRows * nCols; }
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Elements between consecutive row starts; a multiple of the
+     * 64-byte line so every row base is aligned. Rows own valid,
+     * zero-filled storage in [cols(), stride()) — the padded span SIMD
+     * loops may read and accumulate into freely.
+     */
+    size_t stride() const { return rowStride; }
+
+    /** Alias of stride(): the padded logical row width. */
+    size_t paddedCols() const { return rowStride; }
 
     T&
     at(size_t r, size_t c)
@@ -40,7 +71,7 @@ class Matrix
         phi_assert(r < nRows && c < nCols,
                    "matrix index (", r, ",", c, ") out of (",
                    nRows, ",", nCols, ")");
-        return buf[r * nCols + c];
+        return buf[r * rowStride + c];
     }
 
     const T&
@@ -49,39 +80,81 @@ class Matrix
         phi_assert(r < nRows && c < nCols,
                    "matrix index (", r, ",", c, ") out of (",
                    nRows, ",", nCols, ")");
-        return buf[r * nCols + c];
+        return buf[r * rowStride + c];
     }
 
     /** Unchecked access for hot loops. */
-    T& operator()(size_t r, size_t c) { return buf[r * nCols + c]; }
+    T& operator()(size_t r, size_t c) { return buf[r * rowStride + c]; }
     const T& operator()(size_t r, size_t c) const
     {
-        return buf[r * nCols + c];
+        return buf[r * rowStride + c];
     }
 
-    T* rowPtr(size_t r) { return buf.data() + r * nCols; }
-    const T* rowPtr(size_t r) const { return buf.data() + r * nCols; }
+    /** 64-byte-aligned start of row r. */
+    T* rowPtr(size_t r) { return buf.data() + r * rowStride; }
+    const T* rowPtr(size_t r) const
+    {
+        return buf.data() + r * rowStride;
+    }
 
+    /** Raw padded buffer (rows() * stride() elements, row-major). */
     T* data() { return buf.data(); }
     const T* data() const { return buf.data(); }
 
+    /** Set every logical element; padding stays zero. */
     void
     fill(T value)
     {
-        std::fill(buf.begin(), buf.end(), value);
+        for (size_t r = 0; r < nRows; ++r)
+            std::fill(rowPtr(r), rowPtr(r) + nCols, value);
     }
 
+    /** Logical equality: shape and the unpadded elements. */
     bool
     operator==(const Matrix& other) const
     {
-        return nRows == other.nRows && nCols == other.nCols &&
-               buf == other.buf;
+        if (nRows != other.nRows || nCols != other.nCols)
+            return false;
+        for (size_t r = 0; r < nRows; ++r)
+            if (!std::equal(rowPtr(r), rowPtr(r) + nCols,
+                            other.rowPtr(r)))
+                return false;
+        return true;
+    }
+
+    /** Padded row width for a given logical width. */
+    static size_t
+    paddedStride(size_t cols)
+    {
+        return roundUp(cols, kSimdAlign / sizeof(T));
+    }
+
+    /**
+     * A matrix whose storage (padding included) is left uninitialised.
+     * Strictly for kernels that overwrite every row's full padded
+     * stride (e.g. via the storeRows* SIMD primitives) before the
+     * matrix is read, copied or compared — skipping the zero fill of
+     * a buffer that is about to be fully written.
+     */
+    static Matrix
+    uninitialized(size_t rows, size_t cols)
+    {
+        Matrix m;
+        m.nRows = rows;
+        m.nCols = cols;
+        m.rowStride = paddedStride(cols);
+        m.buf = AlignedUninitVec<T>(rows * m.rowStride);
+        return m;
     }
 
   private:
     size_t nRows;
     size_t nCols;
-    std::vector<T> buf;
+    size_t rowStride;
+
+    /** Default-init storage: every constructor except uninitialized()
+     *  explicitly fills it (padding with zeros). */
+    AlignedUninitVec<T> buf;
 };
 
 } // namespace phi

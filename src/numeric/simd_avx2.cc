@@ -1,0 +1,444 @@
+/**
+ * @file
+ * AVX2 backend of the SIMD kernel layer.
+ *
+ * Compiled with -mavx2 (CMake sets the flag per-file and defines
+ * PHI_HAVE_SIMD_AVX2 for the dispatcher); the whole body is guarded on
+ * __AVX2__ so the file degrades to an empty TU when the compiler cannot
+ * target AVX2. Executed only after runtime CPUID verification.
+ *
+ * 256-bit lanes: 8 int32/float per vector, unrolled to a 16-element
+ * step so one iteration retires a whole 64-byte output cache line.
+ * Popcounts use the classic 4-bit-LUT pshufb + psadbw reduction. Float
+ * kernels use explicit mul-then-add (never FMA) to stay bit-identical
+ * to the scalar reference.
+ */
+
+#include "numeric/simd.hh"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace phi::simd
+{
+
+namespace
+{
+
+void
+avx2AddRowI16(int32_t* out, const int16_t* w, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m256i lo =
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(wv));
+        const __m256i hi =
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(wv, 1));
+        __m256i* o0 = reinterpret_cast<__m256i*>(out + i);
+        __m256i* o1 = reinterpret_cast<__m256i*>(out + i + 8);
+        _mm256_storeu_si256(
+            o0, _mm256_add_epi32(_mm256_loadu_si256(o0), lo));
+        _mm256_storeu_si256(
+            o1, _mm256_add_epi32(_mm256_loadu_si256(o1), hi));
+    }
+    for (; i < n; ++i)
+        out[i] += w[i];
+}
+
+void
+avx2AddRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
+               size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        // Keep one output cache line in registers across all m rows.
+        __m256i* o0 = reinterpret_cast<__m256i*>(out + c);
+        __m256i* o1 = reinterpret_cast<__m256i*>(out + c + 8);
+        __m256i a0 = _mm256_loadu_si256(o0);
+        __m256i a1 = _mm256_loadu_si256(o1);
+        for (size_t j = 0; j < m; ++j) {
+            // Two 128-bit loads fold into vpmovsxwd's memory operand.
+            a0 = _mm256_add_epi32(
+                a0, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(rows[j] + c))));
+            a1 = _mm256_add_epi32(
+                a1, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(rows[j] + c +
+                                                         8))));
+        }
+        _mm256_storeu_si256(o0, a0);
+        _mm256_storeu_si256(o1, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2AddRowsF32(float* out, const float* const* rows, size_t m, size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m256 a0 = _mm256_loadu_ps(out + c);
+        __m256 a1 = _mm256_loadu_ps(out + c + 8);
+        for (size_t j = 0; j < m; ++j) {
+            a0 = _mm256_add_ps(a0, _mm256_loadu_ps(rows[j] + c));
+            a1 = _mm256_add_ps(a1, _mm256_loadu_ps(rows[j] + c + 8));
+        }
+        _mm256_storeu_ps(out + c, a0);
+        _mm256_storeu_ps(out + c + 8, a1);
+    }
+    for (; c < n; ++c) {
+        float acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2AddRowsI32(int32_t* out, const int32_t* const* rows, size_t m,
+               size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m256i a0 =
+            _mm256_loadu_si256(reinterpret_cast<__m256i*>(out + c));
+        __m256i a1 = _mm256_loadu_si256(
+            reinterpret_cast<__m256i*>(out + c + 8));
+        for (size_t j = 0; j < m; ++j) {
+            a0 = _mm256_add_epi32(
+                a0, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(rows[j] + c)));
+            a1 = _mm256_add_epi32(
+                a1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                        rows[j] + c + 8)));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c + 8),
+                            a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2StoreRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
+                 size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m256i a0 = _mm256_setzero_si256();
+        __m256i a1 = _mm256_setzero_si256();
+        for (size_t j = 0; j < m; ++j) {
+            // Two 128-bit loads fold into vpmovsxwd's memory operand.
+            a0 = _mm256_add_epi32(
+                a0, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(rows[j] + c))));
+            a1 = _mm256_add_epi32(
+                a1, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(rows[j] + c +
+                                                         8))));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c + 8),
+                            a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = 0;
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2StoreRowsI32(int32_t* out, const int32_t* const* rows, size_t m,
+                 size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m256i a0 = _mm256_setzero_si256();
+        __m256i a1 = _mm256_setzero_si256();
+        for (size_t j = 0; j < m; ++j) {
+            a0 = _mm256_add_epi32(
+                a0, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(rows[j] + c)));
+            a1 = _mm256_add_epi32(
+                a1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                        rows[j] + c + 8)));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c + 8),
+                            a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = 0;
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2FusedStoreAddSub(int32_t* out, const int32_t* const* base,
+                     size_t nBase, const int16_t* const* pos,
+                     size_t nPos, const int16_t* const* neg,
+                     size_t nNeg, size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m256i a0 = _mm256_setzero_si256();
+        __m256i a1 = _mm256_setzero_si256();
+        for (size_t j = 0; j < nBase; ++j) {
+            a0 = _mm256_add_epi32(
+                a0, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(base[j] + c)));
+            a1 = _mm256_add_epi32(
+                a1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                        base[j] + c + 8)));
+        }
+        for (size_t j = 0; j < nPos; ++j) {
+            a0 = _mm256_add_epi32(
+                a0, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(pos[j] + c))));
+            a1 = _mm256_add_epi32(
+                a1, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(pos[j] + c +
+                                                         8))));
+        }
+        for (size_t j = 0; j < nNeg; ++j) {
+            a0 = _mm256_sub_epi32(
+                a0, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(neg[j] + c))));
+            a1 = _mm256_sub_epi32(
+                a1, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(neg[j] + c +
+                                                         8))));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c + 8),
+                            a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = 0;
+        for (size_t j = 0; j < nBase; ++j)
+            acc += base[j][c];
+        for (size_t j = 0; j < nPos; ++j)
+            acc += pos[j][c];
+        for (size_t j = 0; j < nNeg; ++j)
+            acc -= neg[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2SubRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
+               size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m256i* o0 = reinterpret_cast<__m256i*>(out + c);
+        __m256i* o1 = reinterpret_cast<__m256i*>(out + c + 8);
+        __m256i a0 = _mm256_loadu_si256(o0);
+        __m256i a1 = _mm256_loadu_si256(o1);
+        for (size_t j = 0; j < m; ++j) {
+            a0 = _mm256_sub_epi32(
+                a0, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(rows[j] + c))));
+            a1 = _mm256_sub_epi32(
+                a1, _mm256_cvtepi16_epi32(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(rows[j] + c +
+                                                         8))));
+        }
+        _mm256_storeu_si256(o0, a0);
+        _mm256_storeu_si256(o1, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc -= rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2SubRowI16(int32_t* out, const int16_t* w, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m256i lo =
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(wv));
+        const __m256i hi =
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(wv, 1));
+        __m256i* o0 = reinterpret_cast<__m256i*>(out + i);
+        __m256i* o1 = reinterpret_cast<__m256i*>(out + i + 8);
+        _mm256_storeu_si256(
+            o0, _mm256_sub_epi32(_mm256_loadu_si256(o0), lo));
+        _mm256_storeu_si256(
+            o1, _mm256_sub_epi32(_mm256_loadu_si256(o1), hi));
+    }
+    for (; i < n; ++i)
+        out[i] -= w[i];
+}
+
+void
+avx2AddRowI32(int32_t* out, const int32_t* src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i s0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i));
+        const __m256i s1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(src + i + 8));
+        __m256i* o0 = reinterpret_cast<__m256i*>(out + i);
+        __m256i* o1 = reinterpret_cast<__m256i*>(out + i + 8);
+        _mm256_storeu_si256(
+            o0, _mm256_add_epi32(_mm256_loadu_si256(o0), s0));
+        _mm256_storeu_si256(
+            o1, _mm256_add_epi32(_mm256_loadu_si256(o1), s1));
+    }
+    for (; i < n; ++i)
+        out[i] += src[i];
+}
+
+void
+avx2AddRowF32(float* out, const float* src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256 s0 = _mm256_loadu_ps(src + i);
+        const __m256 s1 = _mm256_loadu_ps(src + i + 8);
+        _mm256_storeu_ps(out + i,
+                         _mm256_add_ps(_mm256_loadu_ps(out + i), s0));
+        _mm256_storeu_ps(
+            out + i + 8,
+            _mm256_add_ps(_mm256_loadu_ps(out + i + 8), s1));
+    }
+    for (; i < n; ++i)
+        out[i] += src[i];
+}
+
+void
+avx2FmaRowF32(float* out, const float* src, float a, size_t n)
+{
+    const __m256 av = _mm256_set1_ps(a);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(src + i));
+        _mm256_storeu_ps(
+            out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), prod));
+    }
+    for (; i < n; ++i)
+        out[i] += a * src[i];
+}
+
+/** Per-byte popcount of a 256-bit vector via the nibble LUT. */
+inline __m256i
+popcountBytes(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+    return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                           _mm256_shuffle_epi8(lut, hi));
+}
+
+uint64_t
+avx2PopcountWords(const uint64_t* words, size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(words + i));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(popcountBytes(v),
+                                 _mm256_setzero_si256()));
+    }
+    uint64_t total =
+        static_cast<uint64_t>(_mm256_extract_epi64(acc, 0)) +
+        static_cast<uint64_t>(_mm256_extract_epi64(acc, 1)) +
+        static_cast<uint64_t>(_mm256_extract_epi64(acc, 2)) +
+        static_cast<uint64_t>(_mm256_extract_epi64(acc, 3));
+    for (; i < n; ++i)
+        total += static_cast<uint64_t>(
+            __builtin_popcountll(words[i]));
+    return total;
+}
+
+void
+avx2HammingScan(uint64_t row, const uint64_t* pats, size_t n,
+                uint8_t* dist)
+{
+    const __m256i rv =
+        _mm256_set1_epi64x(static_cast<long long>(row));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(pats + i)),
+            rv);
+        // psadbw against zero sums each 8-byte lane's byte-popcounts
+        // into one 64-bit count (<= 64, fits a byte).
+        const __m256i sums = _mm256_sad_epu8(popcountBytes(x),
+                                             _mm256_setzero_si256());
+        dist[i] = static_cast<uint8_t>(_mm256_extract_epi64(sums, 0));
+        dist[i + 1] =
+            static_cast<uint8_t>(_mm256_extract_epi64(sums, 1));
+        dist[i + 2] =
+            static_cast<uint8_t>(_mm256_extract_epi64(sums, 2));
+        dist[i + 3] =
+            static_cast<uint8_t>(_mm256_extract_epi64(sums, 3));
+    }
+    for (; i < n; ++i)
+        dist[i] = static_cast<uint8_t>(
+            __builtin_popcountll(pats[i] ^ row));
+}
+
+constexpr Kernels kAvx2Kernels = {
+    .isa = SimdIsa::Avx2,
+    .name = "avx2",
+    .addRowI16 = avx2AddRowI16,
+    .addRowsI16 = avx2AddRowsI16,
+    .addRowsF32 = avx2AddRowsF32,
+    .addRowsI32 = avx2AddRowsI32,
+    .storeRowsI16 = avx2StoreRowsI16,
+    .storeRowsI32 = avx2StoreRowsI32,
+    .fusedStoreAddSub = avx2FusedStoreAddSub,
+    .subRowI16 = avx2SubRowI16,
+    .subRowsI16 = avx2SubRowsI16,
+    .addRowI32 = avx2AddRowI32,
+    .addRowF32 = avx2AddRowF32,
+    .fmaRowF32 = avx2FmaRowF32,
+    .popcountWords = avx2PopcountWords,
+    .hammingScan = avx2HammingScan,
+};
+
+} // namespace
+
+const Kernels&
+avx2Kernels()
+{
+    return kAvx2Kernels;
+}
+
+} // namespace phi::simd
+
+#endif // __AVX2__

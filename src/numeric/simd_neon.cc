@@ -1,0 +1,340 @@
+/**
+ * @file
+ * NEON backend of the SIMD kernel layer (AArch64, where NEON is
+ * architecturally baseline — no runtime feature check needed).
+ *
+ * 128-bit lanes, unrolled to an 8-element step. Popcounts use vcnt on
+ * bytes with pairwise widening adds. Float kernels use explicit
+ * mul-then-add (vmulq + vaddq, never vfma) to stay bit-identical to
+ * the scalar reference.
+ */
+
+#include "numeric/simd.hh"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace phi::simd
+{
+
+namespace
+{
+
+void
+neonAddRowI16(int32_t* out, const int16_t* w, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const int16x8_t wv = vld1q_s16(w + i);
+        vst1q_s32(out + i,
+                  vaddw_s16(vld1q_s32(out + i), vget_low_s16(wv)));
+        vst1q_s32(out + i + 4,
+                  vaddw_high_s16(vld1q_s32(out + i + 4), wv));
+    }
+    for (; i < n; ++i)
+        out[i] += w[i];
+}
+
+void
+neonAddRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
+               size_t n)
+{
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        // Two output vectors held in registers across all m rows.
+        int32x4_t a0 = vld1q_s32(out + c);
+        int32x4_t a1 = vld1q_s32(out + c + 4);
+        for (size_t j = 0; j < m; ++j) {
+            const int16x8_t wv = vld1q_s16(rows[j] + c);
+            a0 = vaddw_s16(a0, vget_low_s16(wv));
+            a1 = vaddw_high_s16(a1, wv);
+        }
+        vst1q_s32(out + c, a0);
+        vst1q_s32(out + c + 4, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+neonAddRowsF32(float* out, const float* const* rows, size_t m, size_t n)
+{
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        float32x4_t a0 = vld1q_f32(out + c);
+        float32x4_t a1 = vld1q_f32(out + c + 4);
+        for (size_t j = 0; j < m; ++j) {
+            a0 = vaddq_f32(a0, vld1q_f32(rows[j] + c));
+            a1 = vaddq_f32(a1, vld1q_f32(rows[j] + c + 4));
+        }
+        vst1q_f32(out + c, a0);
+        vst1q_f32(out + c + 4, a1);
+    }
+    for (; c < n; ++c) {
+        float acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+neonAddRowsI32(int32_t* out, const int32_t* const* rows, size_t m,
+               size_t n)
+{
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        int32x4_t a0 = vld1q_s32(out + c);
+        int32x4_t a1 = vld1q_s32(out + c + 4);
+        for (size_t j = 0; j < m; ++j) {
+            a0 = vaddq_s32(a0, vld1q_s32(rows[j] + c));
+            a1 = vaddq_s32(a1, vld1q_s32(rows[j] + c + 4));
+        }
+        vst1q_s32(out + c, a0);
+        vst1q_s32(out + c + 4, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+neonStoreRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
+                 size_t n)
+{
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        int32x4_t a0 = vdupq_n_s32(0);
+        int32x4_t a1 = vdupq_n_s32(0);
+        for (size_t j = 0; j < m; ++j) {
+            const int16x8_t wv = vld1q_s16(rows[j] + c);
+            a0 = vaddw_s16(a0, vget_low_s16(wv));
+            a1 = vaddw_high_s16(a1, wv);
+        }
+        vst1q_s32(out + c, a0);
+        vst1q_s32(out + c + 4, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = 0;
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+neonStoreRowsI32(int32_t* out, const int32_t* const* rows, size_t m,
+                 size_t n)
+{
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        int32x4_t a0 = vdupq_n_s32(0);
+        int32x4_t a1 = vdupq_n_s32(0);
+        for (size_t j = 0; j < m; ++j) {
+            a0 = vaddq_s32(a0, vld1q_s32(rows[j] + c));
+            a1 = vaddq_s32(a1, vld1q_s32(rows[j] + c + 4));
+        }
+        vst1q_s32(out + c, a0);
+        vst1q_s32(out + c + 4, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = 0;
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+neonFusedStoreAddSub(int32_t* out, const int32_t* const* base,
+                     size_t nBase, const int16_t* const* pos,
+                     size_t nPos, const int16_t* const* neg,
+                     size_t nNeg, size_t n)
+{
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        int32x4_t a0 = vdupq_n_s32(0);
+        int32x4_t a1 = vdupq_n_s32(0);
+        for (size_t j = 0; j < nBase; ++j) {
+            a0 = vaddq_s32(a0, vld1q_s32(base[j] + c));
+            a1 = vaddq_s32(a1, vld1q_s32(base[j] + c + 4));
+        }
+        for (size_t j = 0; j < nPos; ++j) {
+            const int16x8_t wv = vld1q_s16(pos[j] + c);
+            a0 = vaddw_s16(a0, vget_low_s16(wv));
+            a1 = vaddw_high_s16(a1, wv);
+        }
+        for (size_t j = 0; j < nNeg; ++j) {
+            const int16x8_t wv = vld1q_s16(neg[j] + c);
+            a0 = vsubw_s16(a0, vget_low_s16(wv));
+            a1 = vsubw_high_s16(a1, wv);
+        }
+        vst1q_s32(out + c, a0);
+        vst1q_s32(out + c + 4, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = 0;
+        for (size_t j = 0; j < nBase; ++j)
+            acc += base[j][c];
+        for (size_t j = 0; j < nPos; ++j)
+            acc += pos[j][c];
+        for (size_t j = 0; j < nNeg; ++j)
+            acc -= neg[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+neonSubRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
+               size_t n)
+{
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        int32x4_t a0 = vld1q_s32(out + c);
+        int32x4_t a1 = vld1q_s32(out + c + 4);
+        for (size_t j = 0; j < m; ++j) {
+            const int16x8_t wv = vld1q_s16(rows[j] + c);
+            a0 = vsubw_s16(a0, vget_low_s16(wv));
+            a1 = vsubw_high_s16(a1, wv);
+        }
+        vst1q_s32(out + c, a0);
+        vst1q_s32(out + c + 4, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc -= rows[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+neonSubRowI16(int32_t* out, const int16_t* w, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const int16x8_t wv = vld1q_s16(w + i);
+        vst1q_s32(out + i,
+                  vsubw_s16(vld1q_s32(out + i), vget_low_s16(wv)));
+        vst1q_s32(out + i + 4,
+                  vsubw_high_s16(vld1q_s32(out + i + 4), wv));
+    }
+    for (; i < n; ++i)
+        out[i] -= w[i];
+}
+
+void
+neonAddRowI32(int32_t* out, const int32_t* src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        vst1q_s32(out + i,
+                  vaddq_s32(vld1q_s32(out + i), vld1q_s32(src + i)));
+        vst1q_s32(out + i + 4, vaddq_s32(vld1q_s32(out + i + 4),
+                                         vld1q_s32(src + i + 4)));
+    }
+    for (; i < n; ++i)
+        out[i] += src[i];
+}
+
+void
+neonAddRowF32(float* out, const float* src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        vst1q_f32(out + i,
+                  vaddq_f32(vld1q_f32(out + i), vld1q_f32(src + i)));
+        vst1q_f32(out + i + 4, vaddq_f32(vld1q_f32(out + i + 4),
+                                         vld1q_f32(src + i + 4)));
+    }
+    for (; i < n; ++i)
+        out[i] += src[i];
+}
+
+void
+neonFmaRowF32(float* out, const float* src, float a, size_t n)
+{
+    const float32x4_t av = vdupq_n_f32(a);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t prod = vmulq_f32(av, vld1q_f32(src + i));
+        vst1q_f32(out + i, vaddq_f32(vld1q_f32(out + i), prod));
+    }
+    for (; i < n; ++i)
+        out[i] += a * src[i];
+}
+
+uint64_t
+neonPopcountWords(const uint64_t* words, size_t n)
+{
+    uint64_t total = 0;
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint8x16_t v =
+            vreinterpretq_u8_u64(vld1q_u64(words + i));
+        total += vaddlvq_u8(vcntq_u8(v));
+    }
+    for (; i < n; ++i)
+        total += static_cast<uint64_t>(
+            __builtin_popcountll(words[i]));
+    return total;
+}
+
+void
+neonHammingScan(uint64_t row, const uint64_t* pats, size_t n,
+                uint8_t* dist)
+{
+    const uint64x2_t rv = vdupq_n_u64(row);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t x = veorq_u64(vld1q_u64(pats + i), rv);
+        const uint8x16_t cnt = vcntq_u8(vreinterpretq_u8_u64(x));
+        // Sum each 8-byte half independently: lane popcounts <= 64.
+        const uint64x2_t sums =
+            vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt)));
+        dist[i] = static_cast<uint8_t>(vgetq_lane_u64(sums, 0));
+        dist[i + 1] = static_cast<uint8_t>(vgetq_lane_u64(sums, 1));
+    }
+    for (; i < n; ++i)
+        dist[i] = static_cast<uint8_t>(
+            __builtin_popcountll(pats[i] ^ row));
+}
+
+constexpr Kernels kNeonKernels = {
+    .isa = SimdIsa::Neon,
+    .name = "neon",
+    .addRowI16 = neonAddRowI16,
+    .addRowsI16 = neonAddRowsI16,
+    .addRowsF32 = neonAddRowsF32,
+    .addRowsI32 = neonAddRowsI32,
+    .storeRowsI16 = neonStoreRowsI16,
+    .storeRowsI32 = neonStoreRowsI32,
+    .fusedStoreAddSub = neonFusedStoreAddSub,
+    .subRowI16 = neonSubRowI16,
+    .subRowsI16 = neonSubRowsI16,
+    .addRowI32 = neonAddRowI32,
+    .addRowF32 = neonAddRowF32,
+    .fmaRowF32 = neonFmaRowF32,
+    .popcountWords = neonPopcountWords,
+    .hammingScan = neonHammingScan,
+};
+
+} // namespace
+
+const Kernels&
+neonKernels()
+{
+    return kNeonKernels;
+}
+
+} // namespace phi::simd
+
+#endif // __aarch64__

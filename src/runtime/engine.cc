@@ -54,7 +54,19 @@ PhiEngine::flush()
 
     const size_t n = queue.size();
     std::vector<EngineResponse> responses(n);
-    std::vector<double> latencies(n, 0.0);
+
+    // Allocate every response's output (and the latency scratch, a
+    // member reused across flushes) on the submitting thread before
+    // dispatch: worker chunks then compute into pre-sized buffers and
+    // never meet in the allocator mid-batch.
+    for (size_t i = 0; i < n; ++i) {
+        const EngineRequest& req = queue[i];
+        responses[i].layer = req.layer;
+        responses[i].out = Matrix<int32_t>::uninitialized(
+            req.acts.rows(),
+            compiled.layer(req.layer).weights().cols());
+    }
+    latencyScratch.assign(n, 0.0);
     const auto batchStart = Clock::now();
 
     // One chunk per request: requests spread across the pool while each
@@ -66,10 +78,9 @@ PhiEngine::flush()
             const EngineRequest& req = queue[i];
             const CompiledLayer& l = compiled.layer(req.layer);
             EngineResponse& resp = responses[i];
-            resp.layer = req.layer;
             resp.dec = l.decompose(req.acts, exec);
-            resp.out = l.compute(resp.dec, exec);
-            latencies[i] = secondsSince(reqStart);
+            l.computeInto(resp.out, resp.dec, exec);
+            latencyScratch[i] = secondsSince(reqStart);
         }
     });
 
@@ -78,7 +89,7 @@ PhiEngine::flush()
     counters.requests += n;
     for (const auto& req : queue)
         counters.rows += req.acts.rows();
-    for (double s : latencies)
+    for (double s : latencyScratch)
         counters.recordLatency(s);
     queue.clear();
     return responses;

@@ -99,6 +99,10 @@ class PhiEngine
     ExecutionConfig exec;
     std::vector<EngineRequest> queue;
     ServingStats counters;
+
+    /** Per-flush latency scratch, reused so steady-state serving does
+     *  not reallocate it on every batch. */
+    std::vector<double> latencyScratch;
 };
 
 } // namespace phi

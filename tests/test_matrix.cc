@@ -26,12 +26,59 @@ TEST(Matrix, ShapeAndInit)
             EXPECT_EQ(m.at(r, c), 7);
 }
 
-TEST(Matrix, RowPointersAreContiguous)
+TEST(Matrix, RowPointersFollowPaddedStride)
 {
     Matrix<int> m(2, 3, 0);
     m(1, 2) = 42;
     EXPECT_EQ(m.rowPtr(1)[2], 42);
-    EXPECT_EQ(m.data()[1 * 3 + 2], 42);
+    EXPECT_EQ(m.data()[1 * m.stride() + 2], 42);
+}
+
+TEST(Matrix, RowsAreAlignedAndPadded)
+{
+    Matrix<int32_t> m(3, 5);
+    // Stride rounds the row to a whole 64-byte cache line...
+    EXPECT_EQ(m.stride(), 16u);
+    EXPECT_EQ(m.paddedCols(), m.stride());
+    EXPECT_EQ(m.size(), 15u); // ...but logical size excludes padding.
+    for (size_t r = 0; r < m.rows(); ++r) {
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(m.rowPtr(r)) %
+                      kSimdAlign,
+                  0u);
+        // Padding is zero-initialised (the SIMD kernels rely on it).
+        for (size_t c = m.cols(); c < m.stride(); ++c)
+            EXPECT_EQ(m.rowPtr(r)[c], 0);
+    }
+    // An exact multiple of the line width needs no padding.
+    EXPECT_EQ(Matrix<int32_t>(1, 32).stride(), 32u);
+}
+
+TEST(Matrix, FillAndEqualityIgnorePadding)
+{
+    Matrix<int16_t> a(2, 3);
+    Matrix<int16_t> b(2, 3);
+    a.fill(9);
+    b.fill(9);
+    EXPECT_TRUE(a == b);
+    // Scribbling in padding must not break logical equality.
+    a.rowPtr(0)[a.cols()] = 77;
+    EXPECT_TRUE(a == b);
+}
+
+TEST(BinaryMatrix, RowWordsAreAlignedAndPadded)
+{
+    BinaryMatrix m(2, 130); // 3 logical words -> 8-word stride
+    EXPECT_EQ(m.numWordsPerRow(), 3u);
+    EXPECT_EQ(m.wordsStride(), 8u);
+    m.set(1, 129, true);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(m.rowWords(r)) %
+                      kSimdAlign,
+                  0u);
+        for (size_t w = m.numWordsPerRow(); w < m.wordsStride(); ++w)
+            EXPECT_EQ(m.rowWords(r)[w], 0u);
+    }
+    EXPECT_TRUE(m.tailBitsClear());
 }
 
 TEST(Matrix, OutOfBoundsPanics)

@@ -286,6 +286,23 @@ TEST(ModelIo, RejectsTraceWithCorruptDecomposition)
         EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
                      io::IoError);
     }
+    {
+        // More L2 entries in one row than the partition has columns
+        // (duplicate columns pass the per-entry checks, but would
+        // overflow the uint8_t row-major count index downstream).
+        ModelTrace bad = good;
+        auto& tile = bad.layers[0].dec.tiles[0];
+        const uint32_t extra =
+            static_cast<uint32_t>(tile.k) + 1;
+        tile.l2Entries.clear();
+        for (uint32_t i = 0; i < extra; ++i)
+            tile.l2Entries.push_back({0, int8_t{1}});
+        tile.l2Offsets.assign(tile.patternIds.size() + 1, extra);
+        tile.l2Offsets[0] = 0;
+        const auto bytes = io::serializeTrace(bad);
+        EXPECT_THROW(io::parseTrace(bytes.data(), bytes.size()),
+                     io::IoError);
+    }
 }
 
 TEST(ModelIo, LoadMissingFileThrows)
