@@ -13,13 +13,26 @@
  * Results (the computed matrices) are bit-identical across all
  * configurations; only the timing varies.
  *
+ * Two scenarios are swept:
+ *
+ * - sync:  the single-caller PhiEngine loop (threads x batch size),
+ *   the steady-state numbers recorded since PR 2.
+ * - async: N producer threads streaming the same request set through
+ *   AsyncPhiEngine::submit() while the dispatcher coalesces
+ *   micro-batches (producers x maxBatch) — the multi-producer serving
+ *   shape the async frontend exists for. Throughput is reported over
+ *   the monotonic first-to-last-flush window, so overlapping
+ *   producer/dispatcher work is never double-counted.
+ *
  * Usage:  serving_throughput [out.json]
  *         writes a BENCH_serving.json-style report when a path is given.
  */
 
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -27,6 +40,7 @@
 #include "common/table.hh"
 #include "core/pipeline.hh"
 #include "numeric/simd.hh"
+#include "runtime/async_engine.hh"
 #include "runtime/engine.hh"
 #include "snn/activation_gen.hh"
 
@@ -53,6 +67,22 @@ struct Result
     double p50Ms;
     double p99Ms;
     double meanMs;
+};
+
+struct AsyncResult
+{
+    int producers;
+    size_t maxBatch;
+    uint64_t requests;
+    double rps;
+    double rowsPerSec;
+    double p50Ms;
+    double p99Ms;
+    double meanMs;
+    double meanQueueDepth;
+    double meanLingerUs;
+    uint64_t dispatches;
+    uint64_t rejected;
 };
 
 CompiledModel
@@ -128,8 +158,58 @@ runConfig(const CompiledModel& model,
             s.meanLatencyMs()};
 }
 
+/**
+ * The multi-producer scenario: @p producers threads each stream their
+ * slice of the request set through submit(), the dispatcher coalesces
+ * up to @p maxBatch requests per flush. Runs after the sync sweep, so
+ * the pool and allocator caches are already warm.
+ */
+AsyncResult
+runAsyncConfig(const CompiledModel& model,
+               const std::vector<BinaryMatrix>& requests, int producers,
+               size_t maxBatch)
+{
+    ExecutionConfig exec;
+    exec.threads = 4;
+    AsyncEngineConfig cfg;
+    cfg.maxBatch = maxBatch;
+    cfg.maxLingerMicros = 200;
+    AsyncPhiEngine engine(model, exec, cfg);
+
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            std::vector<std::future<EngineResponse>> futures;
+            for (size_t i = p; i < requests.size();
+                 i += static_cast<size_t>(producers))
+                futures.push_back(engine.submit(0, requests[i]));
+            for (auto& f : futures)
+                f.get();
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    engine.drain();
+
+    const ServingStats s = engine.stats();
+    return {producers,
+            maxBatch,
+            s.requests,
+            s.throughputRps(),
+            s.rowThroughputRps(),
+            s.latencyPercentileMs(50),
+            s.latencyPercentileMs(99),
+            s.meanLatencyMs(),
+            s.meanQueueDepth(),
+            s.meanLingerMicros(),
+            s.dispatches,
+            s.rejected};
+}
+
 void
-writeJson(const std::string& path, const std::vector<Result>& results)
+writeJson(const std::string& path, const std::vector<Result>& results,
+          const std::vector<AsyncResult>& asyncResults)
 {
     std::ofstream out(path);
     out << "{\n  \"benchmark\": \"serving_throughput\",\n"
@@ -153,6 +233,23 @@ writeJson(const std::string& path, const std::vector<Result>& results)
             << ", \"p99_ms\": " << r.p99Ms
             << ", \"mean_ms\": " << r.meanMs << "}"
             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"async_results\": [\n";
+    for (size_t i = 0; i < asyncResults.size(); ++i) {
+        const AsyncResult& r = asyncResults[i];
+        out << "    {\"producers\": " << r.producers
+            << ", \"max_batch\": " << r.maxBatch
+            << ", \"requests\": " << r.requests
+            << ", \"rps\": " << r.rps
+            << ", \"rows_per_sec\": " << r.rowsPerSec
+            << ", \"p50_ms\": " << r.p50Ms
+            << ", \"p99_ms\": " << r.p99Ms
+            << ", \"mean_ms\": " << r.meanMs
+            << ", \"mean_queue_depth\": " << r.meanQueueDepth
+            << ", \"mean_linger_us\": " << r.meanLingerUs
+            << ", \"dispatches\": " << r.dispatches
+            << ", \"rejected\": " << r.rejected << "}"
+            << (i + 1 < asyncResults.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
 }
@@ -184,9 +281,32 @@ main(int argc, char** argv)
     }
     t.print(std::cout);
 
+    // Multi-producer async frontend: the same request stream pushed by
+    // concurrent submitters through the coalescing dispatcher.
+    std::vector<AsyncResult> asyncResults;
+    Table at({"Producers", "MaxBatch", "Req/s", "kRows/s", "p50 ms",
+              "p99 ms", "QDepth", "Linger us"});
+    for (int producers : {1, 4, 8}) {
+        for (size_t maxBatch : {size_t{1}, size_t{8}, size_t{32}}) {
+            AsyncResult r =
+                runAsyncConfig(model, requests, producers, maxBatch);
+            asyncResults.push_back(r);
+            at.addRow({std::to_string(r.producers),
+                       std::to_string(r.maxBatch), Table::fmt(r.rps, 1),
+                       Table::fmt(r.rowsPerSec / 1e3, 1),
+                       Table::fmt(r.p50Ms, 3), Table::fmt(r.p99Ms, 3),
+                       Table::fmt(r.meanQueueDepth, 2),
+                       Table::fmt(r.meanLingerUs, 1)});
+            std::cerr << "  async producers=" << producers
+                      << " maxBatch=" << maxBatch << " done\n";
+        }
+    }
+    std::cout << "\nAsync frontend (engine threads=4, linger=200us):\n";
+    at.print(std::cout);
+
     if (argc > 1) {
         phi::bench::requireReleaseForJson(argv[1]);
-        writeJson(argv[1], results);
+        writeJson(argv[1], results, asyncResults);
         std::cerr << "wrote " << argv[1] << "\n";
     }
     return 0;

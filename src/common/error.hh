@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Recoverable serving-path errors.
+ *
+ * The runtime draws a hard line between two failure classes:
+ *
+ * - EngineError (here): a *request-level* problem — wrong layer id,
+ *   mismatched activation shape, a full queue, a stopped engine. These
+ *   are caused by callers and traffic, they are expected in a serving
+ *   process, and they must never take the process down. The
+ *   synchronous PhiEngine throws them; the AsyncPhiEngine resolves the
+ *   offending request's future with one and keeps serving everything
+ *   else.
+ * - phi_assert / phi_panic (common/logging.hh): an *internal invariant*
+ *   violation — a bug in phi itself. Those still abort.
+ *
+ * io::IoError (io/serialize.hh) plays the same recoverable role for
+ * artifact parsing; EngineError is its request-path counterpart.
+ */
+
+#ifndef PHI_COMMON_ERROR_HH
+#define PHI_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace phi
+{
+
+/** Machine-readable reason carried by every EngineError. */
+enum class EngineErrorCode
+{
+    EmptyModel,      // engine constructed over a model with no layers
+    InvalidLayer,    // request names a layer id the model does not have
+    MissingWeights,  // target layer was compiled without weights
+    ShapeMismatch,   // activation K != weight rows of the target layer
+    NullActivation,  // serveBatch() handed a null activation pointer
+    PendingRequests, // serve()/serveBatch() called with queued requests
+    QueueFull,       // async queue at capacity under the Reject policy
+    Stopped,         // submit() after shutdown()/destruction began
+};
+
+constexpr const char*
+engineErrorCodeName(EngineErrorCode code)
+{
+    switch (code) {
+    case EngineErrorCode::EmptyModel: return "EmptyModel";
+    case EngineErrorCode::InvalidLayer: return "InvalidLayer";
+    case EngineErrorCode::MissingWeights: return "MissingWeights";
+    case EngineErrorCode::ShapeMismatch: return "ShapeMismatch";
+    case EngineErrorCode::NullActivation: return "NullActivation";
+    case EngineErrorCode::PendingRequests: return "PendingRequests";
+    case EngineErrorCode::QueueFull: return "QueueFull";
+    case EngineErrorCode::Stopped: return "Stopped";
+    }
+    return "Unknown";
+}
+
+/**
+ * A rejected request. Thrown by the synchronous engine APIs and
+ * delivered through the offending request's future by the async
+ * frontend; catching it and carrying on is the intended use.
+ */
+class EngineError : public std::runtime_error
+{
+  public:
+    EngineError(EngineErrorCode code, const std::string& what)
+        : std::runtime_error(std::string("phi engine error [") +
+                             engineErrorCodeName(code) + "]: " + what),
+          errorCode(code)
+    {
+    }
+
+    EngineErrorCode code() const { return errorCode; }
+
+  private:
+    EngineErrorCode errorCode;
+};
+
+} // namespace phi
+
+#endif // PHI_COMMON_ERROR_HH

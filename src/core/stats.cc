@@ -86,18 +86,82 @@ ServingStats::recordLatency(double seconds)
     latencyRingNext = (latencyRingNext + 1) % kMaxLatencySamples;
 }
 
+void
+ServingStats::recordFlushWindow(double beginSeconds, double endSeconds)
+{
+    if (windowBeginSeconds < 0 || beginSeconds < windowBeginSeconds)
+        windowBeginSeconds = beginSeconds;
+    if (endSeconds > windowEndSeconds)
+        windowEndSeconds = endSeconds;
+}
+
+void
+ServingStats::recordDispatch(size_t queueDepth, double lingerSec)
+{
+    dispatches += 1;
+    queueDepthSum += queueDepth;
+    maxQueueDepth = std::max(maxQueueDepth,
+                             static_cast<uint64_t>(queueDepth));
+    lingerSeconds += lingerSec;
+}
+
+double
+ServingStats::windowSeconds() const
+{
+    if (windowBeginSeconds < 0 || windowEndSeconds < windowBeginSeconds)
+        return 0.0;
+    return windowEndSeconds - windowBeginSeconds;
+}
+
+double
+ServingStats::busyFraction() const
+{
+    const double w = windowSeconds();
+    return w > 0 ? busySeconds / w : 0.0;
+}
+
+namespace
+{
+
+/** Elapsed serving time: the monotonic window when one was recorded,
+ *  otherwise the busy sum (hand-filled counters, old artifacts). */
+double
+servingSeconds(const ServingStats& s)
+{
+    const double w = s.windowSeconds();
+    return w > 0 ? w : s.busySeconds;
+}
+
+} // namespace
+
 double
 ServingStats::throughputRps() const
 {
-    return busySeconds > 0 ? static_cast<double>(requests) / busySeconds
-                           : 0.0;
+    const double secs = servingSeconds(*this);
+    return secs > 0 ? static_cast<double>(requests) / secs : 0.0;
 }
 
 double
 ServingStats::rowThroughputRps() const
 {
-    return busySeconds > 0 ? static_cast<double>(rows) / busySeconds
-                           : 0.0;
+    const double secs = servingSeconds(*this);
+    return secs > 0 ? static_cast<double>(rows) / secs : 0.0;
+}
+
+double
+ServingStats::meanQueueDepth() const
+{
+    return dispatches > 0 ? static_cast<double>(queueDepthSum) /
+                                static_cast<double>(dispatches)
+                          : 0.0;
+}
+
+double
+ServingStats::meanLingerMicros() const
+{
+    return dispatches > 0
+               ? lingerSeconds / static_cast<double>(dispatches) * 1e6
+               : 0.0;
 }
 
 double
@@ -132,8 +196,22 @@ ServingStats::merge(const ServingStats& other)
     batches += other.batches;
     rows += other.rows;
     busySeconds += other.busySeconds;
-    for (double s : other.latencySeconds)
-        recordLatency(s);
+    if (other.windowBeginSeconds >= 0)
+        recordFlushWindow(other.windowBeginSeconds,
+                          other.windowEndSeconds);
+    rejected += other.rejected;
+    dispatches += other.dispatches;
+    queueDepthSum += other.queueDepthSum;
+    maxQueueDepth = std::max(maxQueueDepth, other.maxQueueDepth);
+    lingerSeconds += other.lingerSeconds;
+    // Replay the other ring oldest-first so this ring's recency order
+    // stays meaningful after the merge; a wrapped source ring's oldest
+    // sample sits at its ring cursor, not index 0.
+    const size_t n = other.latencySeconds.size();
+    const size_t start =
+        n == kMaxLatencySamples ? other.latencyRingNext : 0;
+    for (size_t i = 0; i < n; ++i)
+        recordLatency(other.latencySeconds[(start + i) % n]);
 }
 
 } // namespace phi

@@ -97,7 +97,36 @@ struct ServingStats
     uint64_t requests = 0; // requests completed
     uint64_t batches = 0;  // flush() calls that served >= 1 request
     uint64_t rows = 0;     // activation rows across served requests
-    double busySeconds = 0; // wall time spent inside flush()
+
+    /**
+     * Wall time spent inside flush(), summed per flush. A utilisation
+     * metric, NOT a throughput denominator: once flushes overlap
+     * (merged stats from concurrent engines, or work observed from the
+     * async frontend) the per-flush sum double-counts wall time and
+     * would under-report RPS. Throughput uses the monotonic window
+     * below instead.
+     */
+    double busySeconds = 0;
+
+    /**
+     * Monotonic serving window: steady-clock seconds (since the
+     * clock's epoch) of the first flush's start and the last flush's
+     * end. recordFlushWindow() keeps the min/max, so overlapping
+     * flushes widen the window at most to real elapsed time — never
+     * double-count it. Negative = no flush recorded yet.
+     */
+    double windowBeginSeconds = -1.0;
+    double windowEndSeconds = -1.0;
+
+    // -- async frontend counters (AsyncPhiEngine) ---------------------
+    uint64_t rejected = 0;   // submits refused by backpressure
+    uint64_t dispatches = 0; // dispatcher micro-batches popped
+    uint64_t queueDepthSum = 0; // summed queue depth at each dispatch
+    uint64_t maxQueueDepth = 0; // high-water queue depth at dispatch
+
+    /** Total coalescing wait the dispatcher *added* (dispatch-ready to
+     *  dispatched), excluding queue wait behind earlier flushes. */
+    double lingerSeconds = 0;
 
     /**
      * Per-request service-time samples, seconds — the most recent
@@ -109,11 +138,39 @@ struct ServingStats
     /** Record one sample, evicting the oldest once the window is full. */
     void recordLatency(double seconds);
 
-    /** Requests per second of busy time (0 when idle). */
+    /** Widen the monotonic window to cover one flush's [begin, end]
+     *  (steady-clock seconds since the clock's epoch). */
+    void recordFlushWindow(double beginSeconds, double endSeconds);
+
+    /** Record one dispatcher micro-batch: queue depth observed at
+     *  dispatch and how long the batch lingered for coalescing. */
+    void recordDispatch(size_t queueDepth, double lingerSec);
+
+    /** First-flush-start to last-flush-end, seconds (0 before any
+     *  flush). Real elapsed serving time even when flushes overlap. */
+    double windowSeconds() const;
+
+    /** Fraction of the serving window spent inside flush(); can exceed
+     *  1 when merged stats cover engines flushing concurrently. */
+    double busyFraction() const;
+
+    /**
+     * Requests per second over the monotonic serving window (falls
+     * back to busySeconds when no window was recorded, e.g. counters
+     * filled in by hand). Correct under overlapping flushes, where the
+     * per-flush busySeconds sum double-counts wall time.
+     */
     double throughputRps() const;
 
-    /** Activation rows per second of busy time. */
+    /** Activation rows per second over the same window. */
     double rowThroughputRps() const;
+
+    /** Mean queue depth seen at dispatch (async frontend; 0 without
+     *  recorded dispatches). */
+    double meanQueueDepth() const;
+
+    /** Mean micro-batch coalescing wait, microseconds. */
+    double meanLingerMicros() const;
 
     /**
      * Latency percentile in milliseconds over the recorded samples;

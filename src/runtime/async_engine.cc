@@ -1,0 +1,228 @@
+#include "runtime/async_engine.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace phi
+{
+
+namespace
+{
+
+std::exception_ptr
+makeError(EngineErrorCode code, const std::string& what)
+{
+    return std::make_exception_ptr(EngineError(code, what));
+}
+
+} // namespace
+
+AsyncPhiEngine::AsyncPhiEngine(CompiledModel model, ExecutionConfig exec,
+                               AsyncEngineConfig config)
+    : engine(std::move(model), exec), asyncConfig(config)
+{
+    if (asyncConfig.maxBatch < 1)
+        asyncConfig.maxBatch = 1;
+    if (asyncConfig.maxQueueDepth < 1)
+        asyncConfig.maxQueueDepth = 1;
+    dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+AsyncPhiEngine::~AsyncPhiEngine()
+{
+    shutdown();
+}
+
+std::future<EngineResponse>
+AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
+{
+    std::promise<EngineResponse> promise;
+    std::future<EngineResponse> future = promise.get_future();
+
+    // Validate on the submitting thread, against the immutable model:
+    // a malformed request resolves its own future right here and can
+    // never poison a batch or abort the process.
+    try {
+        engine.validate(layer, acts);
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        return future;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex);
+    if (!accepting) {
+        promise.set_exception(makeError(EngineErrorCode::Stopped,
+                                        "submit() on a stopped engine"));
+        return future;
+    }
+    if (pendingQueue.size() >= asyncConfig.maxQueueDepth) {
+        if (asyncConfig.backpressure ==
+            AsyncEngineConfig::Backpressure::Reject) {
+            ++rejectedCount;
+            promise.set_exception(
+                makeError(EngineErrorCode::QueueFull,
+                          "queue at maxQueueDepth under Reject policy"));
+            return future;
+        }
+        spaceAvailable.wait(lock, [this] {
+            return pendingQueue.size() < asyncConfig.maxQueueDepth ||
+                   !accepting;
+        });
+        if (!accepting) {
+            promise.set_exception(
+                makeError(EngineErrorCode::Stopped,
+                          "engine stopped while waiting for queue "
+                          "space"));
+            return future;
+        }
+    }
+    pendingQueue.push_back({layer, std::move(acts), std::move(promise),
+                            Clock::now()});
+    lock.unlock();
+    workAvailable.notify_one();
+    return future;
+}
+
+void
+AsyncPhiEngine::dispatchLoop()
+{
+    // Frontend counters live on this thread and are published together
+    // with the inner engine's flush counters after every batch.
+    ServingStats frontend;
+
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex);
+        workAvailable.wait(lock, [this] {
+            return !pendingQueue.empty() || stopping;
+        });
+        if (pendingQueue.empty())
+            break; // stopping, and everything queued has been served
+
+        // Micro-batch coalescing: linger after the batch's first
+        // request so closely-spaced submits share one flush. The
+        // deadline is anchored at that request's submit time, so a
+        // request that already queued behind a long flush is not made
+        // to wait again. Skipped when the batch is already full or the
+        // engine is stopping.
+        const auto readyAt = Clock::now();
+        const auto deadline =
+            pendingQueue.front().enqueuedAt +
+            std::chrono::microseconds(asyncConfig.maxLingerMicros);
+        while (!stopping && pendingQueue.size() < asyncConfig.maxBatch &&
+               Clock::now() < deadline)
+            workAvailable.wait_until(lock, deadline);
+
+        const size_t depthAtDispatch = pendingQueue.size();
+        const size_t take =
+            std::min(depthAtDispatch, asyncConfig.maxBatch);
+        std::vector<Pending> batch;
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(pendingQueue.front()));
+            pendingQueue.pop_front();
+        }
+        inFlight = batch.size();
+        // Coalescing cost actually added by the dispatcher: time from
+        // "could have dispatched" to "did". Queue wait behind earlier
+        // flushes shows up in request latency, not here.
+        const double lingerSec =
+            std::chrono::duration<double>(Clock::now() - readyAt)
+                .count();
+        lock.unlock();
+        spaceAvailable.notify_all();
+
+        // Serve the batch on the inner engine (this thread is its only
+        // caller). Every promise gets exactly one of: its response, or
+        // the batch's exception — never a broken promise.
+        std::vector<EngineResponse> responses;
+        std::exception_ptr batchError;
+        try {
+            for (const Pending& p : batch)
+                engine.enqueueBorrowed(p.layer, p.acts);
+            responses = engine.flush();
+        } catch (...) {
+            batchError = std::current_exception();
+            // A mid-loop enqueue failure leaves earlier borrows queued
+            // (flush() clears its own on throw); drop them before the
+            // batch — and the activations they point into — goes away.
+            engine.clearPending();
+        }
+
+        // Publish stats before resolving the promises, so a caller who
+        // saw its future complete also sees its request in stats().
+        // The snapshot is assembled outside the lock and swapped in,
+        // keeping the critical section O(1) rather than a ring copy.
+        frontend.recordDispatch(depthAtDispatch, lingerSec);
+        ServingStats snapshot = engine.stats();
+        snapshot.dispatches = frontend.dispatches;
+        snapshot.queueDepthSum = frontend.queueDepthSum;
+        snapshot.maxQueueDepth = frontend.maxQueueDepth;
+        snapshot.lingerSeconds = frontend.lingerSeconds;
+        {
+            std::lock_guard<std::mutex> statsLock(statsMutex);
+            publishedStats = std::move(snapshot);
+        }
+
+        if (batchError)
+            for (Pending& p : batch)
+                p.promise.set_exception(batchError);
+        else
+            for (size_t i = 0; i < batch.size(); ++i)
+                batch[i].promise.set_value(std::move(responses[i]));
+
+        lock.lock();
+        inFlight = 0;
+        if (pendingQueue.empty())
+            idle.notify_all();
+    }
+}
+
+void
+AsyncPhiEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock,
+              [this] { return pendingQueue.empty() && inFlight == 0; });
+}
+
+void
+AsyncPhiEngine::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        accepting = false;
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    spaceAvailable.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(joinMutex);
+        if (dispatcher.joinable())
+            dispatcher.join();
+    }
+}
+
+size_t
+AsyncPhiEngine::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return pendingQueue.size();
+}
+
+ServingStats
+AsyncPhiEngine::stats() const
+{
+    ServingStats snapshot;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        snapshot = publishedStats;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        snapshot.rejected = rejectedCount;
+    }
+    return snapshot;
+}
+
+} // namespace phi

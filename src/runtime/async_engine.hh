@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The concurrent serving frontend: an AsyncPhiEngine wraps the
+ * synchronous PhiEngine behind a futures-based submit() API so any
+ * number of producer threads can stream requests at one compiled
+ * model.
+ *
+ * A single background dispatcher thread owns the inner PhiEngine.
+ * Requests land in a bounded queue; the dispatcher pops up to
+ * maxBatch of them — lingering up to maxLingerMicros after the first
+ * arrival so sparse traffic still coalesces into efficient batches —
+ * and serves them as one PhiEngine flush on the shared thread pool.
+ * Because every kernel underneath is bit-deterministic, a request's
+ * response is identical to serving it synchronously, no matter how
+ * the dispatcher happened to batch it or how many producers raced.
+ *
+ * Failure semantics are strictly per-request: an invalid request
+ * (wrong layer, mismatched K — anything PhiEngine::validate rejects)
+ * resolves its own future with an EngineError and never reaches the
+ * batch, aborts the process, or affects neighbouring requests. The
+ * only fates a submitted future can have are a value or an
+ * EngineError/exception — never a broken promise.
+ *
+ * Backpressure is explicit: when the queue holds maxQueueDepth
+ * requests, submit() either blocks until space frees (Block, the
+ * default) or resolves the future immediately with
+ * EngineError(QueueFull) (Reject), counting the rejection in the
+ * stats. drain() parks the caller until everything already submitted
+ * has been served; shutdown() (and the destructor) additionally stop
+ * intake, serve what is queued, and join the dispatcher.
+ */
+
+#ifndef PHI_RUNTIME_ASYNC_ENGINE_HH
+#define PHI_RUNTIME_ASYNC_ENGINE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "runtime/engine.hh"
+
+namespace phi
+{
+
+/** Knobs of the async frontend (the inner compute engine keeps its
+ *  own ExecutionConfig). */
+struct AsyncEngineConfig
+{
+    /** Most requests coalesced into one dispatch/flush. */
+    size_t maxBatch = 32;
+
+    /**
+     * Longest the dispatcher waits after a batch's first request for
+     * more to coalesce, microseconds. 0 = dispatch immediately
+     * (latency-optimal, batch-poor).
+     */
+    uint64_t maxLingerMicros = 200;
+
+    /** Bound on queued-but-undispatched requests. */
+    size_t maxQueueDepth = 1024;
+
+    /** What submit() does when the queue is at maxQueueDepth. */
+    enum class Backpressure
+    {
+        Block,  // wait for space (lossless producers)
+        Reject, // resolve the future with EngineError(QueueFull) now
+    };
+    Backpressure backpressure = Backpressure::Block;
+};
+
+/**
+ * Thread-safe, futures-based serving frontend over one PhiEngine.
+ * All public methods may be called from any thread.
+ */
+class AsyncPhiEngine
+{
+  public:
+    /** @throws EngineError (EmptyModel) like PhiEngine. */
+    explicit AsyncPhiEngine(CompiledModel model,
+                            ExecutionConfig exec = {},
+                            AsyncEngineConfig config = {});
+
+    /** Stops intake, serves the queued remainder, joins the
+     *  dispatcher. Never leaves a broken promise behind. */
+    ~AsyncPhiEngine();
+
+    AsyncPhiEngine(const AsyncPhiEngine&) = delete;
+    AsyncPhiEngine& operator=(const AsyncPhiEngine&) = delete;
+
+    /**
+     * Submit one request. Always returns a valid future, which
+     * resolves with the response, or with an EngineError when the
+     * request is invalid (validated here, before it can touch a
+     * batch), rejected by backpressure, or the engine has stopped.
+     * Under the Block policy this call may wait for queue space.
+     */
+    std::future<EngineResponse> submit(size_t layer, BinaryMatrix acts);
+
+    /**
+     * Block until every request submitted before this call has been
+     * served. Intake stays open; requests racing in from other
+     * threads during the drain may or may not be covered.
+     */
+    void drain();
+
+    /**
+     * Stop accepting new work, serve everything queued, and join the
+     * dispatcher. Idempotent. Blocked submitters and later submit()
+     * calls resolve their futures with EngineError(Stopped).
+     */
+    void shutdown();
+
+    /** Requests queued but not yet dispatched (instantaneous). */
+    size_t queueDepth() const;
+
+    const CompiledModel& model() const { return engine.model(); }
+    const AsyncEngineConfig& config() const { return asyncConfig; }
+
+    /**
+     * Snapshot of the serving counters: the inner engine's flush
+     * counters plus the frontend's queue-depth / linger / rejected
+     * accounting. Safe to call concurrently with serving; throughput
+     * uses the monotonic flush window, so overlapping observation
+     * never double-counts time.
+     */
+    ServingStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One queued request: owns its activations until served. */
+    struct Pending
+    {
+        size_t layer = 0;
+        BinaryMatrix acts;
+        std::promise<EngineResponse> promise;
+        Clock::time_point enqueuedAt;
+    };
+
+    void dispatchLoop();
+
+    PhiEngine engine; // touched only by the dispatcher thread
+    AsyncEngineConfig asyncConfig;
+
+    /** Guards queue, intake flags, rejected count and inFlight. */
+    mutable std::mutex mutex;
+    std::condition_variable spaceAvailable; // queue below capacity
+    std::condition_variable workAvailable;  // queue non-empty / stop
+    std::condition_variable idle; // queue empty and nothing in flight
+    std::deque<Pending> pendingQueue;
+    bool accepting = true;
+    bool stopping = false;
+    size_t inFlight = 0;     // requests popped but not yet resolved
+    uint64_t rejectedCount = 0;
+
+    /** Guards the published stats snapshot (refreshed per batch). */
+    mutable std::mutex statsMutex;
+    ServingStats publishedStats;
+
+    /** Serialises the dispatcher join across concurrent shutdowns. */
+    std::mutex joinMutex;
+    std::thread dispatcher;
+};
+
+} // namespace phi
+
+#endif // PHI_RUNTIME_ASYNC_ENGINE_HH

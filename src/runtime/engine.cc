@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/logging.hh"
+
 namespace phi
 {
 
@@ -16,33 +18,63 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/** Steady-clock seconds since the clock's epoch, for the monotonic
+ *  serving window recorded into ServingStats. */
+double
+epochSeconds(Clock::time_point t)
+{
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
 } // namespace
 
 PhiEngine::PhiEngine(CompiledModel model, ExecutionConfig exec)
     : compiled(std::move(model)), exec(exec)
 {
-    phi_assert(!compiled.empty(),
-               "PhiEngine needs a model with at least one layer");
+    if (compiled.empty())
+        throw EngineError(EngineErrorCode::EmptyModel,
+                          "PhiEngine needs a model with at least one "
+                          "layer");
 }
 
 void
-PhiEngine::validateRequest(size_t layer, const BinaryMatrix& acts) const
+PhiEngine::validate(size_t layer, const BinaryMatrix& acts) const
 {
-    phi_assert(layer < compiled.numLayers(), "request for layer ", layer,
-               " of a ", compiled.numLayers(), "-layer model");
+    if (layer >= compiled.numLayers())
+        throw EngineError(
+            EngineErrorCode::InvalidLayer,
+            detail::composeMessage("request for layer ", layer, " of a ",
+                                   compiled.numLayers(),
+                                   "-layer model"));
     const CompiledLayer& l = compiled.layer(layer);
-    phi_assert(l.hasWeights(), "layer '", l.name(),
-               "' was compiled without weights and cannot serve compute");
-    phi_assert(acts.cols() == l.weights().rows(),
-               "activation K ", acts.cols(), " != weight rows ",
-               l.weights().rows(), " for layer '", l.name(), "'");
+    if (!l.hasWeights())
+        throw EngineError(
+            EngineErrorCode::MissingWeights,
+            detail::composeMessage("layer '", l.name(),
+                                   "' was compiled without weights and "
+                                   "cannot serve compute"));
+    if (acts.cols() != l.weights().rows())
+        throw EngineError(
+            EngineErrorCode::ShapeMismatch,
+            detail::composeMessage("activation K ", acts.cols(),
+                                   " != weight rows ",
+                                   l.weights().rows(), " for layer '",
+                                   l.name(), "'"));
 }
 
 size_t
 PhiEngine::enqueue(size_t layer, BinaryMatrix acts)
 {
-    validateRequest(layer, acts);
-    queue.push_back({layer, std::move(acts)});
+    validate(layer, acts);
+    queue.push_back({layer, std::move(acts), nullptr});
+    return queue.size() - 1;
+}
+
+size_t
+PhiEngine::enqueueBorrowed(size_t layer, const BinaryMatrix& acts)
+{
+    validate(layer, acts);
+    queue.push_back({layer, BinaryMatrix{}, &acts});
     return queue.size() - 1;
 }
 
@@ -51,7 +83,23 @@ PhiEngine::flush()
 {
     if (queue.empty())
         return {};
+    // Whatever happens inside (allocation failure, a kernel throw), the
+    // queue must not survive this call: the responses are lost with the
+    // exception anyway, and borrowed requests must never outlive the
+    // flush that was meant to consume them.
+    try {
+        std::vector<EngineResponse> responses = flushImpl();
+        queue.clear();
+        return responses;
+    } catch (...) {
+        queue.clear();
+        throw;
+    }
+}
 
+std::vector<EngineResponse>
+PhiEngine::flushImpl()
+{
     const size_t n = queue.size();
     std::vector<EngineResponse> responses(n);
 
@@ -63,7 +111,7 @@ PhiEngine::flush()
         const EngineRequest& req = queue[i];
         responses[i].layer = req.layer;
         responses[i].out = Matrix<int32_t>::uninitialized(
-            req.acts.rows(),
+            req.acts().rows(),
             compiled.layer(req.layer).weights().cols());
     }
     latencyScratch.assign(n, 0.0);
@@ -78,29 +126,34 @@ PhiEngine::flush()
             const EngineRequest& req = queue[i];
             const CompiledLayer& l = compiled.layer(req.layer);
             EngineResponse& resp = responses[i];
-            resp.dec = l.decompose(req.acts, exec);
+            resp.dec = l.decompose(req.acts(), exec);
             l.computeInto(resp.out, resp.dec, exec);
             latencyScratch[i] = secondsSince(reqStart);
         }
     });
 
-    counters.busySeconds += secondsSince(batchStart);
+    const auto batchEnd = Clock::now();
+    counters.busySeconds +=
+        std::chrono::duration<double>(batchEnd - batchStart).count();
+    counters.recordFlushWindow(epochSeconds(batchStart),
+                               epochSeconds(batchEnd));
     counters.batches += 1;
     counters.requests += n;
     for (const auto& req : queue)
-        counters.rows += req.acts.rows();
+        counters.rows += req.acts().rows();
     for (double s : latencyScratch)
         counters.recordLatency(s);
-    queue.clear();
     return responses;
 }
 
 EngineResponse
 PhiEngine::serve(size_t layer, const BinaryMatrix& acts)
 {
-    phi_assert(queue.empty(),
-               "serve() with requests pending; flush() them first");
-    enqueue(layer, acts);
+    if (!queue.empty())
+        throw EngineError(EngineErrorCode::PendingRequests,
+                          "serve() with requests pending; flush() them "
+                          "first");
+    enqueueBorrowed(layer, acts);
     std::vector<EngineResponse> responses = flush();
     return std::move(responses.front());
 }
@@ -109,13 +162,24 @@ std::vector<EngineResponse>
 PhiEngine::serveBatch(size_t layer,
                       const std::vector<const BinaryMatrix*>& batch)
 {
-    phi_assert(queue.empty(),
-               "serveBatch() with requests pending; flush() them first");
-    for (const BinaryMatrix* acts : batch) {
-        phi_assert(acts != nullptr, "null activation in batch");
-        enqueue(layer, *acts);
+    if (!queue.empty())
+        throw EngineError(EngineErrorCode::PendingRequests,
+                          "serveBatch() with requests pending; flush() "
+                          "them first");
+    try {
+        for (const BinaryMatrix* acts : batch) {
+            if (acts == nullptr)
+                throw EngineError(EngineErrorCode::NullActivation,
+                                  "null activation in batch");
+            enqueueBorrowed(layer, *acts);
+        }
+        return flush();
+    } catch (...) {
+        // A rejected request must leave the engine idle and
+        // serviceable, with no queued borrows outliving this call.
+        queue.clear();
+        throw;
     }
-    return flush();
 }
 
 } // namespace phi

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/parallel.hh"
 #include "core/compiled_model.hh"
 #include "core/stats.hh"
@@ -32,11 +33,22 @@
 namespace phi
 {
 
-/** One queued unit of serving work: a layer id plus its activations. */
+/**
+ * One queued unit of serving work: a layer id plus its activations,
+ * either owned (enqueue moved them in) or borrowed (the caller keeps
+ * them alive until flush() returns — the zero-copy batch path).
+ */
 struct EngineRequest
 {
     size_t layer = 0;
-    BinaryMatrix acts;
+    BinaryMatrix owned;
+    const BinaryMatrix* borrowed = nullptr;
+
+    const BinaryMatrix&
+    acts() const
+    {
+        return borrowed ? *borrowed : owned;
+    }
 };
 
 /** Full result of one served request. */
@@ -58,6 +70,7 @@ class PhiEngine
      *               ownership and never mutates it.
      * @param exec   engine knobs; threads bounds batch concurrency and
      *               is inherited by the per-request kernels.
+     * @throws EngineError (EmptyModel) for a model with no layers.
      */
     explicit PhiEngine(CompiledModel model, ExecutionConfig exec = {});
 
@@ -65,26 +78,63 @@ class PhiEngine
     const ExecutionConfig& execution() const { return exec; }
 
     /**
-     * Queue a request; returns its index within the pending batch.
-     * Results come back from flush() in enqueue order regardless of
-     * thread count. Fatal if the layer id is out of range or the layer
-     * was compiled without weights.
+     * Check a request against the model without queuing it. Throws
+     * EngineError (recoverable — the engine is untouched and keeps
+     * serving) when the layer id is out of range, the layer was
+     * compiled without weights, or the activation K does not match the
+     * layer's weight rows.
+     */
+    void validate(size_t layer, const BinaryMatrix& acts) const;
+
+    /**
+     * Queue a request, taking ownership of the activations; returns its
+     * index within the pending batch. Results come back from flush() in
+     * enqueue order regardless of thread count. Throws EngineError on
+     * an invalid request (see validate()); the queue is unchanged.
      */
     size_t enqueue(size_t layer, BinaryMatrix acts);
 
+    /**
+     * As enqueue(), but borrows the activations instead of copying or
+     * moving them: the caller must keep @p acts alive and unchanged
+     * until the next flush() returns. This is the zero-copy path the
+     * batch APIs and the async frontend use for their hot loop.
+     */
+    size_t enqueueBorrowed(size_t layer, const BinaryMatrix& acts);
+
     size_t pending() const { return queue.size(); }
+
+    /** Activations of pending request @p i (borrowed requests return
+     *  the caller's matrix itself — the zero-copy guarantee). */
+    const BinaryMatrix&
+    pendingActs(size_t i) const
+    {
+        return queue.at(i).acts();
+    }
 
     /**
      * Serve every queued request as one batch and clear the queue.
      * Deterministic: response i is bit-identical to
-     * layer.compute(layer.decompose(acts_i)) run stand-alone.
+     * layer.compute(layer.decompose(acts_i)) run stand-alone. The
+     * queue is cleared even when flush throws (allocation failure),
+     * so borrowed requests never outlive the call and the engine
+     * stays serviceable.
      */
     std::vector<EngineResponse> flush();
+
+    /** Drop every queued request unserved (their borrows released). */
+    void clearPending() { queue.clear(); }
 
     /** enqueue + flush for a single request. */
     EngineResponse serve(size_t layer, const BinaryMatrix& acts);
 
-    /** Serve a homogeneous batch against one layer. */
+    /**
+     * Serve a homogeneous batch against one layer. Activations are
+     * borrowed for the duration of the call — never copied — so the hot
+     * batch API does not clone a BinaryMatrix per request. Throws
+     * EngineError (leaving the engine idle and serviceable) on a null
+     * pointer or an invalid request.
+     */
     std::vector<EngineResponse> serveBatch(
         size_t layer, const std::vector<const BinaryMatrix*>& batch);
 
@@ -93,7 +143,8 @@ class PhiEngine
     void resetStats() { counters = ServingStats{}; }
 
   private:
-    void validateRequest(size_t layer, const BinaryMatrix& acts) const;
+    /** flush() body; the wrapper owns the clear-queue-on-throw duty. */
+    std::vector<EngineResponse> flushImpl();
 
     CompiledModel compiled;
     ExecutionConfig exec;

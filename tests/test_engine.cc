@@ -182,29 +182,123 @@ TEST_F(PhiEngineTest, ServingCountersAccumulate)
     EXPECT_EQ(engine.stats().latencySeconds.size(), 0u);
 }
 
-TEST_F(PhiEngineTest, RejectsInvalidRequests)
+TEST_F(PhiEngineTest, RejectsInvalidRequestsRecoverably)
 {
-    detail::setThrowOnError(true);
+    // A malformed *user request* is not an internal invariant
+    // violation: it must throw a catchable EngineError (never abort)
+    // and leave the engine fully serviceable.
     PhiEngine engine(io::loadModel(artifact));
     Rng rng(88);
     BinaryMatrix wrongK = BinaryMatrix::random(16, 32, 0.2, rng);
-    EXPECT_THROW(engine.enqueue(0, wrongK), std::logic_error);
+    try {
+        engine.enqueue(0, wrongK);
+        FAIL() << "wrong-K request was accepted";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineErrorCode::ShapeMismatch);
+    }
     BinaryMatrix ok = BinaryMatrix::random(16, 96, 0.2, rng);
-    EXPECT_THROW(engine.enqueue(7, ok), std::logic_error);
-    detail::setThrowOnError(false);
+    try {
+        engine.enqueue(7, ok);
+        FAIL() << "out-of-range layer was accepted";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineErrorCode::InvalidLayer);
+    }
+
+    // The engine survives rejected requests and keeps serving: nothing
+    // was queued, and a valid request still produces the exact result.
+    EXPECT_EQ(engine.pending(), 0u);
+    const EngineResponse resp = engine.serve(0, ok);
+    EXPECT_EQ(resp.out,
+              reference.layer(0).compute(reference.layer(0).decompose(ok)));
+    EXPECT_EQ(engine.stats().requests, 1u);
 }
 
 TEST_F(PhiEngineTest, WeightlessLayerCannotServe)
 {
-    detail::setThrowOnError(true);
     Rng rng(91);
     BinaryMatrix train = BinaryMatrix::random(64, 32, 0.2, rng);
     Pipeline pipe;
     pipe.addLayer("tableOnly", {&train});
     PhiEngine engine(pipe.compile());
     BinaryMatrix acts = BinaryMatrix::random(8, 32, 0.2, rng);
-    EXPECT_THROW(engine.enqueue(0, acts), std::logic_error);
-    detail::setThrowOnError(false);
+    try {
+        engine.enqueue(0, acts);
+        FAIL() << "weightless layer accepted a compute request";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineErrorCode::MissingWeights);
+    }
+}
+
+TEST(PhiEngineErrors, EmptyModelIsRecoverable)
+{
+    try {
+        PhiEngine engine(CompiledModel{});
+        FAIL() << "engine accepted an empty model";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineErrorCode::EmptyModel);
+    }
+}
+
+TEST_F(PhiEngineTest, EnqueueBorrowedIsZeroCopy)
+{
+    // The hot batch path must not clone a BinaryMatrix per request:
+    // a borrowed request queues the caller's matrix itself (pointer
+    // identity), and serveBatch() routes through this path.
+    PhiEngine engine(io::loadModel(artifact));
+    Rng rng(99);
+    BinaryMatrix acts = BinaryMatrix::random(16, 96, 0.2, rng);
+    EXPECT_EQ(engine.enqueueBorrowed(0, acts), 0u);
+    EXPECT_EQ(&engine.pendingActs(0), &acts);
+    // An owned enqueue in the same batch keeps its own storage.
+    BinaryMatrix owned = BinaryMatrix::random(8, 96, 0.2, rng);
+    const BinaryMatrix ownedCopy = owned;
+    engine.enqueue(0, std::move(owned));
+    EXPECT_NE(&engine.pendingActs(1), &acts);
+    const auto out = engine.flush();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].out,
+              reference.layer(0).compute(reference.layer(0).decompose(acts)));
+    EXPECT_EQ(out[1].out, reference.layer(0).compute(
+                              reference.layer(0).decompose(ownedCopy)));
+}
+
+TEST_F(PhiEngineTest, ServeBatchRejectsNullAndStaysServiceable)
+{
+    PhiEngine engine(io::loadModel(artifact));
+    Rng rng(43);
+    BinaryMatrix ok = BinaryMatrix::random(8, 96, 0.2, rng);
+    try {
+        engine.serveBatch(0, {&ok, nullptr});
+        FAIL() << "null activation was accepted";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineErrorCode::NullActivation);
+    }
+    // The failed batch left nothing queued (no dangling borrows) and
+    // the engine still serves.
+    EXPECT_EQ(engine.pending(), 0u);
+    const auto out = engine.serveBatch(0, {&ok});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].out,
+              reference.layer(0).compute(reference.layer(0).decompose(ok)));
+}
+
+TEST_F(PhiEngineTest, EmptyServeBatchAndZeroRowRequests)
+{
+    PhiEngine engine(io::loadModel(artifact));
+    // Empty batch: no flush, no counters.
+    EXPECT_TRUE(engine.serveBatch(0, {}).empty());
+    EXPECT_EQ(engine.stats().batches, 0u);
+    EXPECT_EQ(engine.stats().requests, 0u);
+
+    // A zero-row activation is a valid (if degenerate) request: it
+    // serves an empty output instead of tripping an assert.
+    BinaryMatrix empty(0, 96);
+    const EngineResponse resp = engine.serve(0, empty);
+    EXPECT_EQ(resp.out.rows(), 0u);
+    EXPECT_EQ(resp.out.cols(),
+              reference.layer(0).weights().cols());
+    EXPECT_EQ(engine.stats().requests, 1u);
+    EXPECT_EQ(engine.stats().rows, 0u);
 }
 
 TEST(ServingStats, LatencyWindowIsBounded)
@@ -245,6 +339,113 @@ TEST(ServingStats, PercentilesOnKnownSamples)
     EXPECT_EQ(s.requests, 110u);
     EXPECT_EQ(s.latencySeconds.size(), 101u);
     EXPECT_DOUBLE_EQ(s.busySeconds, 3.0);
+}
+
+TEST(ServingStats, OverlappingFlushesDoNotHalveThroughput)
+{
+    // Two 1s flushes overlapping by 0.5s: summed busy time is 2s, but
+    // real elapsed serving time is 1.5s. Throughput must use the
+    // monotonic first-to-last-flush window, not the busy sum — the
+    // async frontend (and merged per-engine stats) overlap routinely.
+    ServingStats s;
+    s.requests = 100;
+    s.rows = 200;
+    s.busySeconds = 1.0;
+    s.recordFlushWindow(10.0, 11.0);
+    s.busySeconds += 1.0;
+    s.recordFlushWindow(10.5, 11.5);
+    EXPECT_DOUBLE_EQ(s.windowSeconds(), 1.5);
+    EXPECT_DOUBLE_EQ(s.throughputRps(), 100.0 / 1.5);
+    EXPECT_DOUBLE_EQ(s.rowThroughputRps(), 200.0 / 1.5);
+    EXPECT_DOUBLE_EQ(s.busyFraction(), 2.0 / 1.5);
+
+    // merge() keeps the union of windows for the same reason.
+    ServingStats a;
+    a.requests = 10;
+    a.recordFlushWindow(0.0, 1.0);
+    ServingStats b;
+    b.requests = 10;
+    b.recordFlushWindow(0.5, 1.5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.windowSeconds(), 1.5);
+    EXPECT_DOUBLE_EQ(a.throughputRps(), 20.0 / 1.5);
+}
+
+TEST(ServingStats, HandFilledCountersFallBackToBusySeconds)
+{
+    // No recorded flush window (counters filled in by hand, e.g. in a
+    // report aggregator): throughput falls back to the busy sum.
+    ServingStats s;
+    s.requests = 100;
+    s.busySeconds = 2.0;
+    EXPECT_DOUBLE_EQ(s.windowSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(s.throughputRps(), 50.0);
+}
+
+TEST(ServingStats, SingleSamplePercentiles)
+{
+    ServingStats s;
+    s.recordLatency(0.25);
+    for (double p : {0.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(s.latencyPercentileMs(p), 250.0) << "p" << p;
+    EXPECT_DOUBLE_EQ(s.meanLatencyMs(), 250.0);
+}
+
+TEST(ServingStats, RingWrapOverwritesOldestExactly)
+{
+    // Fill to exactly the cap, then wrap by three: the three oldest
+    // samples (0, 1, 2) must be the ones evicted.
+    ServingStats s;
+    const size_t cap = ServingStats::kMaxLatencySamples;
+    for (size_t i = 0; i < cap + 3; ++i)
+        s.recordLatency(static_cast<double>(i));
+    EXPECT_EQ(s.latencySeconds.size(), cap);
+    EXPECT_DOUBLE_EQ(s.latencyPercentileMs(0), 3.0 * 1e3);
+    EXPECT_DOUBLE_EQ(s.latencyPercentileMs(100),
+                     static_cast<double>(cap + 2) * 1e3);
+}
+
+TEST(ServingStats, MergeOfWrappedRingReplaysOldestFirst)
+{
+    // A wrapped source ring's oldest sample sits at its cursor, not at
+    // index 0; merge must replay oldest-first so the destination
+    // ring's recency order stays meaningful.
+    ServingStats wrapped;
+    const size_t cap = ServingStats::kMaxLatencySamples;
+    for (size_t i = 0; i < cap + 100; ++i)
+        wrapped.recordLatency(static_cast<double>(i));
+
+    ServingStats s;
+    s.merge(wrapped);
+    EXPECT_EQ(s.latencySeconds.size(), cap);
+    // Retained window is [100, cap+99].
+    EXPECT_DOUBLE_EQ(s.latencyPercentileMs(0), 100.0 * 1e3);
+
+    // One more sample evicts the destination's oldest (100), proving
+    // the replay preserved order rather than scrambling the ring.
+    s.recordLatency(static_cast<double>(cap + 100));
+    EXPECT_DOUBLE_EQ(s.latencyPercentileMs(0), 101.0 * 1e3);
+}
+
+TEST(ServingStats, DispatchCountersAndMerge)
+{
+    ServingStats s;
+    s.recordDispatch(4, 200e-6);
+    s.recordDispatch(8, 400e-6);
+    s.rejected = 3;
+    EXPECT_EQ(s.dispatches, 2u);
+    EXPECT_EQ(s.maxQueueDepth, 8u);
+    EXPECT_DOUBLE_EQ(s.meanQueueDepth(), 6.0);
+    EXPECT_NEAR(s.meanLingerMicros(), 300.0, 1e-9);
+
+    ServingStats other;
+    other.recordDispatch(16, 100e-6);
+    other.rejected = 2;
+    s.merge(other);
+    EXPECT_EQ(s.dispatches, 3u);
+    EXPECT_EQ(s.rejected, 5u);
+    EXPECT_EQ(s.maxQueueDepth, 16u);
+    EXPECT_NEAR(s.meanLingerMicros(), 700.0 / 3.0, 1e-9);
 }
 
 } // namespace
