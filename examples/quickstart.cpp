@@ -12,15 +12,14 @@
  * Build & run:  ./build/examples/example_quickstart
  */
 
+#include <phi/phi.hh> // the public facade: compile -> save/load -> serve
+
 #include <filesystem>
 #include <iostream>
 
-#include "common/rng.hh"
-#include "common/table.hh"
-#include "core/pipeline.hh"
-#include "io/model_io.hh"
-#include "runtime/engine.hh"
-#include "snn/activation_gen.hh"
+#include "common/table.hh"       // internal: report formatting
+#include "numeric/gemm.hh"       // internal: reference GEMM for verdicts
+#include "snn/activation_gen.hh" // internal: synthetic spike traffic
 
 using namespace phi;
 
@@ -53,7 +52,9 @@ main()
     layer.bindWeights(weights);
 
     const CompiledModel compiled = phi::compile(pipe);
-    io::saveModel(compiled, "quickstart.phim");
+    // The META stamp names the artifact so a ModelRegistry can load
+    // it without being told what it is (registry.load("", path)).
+    io::saveModel(compiled, "quickstart.phim", {"quickstart", 1});
     std::cout << "Compiled 1 layer -> quickstart.phim ("
               << std::filesystem::file_size("quickstart.phim")
               << " bytes, "

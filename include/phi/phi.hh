@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The public phi facade: the one header users include.
+ *
+ *   #include <phi/phi.hh>
+ *
+ * covers the whole compile -> save/load -> registry -> serve
+ * workflow:
+ *
+ *   Offline (once per model)
+ *     phi::Pipeline              calibrate + bind weights
+ *     phi::compile / .compile()  -> phi::CompiledModel
+ *     phi::io::saveModel         -> .phim artifact (+ ArtifactMeta
+ *                                   name/version stamp)
+ *
+ *   Online (any number of serving processes)
+ *     phi::io::loadModel         .phim -> CompiledModel
+ *     phi::ModelRegistry         named, versioned residency; load /
+ *                                swap (zero-downtime) / unload
+ *     phi::ModelHandle           routes a request; stamped on every
+ *                                response as {name, version}
+ *     phi::PhiEngine             synchronous batched serving
+ *     phi::AsyncPhiEngine        thread-safe futures frontend
+ *     phi::ServingStats          per-model + merged counters
+ *     phi::EngineError           typed, recoverable request failures
+ *     phi::ExecutionConfig       threads / tiling / SIMD knobs
+ *
+ * Everything under the sibling internal headers (installed at
+ * <prefix>/include/phi/internal) is implementation detail: included
+ * here transitively, reachable when you need to reach under the
+ * facade (kernels, simulators, the accelerator model), but without
+ * the API stability promise this header carries.
+ *
+ * The installed CMake package exports the `phi::phi` target:
+ *
+ *   find_package(phi REQUIRED)
+ *   target_link_libraries(app PRIVATE phi::phi)
+ */
+
+#ifndef PHI_PHI_HH
+#define PHI_PHI_HH
+
+// Recoverable error taxonomy (EngineError + codes) and execution
+// knobs (ExecutionConfig, PHI_THREADS/PHI_SIMD behaviour).
+#include "common/error.hh"
+#include "common/parallel.hh"
+
+// Offline compiler: calibration -> pattern tables -> bound weights ->
+// immutable CompiledModel.
+#include "core/compiled_model.hh"
+#include "core/pipeline.hh"
+
+// Sparsity accounting + serving counters.
+#include "core/stats.hh"
+
+// .phim artifacts: saveModel/loadModel (+ ArtifactMeta stamps),
+// traces, IoError.
+#include "io/model_io.hh"
+
+// Serving runtime: registry-routed engines, handles, hot-swap.
+#include "runtime/registry.hh"
+#include "runtime/engine.hh"
+#include "runtime/async_engine.hh"
+
+#endif // PHI_PHI_HH

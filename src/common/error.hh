@@ -21,6 +21,7 @@
 #ifndef PHI_COMMON_ERROR_HH
 #define PHI_COMMON_ERROR_HH
 
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
@@ -38,6 +39,9 @@ enum class EngineErrorCode
     PendingRequests, // serve()/serveBatch() called with queued requests
     QueueFull,       // async queue at capacity under the Reject policy
     Stopped,         // submit() after shutdown()/destruction began
+    UnknownModel,    // registry has no resident model for the name/handle
+    ModelExists,     // load() of a name already resident (use swap())
+    ModelBusy,       // unload() while requests are in flight on the model
 };
 
 constexpr const char*
@@ -52,8 +56,18 @@ engineErrorCodeName(EngineErrorCode code)
     case EngineErrorCode::PendingRequests: return "PendingRequests";
     case EngineErrorCode::QueueFull: return "QueueFull";
     case EngineErrorCode::Stopped: return "Stopped";
+    case EngineErrorCode::UnknownModel: return "UnknownModel";
+    case EngineErrorCode::ModelExists: return "ModelExists";
+    case EngineErrorCode::ModelBusy: return "ModelBusy";
     }
     return "Unknown";
+}
+
+/** Logs and test failure messages print `QueueFull`, not an int. */
+inline std::ostream&
+operator<<(std::ostream& os, EngineErrorCode code)
+{
+    return os << engineErrorCodeName(code);
 }
 
 /**
@@ -64,17 +78,23 @@ engineErrorCodeName(EngineErrorCode code)
 class EngineError : public std::runtime_error
 {
   public:
-    EngineError(EngineErrorCode code, const std::string& what)
+    /** Nested alias so call sites can say EngineError::Code. */
+    using Code = EngineErrorCode;
+
+    EngineError(Code code, const std::string& what)
         : std::runtime_error(std::string("phi engine error [") +
                              engineErrorCodeName(code) + "]: " + what),
           errorCode(code)
     {
     }
 
-    EngineErrorCode code() const { return errorCode; }
+    Code code() const { return errorCode; }
+
+    /** The code's enumerator name ("QueueFull"), for logs and tests. */
+    const char* codeName() const { return engineErrorCodeName(errorCode); }
 
   private:
-    EngineErrorCode errorCode;
+    Code errorCode;
 };
 
 } // namespace phi

@@ -196,18 +196,29 @@ findSection(const std::vector<SectionView>& sections, uint32_t tag,
     throw IoError(std::string("missing required section '") + what + "'");
 }
 
+/** Optional sections (META) return null instead of throwing. */
+const SectionView*
+findSectionIfPresent(const std::vector<SectionView>& sections,
+                     uint32_t tag)
+{
+    for (const auto& s : sections)
+        if (s.tag == tag)
+            return &s;
+    return nullptr;
+}
+
 std::vector<uint8_t>
 readFile(const std::string& path)
 {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
-        throw IoError("cannot open '" + path + "' for reading");
+        throw IoError(path, IoError("cannot open for reading"));
     const std::streamsize size = in.tellg();
     in.seekg(0);
     std::vector<uint8_t> bytes(static_cast<size_t>(size));
     if (size > 0 &&
         !in.read(reinterpret_cast<char*>(bytes.data()), size))
-        throw IoError("failed to read '" + path + "'");
+        throw IoError(path, IoError("read failed"));
     return bytes;
 }
 
@@ -223,14 +234,26 @@ writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes)
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
-            throw IoError("cannot open '" + tmp + "' for writing");
+            throw IoError(path, IoError("cannot open temp file '" + tmp +
+                                        "' for writing"));
         out.write(reinterpret_cast<const char*>(bytes.data()),
                   static_cast<std::streamsize>(bytes.size()));
         if (!out)
-            throw IoError("failed to write '" + tmp + "'");
+            throw IoError(path,
+                          IoError("write to '" + tmp + "' failed"));
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throw IoError("failed to move '" + tmp + "' to '" + path + "'");
+        throw IoError(path,
+                      IoError("rename from '" + tmp + "' failed"));
+}
+
+/** Re-throw a parse failure annotated with the file it came from. */
+[[noreturn]] void
+rethrowWithPath(const std::string& path, const IoError& e)
+{
+    if (e.path().empty())
+        throw IoError(path, e);
+    throw e;
 }
 
 // ---- Trace sub-records ----------------------------------------------
@@ -618,10 +641,26 @@ readPwps(ByteReader& r)
     return pwps;
 }
 
+void
+writeArtifactMeta(ByteWriter& w, const ArtifactMeta& meta)
+{
+    w.str(meta.name);
+    w.u64(meta.version);
+}
+
+ArtifactMeta
+readArtifactMeta(ByteReader& r)
+{
+    ArtifactMeta meta;
+    meta.name = r.str();
+    meta.version = r.u64();
+    return meta;
+}
+
 // ---- Whole-artifact API ---------------------------------------------
 
 std::vector<uint8_t>
-serializeModel(const CompiledModel& model)
+serializeModel(const CompiledModel& model, const ArtifactMeta& meta)
 {
     Section cfg{kSectionConfig, {}};
     {
@@ -645,17 +684,39 @@ serializeModel(const CompiledModel& model)
         }
         layers.payload = w.buffer();
     }
-    return assemble(kKindModel, {std::move(cfg), std::move(layers)});
+
+    std::vector<Section> sections;
+    sections.push_back(std::move(cfg));
+    sections.push_back(std::move(layers));
+    if (!meta.empty()) {
+        Section metaSec{kSectionMeta, {}};
+        ByteWriter w;
+        writeArtifactMeta(w, meta);
+        metaSec.payload = w.buffer();
+        sections.push_back(std::move(metaSec));
+    }
+    return assemble(kKindModel, sections);
 }
 
 CompiledModel
-parseModel(const uint8_t* data, size_t size)
+parseModel(const uint8_t* data, size_t size, ArtifactMeta* metaOut)
 {
     auto sections = parseContainer(data, size, kKindModel);
     const SectionView& cfgSec =
         findSection(sections, kSectionConfig, "CFG ");
     const SectionView& layerSec =
         findSection(sections, kSectionLayers, "LYRS");
+
+    // META is optional so pre-META artifacts keep loading; absence
+    // reads back as the default (unstamped) meta.
+    if (metaOut != nullptr) {
+        *metaOut = ArtifactMeta{};
+        if (const SectionView* metaSec =
+                findSectionIfPresent(sections, kSectionMeta)) {
+            ByteReader metaReader(metaSec->data, metaSec->size);
+            *metaOut = readArtifactMeta(metaReader);
+        }
+    }
 
     ByteReader cfgReader(cfgSec.data, cfgSec.size);
     CalibrationConfig calib = readCalibrationConfig(cfgReader);
@@ -705,16 +766,23 @@ parseModel(const uint8_t* data, size_t size)
 }
 
 void
-saveModel(const CompiledModel& model, const std::string& path)
+saveModel(const CompiledModel& model, const std::string& path,
+          const ArtifactMeta& meta)
 {
-    writeFileAtomic(path, serializeModel(model));
+    writeFileAtomic(path, serializeModel(model, meta));
 }
 
 CompiledModel
-loadModel(const std::string& path)
+loadModel(const std::string& path, ArtifactMeta* metaOut)
 {
     const std::vector<uint8_t> bytes = readFile(path);
-    return parseModel(bytes.data(), bytes.size());
+    try {
+        return parseModel(bytes.data(), bytes.size(), metaOut);
+    } catch (const IoError& e) {
+        // A truncated-file (or any parse) throw must say which file:
+        // a registry process handles many artifacts at once.
+        rethrowWithPath(path, e);
+    }
 }
 
 std::vector<uint8_t>
@@ -776,7 +844,11 @@ ModelTrace
 loadTrace(const std::string& path)
 {
     const std::vector<uint8_t> bytes = readFile(path);
-    return parseTrace(bytes.data(), bytes.size());
+    try {
+        return parseTrace(bytes.data(), bytes.size());
+    } catch (const IoError& e) {
+        rethrowWithPath(path, e);
+    }
 }
 
 } // namespace phi::io

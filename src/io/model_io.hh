@@ -15,11 +15,14 @@
  *              u64  payload offset  u64 payload size
  *   then       the section payloads.
  *
- * A compiled model carries sections 'CFG ' (calibration provenance) and
- * 'LYRS' (tables + weights + PWPs per layer); a trace carries 'TRAC'.
+ * A compiled model carries sections 'CFG ' (calibration provenance),
+ * 'LYRS' (tables + weights + PWPs per layer) and — when the artifact
+ * was stamped — an optional 'META' section (model name + version, the
+ * identity a ModelRegistry serves it under); a trace carries 'TRAC'.
  * Unknown sections are ignored on read, so the format can grow without
- * breaking old readers; a bumped version field rejects incompatible
- * layouts outright.
+ * breaking old readers (a pre-META file still loads, it is just
+ * anonymous); a bumped version field rejects incompatible layouts
+ * outright.
  *
  * Readers never trust the input: every count is bounds-checked against
  * the remaining payload and every structural inconsistency (PWP shape
@@ -52,6 +55,25 @@ constexpr uint32_t kKindTrace = 2;
 constexpr uint32_t kSectionConfig = 0x20474643u; // "CFG "
 constexpr uint32_t kSectionLayers = 0x5352594Cu; // "LYRS"
 constexpr uint32_t kSectionTrace = 0x43415254u;  // "TRAC"
+constexpr uint32_t kSectionMeta = 0x4154454Du;   // "META"
+
+/**
+ * Artifact identity carried by the optional META section: the model
+ * name and registry version the artifact was saved as. Both are
+ * provenance — a registry assigns its own monotonic versions when a
+ * file is (re)loaded, but the stamp says what the bytes *were* and
+ * lets ModelRegistry::load(path) name a model from the artifact
+ * alone. Empty name + version 0 (the default) means "unstamped"; such
+ * artifacts are written without a META section at all, byte-identical
+ * to the pre-META format.
+ */
+struct ArtifactMeta
+{
+    std::string name;
+    uint64_t version = 0;
+
+    bool empty() const { return name.empty() && version == 0; }
+};
 
 // ---- Component writers/readers (exposed for tests and tooling) ----
 
@@ -70,19 +92,40 @@ Matrix<int16_t> readWeights(ByteReader& r);
 void writePwps(ByteWriter& w, const std::vector<Matrix<int32_t>>& pwps);
 std::vector<Matrix<int32_t>> readPwps(ByteReader& r);
 
+void writeArtifactMeta(ByteWriter& w, const ArtifactMeta& meta);
+ArtifactMeta readArtifactMeta(ByteReader& r);
+
 // ---- Whole-artifact API ----
 
-/** Encode a compiled model as a .phim byte image. */
-std::vector<uint8_t> serializeModel(const CompiledModel& model);
+/**
+ * Encode a compiled model as a .phim byte image; a non-empty @p meta
+ * is stamped into a META section (an empty one writes the pre-META
+ * byte layout, so unstamped artifacts stay byte-stable).
+ */
+std::vector<uint8_t> serializeModel(const CompiledModel& model,
+                                    const ArtifactMeta& meta = {});
 
-/** Decode a .phim byte image; throws IoError on any malformation. */
-CompiledModel parseModel(const uint8_t* data, size_t size);
+/**
+ * Decode a .phim byte image; throws IoError on any malformation.
+ * When @p metaOut is non-null it receives the META stamp (or a
+ * default ArtifactMeta for pre-META files).
+ */
+CompiledModel parseModel(const uint8_t* data, size_t size,
+                         ArtifactMeta* metaOut = nullptr);
 
-/** serializeModel + write to disk; throws IoError on I/O failure. */
-void saveModel(const CompiledModel& model, const std::string& path);
+/**
+ * serializeModel + write to disk; throws IoError on I/O failure,
+ * always naming the offending file path.
+ */
+void saveModel(const CompiledModel& model, const std::string& path,
+               const ArtifactMeta& meta = {});
 
-/** Read + parseModel; throws IoError on I/O failure or malformation. */
-CompiledModel loadModel(const std::string& path);
+/**
+ * Read + parseModel; throws IoError on I/O failure or malformation,
+ * always naming the offending file path (IoError::path()).
+ */
+CompiledModel loadModel(const std::string& path,
+                        ArtifactMeta* metaOut = nullptr);
 
 /** Trace artifacts share the container format under kind 2. */
 std::vector<uint8_t> serializeTrace(const ModelTrace& trace);

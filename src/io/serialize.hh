@@ -30,9 +30,34 @@ class IoError : public std::runtime_error
 {
   public:
     explicit IoError(const std::string& what)
-        : std::runtime_error("phi artifact error: " + what)
+        : std::runtime_error("phi artifact error: " + what),
+          detailText(what)
     {
     }
+
+    /**
+     * The same failure annotated with the offending file path —
+     * loadModel()/saveModel() wrap parser throws this way so a
+     * process juggling many artifacts always knows *which* file was
+     * truncated or corrupt.
+     */
+    IoError(const std::string& path, const IoError& cause)
+        : std::runtime_error("phi artifact error in '" + path +
+                             "': " + cause.detail()),
+          detailText(cause.detail()), pathText(path)
+    {
+    }
+
+    /** The failure description without the prefix/path decoration. */
+    const std::string& detail() const { return detailText; }
+
+    /** Offending file path; empty when the error has no file context
+     *  (e.g. parsing an in-memory buffer). */
+    const std::string& path() const { return pathText; }
+
+  private:
+    std::string detailText;
+    std::string pathText;
 };
 
 /** Growable little-endian byte sink. */

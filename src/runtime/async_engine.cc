@@ -11,7 +11,7 @@ namespace
 {
 
 std::exception_ptr
-makeError(EngineErrorCode code, const std::string& what)
+makeError(EngineError::Code code, const std::string& what)
 {
     return std::make_exception_ptr(EngineError(code, what));
 }
@@ -29,22 +29,40 @@ AsyncPhiEngine::AsyncPhiEngine(CompiledModel model, ExecutionConfig exec,
     dispatcher = std::thread([this] { dispatchLoop(); });
 }
 
+AsyncPhiEngine::AsyncPhiEngine(std::shared_ptr<ModelRegistry> registry,
+                               ExecutionConfig exec,
+                               AsyncEngineConfig config)
+    : engine(std::move(registry), exec), asyncConfig(config)
+{
+    if (asyncConfig.maxBatch < 1)
+        asyncConfig.maxBatch = 1;
+    if (asyncConfig.maxQueueDepth < 1)
+        asyncConfig.maxQueueDepth = 1;
+    dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
 AsyncPhiEngine::~AsyncPhiEngine()
 {
     shutdown();
 }
 
 std::future<EngineResponse>
-AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
+AsyncPhiEngine::submit(const ModelHandle& handle, size_t layer,
+                       BinaryMatrix acts)
 {
     std::promise<EngineResponse> promise;
     std::future<EngineResponse> future = promise.get_future();
 
-    // Validate on the submitting thread, against the immutable model:
-    // a malformed request resolves its own future right here and can
-    // never poison a batch or abort the process.
+    // Pin + validate on the submitting thread, against the epoch that
+    // is current right now: a malformed request (or an unloaded
+    // model) resolves its own future right here and can never poison
+    // a batch or abort the process, and a swap() landing after this
+    // point cannot move the request off the version it was validated
+    // against.
+    ModelRegistry::Pinned pin;
     try {
-        engine.validate(layer, acts);
+        pin = engine.registry()->pin(handle);
+        PhiEngine::validate(*pin, layer, acts);
     } catch (...) {
         promise.set_exception(std::current_exception());
         return future;
@@ -52,7 +70,7 @@ AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
 
     std::unique_lock<std::mutex> lock(mutex);
     if (!accepting) {
-        promise.set_exception(makeError(EngineErrorCode::Stopped,
+        promise.set_exception(makeError(EngineError::Code::Stopped,
                                         "submit() on a stopped engine"));
         return future;
     }
@@ -61,7 +79,7 @@ AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
             AsyncEngineConfig::Backpressure::Reject) {
             ++rejectedCount;
             promise.set_exception(
-                makeError(EngineErrorCode::QueueFull,
+                makeError(EngineError::Code::QueueFull,
                           "queue at maxQueueDepth under Reject policy"));
             return future;
         }
@@ -71,17 +89,33 @@ AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
         });
         if (!accepting) {
             promise.set_exception(
-                makeError(EngineErrorCode::Stopped,
+                makeError(EngineError::Code::Stopped,
                           "engine stopped while waiting for queue "
                           "space"));
             return future;
         }
     }
-    pendingQueue.push_back({layer, std::move(acts), std::move(promise),
-                            Clock::now()});
+    pendingQueue.push_back({std::move(pin), layer, std::move(acts),
+                            std::move(promise), Clock::now()});
     lock.unlock();
     workAvailable.notify_one();
     return future;
+}
+
+std::future<EngineResponse>
+AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
+{
+    const ModelHandle& handle = engine.defaultModel();
+    if (!handle.valid()) {
+        std::promise<EngineResponse> promise;
+        std::future<EngineResponse> future = promise.get_future();
+        promise.set_exception(makeError(
+            EngineError::Code::UnknownModel,
+            "this engine routes by ModelHandle (registry-routed, no "
+            "default model); pass one explicitly"));
+        return future;
+    }
+    return submit(handle, layer, std::move(acts));
 }
 
 void
@@ -94,10 +128,19 @@ AsyncPhiEngine::dispatchLoop()
     for (;;) {
         std::unique_lock<std::mutex> lock(mutex);
         workAvailable.wait(lock, [this] {
-            return !pendingQueue.empty() || stopping;
+            return !pendingQueue.empty() || stopping ||
+                   !statsDrops.empty();
         });
-        if (pendingQueue.empty())
-            break; // stopping, and everything queued has been served
+        // Prune per-model counters retired by dropStatsFor(): the
+        // inner engine is dispatcher-owned, so the erase happens here.
+        for (const std::string& name : statsDrops)
+            engine.dropStatsFor(name);
+        statsDrops.clear();
+        if (pendingQueue.empty()) {
+            if (stopping)
+                break; // everything queued has been served
+            continue;  // woken only to prune stats
+        }
 
         // Micro-batch coalescing: linger after the batch's first
         // request so closely-spaced submits share one flush. The
@@ -133,13 +176,14 @@ AsyncPhiEngine::dispatchLoop()
         spaceAvailable.notify_all();
 
         // Serve the batch on the inner engine (this thread is its only
-        // caller). Every promise gets exactly one of: its response, or
-        // the batch's exception — never a broken promise.
+        // caller), each request on the epoch its submit() pinned.
+        // Every promise gets exactly one of: its response, or the
+        // batch's exception — never a broken promise.
         std::vector<EngineResponse> responses;
         std::exception_ptr batchError;
         try {
             for (const Pending& p : batch)
-                engine.enqueueBorrowed(p.layer, p.acts);
+                engine.enqueuePinned(p.pin, p.layer, p.acts);
             responses = engine.flush();
         } catch (...) {
             batchError = std::current_exception();
@@ -151,17 +195,30 @@ AsyncPhiEngine::dispatchLoop()
 
         // Publish stats before resolving the promises, so a caller who
         // saw its future complete also sees its request in stats().
-        // The snapshot is assembled outside the lock and swapped in,
-        // keeping the critical section O(1) rather than a ring copy.
+        // The snapshots are assembled outside the lock and swapped in,
+        // keeping the critical section small. Only the models this
+        // batch touched are re-copied — the publish cost scales with
+        // batch diversity, not with the size of the resident fleet.
         frontend.recordDispatch(depthAtDispatch, lingerSec);
         ServingStats snapshot = engine.stats();
         snapshot.dispatches = frontend.dispatches;
         snapshot.queueDepthSum = frontend.queueDepthSum;
         snapshot.maxQueueDepth = frontend.maxQueueDepth;
         snapshot.lingerSeconds = frontend.lingerSeconds;
+        std::vector<std::pair<std::string, ServingStats>> touched;
+        for (const Pending& p : batch) {
+            const std::string& name = p.pin.handle.name;
+            bool seen = false;
+            for (const auto& [n, s] : touched)
+                seen = seen || n == name;
+            if (!seen)
+                touched.emplace_back(name, engine.statsFor(name));
+        }
         {
             std::lock_guard<std::mutex> statsLock(statsMutex);
             publishedStats = std::move(snapshot);
+            for (auto& [name, stats] : touched)
+                publishedModelStats[name] = std::move(stats);
         }
 
         if (batchError)
@@ -170,6 +227,12 @@ AsyncPhiEngine::dispatchLoop()
         else
             for (size_t i = 0; i < batch.size(); ++i)
                 batch[i].promise.set_value(std::move(responses[i]));
+
+        // Release the batch — and with it the model-epoch pins — on
+        // the dispatcher thread, *before* clearing inFlight: drain()
+        // returning (or unload() succeeding) must mean the old epoch
+        // really is free.
+        batch.clear();
 
         lock.lock();
         inFlight = 0;
@@ -223,6 +286,39 @@ AsyncPhiEngine::stats() const
         snapshot.rejected = rejectedCount;
     }
     return snapshot;
+}
+
+ServingStats
+AsyncPhiEngine::statsFor(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    auto it = publishedModelStats.find(name);
+    return it == publishedModelStats.end() ? ServingStats{}
+                                           : it->second;
+}
+
+std::map<std::string, ServingStats>
+AsyncPhiEngine::perModelStats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex);
+    return publishedModelStats;
+}
+
+void
+AsyncPhiEngine::dropStatsFor(const std::string& name)
+{
+    // The published snapshot drops immediately; the inner engine's
+    // copy is dispatcher-owned, so its erase is queued for the
+    // dispatcher's next wake-up (forced right here).
+    {
+        std::lock_guard<std::mutex> lock(statsMutex);
+        publishedModelStats.erase(name);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        statsDrops.push_back(name);
+    }
+    workAvailable.notify_one();
 }
 
 } // namespace phi

@@ -2,8 +2,8 @@
  * @file
  * The concurrent serving frontend: an AsyncPhiEngine wraps the
  * synchronous PhiEngine behind a futures-based submit() API so any
- * number of producer threads can stream requests at one compiled
- * model.
+ * number of producer threads can stream requests at the models of one
+ * ModelRegistry.
  *
  * A single background dispatcher thread owns the inner PhiEngine.
  * Requests land in a bounded queue; the dispatcher pops up to
@@ -14,12 +14,22 @@
  * response is identical to serving it synchronously, no matter how
  * the dispatcher happened to batch it or how many producers raced.
  *
+ * Routing is handle-based and hot-swap-safe: submit() pins the
+ * current version of the request's model on the submitting thread
+ * (ModelRegistry::pin), so a swap() racing the queue cannot tear a
+ * request — it serves the epoch it was submitted against, the
+ * response reports that exact {name, version}, and requests
+ * submitted after the swap serve the new one. The legacy
+ * single-model constructor and handle-less submit() keep working
+ * against a private one-entry registry.
+ *
  * Failure semantics are strictly per-request: an invalid request
- * (wrong layer, mismatched K — anything PhiEngine::validate rejects)
- * resolves its own future with an EngineError and never reaches the
- * batch, aborts the process, or affects neighbouring requests. The
- * only fates a submitted future can have are a value or an
- * EngineError/exception — never a broken promise.
+ * (wrong layer, mismatched K, an unloaded model — anything
+ * PhiEngine::validate or ModelRegistry::pin rejects) resolves its own
+ * future with an EngineError and never reaches the batch, aborts the
+ * process, or affects neighbouring requests. The only fates a
+ * submitted future can have are a value or an EngineError/exception —
+ * never a broken promise.
  *
  * Backpressure is explicit: when the queue holds maxQueueDepth
  * requests, submit() either blocks until space frees (Block, the
@@ -38,6 +48,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -79,8 +90,19 @@ struct AsyncEngineConfig
 class AsyncPhiEngine
 {
   public:
-    /** @throws EngineError (EmptyModel) like PhiEngine. */
+    /** Legacy single-model frontend; @throws EngineError (EmptyModel)
+     *  like PhiEngine. Handle-less submit() routes to this model. */
     explicit AsyncPhiEngine(CompiledModel model,
+                            ExecutionConfig exec = {},
+                            AsyncEngineConfig config = {});
+
+    /**
+     * Registry-routed frontend: serves whatever models are (or
+     * become) resident in @p registry, which stays shared — load,
+     * swap and unload models from any thread while this engine
+     * serves. @throws EngineError (EmptyModel) on a null registry.
+     */
+    explicit AsyncPhiEngine(std::shared_ptr<ModelRegistry> registry,
                             ExecutionConfig exec = {},
                             AsyncEngineConfig config = {});
 
@@ -92,12 +114,18 @@ class AsyncPhiEngine
     AsyncPhiEngine& operator=(const AsyncPhiEngine&) = delete;
 
     /**
-     * Submit one request. Always returns a valid future, which
+     * Submit one request against the current version of @p handle's
+     * model (pinned here, on the submitting thread — see the
+     * hot-swap contract above). Always returns a valid future, which
      * resolves with the response, or with an EngineError when the
      * request is invalid (validated here, before it can touch a
      * batch), rejected by backpressure, or the engine has stopped.
      * Under the Block policy this call may wait for queue space.
      */
+    std::future<EngineResponse> submit(const ModelHandle& handle,
+                                       size_t layer, BinaryMatrix acts);
+
+    /** submit() against the legacy default model. */
     std::future<EngineResponse> submit(size_t layer, BinaryMatrix acts);
 
     /**
@@ -117,24 +145,53 @@ class AsyncPhiEngine
     /** Requests queued but not yet dispatched (instantaneous). */
     size_t queueDepth() const;
 
+    /** The registry requests route through — load/swap/unload through
+     *  this from any thread, concurrently with serving. */
+    const std::shared_ptr<ModelRegistry>& registry() const
+    {
+        return engine.registry();
+    }
+
+    /** Legacy accessor; throws UnknownModel on a registry-routed
+     *  frontend (see PhiEngine::model()). */
     const CompiledModel& model() const { return engine.model(); }
+
     const AsyncEngineConfig& config() const { return asyncConfig; }
 
     /**
-     * Snapshot of the serving counters: the inner engine's flush
-     * counters plus the frontend's queue-depth / linger / rejected
-     * accounting. Safe to call concurrently with serving; throughput
-     * uses the monotonic flush window, so overlapping observation
-     * never double-counts time.
+     * Snapshot of the merged serving counters: the inner engine's
+     * flush counters plus the frontend's queue-depth / linger /
+     * rejected accounting. Safe to call concurrently with serving;
+     * throughput uses the monotonic flush window, so overlapping
+     * observation never double-counts time.
      */
     ServingStats stats() const;
+
+    /** Snapshot of one model's counters (zeroed when the name never
+     *  served); same concurrency guarantees as stats(). */
+    ServingStats statsFor(const std::string& name) const;
+
+    /** Snapshot of every served model's counters, keyed by name. */
+    std::map<std::string, ServingStats> perModelStats() const;
+
+    /**
+     * Forget one model's per-model counters (merged stats untouched).
+     * Call after unloading an ephemeral model so a long-running
+     * process cycling many names does not accrete a latency ring per
+     * retired name. Thread-safe: the published snapshot drops
+     * immediately; the dispatcher prunes its own copy on its next
+     * wake-up.
+     */
+    void dropStatsFor(const std::string& name);
 
   private:
     using Clock = std::chrono::steady_clock;
 
-    /** One queued request: owns its activations until served. */
+    /** One queued request: owns its activations — and its model-epoch
+     *  pin — until served. */
     struct Pending
     {
+        ModelRegistry::Pinned pin;
         size_t layer = 0;
         BinaryMatrix acts;
         std::promise<EngineResponse> promise;
@@ -152,14 +209,16 @@ class AsyncPhiEngine
     std::condition_variable workAvailable;  // queue non-empty / stop
     std::condition_variable idle; // queue empty and nothing in flight
     std::deque<Pending> pendingQueue;
+    std::vector<std::string> statsDrops; // names for the dispatcher to prune
     bool accepting = true;
     bool stopping = false;
     size_t inFlight = 0;     // requests popped but not yet resolved
     uint64_t rejectedCount = 0;
 
-    /** Guards the published stats snapshot (refreshed per batch). */
+    /** Guards the published stats snapshots (refreshed per batch). */
     mutable std::mutex statsMutex;
     ServingStats publishedStats;
+    std::map<std::string, ServingStats> publishedModelStats;
 
     /** Serialises the dispatcher join across concurrent shutdowns. */
     std::mutex joinMutex;

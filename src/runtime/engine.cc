@@ -29,52 +29,122 @@ epochSeconds(Clock::time_point t)
 } // namespace
 
 PhiEngine::PhiEngine(CompiledModel model, ExecutionConfig exec)
-    : compiled(std::move(model)), exec(exec)
+    : models(std::make_shared<ModelRegistry>()), exec(exec)
 {
-    if (compiled.empty())
-        throw EngineError(EngineErrorCode::EmptyModel,
-                          "PhiEngine needs a model with at least one "
-                          "layer");
+    // Throws EmptyModel for a layerless model, exactly as before the
+    // registry existed.
+    defaultHandle = models->load(kLegacyModelName, std::move(model));
+    legacyPin = models->pin(defaultHandle);
+}
+
+PhiEngine::PhiEngine(std::shared_ptr<ModelRegistry> registry,
+                     ExecutionConfig exec)
+    : models(std::move(registry)), exec(exec)
+{
+    if (!models)
+        throw EngineError(EngineError::Code::EmptyModel,
+                          "PhiEngine needs a non-null registry");
+}
+
+const CompiledModel&
+PhiEngine::model() const
+{
+    if (!legacyPin)
+        throw EngineError(
+            EngineError::Code::UnknownModel,
+            "model() on a registry-routed engine; resolve a specific "
+            "model via registry()->pin(name) instead");
+    return *legacyPin;
 }
 
 void
-PhiEngine::validate(size_t layer, const BinaryMatrix& acts) const
+PhiEngine::validate(const CompiledModel& model, size_t layer,
+                    const BinaryMatrix& acts)
 {
-    if (layer >= compiled.numLayers())
+    if (layer >= model.numLayers())
         throw EngineError(
-            EngineErrorCode::InvalidLayer,
+            EngineError::Code::InvalidLayer,
             detail::composeMessage("request for layer ", layer, " of a ",
-                                   compiled.numLayers(),
-                                   "-layer model"));
-    const CompiledLayer& l = compiled.layer(layer);
+                                   model.numLayers(), "-layer model"));
+    const CompiledLayer& l = model.layer(layer);
     if (!l.hasWeights())
         throw EngineError(
-            EngineErrorCode::MissingWeights,
+            EngineError::Code::MissingWeights,
             detail::composeMessage("layer '", l.name(),
                                    "' was compiled without weights and "
                                    "cannot serve compute"));
     if (acts.cols() != l.weights().rows())
         throw EngineError(
-            EngineErrorCode::ShapeMismatch,
+            EngineError::Code::ShapeMismatch,
             detail::composeMessage("activation K ", acts.cols(),
                                    " != weight rows ",
                                    l.weights().rows(), " for layer '",
                                    l.name(), "'"));
 }
 
+void
+PhiEngine::validate(size_t layer, const BinaryMatrix& acts) const
+{
+    validate(*models->pin(requireDefault()), layer, acts);
+}
+
+const ModelHandle&
+PhiEngine::requireDefault() const
+{
+    if (!defaultHandle.valid())
+        throw EngineError(
+            EngineError::Code::UnknownModel,
+            "this engine routes by ModelHandle (registry-routed, no "
+            "default model); pass one explicitly");
+    return defaultHandle;
+}
+
+ModelRegistry::Pinned
+PhiEngine::pinAndValidate(const ModelHandle& handle, size_t layer,
+                          const BinaryMatrix& acts) const
+{
+    ModelRegistry::Pinned pin = models->pin(handle); // UnknownModel
+    validate(*pin, layer, acts);
+    return pin;
+}
+
+size_t
+PhiEngine::enqueue(const ModelHandle& handle, size_t layer,
+                   BinaryMatrix acts)
+{
+    ModelRegistry::Pinned pin = pinAndValidate(handle, layer, acts);
+    queue.push_back({std::move(pin), layer, std::move(acts), nullptr});
+    return queue.size() - 1;
+}
+
 size_t
 PhiEngine::enqueue(size_t layer, BinaryMatrix acts)
 {
-    validate(layer, acts);
-    queue.push_back({layer, std::move(acts), nullptr});
+    return enqueue(requireDefault(), layer, std::move(acts));
+}
+
+size_t
+PhiEngine::enqueueBorrowed(const ModelHandle& handle, size_t layer,
+                           const BinaryMatrix& acts)
+{
+    ModelRegistry::Pinned pin = pinAndValidate(handle, layer, acts);
+    queue.push_back({std::move(pin), layer, BinaryMatrix{}, &acts});
     return queue.size() - 1;
 }
 
 size_t
 PhiEngine::enqueueBorrowed(size_t layer, const BinaryMatrix& acts)
 {
-    validate(layer, acts);
-    queue.push_back({layer, BinaryMatrix{}, &acts});
+    return enqueueBorrowed(requireDefault(), layer, acts);
+}
+
+size_t
+PhiEngine::enqueuePinned(ModelRegistry::Pinned pin, size_t layer,
+                         const BinaryMatrix& acts)
+{
+    phi_assert(static_cast<bool>(pin),
+               "enqueuePinned() needs a resolved pin");
+    queue.push_back({std::move(pin), layer, BinaryMatrix{}, &acts});
     return queue.size() - 1;
 }
 
@@ -109,10 +179,11 @@ PhiEngine::flushImpl()
     // never meet in the allocator mid-batch.
     for (size_t i = 0; i < n; ++i) {
         const EngineRequest& req = queue[i];
+        responses[i].model = req.pin.handle;
         responses[i].layer = req.layer;
         responses[i].out = Matrix<int32_t>::uninitialized(
             req.acts().rows(),
-            compiled.layer(req.layer).weights().cols());
+            req.pin->layer(req.layer).weights().cols());
     }
     latencyScratch.assign(n, 0.0);
     const auto batchStart = Clock::now();
@@ -124,7 +195,7 @@ PhiEngine::flushImpl()
         for (size_t i = i0; i < i1; ++i) {
             const auto reqStart = Clock::now();
             const EngineRequest& req = queue[i];
-            const CompiledLayer& l = compiled.layer(req.layer);
+            const CompiledLayer& l = req.pin->layer(req.layer);
             EngineResponse& resp = responses[i];
             resp.dec = l.decompose(req.acts(), exec);
             l.computeInto(resp.out, resp.dec, exec);
@@ -133,8 +204,12 @@ PhiEngine::flushImpl()
     });
 
     const auto batchEnd = Clock::now();
-    counters.busySeconds +=
+    const double batchSeconds =
         std::chrono::duration<double>(batchEnd - batchStart).count();
+
+    // Merged process view: recorded once per flush, so nothing is
+    // double-counted however many models shared the batch.
+    counters.busySeconds += batchSeconds;
     counters.recordFlushWindow(epochSeconds(batchStart),
                                epochSeconds(batchEnd));
     counters.batches += 1;
@@ -143,35 +218,80 @@ PhiEngine::flushImpl()
         counters.rows += req.acts().rows();
     for (double s : latencyScratch)
         counters.recordLatency(s);
+
+    // Per-model view: requests/rows/latencies are attributed exactly;
+    // the flush's wall time, window and batch count go once to every
+    // distinct model that took part in it (its requests really did
+    // occupy that flush).
+    std::vector<ServingStats*> touched;
+    for (size_t i = 0; i < n; ++i) {
+        const EngineRequest& req = queue[i];
+        ServingStats& ms = modelCounters[req.pin.handle.name];
+        ms.requests += 1;
+        ms.rows += req.acts().rows();
+        ms.recordLatency(latencyScratch[i]);
+        bool seen = false;
+        for (const ServingStats* t : touched)
+            seen = seen || t == &ms;
+        if (!seen)
+            touched.push_back(&ms);
+    }
+    for (ServingStats* ms : touched) {
+        ms->busySeconds += batchSeconds;
+        ms->recordFlushWindow(epochSeconds(batchStart),
+                              epochSeconds(batchEnd));
+        ms->batches += 1;
+    }
     return responses;
+}
+
+ServingStats
+PhiEngine::statsFor(const std::string& name) const
+{
+    auto it = modelCounters.find(name);
+    return it == modelCounters.end() ? ServingStats{} : it->second;
+}
+
+EngineResponse
+PhiEngine::serve(const ModelHandle& handle, size_t layer,
+                 const BinaryMatrix& acts)
+{
+    if (!queue.empty())
+        throw EngineError(EngineError::Code::PendingRequests,
+                          "serve() with requests pending; flush() them "
+                          "first");
+    enqueueBorrowed(handle, layer, acts);
+    std::vector<EngineResponse> responses = flush();
+    return std::move(responses.front());
 }
 
 EngineResponse
 PhiEngine::serve(size_t layer, const BinaryMatrix& acts)
 {
-    if (!queue.empty())
-        throw EngineError(EngineErrorCode::PendingRequests,
-                          "serve() with requests pending; flush() them "
-                          "first");
-    enqueueBorrowed(layer, acts);
-    std::vector<EngineResponse> responses = flush();
-    return std::move(responses.front());
+    return serve(requireDefault(), layer, acts);
 }
 
 std::vector<EngineResponse>
-PhiEngine::serveBatch(size_t layer,
+PhiEngine::serveBatch(const ModelHandle& handle, size_t layer,
                       const std::vector<const BinaryMatrix*>& batch)
 {
     if (!queue.empty())
-        throw EngineError(EngineErrorCode::PendingRequests,
+        throw EngineError(EngineError::Code::PendingRequests,
                           "serveBatch() with requests pending; flush() "
                           "them first");
     try {
+        // One pin for the whole batch: every request serves the same
+        // epoch even if a swap lands mid-enqueue.
+        ModelRegistry::Pinned pin;
         for (const BinaryMatrix* acts : batch) {
             if (acts == nullptr)
-                throw EngineError(EngineErrorCode::NullActivation,
+                throw EngineError(EngineError::Code::NullActivation,
                                   "null activation in batch");
-            enqueueBorrowed(layer, *acts);
+            if (!pin)
+                pin = pinAndValidate(handle, layer, *acts);
+            else
+                validate(*pin, layer, *acts);
+            enqueuePinned(pin, layer, *acts);
         }
         return flush();
     } catch (...) {
@@ -180,6 +300,13 @@ PhiEngine::serveBatch(size_t layer,
         queue.clear();
         throw;
     }
+}
+
+std::vector<EngineResponse>
+PhiEngine::serveBatch(size_t layer,
+                      const std::vector<const BinaryMatrix*>& batch)
+{
+    return serveBatch(requireDefault(), layer, batch);
 }
 
 } // namespace phi

@@ -1,27 +1,41 @@
 /**
  * @file
- * The online serving runtime: a PhiEngine owns an immutable
- * CompiledModel and serves decompose+compute over batches of activation
- * matrices.
+ * The online serving runtime: a PhiEngine routes decompose+compute
+ * requests through a ModelRegistry, so one engine serves any number
+ * of named, versioned CompiledModels and survives hot-swaps of any
+ * of them.
  *
- * Requests accumulate in a queue and are dispatched as one batch on the
- * shared ThreadPool (common/parallel.hh): one fixed-grain chunk per
- * request, so requests run concurrently while each request's own
+ * Routing is handle-based: a request names its model with a
+ * ModelHandle and the engine pins the model's *current* epoch at
+ * enqueue time (ModelRegistry::pin). The pin fixes which version
+ * serves the request — a swap() racing the batch cannot tear it —
+ * and every EngineResponse reports the exact {name, version} that
+ * produced it. The legacy single-model constructor still works: it
+ * wraps the model in a private one-entry registry under
+ * kLegacyModelName, and the handle-less overloads route there.
+ *
+ * Requests accumulate in a queue and are dispatched as one batch on
+ * the shared ThreadPool (common/parallel.hh): one fixed-grain chunk
+ * per request, so requests run concurrently while each request's own
  * kernels keep their deterministic chunking. Because every kernel in
- * the stack is bit-deterministic at any thread count, a batch's results
- * are identical to serving the same requests one at a time on a single
- * thread — the property the engine tests pin down at 1/2/8 threads.
+ * the stack is bit-deterministic at any thread count, a batch's
+ * results are identical to serving the same requests one at a time on
+ * a single thread — the property the engine tests pin down at 1/2/8
+ * threads.
  *
- * PWPs are precomputed once at compile time and shared read-only across
- * all requests and threads; serving a request never mutates the model.
- * Throughput and latency counters are surfaced as core/stats
- * ServingStats.
+ * PWPs are precomputed once at compile time and shared read-only
+ * across all requests and threads; serving a request never mutates a
+ * model. Throughput and latency counters are surfaced as core/stats
+ * ServingStats, per model (statsFor) and as a merged process view
+ * (stats).
  */
 
 #ifndef PHI_RUNTIME_ENGINE_HH
 #define PHI_RUNTIME_ENGINE_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,17 +43,20 @@
 #include "common/parallel.hh"
 #include "core/compiled_model.hh"
 #include "core/stats.hh"
+#include "runtime/registry.hh"
 
 namespace phi
 {
 
 /**
- * One queued unit of serving work: a layer id plus its activations,
- * either owned (enqueue moved them in) or borrowed (the caller keeps
- * them alive until flush() returns — the zero-copy batch path).
+ * One queued unit of serving work: the pinned model epoch that will
+ * serve it, a layer id, and the activations — either owned (enqueue
+ * moved them in) or borrowed (the caller keeps them alive until
+ * flush() returns — the zero-copy batch path).
  */
 struct EngineRequest
 {
+    ModelRegistry::Pinned pin;
     size_t layer = 0;
     BinaryMatrix owned;
     const BinaryMatrix* borrowed = nullptr;
@@ -54,6 +71,10 @@ struct EngineRequest
 /** Full result of one served request. */
 struct EngineResponse
 {
+    /** Exactly which compiled bytes served this response: the model
+     *  name plus the version pinned when the request was enqueued. */
+    ModelHandle model;
+
     size_t layer = 0;
     Matrix<int32_t> out;
 
@@ -65,33 +86,78 @@ struct EngineResponse
 class PhiEngine
 {
   public:
+    /** Name the legacy single-model constructor registers its model
+     *  under (and the handle-less overloads route to). */
+    static constexpr const char* kLegacyModelName = "default";
+
     /**
-     * @param model  the compiled artifact to serve; the engine takes
-     *               ownership and never mutates it.
-     * @param exec   engine knobs; threads bounds batch concurrency and
-     *               is inherited by the per-request kernels.
+     * Legacy single-model engine: wraps @p model in a private
+     * one-entry registry under kLegacyModelName. The handle-less
+     * request overloads route to it, so pre-registry call sites keep
+     * working unchanged.
      * @throws EngineError (EmptyModel) for a model with no layers.
      */
     explicit PhiEngine(CompiledModel model, ExecutionConfig exec = {});
 
-    const CompiledModel& model() const { return compiled; }
+    /**
+     * Registry-routed engine: serves whatever models are (or become)
+     * resident in @p registry. The registry may be empty at
+     * construction and is shared — other engines and loader threads
+     * may load/swap/unload concurrently while this engine serves.
+     * @throws EngineError (EmptyModel) on a null registry.
+     */
+    explicit PhiEngine(std::shared_ptr<ModelRegistry> registry,
+                       ExecutionConfig exec = {});
+
+    /** The registry requests route through (never null). */
+    const std::shared_ptr<ModelRegistry>& registry() const
+    {
+        return models;
+    }
+
+    /**
+     * Handle the handle-less overloads route to: the legacy model for
+     * single-model engines, an invalid handle for registry-routed
+     * ones (route by explicit ModelHandle there).
+     */
+    const ModelHandle& defaultModel() const { return defaultHandle; }
+
+    /**
+     * Legacy accessor: the model the engine was constructed over
+     * (construction-time version; later swaps do not change it).
+     * @throws EngineError (UnknownModel) on a registry-routed engine,
+     * which has no single "the model".
+     */
+    const CompiledModel& model() const;
+
     const ExecutionConfig& execution() const { return exec; }
 
     /**
-     * Check a request against the model without queuing it. Throws
+     * Check a request against a model without queuing it. Throws
      * EngineError (recoverable — the engine is untouched and keeps
      * serving) when the layer id is out of range, the layer was
-     * compiled without weights, or the activation K does not match the
-     * layer's weight rows.
+     * compiled without weights, or the activation K does not match
+     * the layer's weight rows.
      */
+    static void validate(const CompiledModel& model, size_t layer,
+                         const BinaryMatrix& acts);
+
+    /** validate() against the default model's current version. */
     void validate(size_t layer, const BinaryMatrix& acts) const;
 
     /**
-     * Queue a request, taking ownership of the activations; returns its
-     * index within the pending batch. Results come back from flush() in
-     * enqueue order regardless of thread count. Throws EngineError on
-     * an invalid request (see validate()); the queue is unchanged.
+     * Queue a request against the current version of @p handle's
+     * model, taking ownership of the activations; returns its index
+     * within the pending batch. The version is pinned here: a swap
+     * landing after enqueue does not affect this request. Results
+     * come back from flush() in enqueue order regardless of thread
+     * count. Throws EngineError on an invalid request (UnknownModel /
+     * see validate()); the queue is unchanged.
      */
+    size_t enqueue(const ModelHandle& handle, size_t layer,
+                   BinaryMatrix acts);
+
+    /** enqueue() against the default model. */
     size_t enqueue(size_t layer, BinaryMatrix acts);
 
     /**
@@ -100,7 +166,21 @@ class PhiEngine
      * until the next flush() returns. This is the zero-copy path the
      * batch APIs and the async frontend use for their hot loop.
      */
+    size_t enqueueBorrowed(const ModelHandle& handle, size_t layer,
+                           const BinaryMatrix& acts);
+
+    /** enqueueBorrowed() against the default model. */
     size_t enqueueBorrowed(size_t layer, const BinaryMatrix& acts);
+
+    /**
+     * Zero-copy enqueue of an already-pinned-and-validated request —
+     * the async frontend resolves pins on the submitting thread (so a
+     * swap between submit and dispatch cannot move the request to a
+     * different version than the one validated) and hands them to the
+     * inner engine through here.
+     */
+    size_t enqueuePinned(ModelRegistry::Pinned pin, size_t layer,
+                         const BinaryMatrix& acts);
 
     size_t pending() const { return queue.size(); }
 
@@ -115,41 +195,107 @@ class PhiEngine
     /**
      * Serve every queued request as one batch and clear the queue.
      * Deterministic: response i is bit-identical to
-     * layer.compute(layer.decompose(acts_i)) run stand-alone. The
-     * queue is cleared even when flush throws (allocation failure),
-     * so borrowed requests never outlive the call and the engine
-     * stays serviceable.
+     * layer.compute(layer.decompose(acts_i)) run stand-alone against
+     * the pinned version. The queue is cleared even when flush throws
+     * (allocation failure), so borrowed requests never outlive the
+     * call and the engine stays serviceable.
      */
     std::vector<EngineResponse> flush();
 
-    /** Drop every queued request unserved (their borrows released). */
+    /** Drop every queued request unserved (their borrows and model
+     *  pins released). */
     void clearPending() { queue.clear(); }
 
     /** enqueue + flush for a single request. */
+    EngineResponse serve(const ModelHandle& handle, size_t layer,
+                         const BinaryMatrix& acts);
+
+    /** serve() against the default model. */
     EngineResponse serve(size_t layer, const BinaryMatrix& acts);
 
     /**
-     * Serve a homogeneous batch against one layer. Activations are
-     * borrowed for the duration of the call — never copied — so the hot
-     * batch API does not clone a BinaryMatrix per request. Throws
-     * EngineError (leaving the engine idle and serviceable) on a null
-     * pointer or an invalid request.
+     * Serve a homogeneous batch against one layer of one model. All
+     * requests pin the same epoch (resolved once, up front), and
+     * activations are borrowed for the duration of the call — never
+     * copied. Throws EngineError (leaving the engine idle and
+     * serviceable) on a null pointer or an invalid request.
      */
+    std::vector<EngineResponse> serveBatch(
+        const ModelHandle& handle, size_t layer,
+        const std::vector<const BinaryMatrix*>& batch);
+
+    /** serveBatch() against the default model. */
     std::vector<EngineResponse> serveBatch(
         size_t layer, const std::vector<const BinaryMatrix*>& batch);
 
-    /** Cumulative throughput/latency counters. */
+    /** Merged process view of the throughput/latency counters, across
+     *  every model this engine served. */
     const ServingStats& stats() const { return counters; }
-    void resetStats() { counters = ServingStats{}; }
+
+    /**
+     * Counters of one model (by registry name, all versions merged).
+     * Unknown or not-yet-served names return zeroed stats. requests /
+     * rows / latencies are exact per model; batches and the flush
+     * window count every flush that contained at least one of the
+     * model's requests, so busyFraction() of models co-batched with
+     * others overlaps by design (the process view never
+     * double-counts).
+     */
+    ServingStats statsFor(const std::string& name) const;
+
+    /** Per-model counters for every model served so far, keyed by
+     *  registry name. */
+    std::map<std::string, ServingStats> perModelStats() const
+    {
+        return modelCounters;
+    }
+
+    /**
+     * Forget one model's per-model counters (the merged process view
+     * is untouched). Serving processes that cycle many ephemeral
+     * model names call this after unload() so retired names do not
+     * accrete latency rings forever. Same thread-affinity contract as
+     * the rest of PhiEngine (not thread-safe); the async frontend
+     * routes its own dropStatsFor() through the dispatcher.
+     */
+    void dropStatsFor(const std::string& name)
+    {
+        modelCounters.erase(name);
+    }
+
+    void
+    resetStats()
+    {
+        counters = ServingStats{};
+        modelCounters.clear();
+    }
 
   private:
     /** flush() body; the wrapper owns the clear-queue-on-throw duty. */
     std::vector<EngineResponse> flushImpl();
 
-    CompiledModel compiled;
+    /** Pin + validate the current version of @p handle's model. */
+    ModelRegistry::Pinned pinAndValidate(const ModelHandle& handle,
+                                         size_t layer,
+                                         const BinaryMatrix& acts) const;
+
+    /** The default handle, or throw UnknownModel if there is none. */
+    const ModelHandle& requireDefault() const;
+
+    std::shared_ptr<ModelRegistry> models;
+
+    /**
+     * The legacy constructor's model, pinned for the engine's
+     * lifetime: keeps model() valid and the artifact resident even
+     * if a caller swaps the registry's "default" entry underneath.
+     */
+    ModelRegistry::Pinned legacyPin;
+    ModelHandle defaultHandle;
+
     ExecutionConfig exec;
     std::vector<EngineRequest> queue;
     ServingStats counters;
+    std::map<std::string, ServingStats> modelCounters;
 
     /** Per-flush latency scratch, reused so steady-state serving does
      *  not reallocate it on every batch. */

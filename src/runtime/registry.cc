@@ -1,0 +1,148 @@
+#include "runtime/registry.hh"
+
+#include "io/model_io.hh"
+
+namespace phi
+{
+
+ModelHandle
+ModelRegistry::publish(const std::string& name, CompiledModel model,
+                       bool mustExist)
+{
+    if (model.empty())
+        throw EngineError(EngineError::Code::EmptyModel,
+                          "model '" + name + "' has no layers");
+    auto resident = std::make_shared<const CompiledModel>(std::move(model));
+
+    std::lock_guard<std::mutex> lock(mutex);
+    Entry& entry = entries[name];
+    const bool isResident = entry.model != nullptr;
+    if (mustExist && !isResident) {
+        if (entry.version == 0)
+            entries.erase(name); // slot created by this lookup
+        throw EngineError(EngineError::Code::UnknownModel,
+                          "swap() of '" + name +
+                              "', which is not resident; load() it "
+                              "first");
+    }
+    if (!mustExist && isResident)
+        throw EngineError(EngineError::Code::ModelExists,
+                          "load() of '" + name +
+                              "', which is already resident at v" +
+                              std::to_string(entry.version) +
+                              "; replace it with swap()");
+    entry.model = std::move(resident);
+    entry.version += 1;
+    return {name, entry.version};
+}
+
+ModelHandle
+ModelRegistry::load(const std::string& name, CompiledModel model)
+{
+    if (name.empty())
+        throw EngineError(EngineError::Code::UnknownModel,
+                          "load() needs a non-empty model name");
+    return publish(name, std::move(model), /*mustExist=*/false);
+}
+
+ModelHandle
+ModelRegistry::load(const std::string& name, const std::string& path)
+{
+    io::ArtifactMeta meta;
+    CompiledModel model = io::loadModel(path, &meta);
+    const std::string& resolved = name.empty() ? meta.name : name;
+    if (resolved.empty())
+        throw EngineError(EngineError::Code::UnknownModel,
+                          "artifact '" + path +
+                              "' carries no META name and load() was "
+                              "given none");
+    return publish(resolved, std::move(model), /*mustExist=*/false);
+}
+
+ModelHandle
+ModelRegistry::swap(const std::string& name, CompiledModel model)
+{
+    return publish(name, std::move(model), /*mustExist=*/true);
+}
+
+ModelHandle
+ModelRegistry::swapFromFile(const std::string& name,
+                            const std::string& path)
+{
+    return publish(name, io::loadModel(path), /*mustExist=*/true);
+}
+
+void
+ModelRegistry::unload(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(name);
+    if (it == entries.end() || !it->second.model)
+        throw EngineError(EngineError::Code::UnknownModel,
+                          "unload() of '" + name +
+                              "', which is not resident");
+    // Pins are only created under this mutex, so a use count of 1
+    // (the registry's own reference) proves no request can be serving
+    // — or start serving — this epoch.
+    if (it->second.model.use_count() > 1)
+        throw EngineError(EngineError::Code::ModelBusy,
+                          "unload() of '" + name + "' at v" +
+                              std::to_string(it->second.version) +
+                              " with in-flight requests; drain the "
+                              "engines first or swap() instead");
+    it->second.model.reset(); // keep the entry: versions never reuse
+}
+
+ModelRegistry::Pinned
+ModelRegistry::pin(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(name);
+    if (it == entries.end() || !it->second.model)
+        throw EngineError(EngineError::Code::UnknownModel,
+                          "no resident model named '" + name + "'");
+    return {{name, it->second.version}, it->second.model};
+}
+
+std::optional<ModelHandle>
+ModelRegistry::current(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(name);
+    if (it == entries.end() || !it->second.model)
+        return std::nullopt;
+    return ModelHandle{name, it->second.version};
+}
+
+bool
+ModelRegistry::contains(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(name);
+    return it != entries.end() && it->second.model != nullptr;
+}
+
+std::vector<ModelHandle>
+ModelRegistry::list() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<ModelHandle> handles;
+    handles.reserve(entries.size());
+    for (const auto& [name, entry] : entries)
+        if (entry.model)
+            handles.push_back({name, entry.version});
+    return handles;
+}
+
+size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    size_t n = 0;
+    for (const auto& [name, entry] : entries)
+        if (entry.model)
+            ++n;
+    return n;
+}
+
+} // namespace phi

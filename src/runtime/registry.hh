@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Multi-model residency: a ModelRegistry holds named, versioned
+ * CompiledModels behind shared_ptr epochs so one serving process can
+ * host a fleet of artifacts and replace any of them with zero
+ * downtime.
+ *
+ * Every resident model is published as an immutable
+ * shared_ptr<const CompiledModel>. Routing a request pins the current
+ * epoch by copying that shared_ptr (ModelRegistry::pin), so an
+ * in-flight batch keeps serving the version it started on while
+ * swap() atomically publishes a successor for all requests that route
+ * after it — there is never a torn model, only the old epoch or the
+ * new one. The old epoch is freed when its last pin drops.
+ *
+ * Versions are assigned per name, monotonically, starting at 1, and
+ * are never reused — not even across unload()/load() of the same name
+ * — so a ModelHandle{name, version} unambiguously identifies which
+ * compiled bytes served a response.
+ *
+ * All methods are thread-safe; the registry mutex guards only the
+ * name -> epoch map, never the (lock-free, read-only) models
+ * themselves. Failures follow the runtime's recoverable-error
+ * contract: every rejected operation throws a typed EngineError
+ * (UnknownModel / ModelExists / ModelBusy / EmptyModel) and leaves
+ * the registry unchanged.
+ */
+
+#ifndef PHI_RUNTIME_REGISTRY_HH
+#define PHI_RUNTIME_REGISTRY_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/compiled_model.hh"
+
+namespace phi
+{
+
+/**
+ * Names one published epoch of one model: which model a request
+ * routes to (by name) and which compiled bytes a response was served
+ * by (name + version). Handles are value types — holding one does NOT
+ * keep the version resident (that is ModelRegistry::Pinned's job).
+ */
+struct ModelHandle
+{
+    std::string name;
+    uint64_t version = 0;
+
+    /** A default-constructed handle routes nowhere. */
+    bool valid() const { return !name.empty() && version > 0; }
+
+    /** "mnist@v3" — the form logs and error messages use. */
+    std::string
+    str() const
+    {
+        return name + "@v" + std::to_string(version);
+    }
+
+    friend bool
+    operator==(const ModelHandle& a, const ModelHandle& b)
+    {
+        return a.version == b.version && a.name == b.name;
+    }
+
+    friend bool
+    operator!=(const ModelHandle& a, const ModelHandle& b)
+    {
+        return !(a == b);
+    }
+
+    friend std::ostream&
+    operator<<(std::ostream& os, const ModelHandle& h)
+    {
+        return os << h.name << "@v" << h.version;
+    }
+};
+
+class ModelRegistry
+{
+  public:
+    /**
+     * One pinned epoch: the exact version a request is served by,
+     * kept alive for as long as the pin exists no matter how many
+     * swap()/unload() calls land in the meantime. Copyable; cheap
+     * (one shared_ptr).
+     */
+    struct Pinned
+    {
+        ModelHandle handle;
+        std::shared_ptr<const CompiledModel> model;
+
+        explicit operator bool() const { return model != nullptr; }
+        const CompiledModel& operator*() const { return *model; }
+        const CompiledModel* operator->() const { return model.get(); }
+    };
+
+    /**
+     * Publish @p model under @p name at the name's next version.
+     * @throws EngineError ModelExists when the name is already
+     *         resident (replace running models with swap()), or
+     *         EmptyModel for a model with no layers.
+     */
+    ModelHandle load(const std::string& name, CompiledModel model);
+
+    /**
+     * io::loadModel(@p path) + load(). When @p name is empty the name
+     * stamped into the artifact's META section is used instead;
+     * throws EngineError (UnknownModel) if neither names the model.
+     * io::IoError propagates for unreadable/corrupt artifacts.
+     */
+    ModelHandle load(const std::string& name, const std::string& path);
+
+    /**
+     * Atomically replace the resident model under @p name with
+     * @p model at the next version. Requests already pinned to the
+     * old version finish on it untouched; requests routed after this
+     * call serve the new one. @throws EngineError UnknownModel when
+     * the name is not resident, EmptyModel for a layerless model.
+     */
+    ModelHandle swap(const std::string& name, CompiledModel model);
+
+    /** io::loadModel(@p path) + swap(). */
+    ModelHandle swapFromFile(const std::string& name,
+                             const std::string& path);
+
+    /**
+     * Remove @p name from the registry. @throws EngineError
+     * UnknownModel when not resident; ModelBusy when any pin of the
+     * current version is still alive (in-flight requests — the
+     * registry refuses to race them; drain first, or swap() instead,
+     * which never blocks on in-flight work).
+     */
+    void unload(const std::string& name);
+
+    /**
+     * Pin the current version of @p name for serving. @throws
+     * EngineError (UnknownModel) when the name is not resident.
+     */
+    Pinned pin(const std::string& name) const;
+
+    /**
+     * Route a handle: pins the *current* version of handle.name —
+     * which may be newer than handle.version if a swap() landed in
+     * between (that is the hot-swap contract: stale handles keep
+     * working, and the response reports the version that actually
+     * served). @throws EngineError (UnknownModel) when the name has
+     * been unloaded.
+     */
+    Pinned
+    pin(const ModelHandle& handle) const
+    {
+        return pin(handle.name);
+    }
+
+    /** Current handle of @p name, or nullopt when not resident. */
+    std::optional<ModelHandle> current(const std::string& name) const;
+
+    bool contains(const std::string& name) const;
+
+    /** Handles of every resident model, ordered by name. */
+    std::vector<ModelHandle> list() const;
+
+    /** Number of resident models. */
+    size_t size() const;
+
+  private:
+    /**
+     * One name's slot. Survives unload() with a null model so the
+     * version counter keeps monotonic across a reload of the name.
+     */
+    struct Entry
+    {
+        std::shared_ptr<const CompiledModel> model; // null = unloaded
+        uint64_t version = 0; // last version ever published
+    };
+
+    /** Insert/replace under the lock; all paths converge here. */
+    ModelHandle publish(const std::string& name, CompiledModel model,
+                        bool mustExist);
+
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace phi
+
+#endif // PHI_RUNTIME_REGISTRY_HH

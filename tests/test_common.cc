@@ -1,15 +1,19 @@
 /**
  * @file
- * Unit tests for the common substrate: bit ops, RNG, tables, logging.
+ * Unit tests for the common substrate: bit ops, RNG, tables, logging,
+ * the EngineError taxonomy.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -212,6 +216,54 @@ TEST(Logging, AssertPassesOnTrue)
     detail::setThrowOnError(true);
     EXPECT_NO_THROW(phi_assert(1 + 1 == 2, "math"));
     detail::setThrowOnError(false);
+}
+
+TEST(EngineErrorCodes, EveryEnumeratorHasAName)
+{
+    // Logs and test-failure messages must print "QueueFull", never an
+    // int. Exhaustive over the enum: codeName(), the free
+    // engineErrorCodeName(), and operator<< agree for every
+    // enumerator, and no two enumerators share a name.
+    const std::pair<EngineError::Code, const char*> expected[] = {
+        {EngineErrorCode::EmptyModel, "EmptyModel"},
+        {EngineErrorCode::InvalidLayer, "InvalidLayer"},
+        {EngineErrorCode::MissingWeights, "MissingWeights"},
+        {EngineErrorCode::ShapeMismatch, "ShapeMismatch"},
+        {EngineErrorCode::NullActivation, "NullActivation"},
+        {EngineErrorCode::PendingRequests, "PendingRequests"},
+        {EngineErrorCode::QueueFull, "QueueFull"},
+        {EngineErrorCode::Stopped, "Stopped"},
+        {EngineErrorCode::UnknownModel, "UnknownModel"},
+        {EngineErrorCode::ModelExists, "ModelExists"},
+        {EngineErrorCode::ModelBusy, "ModelBusy"},
+    };
+    std::set<std::string> names;
+    for (const auto& [code, name] : expected) {
+        EXPECT_STREQ(engineErrorCodeName(code), name);
+
+        std::ostringstream os;
+        os << code; // the operator<< the satellite demands
+        EXPECT_EQ(os.str(), name);
+
+        const EngineError err(code, "ctx");
+        EXPECT_EQ(err.code(), code);
+        EXPECT_STREQ(err.codeName(), name);
+        // what() carries the name too, so untyped catch sites still
+        // log something greppable.
+        EXPECT_NE(std::string(err.what()).find(name), std::string::npos);
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), std::size(expected)) << "duplicate names";
+}
+
+TEST(EngineErrorCodes, StreamInsertionComposesWithGtestMessages)
+{
+    // EXPECT_EQ(e.code(), ...) failure output routes through
+    // operator<<; make sure the printable form is the name.
+    std::ostringstream os;
+    os << "got " << EngineErrorCode::QueueFull << " expecting "
+       << EngineError::Code::Stopped;
+    EXPECT_EQ(os.str(), "got QueueFull expecting Stopped");
 }
 
 } // namespace

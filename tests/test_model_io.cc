@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <unistd.h>
 
 #include "common/rng.hh"
@@ -309,6 +310,92 @@ TEST(ModelIo, LoadMissingFileThrows)
 {
     EXPECT_THROW(io::loadModel("/nonexistent/phi_no_such_model.phim"),
                  io::IoError);
+}
+
+TEST(ModelIo, MetaSectionRoundTripsAndStaysOptional)
+{
+    const CompiledModel model = makeCompiledModel();
+
+    // Stamped artifact: META round-trips exactly.
+    const io::ArtifactMeta stamp{"vision-resnet", 42};
+    const std::vector<uint8_t> stamped =
+        io::serializeModel(model, stamp);
+    io::ArtifactMeta back;
+    const CompiledModel m1 =
+        io::parseModel(stamped.data(), stamped.size(), &back);
+    expectModelsEqual(model, m1);
+    EXPECT_EQ(back.name, "vision-resnet");
+    EXPECT_EQ(back.version, 42u);
+    EXPECT_FALSE(back.empty());
+
+    // Unstamped artifacts carry no META section at all and are
+    // byte-identical to the pre-META format — old files keep loading,
+    // new unstamped files stay content-addressable.
+    const std::vector<uint8_t> plain = io::serializeModel(model);
+    EXPECT_LT(plain.size(), stamped.size());
+    io::ArtifactMeta none{"poison", 9}; // must be overwritten
+    io::parseModel(plain.data(), plain.size(), &none);
+    EXPECT_TRUE(none.empty());
+
+    // A pre-META reader's view: parsing the stamped image without
+    // asking for meta ignores the unknown section cleanly.
+    expectModelsEqual(model,
+                      io::parseModel(stamped.data(), stamped.size()));
+}
+
+TEST(ModelIo, SaveLoadCarriesMetaThroughDisk)
+{
+    TempFile f("meta");
+    const CompiledModel model = makeCompiledModel();
+    io::saveModel(model, f.path, {"nlp-bert", 3});
+    io::ArtifactMeta meta;
+    const CompiledModel back = io::loadModel(f.path, &meta);
+    expectModelsEqual(model, back);
+    EXPECT_EQ(meta.name, "nlp-bert");
+    EXPECT_EQ(meta.version, 3u);
+}
+
+TEST(ModelIo, LoadErrorsNameTheOffendingFile)
+{
+    // Regression: a truncated-file throw used to describe the
+    // truncation but not say which file — useless in a registry
+    // process juggling many artifacts. Every loadModel failure path
+    // must carry the path, both in what() and structured (path()).
+    TempFile f("truncated");
+    const CompiledModel model = makeCompiledModel();
+    const std::vector<uint8_t> bytes = io::serializeModel(model);
+    {
+        std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    try {
+        io::loadModel(f.path);
+        FAIL() << "truncated artifact loaded";
+    } catch (const io::IoError& e) {
+        EXPECT_NE(std::string(e.what()).find(f.path), std::string::npos)
+            << "what() does not name the file: " << e.what();
+        EXPECT_EQ(e.path(), f.path);
+        EXPECT_FALSE(e.detail().empty());
+    }
+
+    // The unreadable-file path reports the name too.
+    try {
+        io::loadModel("/nonexistent/phi_no_such_model.phim");
+        FAIL() << "missing artifact loaded";
+    } catch (const io::IoError& e) {
+        EXPECT_EQ(e.path(), "/nonexistent/phi_no_such_model.phim");
+        EXPECT_NE(std::string(e.what()).find("phi_no_such_model"),
+                  std::string::npos);
+    }
+
+    // And the save path: an unwritable target names itself.
+    try {
+        io::saveModel(model, "/nonexistent/dir/out.phim");
+        FAIL() << "saved into a nonexistent directory";
+    } catch (const io::IoError& e) {
+        EXPECT_EQ(e.path(), "/nonexistent/dir/out.phim");
+    }
 }
 
 TEST(ModelIo, ComponentRoundTrips)
