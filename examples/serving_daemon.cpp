@@ -13,6 +13,14 @@
  * own future with a typed EngineError, and the process never aborts
  * on bad traffic.
  *
+ * The second half demonstrates the resilience layer: an
+ * already-expired deadline is rejected before compute
+ * (DeadlineExceeded), a saturated queue sheds its lowest-priority
+ * entry to admit an outranking request (QueueFull for the victim,
+ * a served value for the winner), and a hot-swap to a deliberately
+ * corrupted .phim artifact is rejected by the per-section CRC check
+ * while the previous version keeps serving bit-exact responses.
+ *
  * stdout is deterministic (bit-exactness verdicts and counts only);
  * timing-dependent stats — including the per-model split — go to
  * stderr.
@@ -22,6 +30,10 @@
 
 #include <phi/phi.hh>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <thread>
@@ -196,6 +208,101 @@ main()
     std::cout << "Still serving after the rejection: "
               << (stillServing ? "YES" : "NO (bug!)") << "\n";
 
+    // ---- Resilience: time-aware admission ---------------------------
+    // A request whose deadline has already passed is dropped before a
+    // single cycle of compute is spent on it; its future fails with
+    // DeadlineExceeded and the expired counter records the drop.
+    bool deadlineTyped = false;
+    SubmitOptions lateOpts;
+    lateOpts.deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1);
+    try {
+        engine.submit(vision, 0, vgen.generate(64, vrng), lateOpts)
+            .get();
+    } catch (const EngineError& e) {
+        deadlineTyped = e.code() == EngineError::Code::DeadlineExceeded;
+    }
+    std::cout << "Expired-deadline request dropped before compute: "
+              << (deadlineTyped ? "YES (DeadlineExceeded)" : "NO (bug!)")
+              << "\n";
+
+    // Priority shedding: saturate a depth-1 queue while the dispatcher
+    // lingers, then outrank the queued request. The victim fails typed
+    // with QueueFull, the high-priority request serves bit-exact.
+    bool victimTyped = false;
+    bool winnerServed = false;
+    {
+        AsyncEngineConfig shed_cfg;
+        shed_cfg.maxBatch = 8;
+        shed_cfg.maxLingerMicros = 300'000;
+        shed_cfg.maxQueueDepth = 1;
+        shed_cfg.backpressure = AsyncEngineConfig::Backpressure::Reject;
+        AsyncPhiEngine shedEngine(registry, ExecutionConfig{}, shed_cfg);
+        const BinaryMatrix lowActs = vgen.generate(64, vrng);
+        const BinaryMatrix highActs = vgen.generate(64, vrng);
+        auto lowFut = shedEngine.submit(vision, 0, lowActs); // priority 0
+        SubmitOptions highOpts;
+        highOpts.priority = 5;
+        auto highFut = shedEngine.submit(vision, 0, highActs, highOpts);
+        try {
+            lowFut.get();
+        } catch (const EngineError& e) {
+            victimTyped = e.code() == EngineError::Code::QueueFull;
+        }
+        winnerServed =
+            highFut.get().out == spikeGemm(highActs, visionW2);
+        shedEngine.drain();
+        std::cerr << "shed-engine stats: shed=" << shedEngine.stats().shed
+                  << ", expired=" << shedEngine.stats().expired << "\n";
+    }
+    std::cout << "Saturated queue shed its lowest-priority entry: "
+              << (victimTyped ? "YES (QueueFull)" : "NO (bug!)") << "\n"
+              << "Outranking request served after the shed: "
+              << (winnerServed ? "YES (bit-exact)" : "NO (bug!)") << "\n";
+
+    // ---- Resilience: artifact integrity on hot reload ---------------
+    // Serialize a would-be v3 of "vision", flip one payload byte, and
+    // try to swap it in from disk. The per-section CRC rejects the
+    // artifact before the registry mutates: the IoError names the file
+    // and section, "vision" stays at v2, and traffic keeps serving.
+    const std::string artifact =
+        (std::filesystem::temp_directory_path() /
+         ("phi_daemon_swap_" + std::to_string(::getpid()) + ".phim"))
+            .string();
+    std::vector<uint8_t> corrupt =
+        io::serializeModel(compileModel(256, visionW1, 9));
+    corrupt[corrupt.size() - 24] ^= 0x40; // one bit, deep in a payload
+    {
+        std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(corrupt.data()),
+                  static_cast<std::streamsize>(corrupt.size()));
+    }
+    bool corruptRejected = false;
+    bool errorNamesBoth = false;
+    try {
+        registry->swapFromFile("vision", artifact);
+    } catch (const io::IoError& e) {
+        corruptRejected = true;
+        const std::string what = e.what();
+        errorNamesBoth = what.find("CRC") != std::string::npos &&
+                         what.find(artifact) != std::string::npos;
+    }
+    const bool stillV2 = registry->current("vision").has_value() &&
+                         registry->current("vision")->version == 2;
+    BinaryMatrix afterCorrupt = vgen.generate(64, vrng);
+    const bool servesThroughIt =
+        engine.submit(vision, 0, afterCorrupt).get().out ==
+        spikeGemm(afterCorrupt, visionW2);
+    std::cout << "Corrupt .phim hot-swap rejected by its CRC: "
+              << (corruptRejected ? "YES" : "NO (bug!)") << "\n"
+              << "IoError names the file and the bad section: "
+              << (errorNamesBoth ? "YES" : "NO (bug!)") << "\n"
+              << "Previous version kept serving through the rejection: "
+              << (stillV2 && servesThroughIt ? "YES (v2, bit-exact)"
+                                             : "NO (bug!)")
+              << "\n";
+    std::remove(artifact.c_str());
+
     engine.drain();
     const ServingStats s = engine.stats();
     std::cerr << "stats: " << s.requests << " requests in " << s.batches
@@ -203,13 +310,19 @@ main()
               << s.throughputRps() << ", p99=" << s.latencyPercentileMs(99)
               << "ms, mean queue depth=" << s.meanQueueDepth()
               << ", mean linger=" << s.meanLingerMicros()
-              << "us, rejected=" << s.rejected << "\n";
+              << "us, rejected=" << s.rejected << ", expired="
+              << s.expired << ", shed=" << s.shed
+              << ", watchdog restarts=" << s.watchdogRestarts << "\n";
     for (const auto& [name, ms] : engine.perModelStats())
         std::cerr << "  " << name << ": " << ms.requests
                   << " requests, p99=" << ms.latencyPercentileMs(99)
                   << "ms\n";
 
-    return exactTotal == total && versionedTotal == total && stillServing
+    const bool resilient = deadlineTyped && victimTyped && winnerServed &&
+                           corruptRejected && errorNamesBoth && stillV2 &&
+                           servesThroughIt;
+    return exactTotal == total && versionedTotal == total &&
+                   stillServing && resilient
                ? 0
                : 1;
 }

@@ -1,0 +1,40 @@
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace phi
+{
+
+namespace
+{
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c >> 1) ^ ((c & 1u) ? kPolynomial : 0u);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+uint32_t
+crc32(const void* data, size_t size, uint32_t seed)
+{
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = (c >> 8) ^ kTable[(c ^ bytes[i]) & 0xFFu];
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace phi

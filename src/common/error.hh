@@ -37,11 +37,17 @@ enum class EngineErrorCode
     ShapeMismatch,   // activation K != weight rows of the target layer
     NullActivation,  // serveBatch() handed a null activation pointer
     PendingRequests, // serve()/serveBatch() called with queued requests
-    QueueFull,       // async queue at capacity under the Reject policy
+    QueueFull,       // async queue at capacity under the Reject policy,
+                     // or a queued request was shed to admit a
+                     // higher-priority one
     Stopped,         // submit() after shutdown()/destruction began
     UnknownModel,    // registry has no resident model for the name/handle
     ModelExists,     // load() of a name already resident (use swap())
     ModelBusy,       // unload() while requests are in flight on the model
+    DeadlineExceeded, // request's deadline passed before compute started
+    Internal,        // dispatcher died on an escaped exception; the
+                     // watchdog failed this in-flight request and
+                     // restarted the loop — retry is safe
 };
 
 constexpr const char*
@@ -59,6 +65,8 @@ engineErrorCodeName(EngineErrorCode code)
     case EngineErrorCode::UnknownModel: return "UnknownModel";
     case EngineErrorCode::ModelExists: return "ModelExists";
     case EngineErrorCode::ModelBusy: return "ModelBusy";
+    case EngineErrorCode::DeadlineExceeded: return "DeadlineExceeded";
+    case EngineErrorCode::Internal: return "Internal";
     }
     return "Unknown";
 }

@@ -1,0 +1,138 @@
+#include "common/failpoint.hh"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/rng.hh"
+
+namespace phi::failpoint
+{
+
+namespace
+{
+
+struct SiteState
+{
+    bool armed = false;
+    Policy policy;
+    Rng rng{1};
+    uint64_t evaluated = 0; // since last enable()/reset()
+    uint64_t fired = 0;
+};
+
+std::mutex gMutex;
+std::map<std::string, SiteState>& // NOLINT: intentional leak, avoids
+registry()                        // destruction-order races at exit
+{
+    static auto* map = new std::map<std::string, SiteState>();
+    return *map;
+}
+
+/** Armed-site count, checked lock-free on the hot path: while zero —
+ *  the steady state of a failpoint build running normal traffic —
+ *  shouldFire() costs one relaxed load and no lock. */
+std::atomic<uint64_t> gArmedCount{0};
+
+} // namespace
+
+void
+enable(const std::string& site, Policy policy)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    SiteState& s = registry()[site];
+    if (!s.armed)
+        gArmedCount.fetch_add(1, std::memory_order_relaxed);
+    s.armed = true;
+    s.policy = policy;
+    s.rng = Rng(policy.seed);
+    s.evaluated = 0;
+    s.fired = 0;
+}
+
+void
+disable(const std::string& site)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    auto it = registry().find(site);
+    if (it == registry().end() || !it->second.armed)
+        return;
+    it->second.armed = false;
+    gArmedCount.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    for (auto& [name, s] : registry())
+        if (s.armed)
+            gArmedCount.fetch_sub(1, std::memory_order_relaxed);
+    registry().clear();
+}
+
+bool
+shouldFire(const char* site)
+{
+    if (gArmedCount.load(std::memory_order_relaxed) == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(gMutex);
+    auto it = registry().find(site);
+    if (it == registry().end() || !it->second.armed)
+        return false;
+    SiteState& s = it->second;
+    ++s.evaluated;
+    bool fire = false;
+    switch (s.policy.kind) {
+    case Policy::Kind::Always:
+        fire = true;
+        break;
+    case Policy::Kind::Once:
+        fire = s.fired == 0;
+        break;
+    case Policy::Kind::EveryNth:
+        fire = s.evaluated % s.policy.n == 0;
+        break;
+    case Policy::Kind::Probability:
+        fire = s.rng.bernoulli(s.policy.p);
+        break;
+    }
+    if (fire)
+        ++s.fired;
+    return fire;
+}
+
+uint64_t
+evaluations(const std::string& site)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    auto it = registry().find(site);
+    return it == registry().end() ? 0 : it->second.evaluated;
+}
+
+uint64_t
+fires(const std::string& site)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    auto it = registry().find(site);
+    return it == registry().end() ? 0 : it->second.fired;
+}
+
+bool
+compiledIn()
+{
+#ifdef PHI_FAILPOINTS
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::vector<std::string>
+allSites()
+{
+    return {sites::kIoRead, sites::kIoWrite, sites::kPoolTask,
+            sites::kDispatcherLoop};
+}
+
+} // namespace phi::failpoint

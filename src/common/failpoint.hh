@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic fault injection for testing failure paths.
+ *
+ * A failpoint is a named site in library code where a test can make a
+ * failure happen on demand — an I/O error in the middle of an
+ * artifact write, a worker-thread exception mid-batch, the async
+ * dispatcher dying outright — so recovery code is exercised by the
+ * suite instead of waiting for production to exercise it.
+ *
+ * Two halves, deliberately split:
+ *
+ * - The *sites* (`PHI_FAILPOINT(name, action)`) are compiled into the
+ *   library only when it is configured with `-DPHI_FAILPOINTS=ON`.
+ *   In a normal build the macro expands to nothing — zero branches,
+ *   zero atomics, zero bytes on the serving path.
+ * - The *control API* below is always compiled, so the chaos test
+ *   suite links in every configuration and skips itself cleanly
+ *   (compiledIn() == false) when the sites are absent.
+ *
+ * Trigger policies are deterministic by construction: Once, EveryNth
+ * and Always are pure counters; Probability draws from an explicitly
+ * seeded phi::Rng, so a chaos run is exactly reproducible from its
+ * seed. Policies are armed per site name; an un-armed site never
+ * fires. The fired/evaluated counters let tests assert an injected
+ * fault actually happened rather than silently testing nothing.
+ *
+ * The action at each site is chosen by the site, not the policy:
+ * io sites throw IoError, compute sites throw the exception class
+ * their real failure mode would produce. That keeps the injected
+ * failure indistinguishable from the genuine one — which is the
+ * point.
+ */
+
+#ifndef PHI_COMMON_FAILPOINT_HH
+#define PHI_COMMON_FAILPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phi::failpoint
+{
+
+/** When an armed site fires. */
+struct Policy
+{
+    enum class Kind
+    {
+        Always,      // every evaluation
+        Once,        // first evaluation only
+        EveryNth,    // evaluations n, 2n, 3n, ...
+        Probability, // Bernoulli(p) per evaluation, seeded Rng
+    };
+
+    Kind kind = Kind::Always;
+    uint64_t n = 1;     // EveryNth period
+    double p = 1.0;     // Probability success rate
+    uint64_t seed = 1;  // Probability stream seed
+
+    static Policy always() { return {}; }
+    static Policy once() { return {Kind::Once, 1, 1.0, 1}; }
+    static Policy everyNth(uint64_t n)
+    {
+        return {Kind::EveryNth, n < 1 ? 1 : n, 1.0, 1};
+    }
+    static Policy probability(double p, uint64_t seed)
+    {
+        return {Kind::Probability, 1, p, seed};
+    }
+};
+
+/** Arm @p site with @p policy (replacing any previous arming and
+ *  resetting its counters). Thread-safe, as is everything below. */
+void enable(const std::string& site, Policy policy);
+
+/** Disarm one site; its counters survive for post-run assertions. */
+void disable(const std::string& site);
+
+/** Disarm every site and forget all counters. Chaos tests call this
+ *  from their fixture teardown so state never leaks across tests. */
+void reset();
+
+/**
+ * Called by the PHI_FAILPOINT macro at each site: true when the site
+ * is armed and its policy says "fire now". Constant-time no-op (one
+ * relaxed atomic load) while nothing is armed anywhere.
+ */
+bool shouldFire(const char* site);
+
+/** Times @p site was evaluated / actually fired since reset(). */
+uint64_t evaluations(const std::string& site);
+uint64_t fires(const std::string& site);
+
+/** True when the library was built with PHI_FAILPOINTS=ON, i.e. the
+ *  sites below exist in the compiled code. */
+bool compiledIn();
+
+/**
+ * The sites wired into the library. Kept as named constants (rather
+ * than free strings at call sites) so the chaos suite can iterate
+ * every registered site and prove each one is survivable.
+ */
+namespace sites
+{
+/** model_io readFile(): artifact bytes fail to read. */
+inline constexpr const char* kIoRead = "io.read";
+/** model_io writeFileAtomic(): mid-write failure before rename. */
+inline constexpr const char* kIoWrite = "io.write";
+/** ThreadPool chunk execution: a worker task throws mid-batch. */
+inline constexpr const char* kPoolTask = "pool.task";
+/** AsyncPhiEngine dispatch loop: the dispatcher thread dies. */
+inline constexpr const char* kDispatcherLoop = "dispatcher.loop";
+} // namespace sites
+
+/** Every site name above, for exhaustive chaos sweeps. */
+std::vector<std::string> allSites();
+
+} // namespace phi::failpoint
+
+/**
+ * A failure-injection site. @p action runs when the site is armed and
+ * its policy fires — typically `throw SomeError(...)`. Compiled out
+ * entirely unless the build defines PHI_FAILPOINTS.
+ */
+#ifdef PHI_FAILPOINTS
+#define PHI_FAILPOINT(site, action)                                    \
+    do {                                                               \
+        if (::phi::failpoint::shouldFire(site)) {                      \
+            action;                                                    \
+        }                                                              \
+    } while (0)
+#else
+#define PHI_FAILPOINT(site, action)                                    \
+    do {                                                               \
+    } while (0)
+#endif
+
+#endif // PHI_COMMON_FAILPOINT_HH

@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 
 namespace phi
@@ -90,6 +92,10 @@ struct ThreadPool::Impl
             if (c >= chunks)
                 break;
             try {
+                PHI_FAILPOINT(failpoint::sites::kPoolTask,
+                              throw std::runtime_error(
+                                  "injected task failure (failpoint "
+                                  "'pool.task')"));
                 job(c);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mtx);

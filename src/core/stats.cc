@@ -105,6 +105,21 @@ ServingStats::recordDispatch(size_t queueDepth, double lingerSec)
     lingerSeconds += lingerSec;
 }
 
+void
+ServingStats::recordDeadlineMiss(double lateSeconds)
+{
+    expired += 1;
+    const double lateMs = lateSeconds * 1e3;
+    size_t bucket = kDeadlineMissBuckets - 1;
+    for (size_t i = 0; i < kDeadlineMissBuckets - 1; ++i) {
+        if (lateMs < kDeadlineMissUpperMs[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    deadlineMissHistogram[bucket] += 1;
+}
+
 double
 ServingStats::windowSeconds() const
 {
@@ -204,6 +219,11 @@ ServingStats::merge(const ServingStats& other)
     queueDepthSum += other.queueDepthSum;
     maxQueueDepth = std::max(maxQueueDepth, other.maxQueueDepth);
     lingerSeconds += other.lingerSeconds;
+    expired += other.expired;
+    shed += other.shed;
+    watchdogRestarts += other.watchdogRestarts;
+    for (size_t i = 0; i < kDeadlineMissBuckets; ++i)
+        deadlineMissHistogram[i] += other.deadlineMissHistogram[i];
     // Replay the other ring oldest-first so this ring's recency order
     // stays meaningful after the merge; a wrapped source ring's oldest
     // sample sits at its ring cursor, not index 0.

@@ -124,6 +124,24 @@ struct ServingStats
     uint64_t queueDepthSum = 0; // summed queue depth at each dispatch
     uint64_t maxQueueDepth = 0; // high-water queue depth at dispatch
 
+    // -- resilience counters (deadlines, shedding, watchdog) ----------
+    uint64_t expired = 0; // requests dropped for a passed deadline
+    uint64_t shed = 0;    // queued requests evicted for higher priority
+    uint64_t watchdogRestarts = 0; // dispatcher deaths survived
+
+    /**
+     * Deadline-miss histogram: how *late* each expired request was
+     * when it was dropped (bucket upper bounds in
+     * kDeadlineMissUpperMs; the last bucket is unbounded). Expired
+     * totals live in `expired`; this resolves whether misses are
+     * marginal (tighten linger) or catastrophic (shed harder).
+     */
+    static constexpr size_t kDeadlineMissBuckets = 6;
+    static constexpr double kDeadlineMissUpperMs[kDeadlineMissBuckets -
+                                                 1] = {1.0, 10.0, 100.0,
+                                                       1000.0, 10000.0};
+    uint64_t deadlineMissHistogram[kDeadlineMissBuckets] = {};
+
     /** Total coalescing wait the dispatcher *added* (dispatch-ready to
      *  dispatched), excluding queue wait behind earlier flushes. */
     double lingerSeconds = 0;
@@ -145,6 +163,10 @@ struct ServingStats
     /** Record one dispatcher micro-batch: queue depth observed at
      *  dispatch and how long the batch lingered for coalescing. */
     void recordDispatch(size_t queueDepth, double lingerSec);
+
+    /** Count one expired request, `lateSeconds` past its deadline when
+     *  dropped (bumps `expired` and the miss histogram). */
+    void recordDeadlineMiss(double lateSeconds);
 
     /** First-flush-start to last-flush-end, seconds (0 before any
      *  flush). Real elapsed serving time even when flushes overlap. */

@@ -6,6 +6,9 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "common/crc32.hh"
+#include "common/failpoint.hh"
+
 namespace phi::io
 {
 
@@ -108,6 +111,43 @@ constexpr size_t kHeaderBytes = 4 + 4 + 4 + 4 + 8;
 /** Bytes per section-table entry. */
 constexpr size_t kSectionEntryBytes = 4 + 4 + 8 + 8;
 
+/**
+ * CRC stamp written into a section-table entry's checksum field.
+ * 0 is reserved to mean "unstamped" (the pre-CRC format wrote a zero
+ * reserved field there), so a payload whose true CRC happens to be 0
+ * is stamped as 0xFFFFFFFF instead; unstampCrc() on the read side
+ * accepts either spelling.
+ */
+uint32_t
+stampCrc(uint32_t crc)
+{
+    return crc == 0 ? 0xFFFFFFFFu : crc;
+}
+
+bool
+crcMatches(uint32_t stored, uint32_t computed)
+{
+    return stored == computed || stored == stampCrc(computed);
+}
+
+/** Render a fourcc tag for error messages ('LYRS'); non-printable
+ *  bytes fall back to the hex spelling. */
+std::string
+tagName(uint32_t tag)
+{
+    char chars[4];
+    bool printable = true;
+    for (int i = 0; i < 4; ++i) {
+        chars[i] = static_cast<char>((tag >> (8 * i)) & 0xFFu);
+        printable = printable && chars[i] >= 0x20 && chars[i] < 0x7F;
+    }
+    if (printable)
+        return std::string(chars, 4);
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "0x%08X", tag);
+    return hex;
+}
+
 std::vector<uint8_t>
 assemble(uint32_t kind, const std::vector<Section>& sections)
 {
@@ -125,7 +165,7 @@ assemble(uint32_t kind, const std::vector<Section>& sections)
 
     for (const auto& s : sections) {
         w.u32(s.tag);
-        w.u32(0); // reserved
+        w.u32(stampCrc(crc32(s.payload.data(), s.payload.size())));
         w.u64(offset);
         w.u64(s.payload.size());
         offset += s.payload.size();
@@ -175,12 +215,25 @@ parseContainer(const uint8_t* data, size_t size, uint32_t expectKind)
     sections.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
         const uint32_t tag = r.u32();
-        r.u32(); // reserved
+        const uint32_t storedCrc = r.u32();
         const uint64_t off = r.u64();
         const uint64_t len = r.u64();
         if (off > size || len > size - off)
             throw IoError("section " + std::to_string(i) +
                           " extends past the end of the artifact");
+        // Integrity check before any payload is interpreted. Pre-CRC
+        // writers left this field zero, so 0 means "unstamped, accept"
+        // and old artifacts keep loading unchanged.
+        if (storedCrc != 0) {
+            const uint32_t computed =
+                crc32(data + off, static_cast<size_t>(len));
+            if (!crcMatches(storedCrc, computed))
+                throw IoError(
+                    "section '" + tagName(tag) + "' CRC mismatch (" +
+                    "stored " + std::to_string(storedCrc) +
+                    ", computed " + std::to_string(computed) +
+                    "): corrupt artifact");
+        }
         sections.push_back({tag, data + off, static_cast<size_t>(len)});
     }
     return sections;
@@ -213,6 +266,9 @@ readFile(const std::string& path)
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in)
         throw IoError(path, IoError("cannot open for reading"));
+    PHI_FAILPOINT(failpoint::sites::kIoRead,
+                  throw IoError(path, IoError("injected read failure "
+                                              "(failpoint 'io.read')")));
     const std::streamsize size = in.tellg();
     in.seekg(0);
     std::vector<uint8_t> bytes(static_cast<size_t>(size));
@@ -228,23 +284,32 @@ writeFileAtomic(const std::string& path, const std::vector<uint8_t>& bytes)
     // Write-then-rename so a crashed writer never leaves a half-written
     // artifact at the published path; the temp name is per-process so
     // concurrent savers to the same path cannot clobber each other's
-    // in-flight bytes.
+    // in-flight bytes. A failure anywhere before the rename unlinks
+    // the temp file — failed saves must not litter *.tmp files.
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
-    {
+    try {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             throw IoError(path, IoError("cannot open temp file '" + tmp +
                                         "' for writing"));
+        PHI_FAILPOINT(
+            failpoint::sites::kIoWrite,
+            throw IoError(path, IoError("injected mid-write failure "
+                                        "(failpoint 'io.write')")));
         out.write(reinterpret_cast<const char*>(bytes.data()),
                   static_cast<std::streamsize>(bytes.size()));
         if (!out)
             throw IoError(path,
                           IoError("write to '" + tmp + "' failed"));
+        out.close();
+        if (std::rename(tmp.c_str(), path.c_str()) != 0)
+            throw IoError(path,
+                          IoError("rename from '" + tmp + "' failed"));
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throw IoError(path,
-                      IoError("rename from '" + tmp + "' failed"));
 }
 
 /** Re-throw a parse failure annotated with the file it came from. */

@@ -11,9 +11,17 @@
  *              u32  section count
  *              u64  total file size (redundant; catches truncation)
  *   then       section table: per section
- *              u32  tag (fourcc)    u32 reserved
+ *              u32  tag (fourcc)    u32 payload CRC-32 (0 = unstamped)
  *              u64  payload offset  u64 payload size
  *   then       the section payloads.
+ *
+ * The CRC field occupies what was a zeroed reserved slot, so the
+ * format version did not move: writers now stamp every section's
+ * IEEE CRC-32 (a true CRC of 0 is stored as 0xFFFFFFFF), readers
+ * verify stamped sections before interpreting a single payload byte
+ * and reject mismatches with an IoError naming the section (and,
+ * through loadModel/loadTrace, the file) — while a zero field means
+ * "pre-CRC artifact, nothing to verify" and loads exactly as before.
  *
  * A compiled model carries sections 'CFG ' (calibration provenance),
  * 'LYRS' (tables + weights + PWPs per layer) and — when the artifact
@@ -64,8 +72,9 @@ constexpr uint32_t kSectionMeta = 0x4154454Du;   // "META"
  * file is (re)loaded, but the stamp says what the bytes *were* and
  * lets ModelRegistry::load(path) name a model from the artifact
  * alone. Empty name + version 0 (the default) means "unstamped"; such
- * artifacts are written without a META section at all, byte-identical
- * to the pre-META format.
+ * artifacts are written without a META section at all, exactly the
+ * pre-META section layout (their table entries still carry the
+ * per-section CRC stamps every current writer emits).
  */
 struct ArtifactMeta
 {

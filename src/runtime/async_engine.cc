@@ -1,8 +1,12 @@
 #include "runtime/async_engine.hh"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "common/failpoint.hh"
 
 namespace phi
 {
@@ -26,7 +30,7 @@ AsyncPhiEngine::AsyncPhiEngine(CompiledModel model, ExecutionConfig exec,
         asyncConfig.maxBatch = 1;
     if (asyncConfig.maxQueueDepth < 1)
         asyncConfig.maxQueueDepth = 1;
-    dispatcher = std::thread([this] { dispatchLoop(); });
+    dispatcher = std::thread([this] { superviseDispatch(); });
 }
 
 AsyncPhiEngine::AsyncPhiEngine(std::shared_ptr<ModelRegistry> registry,
@@ -38,7 +42,7 @@ AsyncPhiEngine::AsyncPhiEngine(std::shared_ptr<ModelRegistry> registry,
         asyncConfig.maxBatch = 1;
     if (asyncConfig.maxQueueDepth < 1)
         asyncConfig.maxQueueDepth = 1;
-    dispatcher = std::thread([this] { dispatchLoop(); });
+    dispatcher = std::thread([this] { superviseDispatch(); });
 }
 
 AsyncPhiEngine::~AsyncPhiEngine()
@@ -48,7 +52,7 @@ AsyncPhiEngine::~AsyncPhiEngine()
 
 std::future<EngineResponse>
 AsyncPhiEngine::submit(const ModelHandle& handle, size_t layer,
-                       BinaryMatrix acts)
+                       BinaryMatrix acts, SubmitOptions opts)
 {
     std::promise<EngineResponse> promise;
     std::future<EngineResponse> future = promise.get_future();
@@ -74,7 +78,51 @@ AsyncPhiEngine::submit(const ModelHandle& handle, size_t layer,
                                         "submit() on a stopped engine"));
         return future;
     }
+    // A request born expired never takes a queue slot: fail it here,
+    // with the same code and accounting the dispatcher would use.
+    if (opts.deadline) {
+        const auto now = Clock::now();
+        if (*opts.deadline <= now) {
+            resilienceStats.recordDeadlineMiss(
+                std::chrono::duration<double>(now - *opts.deadline)
+                    .count());
+            lock.unlock();
+            promise.set_exception(makeError(
+                EngineError::Code::DeadlineExceeded,
+                "deadline already passed at submit()"));
+            return future;
+        }
+    }
     if (pendingQueue.size() >= asyncConfig.maxQueueDepth) {
+        // Saturated. Before Block/Reject kicks in, priority gets a
+        // say: an incoming request that outranks the lowest-priority
+        // queued one takes its slot, and the victim's future resolves
+        // with QueueFull. Among equal-priority victims the newest is
+        // shed — it has the least queue wait invested. All-default
+        // priorities never shed, so this path is invisible to callers
+        // of the plain submit().
+        auto victim = pendingQueue.end();
+        for (auto it = pendingQueue.begin(); it != pendingQueue.end();
+             ++it)
+            if (victim == pendingQueue.end() ||
+                it->opts.priority <= victim->opts.priority)
+                victim = it;
+        if (victim != pendingQueue.end() &&
+            victim->opts.priority < opts.priority) {
+            Pending shedReq = std::move(*victim);
+            pendingQueue.erase(victim);
+            resilienceStats.shed += 1;
+            pendingQueue.push_back({std::move(pin), layer,
+                                    std::move(acts), std::move(promise),
+                                    Clock::now(), opts});
+            lock.unlock();
+            shedReq.promise.set_exception(makeError(
+                EngineError::Code::QueueFull,
+                "shed from a saturated queue to admit a "
+                "higher-priority request"));
+            workAvailable.notify_one();
+            return future;
+        }
         if (asyncConfig.backpressure ==
             AsyncEngineConfig::Backpressure::Reject) {
             ++rejectedCount;
@@ -96,14 +144,15 @@ AsyncPhiEngine::submit(const ModelHandle& handle, size_t layer,
         }
     }
     pendingQueue.push_back({std::move(pin), layer, std::move(acts),
-                            std::move(promise), Clock::now()});
+                            std::move(promise), Clock::now(), opts});
     lock.unlock();
     workAvailable.notify_one();
     return future;
 }
 
 std::future<EngineResponse>
-AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
+AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts,
+                       SubmitOptions opts)
 {
     const ModelHandle& handle = engine.defaultModel();
     if (!handle.valid()) {
@@ -115,16 +164,74 @@ AsyncPhiEngine::submit(size_t layer, BinaryMatrix acts)
             "default model); pass one explicitly"));
         return future;
     }
-    return submit(handle, layer, std::move(acts));
+    return submit(handle, layer, std::move(acts), opts);
+}
+
+void
+AsyncPhiEngine::superviseDispatch()
+{
+    // The watchdog: dispatchLoop() returning means a clean stop;
+    // anything escaping it means the dispatcher died mid-flight. The
+    // blast radius of a crash is confined to the batch that was in
+    // flight — its futures resolve with a typed error — and the loop
+    // restarts to serve everything still queued.
+    for (;;) {
+        try {
+            dispatchLoop();
+            return;
+        } catch (...) {
+            recoverDispatcher(std::current_exception());
+        }
+    }
+}
+
+void
+AsyncPhiEngine::recoverDispatcher(std::exception_ptr cause)
+{
+    // Name the killer in the error the in-flight futures see, so a
+    // client log line is enough to know what happened.
+    std::string what = "dispatcher died on an escaped exception";
+    try {
+        if (cause)
+            std::rethrow_exception(cause);
+    } catch (const std::exception& e) {
+        what += std::string(" (") + e.what() + ")";
+    } catch (...) {
+        what += " (non-std exception)";
+    }
+    const std::exception_ptr error = makeError(
+        EngineError::Code::Internal,
+        what + "; the watchdog restarted the dispatcher, requests "
+               "still queued are unaffected and a retry is safe");
+
+    // Fail the batch that was in flight. set_exception can only
+    // rebuff us for promises the loop already resolved before dying —
+    // exactly the ones that must not be touched twice.
+    for (Pending& p : inFlightBatch) {
+        try {
+            p.promise.set_exception(error);
+        } catch (const std::future_error&) {
+        }
+    }
+    inFlightBatch.clear();
+    // Drop any borrows the dead batch left enqueued in the inner
+    // engine — they point into Pending activations just destroyed.
+    engine.clearPending();
+
+    watchdogRestarts.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        inFlight = 0;
+    }
+    // Both a blocked drain() (queue may now be empty) and blocked
+    // submitters get to re-check the world.
+    idle.notify_all();
+    spaceAvailable.notify_all();
 }
 
 void
 AsyncPhiEngine::dispatchLoop()
 {
-    // Frontend counters live on this thread and are published together
-    // with the inner engine's flush counters after every batch.
-    ServingStats frontend;
-
     for (;;) {
         std::unique_lock<std::mutex> lock(mutex);
         workAvailable.wait(lock, [this] {
@@ -149,23 +256,43 @@ AsyncPhiEngine::dispatchLoop()
         // to wait again. Skipped when the batch is already full or the
         // engine is stopping.
         const auto readyAt = Clock::now();
-        const auto deadline =
+        const auto lingerUntil =
             pendingQueue.front().enqueuedAt +
             std::chrono::microseconds(asyncConfig.maxLingerMicros);
         while (!stopping && pendingQueue.size() < asyncConfig.maxBatch &&
-               Clock::now() < deadline)
-            workAvailable.wait_until(lock, deadline);
+               Clock::now() < lingerUntil)
+            workAvailable.wait_until(lock, lingerUntil);
+
+        // Last moment before compute: drop every queued request whose
+        // deadline has passed. Serving it anyway would spend batch
+        // capacity on an answer nobody is waiting for — and under
+        // saturation that waste compounds into unbounded queue-wait
+        // for everyone behind it.
+        const auto now = Clock::now();
+        std::vector<Pending> expiredBatch;
+        for (auto it = pendingQueue.begin();
+             it != pendingQueue.end();) {
+            if (it->opts.deadline && *it->opts.deadline <= now) {
+                resilienceStats.recordDeadlineMiss(
+                    std::chrono::duration<double>(now -
+                                                  *it->opts.deadline)
+                        .count());
+                expiredBatch.push_back(std::move(*it));
+                it = pendingQueue.erase(it);
+            } else {
+                ++it;
+            }
+        }
 
         const size_t depthAtDispatch = pendingQueue.size();
         const size_t take =
             std::min(depthAtDispatch, asyncConfig.maxBatch);
-        std::vector<Pending> batch;
-        batch.reserve(take);
+        inFlightBatch.reserve(take);
         for (size_t i = 0; i < take; ++i) {
-            batch.push_back(std::move(pendingQueue.front()));
+            inFlightBatch.push_back(std::move(pendingQueue.front()));
             pendingQueue.pop_front();
         }
-        inFlight = batch.size();
+        inFlight = inFlightBatch.size() + expiredBatch.size();
         // Coalescing cost actually added by the dispatcher: time from
         // "could have dispatched" to "did". Queue wait behind earlier
         // flushes shows up in request latency, not here.
@@ -175,6 +302,18 @@ AsyncPhiEngine::dispatchLoop()
         lock.unlock();
         spaceAvailable.notify_all();
 
+        for (Pending& p : expiredBatch)
+            p.promise.set_exception(makeError(
+                EngineError::Code::DeadlineExceeded,
+                "deadline passed while queued; dropped before "
+                "compute"));
+        expiredBatch.clear();
+
+        PHI_FAILPOINT(failpoint::sites::kDispatcherLoop,
+                      throw std::runtime_error(
+                          "injected dispatcher crash (failpoint "
+                          "'dispatcher.loop')"));
+
         // Serve the batch on the inner engine (this thread is its only
         // caller), each request on the epoch its submit() pinned.
         // Every promise gets exactly one of: its response, or the
@@ -182,14 +321,29 @@ AsyncPhiEngine::dispatchLoop()
         std::vector<EngineResponse> responses;
         std::exception_ptr batchError;
         try {
-            for (const Pending& p : batch)
+            for (const Pending& p : inFlightBatch)
                 engine.enqueuePinned(p.pin, p.layer, p.acts);
             responses = engine.flush();
-        } catch (...) {
+        } catch (const EngineError&) {
             batchError = std::current_exception();
             // A mid-loop enqueue failure leaves earlier borrows queued
             // (flush() clears its own on throw); drop them before the
             // batch — and the activations they point into — goes away.
+            engine.clearPending();
+        } catch (const std::exception& e) {
+            // Anything else escaping the compute path (a worker-thread
+            // exception rethrown by the pool, bad_alloc, an injected
+            // fault) still reaches the futures as a *typed* error:
+            // clients are promised a value or an EngineError, never a
+            // grab bag of internal exception types.
+            batchError = makeError(
+                EngineError::Code::Internal,
+                std::string("batch failed: ") + e.what());
+            engine.clearPending();
+        } catch (...) {
+            batchError =
+                makeError(EngineError::Code::Internal,
+                          "batch failed on a non-std exception");
             engine.clearPending();
         }
 
@@ -199,14 +353,15 @@ AsyncPhiEngine::dispatchLoop()
         // keeping the critical section small. Only the models this
         // batch touched are re-copied — the publish cost scales with
         // batch diversity, not with the size of the resident fleet.
-        frontend.recordDispatch(depthAtDispatch, lingerSec);
+        if (!inFlightBatch.empty())
+            frontendStats.recordDispatch(depthAtDispatch, lingerSec);
         ServingStats snapshot = engine.stats();
-        snapshot.dispatches = frontend.dispatches;
-        snapshot.queueDepthSum = frontend.queueDepthSum;
-        snapshot.maxQueueDepth = frontend.maxQueueDepth;
-        snapshot.lingerSeconds = frontend.lingerSeconds;
+        snapshot.dispatches = frontendStats.dispatches;
+        snapshot.queueDepthSum = frontendStats.queueDepthSum;
+        snapshot.maxQueueDepth = frontendStats.maxQueueDepth;
+        snapshot.lingerSeconds = frontendStats.lingerSeconds;
         std::vector<std::pair<std::string, ServingStats>> touched;
-        for (const Pending& p : batch) {
+        for (const Pending& p : inFlightBatch) {
             const std::string& name = p.pin.handle.name;
             bool seen = false;
             for (const auto& [n, s] : touched)
@@ -222,17 +377,18 @@ AsyncPhiEngine::dispatchLoop()
         }
 
         if (batchError)
-            for (Pending& p : batch)
+            for (Pending& p : inFlightBatch)
                 p.promise.set_exception(batchError);
         else
-            for (size_t i = 0; i < batch.size(); ++i)
-                batch[i].promise.set_value(std::move(responses[i]));
+            for (size_t i = 0; i < inFlightBatch.size(); ++i)
+                inFlightBatch[i].promise.set_value(
+                    std::move(responses[i]));
 
         // Release the batch — and with it the model-epoch pins — on
         // the dispatcher thread, *before* clearing inFlight: drain()
         // returning (or unload() succeeding) must mean the old epoch
         // really is free.
-        batch.clear();
+        inFlightBatch.clear();
 
         lock.lock();
         inFlight = 0;
@@ -284,7 +440,14 @@ AsyncPhiEngine::stats() const
     {
         std::lock_guard<std::mutex> lock(mutex);
         snapshot.rejected = rejectedCount;
+        snapshot.expired = resilienceStats.expired;
+        snapshot.shed = resilienceStats.shed;
+        for (size_t i = 0; i < ServingStats::kDeadlineMissBuckets; ++i)
+            snapshot.deadlineMissHistogram[i] =
+                resilienceStats.deadlineMissHistogram[i];
     }
+    snapshot.watchdogRestarts =
+        watchdogRestarts.load(std::memory_order_relaxed);
     return snapshot;
 }
 

@@ -38,11 +38,36 @@
  * stats. drain() parks the caller until everything already submitted
  * has been served; shutdown() (and the destructor) additionally stop
  * intake, serve what is queued, and join the dispatcher.
+ *
+ * Time-aware admission rides on top of that via SubmitOptions:
+ *
+ * - Deadlines: a request carrying a deadline that has already passed
+ *   when the dispatcher would start computing it is dropped before
+ *   compute — its future resolves with EngineError(DeadlineExceeded)
+ *   and the lateness lands in ServingStats' expired counter and
+ *   deadline-miss histogram. Serving a result after its consumer
+ *   stopped waiting is pure waste; shedding it is the win.
+ * - Priorities: when the queue is saturated, an incoming request with
+ *   strictly higher priority evicts the lowest-priority queued one
+ *   (its future resolves with EngineError(QueueFull), counted in
+ *   `shed`) instead of blocking behind or being rejected below less
+ *   important traffic. Equal priorities keep the configured
+ *   Block/Reject behaviour, so the default (all priority 0) is
+ *   exactly the old semantics.
+ *
+ * The dispatcher itself is supervised: if the loop ever dies on an
+ * escaped exception (a bug, an injected failpoint, bad_alloc), the
+ * watchdog wrapper fails every in-flight future with
+ * EngineError(Internal), restores the queue invariants, bumps
+ * ServingStats::watchdogRestarts, and restarts the loop — a crashed
+ * batch costs its own requests an error response, never a hung
+ * process or a broken promise.
  */
 
 #ifndef PHI_RUNTIME_ASYNC_ENGINE_HH
 #define PHI_RUNTIME_ASYNC_ENGINE_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -50,7 +75,9 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include "runtime/engine.hh"
 
@@ -81,6 +108,32 @@ struct AsyncEngineConfig
         Reject, // resolve the future with EngineError(QueueFull) now
     };
     Backpressure backpressure = Backpressure::Block;
+};
+
+/**
+ * Per-request admission knobs for AsyncPhiEngine::submit(). The
+ * default (no deadline, priority 0) reproduces the plain submit()
+ * semantics exactly.
+ */
+struct SubmitOptions
+{
+    /**
+     * Absolute steady-clock instant after which the result is
+     * worthless. A request whose deadline has passed before the
+     * dispatcher starts computing it resolves with
+     * EngineError(DeadlineExceeded) instead of being served; one that
+     * started in time is always completed. No deadline = serve
+     * whenever.
+     */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /**
+     * Higher wins. Only consulted when the queue is saturated: an
+     * incoming request with strictly higher priority sheds the
+     * lowest-priority queued request rather than blocking behind it
+     * (Block) or being rejected below it (Reject).
+     */
+    int32_t priority = 0;
 };
 
 /**
@@ -123,10 +176,12 @@ class AsyncPhiEngine
      * Under the Block policy this call may wait for queue space.
      */
     std::future<EngineResponse> submit(const ModelHandle& handle,
-                                       size_t layer, BinaryMatrix acts);
+                                       size_t layer, BinaryMatrix acts,
+                                       SubmitOptions opts = {});
 
     /** submit() against the legacy default model. */
-    std::future<EngineResponse> submit(size_t layer, BinaryMatrix acts);
+    std::future<EngineResponse> submit(size_t layer, BinaryMatrix acts,
+                                       SubmitOptions opts = {});
 
     /**
      * Block until every request submitted before this call has been
@@ -196,9 +251,23 @@ class AsyncPhiEngine
         BinaryMatrix acts;
         std::promise<EngineResponse> promise;
         Clock::time_point enqueuedAt;
+        SubmitOptions opts;
     };
 
     void dispatchLoop();
+
+    /**
+     * The watchdog: the dispatcher thread's real entry point. Runs
+     * dispatchLoop() and, should it ever exit on an escaped
+     * exception, fails the in-flight batch's futures with
+     * EngineError(Internal), restores the queue/engine invariants,
+     * counts the restart, and relaunches the loop.
+     */
+    void superviseDispatch();
+
+    /** Post-crash cleanup: everything superviseDispatch() does
+     *  between catching the escape and re-entering the loop. */
+    void recoverDispatcher(std::exception_ptr cause);
 
     PhiEngine engine; // touched only by the dispatcher thread
     AsyncEngineConfig asyncConfig;
@@ -214,6 +283,25 @@ class AsyncPhiEngine
     bool stopping = false;
     size_t inFlight = 0;     // requests popped but not yet resolved
     uint64_t rejectedCount = 0;
+
+    /** Deadline/shedding accounting (expired, shed, miss histogram),
+     *  guarded by `mutex`: both the submitting threads (submit-time
+     *  expiry, shedding) and the dispatcher (dispatch-time expiry)
+     *  write it, and stats() folds it into every snapshot. */
+    ServingStats resilienceStats;
+
+    /** Dispatcher restarts performed by the watchdog. */
+    std::atomic<uint64_t> watchdogRestarts{0};
+
+    /**
+     * Dispatcher-thread state (no lock: superviseDispatch(),
+     * dispatchLoop() and recoverDispatcher() all run on that one
+     * thread). As members rather than loop locals so the watchdog can
+     * fail the in-flight batch after a crash, and so the frontend
+     * counters survive a restart instead of resetting to zero.
+     */
+    std::vector<Pending> inFlightBatch;
+    ServingStats frontendStats;
 
     /** Guards the published stats snapshots (refreshed per batch). */
     mutable std::mutex statsMutex;

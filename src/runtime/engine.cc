@@ -142,8 +142,12 @@ size_t
 PhiEngine::enqueuePinned(ModelRegistry::Pinned pin, size_t layer,
                          const BinaryMatrix& acts)
 {
-    phi_assert(static_cast<bool>(pin),
-               "enqueuePinned() needs a resolved pin");
+    // A null pin is reachable from user code (a default-constructed
+    // Pinned, or one kept across an unload), so it must reject like
+    // every other bad request instead of taking the process down.
+    if (!pin)
+        throw EngineError(EngineError::Code::UnknownModel,
+                          "enqueuePinned() needs a resolved pin");
     queue.push_back({std::move(pin), layer, BinaryMatrix{}, &acts});
     return queue.size() - 1;
 }

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Failpoint facility tests: the trigger policies and bookkeeping.
+ *
+ * These drive failpoint::shouldFire() directly, so they run in every
+ * build configuration — the control API is always compiled; only the
+ * PHI_FAILPOINT *sites* in library code depend on PHI_FAILPOINTS=ON
+ * (those are exercised by the chaos suite, test_chaos.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.hh"
+
+namespace phi
+{
+namespace
+{
+
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires)
+{
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(failpoint::shouldFire("never.armed"));
+    EXPECT_EQ(failpoint::fires("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryEvaluation)
+{
+    failpoint::enable("t.always", failpoint::Policy::always());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(failpoint::shouldFire("t.always"));
+    EXPECT_EQ(failpoint::fires("t.always"), 5u);
+    EXPECT_EQ(failpoint::evaluations("t.always"), 5u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce)
+{
+    failpoint::enable("t.once", failpoint::Policy::once());
+    EXPECT_TRUE(failpoint::shouldFire("t.once"));
+    EXPECT_FALSE(failpoint::shouldFire("t.once"));
+    EXPECT_FALSE(failpoint::shouldFire("t.once"));
+    EXPECT_EQ(failpoint::fires("t.once"), 1u);
+    EXPECT_EQ(failpoint::evaluations("t.once"), 3u);
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnTheNthEvaluation)
+{
+    failpoint::enable("t.nth", failpoint::Policy::everyNth(3));
+    std::vector<bool> pattern;
+    for (int i = 0; i < 9; ++i)
+        pattern.push_back(failpoint::shouldFire("t.nth"));
+    const std::vector<bool> want = {false, false, true, false, false,
+                                    true,  false, false, true};
+    EXPECT_EQ(pattern, want);
+    EXPECT_EQ(failpoint::fires("t.nth"), 3u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicFromItsSeed)
+{
+    auto sample = [](uint64_t seed) {
+        failpoint::enable("t.prob",
+                          failpoint::Policy::probability(0.5, seed));
+        std::vector<bool> out;
+        for (int i = 0; i < 64; ++i)
+            out.push_back(failpoint::shouldFire("t.prob"));
+        return out;
+    };
+    EXPECT_EQ(sample(7), sample(7));      // same seed, same stream
+    EXPECT_NE(sample(7), sample(8));      // different seed differs
+    failpoint::enable("t.prob", failpoint::Policy::probability(0.0, 1));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(failpoint::shouldFire("t.prob"));
+    failpoint::enable("t.prob", failpoint::Policy::probability(1.0, 1));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(failpoint::shouldFire("t.prob"));
+}
+
+TEST_F(FailpointTest, DisableStopsFiringButKeepsCounters)
+{
+    failpoint::enable("t.dis", failpoint::Policy::always());
+    EXPECT_TRUE(failpoint::shouldFire("t.dis"));
+    failpoint::disable("t.dis");
+    EXPECT_FALSE(failpoint::shouldFire("t.dis"));
+    EXPECT_EQ(failpoint::fires("t.dis"), 1u);
+}
+
+TEST_F(FailpointTest, ReenableResetsCountersAndPolicy)
+{
+    failpoint::enable("t.re", failpoint::Policy::once());
+    EXPECT_TRUE(failpoint::shouldFire("t.re"));
+    failpoint::enable("t.re", failpoint::Policy::once());
+    EXPECT_TRUE(failpoint::shouldFire("t.re")) // Once state was reset
+        << "re-enable must rearm a Once policy";
+    EXPECT_EQ(failpoint::fires("t.re"), 1u);
+}
+
+TEST_F(FailpointTest, ResetForgetsEverything)
+{
+    failpoint::enable("t.reset", failpoint::Policy::always());
+    EXPECT_TRUE(failpoint::shouldFire("t.reset"));
+    failpoint::reset();
+    EXPECT_FALSE(failpoint::shouldFire("t.reset"));
+    EXPECT_EQ(failpoint::fires("t.reset"), 0u);
+    // With no site armed anywhere, shouldFire() takes the one-atomic-
+    // load fast path and does not even track evaluations — that is the
+    // "free when unused" contract production builds rely on.
+    EXPECT_EQ(failpoint::evaluations("t.reset"), 0u)
+        << "an unarmed registry must not pay for bookkeeping";
+}
+
+TEST_F(FailpointTest, AllSitesNamesTheWiredSites)
+{
+    const std::vector<std::string> sites = failpoint::allSites();
+    EXPECT_EQ(sites.size(), 4u);
+    EXPECT_NE(std::find(sites.begin(), sites.end(), "io.read"),
+              sites.end());
+    EXPECT_NE(std::find(sites.begin(), sites.end(), "io.write"),
+              sites.end());
+    EXPECT_NE(std::find(sites.begin(), sites.end(), "pool.task"),
+              sites.end());
+    EXPECT_NE(std::find(sites.begin(), sites.end(), "dispatcher.loop"),
+              sites.end());
+}
+
+} // namespace
+} // namespace phi

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <thread>
 #include <unistd.h>
@@ -244,6 +245,50 @@ TEST(ModelRegistry, LoadFromArtifactUsesMetaName)
     }
     // swapFromFile routes the same way as swap().
     EXPECT_EQ(reg.swapFromFile("stamped", path).version, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ModelRegistry, FailedSwapLeavesThePreviousEpochServing)
+{
+    // Strong exception safety on reload: a corrupt artifact must fail
+    // the swap *before* the registry mutates, so the previous version
+    // keeps serving — the whole point of CRC-verified hot reload.
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("phi_registry_corrupt_" + std::to_string(::getpid()) +
+          ".phim"))
+            .string();
+
+    ModelRegistry reg;
+    const CompiledModel v1 = makeModel(2);
+    reg.load("m", makeModel(2));
+    const ModelRegistry::Pinned pinned = reg.pin("m");
+
+    // A stamped artifact with one payload byte flipped: the CRC check
+    // rejects it at parse time, before publish() can run.
+    std::vector<uint8_t> bytes = io::serializeModel(makeModel(3));
+    bytes[bytes.size() - 16] ^= 0x01; // inside the last payload
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW(reg.swapFromFile("m", path), io::IoError);
+
+    // v1 is still current and still serves bit-correct responses.
+    ASSERT_TRUE(reg.current("m").has_value());
+    EXPECT_EQ(reg.current("m")->version, 1u);
+    const BinaryMatrix acts = makeRequests(1, 96, 77)[0];
+    EXPECT_EQ(expected(*pinned.model, 0, acts), expected(v1, 0, acts));
+
+    // load() of a fresh name fails the same way without creating a
+    // half-registered entry.
+    EXPECT_THROW(reg.load("fresh", path), io::IoError);
+    EXPECT_FALSE(reg.contains("fresh"));
+
+    // An intact artifact then swaps normally to v2.
+    io::saveModel(makeModel(3), path);
+    EXPECT_EQ(reg.swapFromFile("m", path).version, 2u);
     std::remove(path.c_str());
 }
 

@@ -1,6 +1,8 @@
 /**
  * @file
- * Tests for the Table-4 sparsity accounting.
+ * Tests for the Table-4 sparsity accounting, plus ServingStats'
+ * resilience counters (expired/shed/watchdogRestarts, the
+ * deadline-miss histogram) and their merge() semantics.
  */
 
 #include <gtest/gtest.h>
@@ -116,6 +118,84 @@ TEST(Stats, L2DensityNeverExceedsBitDensity)
         EXPECT_LE(b.l2Density(), b.bitDensity + 1e-12)
             << "density " << d;
     }
+}
+
+TEST(ServingStatsResilience, DeadlineMissLandsInTheRightBucket)
+{
+    ServingStats s;
+    // One sample per bucket: <1ms, <10ms, <100ms, <1s, <10s, >=10s.
+    s.recordDeadlineMiss(0.0005);
+    s.recordDeadlineMiss(0.005);
+    s.recordDeadlineMiss(0.05);
+    s.recordDeadlineMiss(0.5);
+    s.recordDeadlineMiss(5.0);
+    s.recordDeadlineMiss(50.0);
+    EXPECT_EQ(s.expired, 6u);
+    for (size_t i = 0; i < ServingStats::kDeadlineMissBuckets; ++i)
+        EXPECT_EQ(s.deadlineMissHistogram[i], 1u) << "bucket " << i;
+}
+
+TEST(ServingStatsResilience, MergeAddsResilienceCounters)
+{
+    ServingStats a;
+    a.recordDeadlineMiss(0.0005); // bucket 0
+    a.recordDeadlineMiss(0.5);    // bucket 3
+    a.shed = 2;
+    a.watchdogRestarts = 1;
+    a.rejected = 4;
+
+    ServingStats b;
+    b.recordDeadlineMiss(0.0007); // bucket 0
+    b.shed = 1;
+    b.watchdogRestarts = 2;
+
+    a.merge(b);
+    EXPECT_EQ(a.expired, 3u);
+    EXPECT_EQ(a.shed, 3u);
+    EXPECT_EQ(a.watchdogRestarts, 3u);
+    EXPECT_EQ(a.rejected, 4u);
+    EXPECT_EQ(a.deadlineMissHistogram[0], 2u);
+    EXPECT_EQ(a.deadlineMissHistogram[3], 1u);
+    EXPECT_EQ(a.deadlineMissHistogram[5], 0u);
+}
+
+TEST(ServingStatsResilience, MergeReplaysWrappedRingOldestFirst)
+{
+    // A dispatcher that was restarted mid-service hands merge() a ring
+    // that has wrapped: its oldest retained sample sits at the ring
+    // cursor, not at index 0. Replay must start there, so the merged
+    // ring's recency order stays meaningful.
+    constexpr size_t cap = ServingStats::kMaxLatencySamples;
+    ServingStats wrapped;
+    const size_t total = cap + 100; // overwrite the first 100 samples
+    for (size_t i = 0; i < total; ++i)
+        wrapped.recordLatency(static_cast<double>(i));
+    ASSERT_EQ(wrapped.latencySeconds.size(), cap);
+
+    ServingStats merged;
+    merged.merge(wrapped);
+    ASSERT_EQ(merged.latencySeconds.size(), cap);
+    // Oldest retained sample is #100, newest is #(cap+99), in order.
+    EXPECT_DOUBLE_EQ(merged.latencySeconds.front(), 100.0);
+    EXPECT_DOUBLE_EQ(merged.latencySeconds.back(),
+                     static_cast<double>(total - 1));
+    for (size_t i = 1; i < merged.latencySeconds.size(); ++i)
+        ASSERT_LT(merged.latencySeconds[i - 1],
+                  merged.latencySeconds[i]);
+}
+
+TEST(ServingStatsResilience, MergeOfUnwrappedRingKeepsInsertionOrder)
+{
+    ServingStats a;
+    a.recordLatency(1.0);
+    a.recordLatency(2.0);
+    ServingStats b;
+    b.recordLatency(3.0);
+    a.merge(b);
+    const std::vector<double> want = {1.0, 2.0, 3.0};
+    EXPECT_EQ(a.latencySeconds, want);
+    EXPECT_EQ(a.expired, 0u);
+    EXPECT_EQ(a.watchdogRestarts, 0u);
 }
 
 } // namespace
