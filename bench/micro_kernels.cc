@@ -207,28 +207,158 @@ BM_SpikeGemmF(benchmark::State& state)
 }
 BENCHMARK(BM_SpikeGemmF)->ArgsProduct({{256, 1024}, {1, 2, 4, 8}});
 
+/**
+ * Shared setup for the PWP serving benchmarks: a calibrated,
+ * decomposed layer with bound weights, its per-partition PWPs and
+ * every serving representation derived from them. @p wmax bounds the
+ * weight magnitude so the quantized tiers are exercised honestly:
+ * +/-40 weights over k=16 partitions keep PWP values in int16 but
+ * beyond int8; +/-4 fits int8.
+ */
+struct ServeFixture
+{
+    BinaryMatrix acts;
+    PatternTable table;
+    LayerDecomposition dec;
+    Matrix<int16_t> w;
+    std::vector<Matrix<int32_t>> pwps;
+
+    ServeFixture(size_t m, size_t n, uint64_t seed, int wmax = 40)
+        : acts(clusteredActs(m, 256, seed)), w(256, n)
+    {
+        CalibrationConfig cfg;
+        cfg.k = 16;
+        cfg.q = 128;
+        table = calibrateLayer(acts, cfg);
+        dec = decomposeLayer(acts, table);
+        Rng rng(seed + 1);
+        for (size_t r = 0; r < w.rows(); ++r)
+            for (size_t c = 0; c < w.cols(); ++c)
+                w(r, c) = static_cast<int16_t>(
+                    rng.uniformInt(-wmax, wmax));
+        pwps = computeLayerPwps(table, w);
+    }
+
+    /** Level 1 bytes the serving loop reads per output row at a given
+     *  element width (the bandwidth the layout work attacks). */
+    double
+    l1BytesPerRow(size_t elemBytes) const
+    {
+        size_t rows = 0;
+        for (const auto& t : dec.tiles)
+            for (uint16_t id : t.patternIds)
+                rows += id != 0 ? 1 : 0;
+        return static_cast<double>(rows * w.cols() * elemBytes) /
+               static_cast<double>(dec.m);
+    }
+};
+
 void
 BM_PhiGemm(benchmark::State& state)
 {
-    BinaryMatrix acts =
-        clusteredActs(static_cast<size_t>(state.range(0)), 256, 8);
-    CalibrationConfig cfg;
-    cfg.k = 16;
-    cfg.q = 128;
-    PatternTable table = calibrateLayer(acts, cfg);
-    LayerDecomposition dec = decomposeLayer(acts, table);
-    Rng rng(9);
-    Matrix<int16_t> w(256, 64);
-    for (size_t r = 0; r < w.rows(); ++r)
-        for (size_t c = 0; c < w.cols(); ++c)
-            w(r, c) = static_cast<int16_t>(rng.uniformInt(-40, 40));
+    // Steady-state serving: PWPs are bound once (arena form, as the
+    // engine serves them) and activation batches stream through — the
+    // shape of the runtime hot path. Decomposition and PWP compute
+    // have their own benchmarks above.
+    ServeFixture fx(static_cast<size_t>(state.range(0)), 64, 8);
+    PwpArena arena(fx.pwps, fx.w.cols());
+    Matrix<int32_t> out(fx.dec.m, fx.w.cols());
     const ExecutionConfig exec = benchExec(state);
     for (auto _ : state) {
-        Matrix<int32_t> out = phiGemm(dec, table, w, exec);
-        benchmark::DoNotOptimize(out);
+        phiGemmWithArenaInto(out, fx.dec, arena, fx.w, exec);
+        benchmark::DoNotOptimize(out.data());
     }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            static_cast<int64_t>(fx.w.cols()));
 }
 BENCHMARK(BM_PhiGemm)->ArgsProduct({{256, 1024}, {1, 2, 4, 8}});
+
+/**
+ * PWP-layout ablation: the same serving problem through each storage
+ * scheme, so a regression report can attribute the end-to-end gain.
+ * Counters report the Level 1 bytes each layout streams per output
+ * row and the resident PWP bytes.
+ *
+ *   legacy   — per-partition Matrix scatter, column-block kernel
+ *   arena32  — contiguous int32 arena, permuted visit, gather kernel
+ *   natural  — arena32 without the pattern-locality permutation
+ *   arena16  — quantized int16 arena (lossless for these weights)
+ */
+void
+serveAblation(benchmark::State& state, int mode)
+{
+    ServeFixture fx(1024, 64, 8);
+    LayerDecomposition natural;
+    const LayerDecomposition* dec = &fx.dec;
+    if (mode == 2) {
+        natural = fx.dec;
+        natural.serveOrder.clear();
+        dec = &natural;
+    }
+    const PwpTier quant =
+        mode == 3 ? PwpTier::Int16 : PwpTier::Int32;
+    PwpArena arena(fx.pwps, fx.w.cols(), quant);
+    Matrix<int32_t> out(fx.dec.m, fx.w.cols());
+    const ExecutionConfig exec = benchExec(state);
+    for (auto _ : state) {
+        if (mode == 0)
+            phiGemmWithPwpsInto(out, fx.dec, fx.pwps, fx.w, exec);
+        else
+            phiGemmWithArenaInto(out, *dec, arena, fx.w, exec);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const size_t elemBytes =
+        mode == 0 ? 4 : pwpTierBytes(arena.tier());
+    state.counters["l1_bytes_per_row"] =
+        benchmark::Counter(fx.l1BytesPerRow(elemBytes));
+    state.counters["pwp_resident_bytes"] = benchmark::Counter(
+        static_cast<double>(mode == 0 ? pwpBytes(fx.table, fx.w.cols(), 4)
+                                      : arena.bytes()));
+}
+
+void
+BM_PwpServeLegacy(benchmark::State& state)
+{
+    serveAblation(state, 0);
+}
+void
+BM_PwpServeArena(benchmark::State& state)
+{
+    serveAblation(state, 1);
+}
+void
+BM_PwpServeArenaNatural(benchmark::State& state)
+{
+    serveAblation(state, 2);
+}
+void
+BM_PwpServeQuant16(benchmark::State& state)
+{
+    serveAblation(state, 3);
+}
+BENCHMARK(BM_PwpServeLegacy)->ArgsProduct({{1024}, {1}});
+BENCHMARK(BM_PwpServeArena)->ArgsProduct({{1024}, {1}});
+BENCHMARK(BM_PwpServeArenaNatural)->ArgsProduct({{1024}, {1}});
+BENCHMARK(BM_PwpServeQuant16)->ArgsProduct({{1024}, {1}});
+
+void
+BM_PwpServeQuant8(benchmark::State& state)
+{
+    // Small weights so the int8 tier is genuinely reachable.
+    ServeFixture fx(1024, 64, 8, 4);
+    PwpArena arena(fx.pwps, fx.w.cols(), PwpTier::Int8);
+    Matrix<int32_t> out(fx.dec.m, fx.w.cols());
+    const ExecutionConfig exec = benchExec(state);
+    for (auto _ : state) {
+        phiGemmWithArenaInto(out, fx.dec, arena, fx.w, exec);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["l1_bytes_per_row"] = benchmark::Counter(
+        fx.l1BytesPerRow(pwpTierBytes(arena.tier())));
+    state.counters["pwp_resident_bytes"] =
+        benchmark::Counter(static_cast<double>(arena.bytes()));
+}
+BENCHMARK(BM_PwpServeQuant8)->ArgsProduct({{1024}, {1}});
 
 } // namespace
 } // namespace phi

@@ -7,6 +7,7 @@
  */
 
 #include "bench/bench_util.hh"
+#include "core/pwp.hh"
 #include "sim/energy_model.hh"
 
 using namespace phi;
@@ -89,6 +90,24 @@ main()
         rows.back().result.gops() / rows[4].result.gops();
     const double phi_vs_stellar_e = rows.back().result.gopsPerJoule() /
                                     rows[4].result.gopsPerJoule();
+    // On-chip/DRAM PWP residency at each storage tier: the quantized
+    // tiers shrink the dominant serving-side footprint 2x/4x with no
+    // accuracy cost (tiers are exact or fall back per layer).
+    PwpTierFootprint total{};
+    for (const LayerTrace& lt : trace.layers)
+        for (PwpTier tier : {PwpTier::Int32, PwpTier::Int16,
+                             PwpTier::Int8})
+            total.bytes[static_cast<size_t>(tier)] +=
+                pwpTierFootprint(lt.table, lt.spec.n).at(tier) *
+                lt.spec.count;
+    std::cout << "\nPWP residency by storage tier: int32 "
+              << Table::fmt(total.at(PwpTier::Int32) / 1e6, 2)
+              << " MB, int16 "
+              << Table::fmt(total.at(PwpTier::Int16) / 1e6, 2)
+              << " MB, int8 "
+              << Table::fmt(total.at(PwpTier::Int8) / 1e6, 2)
+              << " MB\n";
+
     std::cout << "\nHeadline: Phi vs Stellar speedup "
               << Table::fmtX(phi_vs_stellar, 2) << " (paper: 3.45x), "
               << "energy efficiency "

@@ -10,24 +10,26 @@ CompiledLayer::CompiledLayer(std::string name, PatternTable table)
 
 CompiledLayer::CompiledLayer(std::string name, PatternTable table,
                              Matrix<int16_t> weights,
-                             std::vector<Matrix<int32_t>> pwps)
+                             std::vector<Matrix<int32_t>> pwps,
+                             PwpTier quant)
     : layerName(std::move(name)), patternTable(std::move(table)),
-      weightMatrix(std::move(weights)), pwpList(std::move(pwps))
+      weightMatrix(std::move(weights))
 {
     phi_assert(ceilDiv(weightMatrix.rows(),
                        static_cast<size_t>(patternTable.k())) <=
                patternTable.numPartitions(),
                "weights need more partitions than the calibrated table");
-    phi_assert(pwpList.size() == patternTable.numPartitions(),
+    phi_assert(pwps.size() == patternTable.numPartitions(),
                "PWP list must hold one matrix per partition (got ",
-               pwpList.size(), ", need ", patternTable.numPartitions(),
+               pwps.size(), ", need ", patternTable.numPartitions(),
                ")");
-    for (size_t p = 0; p < pwpList.size(); ++p) {
-        phi_assert(pwpList[p].rows() == patternTable.partition(p).size() &&
-                   (pwpList[p].rows() == 0 ||
-                    pwpList[p].cols() == weightMatrix.cols()),
+    for (size_t p = 0; p < pwps.size(); ++p) {
+        phi_assert(pwps[p].rows() == patternTable.partition(p).size() &&
+                   (pwps[p].rows() == 0 ||
+                    pwps[p].cols() == weightMatrix.cols()),
                    "PWP shape mismatch in partition ", p);
     }
+    arena = PwpArena(pwps, weightMatrix.cols(), quant);
 }
 
 LayerDecomposition
@@ -43,7 +45,7 @@ CompiledLayer::compute(const LayerDecomposition& dec,
 {
     phi_assert(hasWeights(),
                "compute() requires a layer compiled with weights");
-    return phiGemmWithPwps(dec, pwpList, weightMatrix, exec);
+    return phiGemmWithArena(dec, arena, weightMatrix, exec);
 }
 
 void
@@ -53,7 +55,7 @@ CompiledLayer::computeInto(Matrix<int32_t>& out,
 {
     phi_assert(hasWeights(),
                "computeInto() requires a layer compiled with weights");
-    phiGemmWithPwpsInto(out, dec, pwpList, weightMatrix, exec);
+    phiGemmWithArenaInto(out, dec, arena, weightMatrix, exec);
 }
 
 SparsityBreakdown
@@ -93,6 +95,15 @@ CompiledModel::pwpFootprintBytes() const
     for (const auto& l : layerList)
         if (l.hasWeights())
             bytes += pwpBytes(l.table(), l.weights().cols());
+    return bytes;
+}
+
+size_t
+CompiledModel::pwpResidentBytes() const
+{
+    size_t bytes = 0;
+    for (const auto& l : layerList)
+        bytes += l.pwpArena().bytes();
     return bytes;
 }
 

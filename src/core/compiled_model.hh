@@ -30,7 +30,8 @@ namespace phi
 
 /**
  * One compiled layer: calibrated pattern table plus (optionally) bound
- * weights and their precomputed PWPs. Immutable after construction, so
+ * weights and their precomputed PWPs, stored as one contiguous
+ * (optionally quantized) PwpArena. Immutable after construction, so
  * it is safe to share across serving threads without synchronisation.
  */
 class CompiledLayer
@@ -42,18 +43,37 @@ class CompiledLayer
     /**
      * Fully bound layer. @p pwps must be exactly the output of
      * computeLayerPwps(table, weights) — loadModel() trusts but
-     * re-validates shape; compile() computes them itself.
+     * re-validates shape; compile() computes them itself. @p quant is
+     * the narrowest PWP storage tier the layer may use; the arena
+     * falls back to a wider tier whenever the narrow one would not be
+     * exact, so serving results never depend on the request.
      */
     CompiledLayer(std::string name, PatternTable table,
                   Matrix<int16_t> weights,
-                  std::vector<Matrix<int32_t>> pwps);
+                  std::vector<Matrix<int32_t>> pwps,
+                  PwpTier quant = PwpTier::Int32);
 
     const std::string& name() const { return layerName; }
     const PatternTable& table() const { return patternTable; }
 
     bool hasWeights() const { return !weightMatrix.empty(); }
     const Matrix<int16_t>& weights() const { return weightMatrix; }
-    const std::vector<Matrix<int32_t>>& pwps() const { return pwpList; }
+
+    /**
+     * The layer's PWPs as exact int32 matrices, materialised from the
+     * arena (by value — serialization and diagnostics only; the
+     * serving path reads the arena directly).
+     */
+    std::vector<Matrix<int32_t>> pwps() const
+    {
+        return arena.materialize();
+    }
+
+    /** Contiguous PWP storage the serving path reads. */
+    const PwpArena& pwpArena() const { return arena; }
+
+    /** Storage tier the arena actually uses (after exactness fallback). */
+    PwpTier pwpTier() const { return arena.tier(); }
 
     /** Decompose a runtime activation matrix (online, stateless). */
     LayerDecomposition decompose(const BinaryMatrix& acts,
@@ -80,7 +100,7 @@ class CompiledLayer
     std::string layerName;
     PatternTable patternTable;
     Matrix<int16_t> weightMatrix;
-    std::vector<Matrix<int32_t>> pwpList;
+    PwpArena arena;
 };
 
 /**
@@ -111,6 +131,13 @@ class CompiledModel
 
     /** Total PWP bytes across layers at the stored output widths. */
     size_t pwpFootprintBytes() const;
+
+    /**
+     * Bytes of PWP arena storage actually resident across layers at
+     * their chosen tiers (padding included) — the bytes the serving
+     * loop streams, as opposed to the paper-metric pwpFootprintBytes().
+     */
+    size_t pwpResidentBytes() const;
 
   private:
     std::vector<CompiledLayer> layerList;

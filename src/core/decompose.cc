@@ -1,5 +1,7 @@
 #include "core/decompose.hh"
 
+#include <algorithm>
+#include <numeric>
 #include <unordered_map>
 
 namespace phi
@@ -151,6 +153,7 @@ decomposeLayer(const BinaryMatrix& acts, const PatternTable& table,
         dec.tiles.push_back(decomposeTile(acts, p, assigner, exec));
     }
     dec.buildRowIndex();
+    dec.buildServeOrder();
     return dec;
 }
 
@@ -186,6 +189,41 @@ void
 LayerDecomposition::buildRowIndex()
 {
     buildRowIndexInto(*this, rowPatternIds, rowL2Counts);
+    const size_t numTiles = tiles.size();
+    tileMaxPatternId.assign(numTiles, 0);
+    tileMaxL2Col.assign(numTiles, 0);
+    for (size_t t = 0; t < numTiles; ++t) {
+        for (uint16_t id : tiles[t].patternIds)
+            tileMaxPatternId[t] = std::max(tileMaxPatternId[t], id);
+        for (const L2Entry& e : tiles[t].l2Entries)
+            tileMaxL2Col[t] = std::max(tileMaxL2Col[t], e.col);
+    }
+}
+
+void
+LayerDecomposition::buildServeOrder()
+{
+    const size_t numTiles = tiles.size();
+    serveOrder.resize(m);
+    std::iota(serveOrder.begin(), serveOrder.end(), 0u);
+    if (numTiles == 0)
+        return; // degenerate layer: natural order
+    phi_assert(hasRowIndex(),
+               "buildServeOrder requires the row-major index");
+    // Lexicographic stable sort on the pattern-id signature: rows with
+    // equal leading tile ids become neighbours, so the serving loop
+    // re-reads their PWP rows while still cache-resident. Stability
+    // keeps equal-signature rows in original order — the permutation
+    // is a pure function of the decomposition, independent of thread
+    // count.
+    const uint16_t* ids = rowPatternIds.data();
+    std::stable_sort(serveOrder.begin(), serveOrder.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         const uint16_t* sa = ids + a * numTiles;
+                         const uint16_t* sb = ids + b * numTiles;
+                         return std::lexicographical_compare(
+                             sa, sa + numTiles, sb, sb + numTiles);
+                     });
 }
 
 size_t

@@ -125,6 +125,31 @@ struct LayerDecomposition
     std::vector<uint16_t> rowPatternIds;
     std::vector<uint8_t> rowL2Counts;
 
+    /**
+     * Per-tile maxima, cached by buildRowIndex(): the largest pattern
+     * id and Level 2 column each tile holds. The serving loops check
+     * these against the PWP storage and weight matrix once per call
+     * to prove every gather in-bounds; caching them here keeps that
+     * proof O(tiles) instead of a full O(m + nnz) rescan per batch.
+     */
+    std::vector<uint16_t> tileMaxPatternId;
+    std::vector<uint16_t> tileMaxL2Col;
+
+    /**
+     * Pattern-locality serving permutation, derived by
+     * buildServeOrder(): serveOrder[i] is the original index of the
+     * i-th row to visit. Rows are stable-sorted by their L1 pattern-id
+     * signature across tiles, so consecutive visits reuse the same PWP
+     * rows while they are still cache-resident; identical rows stay in
+     * original relative order, keeping the order deterministic. The
+     * serving loop writes each result through the permutation to the
+     * row's original output slot, so callers never observe the
+     * reordering. Empty (natural order) for hand-assembled
+     * decompositions that never called buildServeOrder(). Not
+     * serialized: loaders and decomposeLayer rebuild it.
+     */
+    std::vector<uint32_t> serveOrder;
+
     size_t numPartitions() const { return tiles.size(); }
 
     /** True when the row-major index matches the tile data shape. */
@@ -136,8 +161,26 @@ struct LayerDecomposition
                rowL2Counts.size() == m * tiles.size();
     }
 
+    /** True when the per-tile maxima are cached for every tile. */
+    bool
+    hasTileMaxima() const
+    {
+        return !tiles.empty() &&
+               tileMaxPatternId.size() == tiles.size() &&
+               tileMaxL2Col.size() == tiles.size();
+    }
+
     /** (Re)build the row-major serving index from the tiles. */
     void buildRowIndex();
+
+    /** True when serveOrder is populated for every row. */
+    bool hasServeOrder() const { return serveOrder.size() == m; }
+
+    /**
+     * (Re)build the pattern-locality serving permutation from the
+     * row-major index (requires hasRowIndex()).
+     */
+    void buildServeOrder();
 
     /** Total Level 2 nonzeros across partitions. */
     size_t totalL2Nnz() const;

@@ -76,7 +76,8 @@ Pipeline::compile() const
         if (l.hasWeights())
             compiled.emplace_back(
                 l.name(), l.table(), l.weights(),
-                computeLayerPwps(l.table(), l.weights(), cfg.exec));
+                computeLayerPwps(l.table(), l.weights(), cfg.exec),
+                pwpQuantTier);
         else
             compiled.emplace_back(l.name(), l.table());
     }

@@ -83,6 +83,16 @@ class Pipeline
     /** Re-tune the engine for subsequent calibration/compile work. */
     void setExecution(const ExecutionConfig& exec) { cfg.exec = exec; }
 
+    /**
+     * Narrowest PWP storage tier compile() may pick per layer
+     * (default Int32 = never quantize). Quantization is always
+     * lossless: a layer whose PWP values don't fit the requested
+     * width falls back to a wider tier, so serving output is
+     * bit-identical regardless of this knob.
+     */
+    void setPwpQuant(PwpTier tier) { pwpQuantTier = tier; }
+    PwpTier pwpQuant() const { return pwpQuantTier; }
+
     /** Calibrate and register a layer from sample activations. */
     LayerPipeline& addLayer(
         const std::string& name,
@@ -112,6 +122,7 @@ class Pipeline
 
   private:
     CalibrationConfig cfg;
+    PwpTier pwpQuantTier = PwpTier::Int32;
     std::vector<LayerPipeline> layers;
 };
 

@@ -16,7 +16,134 @@ namespace
 constexpr size_t kPwpPatternGrain = 16;
 constexpr size_t kPhiGemmRowGrain = 32;
 
+/** Cast-copy one PWP matrix set into a typed arena buffer. Padding
+ *  columns keep the zero from the buffer's value-initialisation. */
+template <typename Elem>
+void
+packArena(AlignedVec<Elem>& dst,
+          const std::vector<Matrix<int32_t>>& pwps, const uint64_t* base,
+          size_t totalRows, size_t n, size_t stride)
+{
+    dst.resize(totalRows * stride);
+    for (size_t p = 0; p < pwps.size(); ++p) {
+        for (size_t r = 0; r < pwps[p].rows(); ++r) {
+            const int32_t* src = pwps[p].rowPtr(r);
+            Elem* out = dst.data() + (base[p] + r) * stride;
+            for (size_t c = 0; c < n; ++c)
+                out[c] = static_cast<Elem>(src[c]);
+        }
+    }
+}
+
+/** Widen one typed arena back into per-partition int32 matrices. */
+template <typename Elem>
+void
+widenArena(std::vector<Matrix<int32_t>>& pwps, const Elem* src,
+           const uint64_t* base, size_t n, size_t stride)
+{
+    for (size_t p = 0; p < pwps.size(); ++p) {
+        const size_t rows = base[p + 1] - base[p];
+        Matrix<int32_t> m(rows, n);
+        for (size_t r = 0; r < rows; ++r) {
+            const Elem* in = src + (base[p] + r) * stride;
+            int32_t* out = m.rowPtr(r);
+            for (size_t c = 0; c < n; ++c)
+                out[c] = static_cast<int32_t>(in[c]);
+        }
+        pwps[p] = std::move(m);
+    }
+}
+
 } // namespace
+
+const char*
+pwpTierName(PwpTier tier)
+{
+    switch (tier) {
+    case PwpTier::Int16:
+        return "int16";
+    case PwpTier::Int8:
+        return "int8";
+    default:
+        return "int32";
+    }
+}
+
+PwpArena::PwpArena(const std::vector<Matrix<int32_t>>& pwps, size_t n,
+                   PwpTier quant)
+    : logicalCols(n)
+{
+    base.resize(pwps.size() + 1, 0);
+    for (size_t p = 0; p < pwps.size(); ++p) {
+        phi_assert(pwps[p].rows() == 0 || pwps[p].cols() == n,
+                   "partition ", p, " PWP width ", pwps[p].cols(),
+                   " != arena width ", n);
+        base[p + 1] = base[p] + pwps[p].rows();
+    }
+    totalRows = base[pwps.size()];
+
+    // Narrowest exact tier at or above the request: one min/max sweep
+    // proves whether every value round-trips through the narrower
+    // type, so quantization can never change a serving result.
+    elemTier = PwpTier::Int32;
+    if (quant != PwpTier::Int32 && totalRows > 0) {
+        int32_t lo = 0;
+        int32_t hi = 0;
+        for (const auto& pwp : pwps) {
+            for (size_t r = 0; r < pwp.rows(); ++r) {
+                const int32_t* row = pwp.rowPtr(r);
+                for (size_t c = 0; c < n; ++c) {
+                    lo = std::min(lo, row[c]);
+                    hi = std::max(hi, row[c]);
+                }
+            }
+        }
+        if (quant == PwpTier::Int8 && lo >= INT8_MIN && hi <= INT8_MAX)
+            elemTier = PwpTier::Int8;
+        else if (lo >= INT16_MIN && hi <= INT16_MAX)
+            elemTier = PwpTier::Int16;
+    }
+
+    // Row pitch is padded to whole cache lines only. An earlier draft
+    // also padded 4 KiB-multiple pitches by one extra line to stagger
+    // rows across cache sets; measured on AVX-512 hosts it was a ~40%
+    // regression at n=1024 — every row straddled two pages, doubling
+    // TLB touches per gathered row — so rows stay page-packed.
+    const size_t lineElems = kSimdAlign / pwpTierBytes(elemTier);
+    strideElems = roundUp(n, lineElems);
+    switch (elemTier) {
+    case PwpTier::Int32:
+        packArena(data32, pwps, base.data(), totalRows, n, strideElems);
+        break;
+    case PwpTier::Int16:
+        packArena(data16, pwps, base.data(), totalRows, n, strideElems);
+        break;
+    case PwpTier::Int8:
+        packArena(data8, pwps, base.data(), totalRows, n, strideElems);
+        break;
+    }
+}
+
+std::vector<Matrix<int32_t>>
+PwpArena::materialize() const
+{
+    std::vector<Matrix<int32_t>> pwps(numPartitions());
+    switch (elemTier) {
+    case PwpTier::Int32:
+        widenArena(pwps, data32.data(), base.data(), logicalCols,
+                   strideElems);
+        break;
+    case PwpTier::Int16:
+        widenArena(pwps, data16.data(), base.data(), logicalCols,
+                   strideElems);
+        break;
+    case PwpTier::Int8:
+        widenArena(pwps, data8.data(), base.data(), logicalCols,
+                   strideElems);
+        break;
+    }
+    return pwps;
+}
 
 Matrix<int32_t>
 computePwp(const PatternSet& ps, const Matrix<int16_t>& weights,
@@ -134,13 +261,15 @@ phiGemmWithPwpsInto(Matrix<int32_t>& out, const LayerDecomposition& dec,
     std::vector<const L2Entry*> l2Entries(numTiles);
     std::vector<const int16_t*> wBase(numTiles);
     const size_t wStride = weights.stride();
+    const bool haveMaxima = dec.hasTileMaxima();
     for (size_t t = 0; t < numTiles; ++t) {
         const TileDecomposition& tile = dec.tiles[t];
         const size_t k_off =
             tile.partition * static_cast<size_t>(dec.k);
-        uint16_t maxCol = 0;
-        for (const L2Entry& e : tile.l2Entries)
-            maxCol = std::max(maxCol, e.col);
+        uint16_t maxCol = haveMaxima ? dec.tileMaxL2Col[t] : 0;
+        if (!haveMaxima)
+            for (const L2Entry& e : tile.l2Entries)
+                maxCol = std::max(maxCol, e.col);
         phi_assert(tile.l2Entries.empty() ||
                    k_off + maxCol < weights.rows(),
                    "L2 column beyond weight rows");
@@ -167,6 +296,10 @@ phiGemmWithPwpsInto(Matrix<int32_t>& out, const LayerDecomposition& dec,
         std::vector<const int16_t*> l2pos;
         std::vector<const int16_t*> l2neg;
         std::vector<uint32_t> l2Cursor(numTiles);
+        // A row holds at most k entries per tile: one up-front
+        // reservation keeps the batches from regrowing mid-loop.
+        l2pos.reserve(numTiles * static_cast<size_t>(dec.k));
+        l2neg.reserve(numTiles * static_cast<size_t>(dec.k));
 
         for (size_t n0 = 0; n0 < n; n0 += tileN) {
             const size_t n1 = std::min(n, n0 + tileN);
@@ -213,10 +346,216 @@ phiGemmWithPwpsInto(Matrix<int32_t>& out, const LayerDecomposition& dec,
     });
 }
 
+namespace
+{
+
+/**
+ * Tier-generic body of phiGemmWithArenaInto. The structure mirrors
+ * phiGemmWithPwpsInto, with three differences that remove its memory
+ * stalls: Level 1 rows are gathered straight out of the contiguous
+ * arena by pattern id inside the kernel (no per-row pointer batch and
+ * no scatter across per-partition Matrix allocations), rows are
+ * visited in dec.serveOrder so consecutive rows reuse cache-hot PWP
+ * lines, and Level 2 streams are addressed absolutely through
+ * l2Offsets (running cursors can't follow a permuted visit order).
+ * Every output row is still written exactly once, to its original
+ * slot, by one kernel call per column block — so results are
+ * bit-identical to the reference at any tier, permutation and thread
+ * count (int32 accumulation is exactly associative).
+ */
+template <typename Elem>
+void
+serveArena(Matrix<int32_t>& out, const LayerDecomposition& dec,
+           const PwpArena& arena, const Matrix<int16_t>& weights,
+           const ExecutionConfig& exec,
+           void (*gather)(int32_t*, const Elem*, const uint64_t*,
+                          const uint16_t*, size_t, size_t,
+                          const int16_t* const*, size_t,
+                          const int16_t* const*, size_t, size_t))
+{
+    const size_t n = weights.cols();
+    const size_t numTiles = dec.tiles.size();
+    const size_t tileN = exec.resolvedTileN(n);
+    const size_t nPad = out.paddedCols();
+
+    std::vector<uint16_t> localIds;
+    std::vector<uint8_t> localCounts;
+    const uint16_t* rowIds = dec.rowPatternIds.data();
+    const uint8_t* rowCounts = dec.rowL2Counts.data();
+    if (!dec.hasRowIndex() && numTiles > 0) {
+        buildRowIndexInto(dec, localIds, localCounts);
+        rowIds = localIds.data();
+        rowCounts = localCounts.data();
+    }
+
+    // Hoisted per-tile tables, as in the legacy path, plus the tile's
+    // first arena row. The per-tile maximum pattern id is checked once
+    // against the partition's arena rows so the kernel's id arithmetic
+    // is proven in-bounds for the whole call.
+    std::vector<uint64_t> tileRowBase(numTiles);
+    std::vector<const L2Entry*> l2Entries(numTiles);
+    std::vector<const uint32_t*> l2Offsets(numTiles);
+    std::vector<const int16_t*> wBase(numTiles);
+    const size_t wStride = weights.stride();
+    const bool haveMaxima = dec.hasTileMaxima();
+    for (size_t t = 0; t < numTiles; ++t) {
+        const TileDecomposition& tile = dec.tiles[t];
+        phi_assert(tile.partition < arena.numPartitions(),
+                   "tile partition ", tile.partition,
+                   " beyond arena partitions ", arena.numPartitions());
+        const size_t k_off =
+            tile.partition * static_cast<size_t>(dec.k);
+        uint16_t maxCol = haveMaxima ? dec.tileMaxL2Col[t] : 0;
+        uint16_t maxId = haveMaxima ? dec.tileMaxPatternId[t] : 0;
+        if (!haveMaxima) {
+            for (const L2Entry& e : tile.l2Entries)
+                maxCol = std::max(maxCol, e.col);
+            for (uint16_t id : tile.patternIds)
+                maxId = std::max(maxId, id);
+        }
+        phi_assert(tile.l2Entries.empty() ||
+                   k_off + maxCol < weights.rows(),
+                   "L2 column beyond weight rows");
+        phi_assert(maxId <= arena.rowsInPartition(tile.partition),
+                   "pattern id ", maxId, " beyond arena partition ",
+                   tile.partition, " with ",
+                   arena.rowsInPartition(tile.partition), " rows");
+        tileRowBase[t] = arena.rowBase()[tile.partition];
+        l2Entries[t] = tile.l2Entries.data();
+        l2Offsets[t] = tile.l2Offsets.empty() ? nullptr
+                                              : tile.l2Offsets.data();
+        wBase[t] = k_off < weights.rows() ? weights.rowPtr(k_off)
+                                          : nullptr;
+    }
+
+    const uint32_t* order =
+        dec.hasServeOrder() ? dec.serveOrder.data() : nullptr;
+    const Elem* arenaData = arena.data<Elem>();
+    const size_t stride = arena.stride();
+    const bool doPrefetch = exec.prefetchPwp && !arena.empty();
+
+    parallelFor(exec, 0, dec.m, kPhiGemmRowGrain,
+                [&](size_t i0, size_t i1) {
+        // One up-front reservation: a row holds at most k entries per
+        // tile, so the pointer batches never regrow mid-loop.
+        std::vector<const int16_t*> l2pos;
+        std::vector<const int16_t*> l2neg;
+        l2pos.reserve(numTiles * static_cast<size_t>(dec.k));
+        l2neg.reserve(numTiles * static_cast<size_t>(dec.k));
+
+        for (size_t n0 = 0; n0 < n; n0 += tileN) {
+            const size_t n1 = std::min(n, n0 + tileN);
+            const size_t span = (n1 == n ? nPad : n1) - n0;
+            // An empty arena (no patterns anywhere) serves pure
+            // Level 2; its null base must not be offset.
+            const Elem* arenaBlock =
+                arena.empty() ? arenaData : arenaData + n0;
+
+            for (size_t i = i0; i < i1; ++i) {
+                const size_t r = order ? order[i] : i;
+                if (doPrefetch && i + 1 < i1) {
+                    // Stream the next visit's Level 1 rows for this
+                    // column block while the current row reduces.
+                    const size_t rn = order ? order[i + 1] : i + 1;
+                    const uint16_t* nids = rowIds + rn * numTiles;
+                    for (size_t t = 0; t < numTiles; ++t)
+                        if (nids[t] != 0)
+                            simd::prefetchSpan(
+                                arenaBlock +
+                                    (tileRowBase[t] + nids[t] -
+                                     size_t{1}) *
+                                        stride,
+                                span * sizeof(Elem));
+                }
+
+                const uint16_t* ids = rowIds + r * numTiles;
+                const uint8_t* counts = rowCounts + r * numTiles;
+                l2pos.clear();
+                l2neg.clear();
+                for (size_t t = 0; t < numTiles; ++t) {
+                    const uint32_t cnt = counts[t];
+                    if (cnt == 0)
+                        continue;
+                    const L2Entry* e = l2Entries[t] + l2Offsets[t][r];
+                    for (uint32_t j = 0; j < cnt; ++j) {
+                        const int16_t* w =
+                            wBase[t] + e[j].col * wStride + n0;
+                        if (e[j].sign > 0)
+                            l2pos.push_back(w);
+                        else
+                            l2neg.push_back(w);
+                    }
+                }
+                gather(out.rowPtr(r) + n0, arenaBlock,
+                       tileRowBase.data(), ids, numTiles, stride,
+                       l2pos.data(), l2pos.size(), l2neg.data(),
+                       l2neg.size(), span);
+            }
+        }
+    });
+}
+
+} // namespace
+
+void
+phiGemmWithArenaInto(Matrix<int32_t>& out, const LayerDecomposition& dec,
+                     const PwpArena& arena,
+                     const Matrix<int16_t>& weights,
+                     const ExecutionConfig& exec)
+{
+    phi_assert(dec.kTotal == weights.rows(),
+               "decomposition K ", dec.kTotal, " != weight rows ",
+               weights.rows());
+    phi_assert(dec.tiles.empty() || arena.cols() == weights.cols(),
+               "arena width ", arena.cols(), " != weight cols ",
+               weights.cols());
+    phi_assert(out.rows() == dec.m && out.cols() == weights.cols(),
+               "output shape ", out.rows(), "x", out.cols(),
+               " != expected ", dec.m, "x", weights.cols());
+
+    const simd::Kernels& kr = simd::kernels(exec.isa);
+    switch (arena.tier()) {
+    case PwpTier::Int32:
+        serveArena<int32_t>(out, dec, arena, weights, exec,
+                            kr.pwpGatherI32);
+        break;
+    case PwpTier::Int16:
+        serveArena<int16_t>(out, dec, arena, weights, exec,
+                            kr.pwpGatherI16);
+        break;
+    case PwpTier::Int8:
+        serveArena<int8_t>(out, dec, arena, weights, exec,
+                           kr.pwpGatherI8);
+        break;
+    }
+}
+
+Matrix<int32_t>
+phiGemmWithArena(const LayerDecomposition& dec, const PwpArena& arena,
+                 const Matrix<int16_t>& weights,
+                 const ExecutionConfig& exec)
+{
+    Matrix<int32_t> out =
+        Matrix<int32_t>::uninitialized(dec.m, weights.cols());
+    phiGemmWithArenaInto(out, dec, arena, weights, exec);
+    return out;
+}
+
 size_t
 pwpBytes(const PatternTable& table, size_t n, size_t bytesPerElem)
 {
     return table.totalPatterns() * n * bytesPerElem;
+}
+
+PwpTierFootprint
+pwpTierFootprint(const PatternTable& table, size_t n)
+{
+    PwpTierFootprint fp;
+    const size_t elems = table.totalPatterns() * n;
+    fp.bytes[static_cast<size_t>(PwpTier::Int32)] = elems * 4;
+    fp.bytes[static_cast<size_t>(PwpTier::Int16)] = elems * 2;
+    fp.bytes[static_cast<size_t>(PwpTier::Int8)] = elems * 1;
+    return fp;
 }
 
 } // namespace phi

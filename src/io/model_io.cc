@@ -753,6 +753,24 @@ serializeModel(const CompiledModel& model, const ArtifactMeta& meta)
     std::vector<Section> sections;
     sections.push_back(std::move(cfg));
     sections.push_back(std::move(layers));
+
+    // LAYT carries per-layer PWP storage tiers. Written only when some
+    // layer is quantized, so all-int32 models serialize byte-identical
+    // to pre-LAYT artifacts and old readers (which skip unknown
+    // sections) still load quantized ones — just at int32.
+    bool anyQuantized = false;
+    for (const auto& l : model.layers())
+        anyQuantized = anyQuantized || l.pwpTier() != PwpTier::Int32;
+    if (anyQuantized) {
+        Section layout{kSectionLayout, {}};
+        ByteWriter w;
+        w.u64(model.numLayers());
+        for (const auto& l : model.layers())
+            w.u8(static_cast<uint8_t>(l.pwpTier()));
+        layout.payload = w.buffer();
+        sections.push_back(std::move(layout));
+    }
+
     if (!meta.empty()) {
         Section metaSec{kSectionMeta, {}};
         ByteWriter w;
@@ -788,6 +806,27 @@ parseModel(const uint8_t* data, size_t size, ArtifactMeta* metaOut)
 
     ByteReader r(layerSec.data, layerSec.size);
     const uint64_t n = r.count(4 + 4 + 8 + 1);
+
+    // Optional LAYT section: per-layer PWP storage tiers. Absence
+    // (every pre-LAYT artifact) means all-int32.
+    std::vector<PwpTier> tiers(static_cast<size_t>(n), PwpTier::Int32);
+    if (const SectionView* layoutSec =
+            findSectionIfPresent(sections, kSectionLayout)) {
+        ByteReader lr(layoutSec->data, layoutSec->size);
+        const uint64_t count = lr.count(1);
+        if (count != n)
+            throw IoError("layout section lists " +
+                          std::to_string(count) + " layers, model has " +
+                          std::to_string(n));
+        for (uint64_t i = 0; i < count; ++i) {
+            const uint8_t t = lr.u8();
+            if (t > static_cast<uint8_t>(PwpTier::Int8))
+                throw IoError("unknown PWP tier " + std::to_string(t) +
+                              " in layout section");
+            tiers[static_cast<size_t>(i)] = static_cast<PwpTier>(t);
+        }
+    }
+
     std::vector<CompiledLayer> layers;
     layers.reserve(static_cast<size_t>(n));
     for (uint64_t i = 0; i < n; ++i) {
@@ -797,7 +836,11 @@ parseModel(const uint8_t* data, size_t size, ArtifactMeta* metaOut)
         if (hasWeights > 1)
             throw IoError("corrupt has-weights flag in layer '" + name +
                           "'");
+        const PwpTier tier = tiers[static_cast<size_t>(i)];
         if (!hasWeights) {
+            if (tier != PwpTier::Int32)
+                throw IoError("layer '" + name +
+                              "': quantized tier on a weightless layer");
             layers.emplace_back(std::move(name), std::move(table));
             continue;
         }
@@ -824,8 +867,18 @@ parseModel(const uint8_t* data, size_t size, ArtifactMeta* metaOut)
                 throw IoError("layer '" + name +
                               "': PWP shape mismatch in partition " +
                               std::to_string(p));
+        // Re-quantize from the exact int32 payload at the claimed
+        // tier. The arena only ever falls back *wider* than the
+        // request, so ending up off-tier proves the PWP values cannot
+        // be stored at the claimed width — a lying layout section.
+        std::string layerName = name;
         layers.emplace_back(std::move(name), std::move(table),
-                            std::move(weights), std::move(pwps));
+                            std::move(weights), std::move(pwps), tier);
+        if (layers.back().pwpTier() != tier)
+            throw IoError(
+                "layer '" + layerName + "': layout section claims " +
+                pwpTierName(tier) + " PWPs but the values require " +
+                pwpTierName(layers.back().pwpTier()));
     }
     return CompiledModel(std::move(layers), calib);
 }

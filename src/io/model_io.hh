@@ -27,6 +27,13 @@
  * 'LYRS' (tables + weights + PWPs per layer) and — when the artifact
  * was stamped — an optional 'META' section (model name + version, the
  * identity a ModelRegistry serves it under); a trace carries 'TRAC'.
+ * Models whose layers use a quantized PWP storage tier additionally
+ * carry a 'LAYT' section (one tier byte per layer); it is written only
+ * when some layer is narrower than int32, so unquantized artifacts are
+ * byte-identical to pre-LAYT ones, and absence means "all int32" so
+ * old artifacts keep loading. PWP payloads in 'LYRS' always store the
+ * exact int32 values regardless of tier — the loader re-quantizes and
+ * rejects artifacts whose claimed tier the values cannot reach.
  * Unknown sections are ignored on read, so the format can grow without
  * breaking old readers (a pre-META file still loads, it is just
  * anonymous); a bumped version field rejects incompatible layouts
@@ -64,6 +71,7 @@ constexpr uint32_t kSectionConfig = 0x20474643u; // "CFG "
 constexpr uint32_t kSectionLayers = 0x5352594Cu; // "LYRS"
 constexpr uint32_t kSectionTrace = 0x43415254u;  // "TRAC"
 constexpr uint32_t kSectionMeta = 0x4154454Du;   // "META"
+constexpr uint32_t kSectionLayout = 0x5459414Cu; // "LAYT"
 
 /**
  * Artifact identity carried by the optional META section: the model

@@ -132,6 +132,76 @@ scalarFusedStoreAddSub(int32_t* out, const int32_t* const* base,
     scalarSubRowsI16(out, neg, nNeg, n);
 }
 
+void
+scalarAddRowI8(int32_t* out, const int8_t* w, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] += w[i];
+}
+
+void
+scalarAddRowsI8(int32_t* out, const int8_t* const* rows, size_t m,
+                size_t n)
+{
+    for (size_t j = 0; j < m; ++j)
+        scalarAddRowI8(out, rows[j], n);
+}
+
+/** Shared scalar body for the three arena element widths. */
+template <typename Elem>
+void
+scalarPwpGather(int32_t* out, const Elem* arena, const uint64_t* rowBase,
+                const uint16_t* ids, size_t numTiles, size_t stride,
+                const int16_t* const* pos, size_t nPos,
+                const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = 0;
+    for (size_t t = 0; t < numTiles; ++t) {
+        const uint32_t id = ids[t];
+        if (!id)
+            continue;
+        const Elem* row = arena + (rowBase[t] + id - 1) * stride;
+        for (size_t i = 0; i < n; ++i)
+            out[i] += row[i];
+    }
+    scalarAddRowsI16(out, pos, nPos, n);
+    scalarSubRowsI16(out, neg, nNeg, n);
+}
+
+void
+scalarPwpGatherI32(int32_t* out, const int32_t* arena,
+                   const uint64_t* rowBase, const uint16_t* ids,
+                   size_t numTiles, size_t stride,
+                   const int16_t* const* pos, size_t nPos,
+                   const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    scalarPwpGather(out, arena, rowBase, ids, numTiles, stride, pos,
+                    nPos, neg, nNeg, n);
+}
+
+void
+scalarPwpGatherI16(int32_t* out, const int16_t* arena,
+                   const uint64_t* rowBase, const uint16_t* ids,
+                   size_t numTiles, size_t stride,
+                   const int16_t* const* pos, size_t nPos,
+                   const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    scalarPwpGather(out, arena, rowBase, ids, numTiles, stride, pos,
+                    nPos, neg, nNeg, n);
+}
+
+void
+scalarPwpGatherI8(int32_t* out, const int8_t* arena,
+                  const uint64_t* rowBase, const uint16_t* ids,
+                  size_t numTiles, size_t stride,
+                  const int16_t* const* pos, size_t nPos,
+                  const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    scalarPwpGather(out, arena, rowBase, ids, numTiles, stride, pos,
+                    nPos, neg, nNeg, n);
+}
+
 uint64_t
 scalarPopcountWords(const uint64_t* words, size_t n)
 {
@@ -166,6 +236,10 @@ constexpr Kernels kScalarKernels = {
     .fmaRowF32 = scalarFmaRowF32,
     .popcountWords = scalarPopcountWords,
     .hammingScan = scalarHammingScan,
+    .addRowsI8 = scalarAddRowsI8,
+    .pwpGatherI32 = scalarPwpGatherI32,
+    .pwpGatherI16 = scalarPwpGatherI16,
+    .pwpGatherI8 = scalarPwpGatherI8,
 };
 
 // ---- Runtime detection ----------------------------------------------

@@ -121,7 +121,72 @@ struct Kernels
      */
     void (*hammingScan)(uint64_t row, const uint64_t* pats, size_t n,
                         uint8_t* dist);
+
+    /** Multi-row accumulate, int8 sources widened to int32 (the
+     *  quantized-PWP flavour of addRowsI16; same j-order contract). */
+    void (*addRowsI8)(int32_t* out, const int8_t* const* rows, size_t m,
+                      size_t n);
+
+    /**
+     * Arena-gather serving kernel — the phiGemm inner loop over the
+     * contiguous PWP arena. For each tile t in [0, numTiles) with
+     * ids[t] != 0, the L1 source row lives at
+     *   arena + (rowBase[t] + ids[t] - 1) * stride
+     * and the kernel computes, overwriting out[0..n):
+     *   out[i] = sum_t l1row_t[i] + sum_j pos[j][i] - sum_j neg[j][i]
+     * (all sums may be empty, which zeroes the span). Locating the L1
+     * rows inside the kernel — instead of having the caller build a
+     * pointer array per output row — keeps the whole row's accumulators
+     * in registers for a single pass over every source row, which is
+     * where the arena layout's bandwidth win is realised. Tiles are
+     * visited in ascending t, then pos, then neg, matching
+     * fusedStoreAddSub ordering bit-for-bit.
+     *
+     * The I16/I8 variants read a quantized arena and widen; since the
+     * arena is built only when quantization is exact, all three produce
+     * identical int32 output.
+     */
+    void (*pwpGatherI32)(int32_t* out, const int32_t* arena,
+                         const uint64_t* rowBase, const uint16_t* ids,
+                         size_t numTiles, size_t stride,
+                         const int16_t* const* pos, size_t nPos,
+                         const int16_t* const* neg, size_t nNeg,
+                         size_t n);
+    void (*pwpGatherI16)(int32_t* out, const int16_t* arena,
+                         const uint64_t* rowBase, const uint16_t* ids,
+                         size_t numTiles, size_t stride,
+                         const int16_t* const* pos, size_t nPos,
+                         const int16_t* const* neg, size_t nNeg,
+                         size_t n);
+    void (*pwpGatherI8)(int32_t* out, const int8_t* arena,
+                        const uint64_t* rowBase, const uint16_t* ids,
+                        size_t numTiles, size_t stride,
+                        const int16_t* const* pos, size_t nPos,
+                        const int16_t* const* neg, size_t nNeg,
+                        size_t n);
 };
+
+/**
+ * Software-prefetch hint for an upcoming row-group: touch every cache
+ * line of [p, p + bytes) with read intent. Backend-independent (the
+ * builtin compiles to PREFETCHT0 on x86, PRFM on AArch64, and a no-op
+ * where unsupported); purely a hint, never required for correctness.
+ * The arena serving path issues it for the next row-group only when
+ * the arena is too large to stay cache-resident — for small arenas the
+ * extra instruction stream costs more than the hint saves.
+ */
+inline void
+prefetchSpan(const void* p, size_t bytes)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    const char* c = static_cast<const char*>(p);
+    for (size_t i = 0; i < bytes; i += 64)
+        __builtin_prefetch(c + i, 0, 3);
+#else
+    (void)p;
+    (void)bytes;
+#endif
+}
 
 /**
  * Resolve a backend. Auto uses the cached PHI_SIMD/CPUID resolution;

@@ -242,6 +242,170 @@ avx2FusedStoreAddSub(int32_t* out, const int32_t* const* base,
     }
 }
 
+// 8 int32 lanes widened from each arena element width.
+inline __m256i
+load8(const int32_t* p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline __m256i
+load8(const int16_t* p)
+{
+    return _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline __m256i
+load8(const int8_t* p)
+{
+    // vpmovsxbd widens the low 8 bytes of the 128-bit source.
+    return _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+
+void
+avx2AddRowsI8(int32_t* out, const int8_t* const* rows, size_t m,
+              size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m256i* o0 = reinterpret_cast<__m256i*>(out + c);
+        __m256i* o1 = reinterpret_cast<__m256i*>(out + c + 8);
+        __m256i a0 = _mm256_loadu_si256(o0);
+        __m256i a1 = _mm256_loadu_si256(o1);
+        for (size_t j = 0; j < m; ++j) {
+            a0 = _mm256_add_epi32(a0, load8(rows[j] + c));
+            a1 = _mm256_add_epi32(a1, load8(rows[j] + c + 8));
+        }
+        _mm256_storeu_si256(o0, a0);
+        _mm256_storeu_si256(o1, a1);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = out[c];
+        for (size_t j = 0; j < m; ++j)
+            acc += rows[j][c];
+        out[c] = acc;
+    }
+}
+
+/**
+ * Arena-gather body shared by the three element widths. The main loop
+ * holds four output vector blocks (32 columns) in independent
+ * accumulators and visits every source row once per pass, so the
+ * sequential row reads overlap instead of serialising on one
+ * accumulator chain — see the avx512 counterpart for the full
+ * rationale.
+ */
+template <typename Elem>
+void
+avx2PwpGather(int32_t* out, const Elem* arena, const uint64_t* rowBase,
+              const uint16_t* ids, size_t numTiles, size_t stride,
+              const int16_t* const* pos, size_t nPos,
+              const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    size_t c = 0;
+    for (; c + 32 <= n; c += 32) {
+        __m256i a0 = _mm256_setzero_si256();
+        __m256i a1 = _mm256_setzero_si256();
+        __m256i a2 = _mm256_setzero_si256();
+        __m256i a3 = _mm256_setzero_si256();
+        for (size_t t = 0; t < numTiles; ++t) {
+            const uint32_t id = ids[t];
+            if (!id)
+                continue;
+            const Elem* p = arena + (rowBase[t] + id - 1) * stride + c;
+            a0 = _mm256_add_epi32(a0, load8(p));
+            a1 = _mm256_add_epi32(a1, load8(p + 8));
+            a2 = _mm256_add_epi32(a2, load8(p + 16));
+            a3 = _mm256_add_epi32(a3, load8(p + 24));
+        }
+        for (size_t j = 0; j < nPos; ++j) {
+            const int16_t* p = pos[j] + c;
+            a0 = _mm256_add_epi32(a0, load8(p));
+            a1 = _mm256_add_epi32(a1, load8(p + 8));
+            a2 = _mm256_add_epi32(a2, load8(p + 16));
+            a3 = _mm256_add_epi32(a3, load8(p + 24));
+        }
+        for (size_t j = 0; j < nNeg; ++j) {
+            const int16_t* p = neg[j] + c;
+            a0 = _mm256_sub_epi32(a0, load8(p));
+            a1 = _mm256_sub_epi32(a1, load8(p + 8));
+            a2 = _mm256_sub_epi32(a2, load8(p + 16));
+            a3 = _mm256_sub_epi32(a3, load8(p + 24));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c), a0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c + 8),
+                            a1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c + 16),
+                            a2);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c + 24),
+                            a3);
+    }
+    for (; c + 8 <= n; c += 8) {
+        __m256i acc = _mm256_setzero_si256();
+        for (size_t t = 0; t < numTiles; ++t) {
+            const uint32_t id = ids[t];
+            if (!id)
+                continue;
+            acc = _mm256_add_epi32(
+                acc, load8(arena + (rowBase[t] + id - 1) * stride + c));
+        }
+        for (size_t j = 0; j < nPos; ++j)
+            acc = _mm256_add_epi32(acc, load8(pos[j] + c));
+        for (size_t j = 0; j < nNeg; ++j)
+            acc = _mm256_sub_epi32(acc, load8(neg[j] + c));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c), acc);
+    }
+    for (; c < n; ++c) {
+        int32_t acc = 0;
+        for (size_t t = 0; t < numTiles; ++t) {
+            const uint32_t id = ids[t];
+            if (!id)
+                continue;
+            acc += arena[(rowBase[t] + id - 1) * stride + c];
+        }
+        for (size_t j = 0; j < nPos; ++j)
+            acc += pos[j][c];
+        for (size_t j = 0; j < nNeg; ++j)
+            acc -= neg[j][c];
+        out[c] = acc;
+    }
+}
+
+void
+avx2PwpGatherI32(int32_t* out, const int32_t* arena,
+                 const uint64_t* rowBase, const uint16_t* ids,
+                 size_t numTiles, size_t stride,
+                 const int16_t* const* pos, size_t nPos,
+                 const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    avx2PwpGather(out, arena, rowBase, ids, numTiles, stride, pos, nPos,
+                  neg, nNeg, n);
+}
+
+void
+avx2PwpGatherI16(int32_t* out, const int16_t* arena,
+                 const uint64_t* rowBase, const uint16_t* ids,
+                 size_t numTiles, size_t stride,
+                 const int16_t* const* pos, size_t nPos,
+                 const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    avx2PwpGather(out, arena, rowBase, ids, numTiles, stride, pos, nPos,
+                  neg, nNeg, n);
+}
+
+void
+avx2PwpGatherI8(int32_t* out, const int8_t* arena,
+                const uint64_t* rowBase, const uint16_t* ids,
+                size_t numTiles, size_t stride,
+                const int16_t* const* pos, size_t nPos,
+                const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    avx2PwpGather(out, arena, rowBase, ids, numTiles, stride, pos, nPos,
+                  neg, nNeg, n);
+}
+
 void
 avx2SubRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
                size_t n)
@@ -429,6 +593,10 @@ constexpr Kernels kAvx2Kernels = {
     .fmaRowF32 = avx2FmaRowF32,
     .popcountWords = avx2PopcountWords,
     .hammingScan = avx2HammingScan,
+    .addRowsI8 = avx2AddRowsI8,
+    .pwpGatherI32 = avx2PwpGatherI32,
+    .pwpGatherI16 = avx2PwpGatherI16,
+    .pwpGatherI8 = avx2PwpGatherI8,
 };
 
 } // namespace

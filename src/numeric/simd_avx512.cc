@@ -213,6 +213,187 @@ avx512FusedStoreAddSub(int32_t* out, const int32_t* const* base,
     }
 }
 
+// 16 int32 lanes widened from each arena element width.
+inline __m512i
+load16(const int32_t* p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+inline __m512i
+load16(const int16_t* p)
+{
+    return _mm512_cvtepi16_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+inline __m512i
+load16(const int8_t* p)
+{
+    return _mm512_cvtepi8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+inline __m512i
+load16Tail(__mmask16 mask, const int32_t* p)
+{
+    return _mm512_maskz_loadu_epi32(mask, p);
+}
+
+inline __m512i
+load16Tail(__mmask16 mask, const int16_t* p)
+{
+    return _mm512_cvtepi16_epi32(_mm256_maskz_loadu_epi16(mask, p));
+}
+
+inline __m512i
+load16Tail(__mmask16 mask, const int8_t* p)
+{
+    return _mm512_cvtepi8_epi32(_mm_maskz_loadu_epi8(mask, p));
+}
+
+void
+avx512AddRowsI8(int32_t* out, const int8_t* const* rows, size_t m,
+                size_t n)
+{
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+        __m512i acc = _mm512_loadu_si512(out + c);
+        for (size_t j = 0; j < m; ++j)
+            acc = _mm512_add_epi32(acc, load16(rows[j] + c));
+        _mm512_storeu_si512(out + c, acc);
+    }
+    if (c < n) {
+        const __mmask16 mask = tailMask16(n - c);
+        __m512i acc = _mm512_maskz_loadu_epi32(mask, out + c);
+        for (size_t j = 0; j < m; ++j)
+            acc = _mm512_add_epi32(acc, load16Tail(mask, rows[j] + c));
+        _mm512_mask_storeu_epi32(out + c, mask, acc);
+    }
+}
+
+/**
+ * Arena-gather body shared by the three element widths. Unlike the
+ * 16-lane-block kernels above, the main loop holds FOUR output cache
+ * lines (64 columns) in independent accumulators and visits every
+ * source row once per pass — the four add chains are independent, so
+ * the sequential 64/128/256-byte row reads overlap instead of
+ * serialising on one accumulator, and each arena row is streamed
+ * front-to-back exactly once. That single-pass shape (not vector
+ * width) is what converts the contiguous arena layout into a
+ * bandwidth win.
+ */
+template <typename Elem>
+void
+avx512PwpGather(int32_t* out, const Elem* arena, const uint64_t* rowBase,
+                const uint16_t* ids, size_t numTiles, size_t stride,
+                const int16_t* const* pos, size_t nPos,
+                const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    size_t c = 0;
+    for (; c + 64 <= n; c += 64) {
+        __m512i a0 = _mm512_setzero_si512();
+        __m512i a1 = _mm512_setzero_si512();
+        __m512i a2 = _mm512_setzero_si512();
+        __m512i a3 = _mm512_setzero_si512();
+        for (size_t t = 0; t < numTiles; ++t) {
+            const uint32_t id = ids[t];
+            if (!id)
+                continue;
+            const Elem* p = arena + (rowBase[t] + id - 1) * stride + c;
+            a0 = _mm512_add_epi32(a0, load16(p));
+            a1 = _mm512_add_epi32(a1, load16(p + 16));
+            a2 = _mm512_add_epi32(a2, load16(p + 32));
+            a3 = _mm512_add_epi32(a3, load16(p + 48));
+        }
+        for (size_t j = 0; j < nPos; ++j) {
+            const int16_t* p = pos[j] + c;
+            a0 = _mm512_add_epi32(a0, load16(p));
+            a1 = _mm512_add_epi32(a1, load16(p + 16));
+            a2 = _mm512_add_epi32(a2, load16(p + 32));
+            a3 = _mm512_add_epi32(a3, load16(p + 48));
+        }
+        for (size_t j = 0; j < nNeg; ++j) {
+            const int16_t* p = neg[j] + c;
+            a0 = _mm512_sub_epi32(a0, load16(p));
+            a1 = _mm512_sub_epi32(a1, load16(p + 16));
+            a2 = _mm512_sub_epi32(a2, load16(p + 32));
+            a3 = _mm512_sub_epi32(a3, load16(p + 48));
+        }
+        _mm512_storeu_si512(out + c, a0);
+        _mm512_storeu_si512(out + c + 16, a1);
+        _mm512_storeu_si512(out + c + 32, a2);
+        _mm512_storeu_si512(out + c + 48, a3);
+    }
+    for (; c + 16 <= n; c += 16) {
+        __m512i acc = _mm512_setzero_si512();
+        for (size_t t = 0; t < numTiles; ++t) {
+            const uint32_t id = ids[t];
+            if (!id)
+                continue;
+            acc = _mm512_add_epi32(
+                acc,
+                load16(arena + (rowBase[t] + id - 1) * stride + c));
+        }
+        for (size_t j = 0; j < nPos; ++j)
+            acc = _mm512_add_epi32(acc, load16(pos[j] + c));
+        for (size_t j = 0; j < nNeg; ++j)
+            acc = _mm512_sub_epi32(acc, load16(neg[j] + c));
+        _mm512_storeu_si512(out + c, acc);
+    }
+    if (c < n) {
+        const __mmask16 mask = tailMask16(n - c);
+        __m512i acc = _mm512_setzero_si512();
+        for (size_t t = 0; t < numTiles; ++t) {
+            const uint32_t id = ids[t];
+            if (!id)
+                continue;
+            acc = _mm512_add_epi32(
+                acc,
+                load16Tail(mask,
+                           arena + (rowBase[t] + id - 1) * stride + c));
+        }
+        for (size_t j = 0; j < nPos; ++j)
+            acc = _mm512_add_epi32(acc, load16Tail(mask, pos[j] + c));
+        for (size_t j = 0; j < nNeg; ++j)
+            acc = _mm512_sub_epi32(acc, load16Tail(mask, neg[j] + c));
+        _mm512_mask_storeu_epi32(out + c, mask, acc);
+    }
+}
+
+void
+avx512PwpGatherI32(int32_t* out, const int32_t* arena,
+                   const uint64_t* rowBase, const uint16_t* ids,
+                   size_t numTiles, size_t stride,
+                   const int16_t* const* pos, size_t nPos,
+                   const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    avx512PwpGather(out, arena, rowBase, ids, numTiles, stride, pos,
+                    nPos, neg, nNeg, n);
+}
+
+void
+avx512PwpGatherI16(int32_t* out, const int16_t* arena,
+                   const uint64_t* rowBase, const uint16_t* ids,
+                   size_t numTiles, size_t stride,
+                   const int16_t* const* pos, size_t nPos,
+                   const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    avx512PwpGather(out, arena, rowBase, ids, numTiles, stride, pos,
+                    nPos, neg, nNeg, n);
+}
+
+void
+avx512PwpGatherI8(int32_t* out, const int8_t* arena,
+                  const uint64_t* rowBase, const uint16_t* ids,
+                  size_t numTiles, size_t stride,
+                  const int16_t* const* pos, size_t nPos,
+                  const int16_t* const* neg, size_t nNeg, size_t n)
+{
+    avx512PwpGather(out, arena, rowBase, ids, numTiles, stride, pos,
+                    nPos, neg, nNeg, n);
+}
+
 void
 avx512SubRowsI16(int32_t* out, const int16_t* const* rows, size_t m,
                  size_t n)
@@ -387,6 +568,10 @@ constexpr Kernels kAvx512Kernels = {
     .fmaRowF32 = avx512FmaRowF32,
     .popcountWords = avx512PopcountWords,
     .hammingScan = avx512HammingScan,
+    .addRowsI8 = avx512AddRowsI8,
+    .pwpGatherI32 = avx512PwpGatherI32,
+    .pwpGatherI16 = avx512PwpGatherI16,
+    .pwpGatherI8 = avx512PwpGatherI8,
 };
 
 } // namespace

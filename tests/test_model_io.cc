@@ -653,5 +653,192 @@ TEST(ModelIoCrc, StampedRoundTripThroughDiskIsExact)
     EXPECT_EQ(onDisk, io::serializeModel(model, meta));
 }
 
+// ---- PWP layout (LAYT) section ----
+
+/** Two-layer model compiled at the given PWP quantization ceiling. */
+CompiledModel
+makeQuantizedModel(PwpTier tier, uint64_t seed = 1,
+                   bool secondLayerWeightless = false)
+{
+    Rng rng(seed);
+    BinaryMatrix train0 = BinaryMatrix::random(128, 64, 0.15, rng);
+    BinaryMatrix train1 = BinaryMatrix::random(96, 48, 0.2, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 24;
+    cfg.kmeans.maxIters = 8;
+    cfg.kmeans.seed = 5;
+    cfg.kmeans.maxDistinct = 512;
+    Pipeline pipe(cfg);
+    pipe.setPwpQuant(tier);
+    pipe.addLayer("proj", {&train0})
+        .bindWeights(test::randomWeights(64, 20, 2));
+    LayerPipeline& l1 = pipe.addLayer("head", {&train1});
+    if (!secondLayerWeightless)
+        l1.bindWeights(test::randomWeights(48, 8, 3));
+    return pipe.compile();
+}
+
+/** The LAYT section-table entry of a serialized image (asserts it
+ *  exists). */
+SectionEntry
+findLayoutEntry(const std::vector<uint8_t>& bytes)
+{
+    for (const SectionEntry& e : readSectionTable(bytes))
+        if (e.tag == io::kSectionLayout)
+            return e;
+    ADD_FAILURE() << "no LAYT section in image";
+    return {};
+}
+
+TEST(ModelIoLayout, QuantizedModelRoundTripsTiersAndValues)
+{
+    const CompiledModel model = makeQuantizedModel(PwpTier::Int16);
+    ASSERT_EQ(model.layer(0).pwpTier(), PwpTier::Int16);
+    const std::vector<uint8_t> bytes = io::serializeModel(model);
+    const CompiledModel back =
+        io::parseModel(bytes.data(), bytes.size());
+    EXPECT_EQ(back.layer(0).pwpTier(), PwpTier::Int16);
+    EXPECT_EQ(back.layer(1).pwpTier(), PwpTier::Int16);
+    expectModelsEqual(model, back);
+
+    // Quantized artifacts are byte-stable too.
+    EXPECT_EQ(io::serializeModel(back), bytes);
+
+    // And the reloaded quantized model still serves exactly.
+    Rng rng(55);
+    BinaryMatrix acts = BinaryMatrix::random(40, 64, 0.15, rng);
+    EXPECT_EQ(back.layer(0).compute(back.layer(0).decompose(acts)),
+              model.layer(0).compute(model.layer(0).decompose(acts)));
+}
+
+TEST(ModelIoLayout, UnquantizedModelsCarryNoLayoutSection)
+{
+    // Byte-compatibility contract: an all-int32 model must serialize
+    // without a LAYT section, so new writers reproduce pre-LAYT
+    // artifacts byte-for-byte.
+    const std::vector<uint8_t> bytes =
+        io::serializeModel(makeCompiledModel());
+    for (const SectionEntry& e : readSectionTable(bytes))
+        EXPECT_NE(e.tag, io::kSectionLayout);
+
+    // A pipeline whose quantization request resolves to int32 must
+    // serialize byte-identical to one that never asked.
+    EXPECT_EQ(
+        io::serializeModel(makeQuantizedModel(PwpTier::Int32, 1, true)),
+        io::serializeModel(makeCompiledModel()));
+}
+
+TEST(ModelIoLayout, PreLayoutArtifactsLoadAsInt32)
+{
+    // parseModel of an image with no LAYT section (any pre-LAYT
+    // artifact) must land every layer on the legacy int32 tier.
+    const std::vector<uint8_t> bytes =
+        io::serializeModel(makeCompiledModel(7, false));
+    const CompiledModel back =
+        io::parseModel(bytes.data(), bytes.size());
+    EXPECT_EQ(back.layer(0).pwpTier(), PwpTier::Int32);
+    EXPECT_EQ(back.layer(1).pwpTier(), PwpTier::Int32);
+}
+
+TEST(ModelIoLayout, TruncatedQuantizedArtifactIsRejected)
+{
+    const std::vector<uint8_t> bytes =
+        io::serializeModel(makeQuantizedModel(PwpTier::Int16));
+    const size_t cuts[] = {8, 24, bytes.size() / 2, bytes.size() - 1};
+    for (size_t cut : cuts)
+        EXPECT_THROW(io::parseModel(bytes.data(), cut), io::IoError)
+            << "prefix of " << cut << " bytes";
+}
+
+TEST(ModelIoLayout, FlippedLayoutByteIsCaughtByTheSectionCrc)
+{
+    const std::vector<uint8_t> pristine =
+        io::serializeModel(makeQuantizedModel(PwpTier::Int16));
+    const SectionEntry e = findLayoutEntry(pristine);
+    ASSERT_GT(e.payloadSize, 0u);
+    std::vector<uint8_t> corrupt = pristine;
+    corrupt[e.payloadOffset + e.payloadSize - 1] ^= 0x01;
+    EXPECT_THROW(io::parseModel(corrupt.data(), corrupt.size()),
+                 io::IoError);
+}
+
+/** Patch one LAYT tier byte and unstamp the section CRC, simulating a
+ *  CRC-valid artifact from a buggy or malicious writer: the semantic
+ *  checks must still reject it. */
+std::vector<uint8_t>
+withPatchedTier(const std::vector<uint8_t>& pristine, size_t layer,
+                uint8_t tier)
+{
+    const SectionEntry e = findLayoutEntry(pristine);
+    std::vector<uint8_t> bytes = pristine;
+    // LAYT payload: u64 layer count, then one u8 tier per layer.
+    bytes[e.payloadOffset + 8 + layer] = tier;
+    for (int i = 0; i < 4; ++i)
+        bytes[e.entryOffset + 4 + i] = 0; // CRC 0 = unstamped
+    return bytes;
+}
+
+TEST(ModelIoLayout, RejectsTierTheValuesCannotReach)
+{
+    // The artifact's PWP payload is exact int32; a section claiming
+    // int8 when the values only fit int16 is lying (the arena only
+    // ever falls back wider) and must be rejected, not served off-tier.
+    // Weights of magnitude ~300 guarantee every non-empty PWP value
+    // overflows int8 while staying well inside int16.
+    Rng rng(1);
+    BinaryMatrix train = BinaryMatrix::random(128, 64, 0.15, rng);
+    CalibrationConfig ccfg;
+    ccfg.k = 16;
+    ccfg.q = 24;
+    ccfg.kmeans.maxIters = 8;
+    Pipeline pipe(ccfg);
+    pipe.setPwpQuant(PwpTier::Int16);
+    pipe.addLayer("proj", {&train})
+        .bindWeights(test::randomWeights(64, 20, 2, 200, 400));
+    const CompiledModel model = pipe.compile();
+    ASSERT_EQ(model.layer(0).pwpTier(), PwpTier::Int16);
+    const std::vector<uint8_t> pristine = io::serializeModel(model);
+    const auto lying = withPatchedTier(
+        pristine, 0, static_cast<uint8_t>(PwpTier::Int8));
+    try {
+        io::parseModel(lying.data(), lying.size());
+        FAIL() << "off-tier artifact parsed";
+    } catch (const io::IoError& err) {
+        EXPECT_NE(std::string(err.what()).find("claims"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(ModelIoLayout, RejectsQuantizedTierOnWeightlessLayer)
+{
+    const std::vector<uint8_t> pristine = io::serializeModel(
+        makeQuantizedModel(PwpTier::Int16, 1, true));
+    const auto lying = withPatchedTier(
+        pristine, 1, static_cast<uint8_t>(PwpTier::Int16));
+    EXPECT_THROW(io::parseModel(lying.data(), lying.size()),
+                 io::IoError);
+}
+
+TEST(ModelIoLayout, RejectsUnknownTierAndCountMismatch)
+{
+    const std::vector<uint8_t> pristine =
+        io::serializeModel(makeQuantizedModel(PwpTier::Int16));
+    const auto unknown = withPatchedTier(pristine, 0, 9);
+    EXPECT_THROW(io::parseModel(unknown.data(), unknown.size()),
+                 io::IoError);
+
+    // A layer count that disagrees with LYRS must be rejected before
+    // the tiers are applied.
+    const SectionEntry e = findLayoutEntry(pristine);
+    std::vector<uint8_t> mismatch = pristine;
+    mismatch[e.payloadOffset] = 9; // count u64 low byte
+    for (int i = 0; i < 4; ++i)
+        mismatch[e.entryOffset + 4 + i] = 0;
+    EXPECT_THROW(io::parseModel(mismatch.data(), mismatch.size()),
+                 io::IoError);
+}
+
 } // namespace
 } // namespace phi

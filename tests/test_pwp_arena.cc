@@ -1,0 +1,287 @@
+/**
+ * @file
+ * PwpArena tests: the tiled-contiguous serving path (with and without
+ * the pattern-locality permutation, at every quantization tier) must
+ * be bit-identical to the legacy per-partition path and to spikeGemm,
+ * on every compiled-in SIMD backend; tier selection must be provably
+ * lossless (narrower only when every value round-trips, silent
+ * fallback otherwise); and the bandwidth accounting must match the
+ * layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "core/calibration.hh"
+#include "core/pwp.hh"
+#include "numeric/simd.hh"
+#include "test_support.hh"
+
+namespace phi
+{
+namespace
+{
+
+const PwpTier kAllTiers[] = {PwpTier::Int32, PwpTier::Int16,
+                             PwpTier::Int8};
+
+/** One hand-made single-row partition holding the given values. */
+std::vector<Matrix<int32_t>>
+onePartition(std::initializer_list<int32_t> values)
+{
+    Matrix<int32_t> m(1, values.size());
+    size_t c = 0;
+    for (int32_t v : values)
+        m(0, c++) = v;
+    std::vector<Matrix<int32_t>> pwps;
+    pwps.push_back(std::move(m));
+    return pwps;
+}
+
+TEST(PwpArena, PicksNarrowestExactTierAtOrAboveRequest)
+{
+    // Values in int8 range: every request is reachable.
+    const auto small = onePartition({-128, 0, 127});
+    EXPECT_EQ(PwpArena(small, 3, PwpTier::Int32).tier(), PwpTier::Int32);
+    EXPECT_EQ(PwpArena(small, 3, PwpTier::Int16).tier(), PwpTier::Int16);
+    EXPECT_EQ(PwpArena(small, 3, PwpTier::Int8).tier(), PwpTier::Int8);
+
+    // 128 overflows int8: an Int8 request must fall back to Int16,
+    // never clamp.
+    const auto mid = onePartition({-32768, 128, 32767});
+    EXPECT_EQ(PwpArena(mid, 3, PwpTier::Int8).tier(), PwpTier::Int16);
+    EXPECT_EQ(PwpArena(mid, 3, PwpTier::Int16).tier(), PwpTier::Int16);
+
+    // 32768 overflows int16 too: every narrow request lands on int32.
+    const auto wide = onePartition({32768, -5, 2});
+    EXPECT_EQ(PwpArena(wide, 3, PwpTier::Int8).tier(), PwpTier::Int32);
+    EXPECT_EQ(PwpArena(wide, 3, PwpTier::Int16).tier(), PwpTier::Int32);
+    EXPECT_EQ(PwpArena(wide, 3, PwpTier::Int32).tier(), PwpTier::Int32);
+}
+
+TEST(PwpArena, MaterializeRoundTripsEveryTier)
+{
+    Rng rng(11);
+    std::vector<Matrix<int32_t>> pwps;
+    for (size_t p = 0; p < 3; ++p) {
+        Matrix<int32_t> m(2 + p, 5);
+        for (size_t r = 0; r < m.rows(); ++r)
+            for (size_t c = 0; c < 5; ++c)
+                m(r, c) = static_cast<int32_t>(rng.uniformInt(-100, 100));
+        pwps.push_back(std::move(m));
+    }
+    for (PwpTier tier : kAllTiers) {
+        PwpArena arena(pwps, 5, tier);
+        const auto back = arena.materialize();
+        ASSERT_EQ(back.size(), pwps.size()) << pwpTierName(tier);
+        for (size_t p = 0; p < pwps.size(); ++p)
+            EXPECT_EQ(back[p], pwps[p])
+                << pwpTierName(tier) << " partition " << p;
+    }
+}
+
+TEST(PwpArena, AccountsRowsStrideAndBytes)
+{
+    const auto pwps = onePartition({1, 2, 3});
+    PwpArena a8(pwps, 3, PwpTier::Int8);
+    EXPECT_EQ(a8.tier(), PwpTier::Int8);
+    EXPECT_EQ(a8.rows(), 1u);
+    EXPECT_EQ(a8.cols(), 3u);
+    EXPECT_EQ(a8.numPartitions(), 1u);
+    EXPECT_EQ(a8.rowsInPartition(0), 1u);
+    // Stride is padded to whole cache lines at the element width.
+    EXPECT_EQ(a8.stride() * pwpTierBytes(a8.tier()) % 64, 0u);
+    EXPECT_EQ(a8.bytes(), a8.rows() * a8.stride());
+    EXPECT_FALSE(a8.empty());
+
+    PwpArena empty({}, 0);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.bytes(), 0u);
+}
+
+TEST(PwpArena, TierFootprintScalesWithElementWidth)
+{
+    PatternTable table(16, {PatternSet(16, {1, 2}),
+                            PatternSet(16, {3})});
+    const PwpTierFootprint fp = pwpTierFootprint(table, 32);
+    EXPECT_EQ(fp.at(PwpTier::Int32), 3u * 32u * 4u);
+    EXPECT_EQ(fp.at(PwpTier::Int16), 3u * 32u * 2u);
+    EXPECT_EQ(fp.at(PwpTier::Int8), 3u * 32u * 1u);
+    EXPECT_EQ(fp.at(PwpTier::Int32), pwpBytes(table, 32, 4));
+}
+
+TEST(ServeOrder, IsADeterministicPermutation)
+{
+    Rng rng(23);
+    BinaryMatrix acts = BinaryMatrix::random(90, 48, 0.2, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 16;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    ASSERT_TRUE(dec.hasServeOrder());
+
+    std::vector<uint32_t> sorted = dec.serveOrder;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<uint32_t> iota(dec.m);
+    std::iota(iota.begin(), iota.end(), 0u);
+    EXPECT_EQ(sorted, iota) << "serveOrder is not a permutation";
+
+    // Pure function of the decomposition: a rebuild reproduces it.
+    LayerDecomposition again = decomposeLayer(acts, table);
+    EXPECT_EQ(again.serveOrder, dec.serveOrder);
+}
+
+TEST(ServeOrder, SinglePatternLayerStaysInNaturalOrder)
+{
+    // Every row gets the same signature; the stable sort must keep
+    // the original order (ties never reorder).
+    Rng rng(29);
+    BinaryMatrix acts = BinaryMatrix::random(40, 16, 0.9, rng);
+    PatternTable table(16, {PatternSet(16, {0xFFFF})});
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    bool allSame = true;
+    for (uint16_t id : dec.tiles[0].patternIds)
+        allSame = allSame && id == dec.tiles[0].patternIds[0];
+    if (allSame) {
+        std::vector<uint32_t> iota(dec.m);
+        std::iota(iota.begin(), iota.end(), 0u);
+        EXPECT_EQ(dec.serveOrder, iota);
+    }
+}
+
+TEST(ServeOrder, CachedTileMaximaMatchTheTiles)
+{
+    Rng rng(31);
+    BinaryMatrix acts = BinaryMatrix::random(60, 33, 0.25, rng);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 8;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    ASSERT_TRUE(dec.hasTileMaxima());
+    for (size_t t = 0; t < dec.tiles.size(); ++t) {
+        uint16_t maxId = 0, maxCol = 0;
+        for (uint16_t id : dec.tiles[t].patternIds)
+            maxId = std::max(maxId, id);
+        for (const L2Entry& e : dec.tiles[t].l2Entries)
+            maxCol = std::max(maxCol, e.col);
+        EXPECT_EQ(dec.tileMaxPatternId[t], maxId) << "tile " << t;
+        EXPECT_EQ(dec.tileMaxL2Col[t], maxCol) << "tile " << t;
+    }
+}
+
+struct ArenaShape
+{
+    size_t m, k_total, n;
+    double density;
+    int k, q;
+    int wmax; // weight magnitude: small values make int8 reachable
+};
+
+class PwpArenaSweep : public ::testing::TestWithParam<ArenaShape>
+{
+};
+
+TEST_P(PwpArenaSweep, ArenaServingIsBitIdenticalToLegacyAndReference)
+{
+    const auto p = GetParam();
+    Rng rng(p.m * 13 + p.k_total * 5 + p.n);
+    BinaryMatrix acts =
+        BinaryMatrix::random(p.m, p.k_total, p.density, rng);
+    Rng wr(p.m + p.n);
+    Matrix<int16_t> w(p.k_total, p.n);
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < p.n; ++c)
+            w(r, c) = static_cast<int16_t>(
+                wr.uniformInt(-p.wmax, p.wmax));
+
+    CalibrationConfig cfg;
+    cfg.k = p.k;
+    cfg.q = p.q;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    LayerDecomposition natural = dec;
+    natural.serveOrder.clear();
+
+    ExecutionConfig scalar;
+    scalar.threads = 1;
+    scalar.isa = SimdIsa::Scalar;
+    const Matrix<int32_t> ref = spikeGemm(acts, w, scalar);
+    const auto pwps = computeLayerPwps(table, w, scalar);
+    EXPECT_EQ(phiGemmWithPwps(dec, pwps, w, scalar), ref);
+
+    for (PwpTier tier : kAllTiers) {
+        PwpArena arena(pwps, p.n, tier);
+        for (SimdIsa isa : simd::availableIsas()) {
+            ExecutionConfig exec;
+            exec.threads = 3; // exercise the parallel chunking too
+            exec.isa = isa;
+            EXPECT_EQ(phiGemmWithArena(dec, arena, w, exec), ref)
+                << pwpTierName(tier) << " permuted on "
+                << simdIsaName(isa);
+            EXPECT_EQ(phiGemmWithArena(natural, arena, w, exec), ref)
+                << pwpTierName(tier) << " natural on "
+                << simdIsaName(isa);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PwpArenaSweep,
+    ::testing::Values(
+        // Ragged everything: K not a multiple of k, odd n.
+        ArenaShape{100, 17, 3, 0.3, 16, 8, 40},
+        // Vector-friendly, wide n crossing the 512-column tile.
+        ArenaShape{64, 64, 600, 0.15, 16, 32, 40},
+        // Tiny weights: the Int8 request genuinely lands on int8.
+        ArenaShape{80, 48, 20, 0.2, 16, 16, 2},
+        // Single row, single column.
+        ArenaShape{1, 16, 1, 0.5, 16, 4, 40},
+        // Dense activations, several partitions.
+        ArenaShape{50, 96, 33, 0.6, 16, 12, 10}));
+
+TEST(PwpArenaServe, EmptyPatternTableServesPureL2)
+{
+    // With no patterns anywhere the arena is empty and serving is all
+    // Level 2 corrections; the gather kernels must handle the
+    // zero-row arena without touching it.
+    Rng rng(43);
+    BinaryMatrix acts = BinaryMatrix::random(30, 32, 0.3, rng);
+    Matrix<int16_t> w = test::randomWeights(32, 9, 44);
+    PatternTable table(16, {PatternSet(16, {}), PatternSet(16, {})});
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    const auto pwps = computeLayerPwps(table, w);
+    for (PwpTier tier : kAllTiers) {
+        PwpArena arena(pwps, 9, tier);
+        EXPECT_TRUE(arena.empty());
+        EXPECT_EQ(phiGemmWithArena(dec, arena, w), spikeGemm(acts, w))
+            << pwpTierName(tier);
+    }
+}
+
+TEST(PwpArenaServe, PrefetchKnobNeverChangesResults)
+{
+    Rng rng(47);
+    BinaryMatrix acts = BinaryMatrix::random(70, 48, 0.2, rng);
+    Matrix<int16_t> w = test::randomWeights(48, 40, 48);
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 16;
+    PatternTable table = calibrateLayer(acts, cfg);
+    LayerDecomposition dec = decomposeLayer(acts, table);
+    const auto pwps = computeLayerPwps(table, w);
+    PwpArena arena(pwps, 40, PwpTier::Int16);
+
+    ExecutionConfig off;
+    ExecutionConfig on;
+    on.prefetchPwp = true;
+    EXPECT_EQ(phiGemmWithArena(dec, arena, w, on),
+              phiGemmWithArena(dec, arena, w, off));
+}
+
+} // namespace
+} // namespace phi

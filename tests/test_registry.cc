@@ -634,5 +634,89 @@ TEST(RegistryAsyncEngine, UnloadWithInFlightRequestsFailsTyped)
     }
 }
 
+TEST(RegistryAsyncEngine, QuantizedArtifactHotSwapsUnderLiveTraffic)
+{
+    // The PWP-quantization rollout path: a .phim artifact carrying a
+    // LAYT section (int16 tier) is swapped in via swapFromFile while
+    // producers stream requests. Quantization is lossless by
+    // construction, so v2 responses must be bit-identical to the
+    // *unquantized* v2 reference — and nothing may drop or tear
+    // during the swap.
+    const CompiledModel v1 = makeModel(2);
+    const CompiledModel v2 = makeModel(3);
+
+    // Same weights as v2, recompiled with an int16 PWP ceiling.
+    CompiledModel v2q = [] {
+        Rng rng(17);
+        BinaryMatrix train = BinaryMatrix::random(160, 96, 0.15, rng);
+        CalibrationConfig cfg;
+        cfg.k = 16;
+        cfg.q = 24;
+        cfg.kmeans.maxIters = 8;
+        Pipeline pipe(cfg);
+        pipe.setPwpQuant(PwpTier::Int16);
+        pipe.addLayer("l0", {&train})
+            .bindWeights(test::randomWeights(96, 24, 3));
+        return pipe.compile();
+    }();
+    ASSERT_EQ(v2q.layer(0).pwpTier(), PwpTier::Int16);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("phi_registry_quant_" + std::to_string(::getpid()) + ".phim"))
+            .string();
+    io::saveModel(v2q, path);
+
+    auto reg = std::make_shared<ModelRegistry>();
+    const ModelHandle h1 = reg->load("m", makeModel(2));
+    AsyncEngineConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxLingerMicros = 50;
+    AsyncPhiEngine engine(reg, withThreads(2), cfg);
+
+    constexpr size_t kProducers = 4;
+    constexpr size_t kPerProducer = 12;
+    std::atomic<size_t> wrongBytes{0}, dropped{0};
+    std::vector<std::thread> producers;
+    for (size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            const std::vector<BinaryMatrix> reqs =
+                makeRequests(kPerProducer, 96, 800 + p);
+            std::vector<std::future<EngineResponse>> futures;
+            for (const auto& acts : reqs)
+                futures.push_back(engine.submit(h1, 0, acts));
+            for (size_t i = 0; i < futures.size(); ++i) {
+                try {
+                    EngineResponse resp = futures[i].get();
+                    const CompiledModel& ref =
+                        resp.model.version == 1 ? v1 : v2;
+                    if (resp.out != expected(ref, 0, reqs[i]))
+                        ++wrongBytes;
+                } catch (...) {
+                    ++dropped;
+                }
+            }
+        });
+    }
+    const ModelHandle h2 = reg->swapFromFile("m", path);
+    EXPECT_EQ(h2.version, 2u);
+    for (auto& t : producers)
+        t.join();
+    std::remove(path.c_str());
+
+    EXPECT_EQ(dropped.load(), 0u);
+    EXPECT_EQ(wrongBytes.load(), 0u)
+        << "quantized serving diverged from the exact reference";
+
+    // The swapped-in epoch really is the quantized one (half the PWP
+    // bytes), and post-swap traffic serves off it exactly.
+    const ModelRegistry::Pinned pinned = reg->pin("m");
+    EXPECT_EQ(pinned.model->layer(0).pwpTier(), PwpTier::Int16);
+    const BinaryMatrix after = makeRequests(1, 96, 990)[0];
+    EngineResponse resp = engine.submit(h1, 0, after).get();
+    EXPECT_EQ(resp.model, h2);
+    EXPECT_EQ(resp.out, expected(v2, 0, after));
+}
+
 } // namespace
 } // namespace phi

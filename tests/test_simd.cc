@@ -206,6 +206,65 @@ TEST(SimdKernels, MultiRowPrimitivesMatchScalar)
     }
 }
 
+/** Exercise one pwpGather element width against the scalar kernel. */
+template <typename Elem, typename Fn>
+void
+checkPwpGather(const simd::Kernels& ref, const simd::Kernels& kr,
+               Fn refGather, Fn krGather, const char* what)
+{
+    constexpr size_t kRowsPerTile = 4;
+    Rng rng(777);
+    for (size_t n : kSpans) {
+        for (size_t numTiles : {size_t{0}, size_t{1}, size_t{3},
+                                size_t{8}}) {
+            const size_t stride = n + (n % 2 ? 5 : 16);
+            std::vector<Elem> arena(numTiles * kRowsPerTile * stride);
+            for (auto& x : arena)
+                x = static_cast<Elem>(rng.uniformInt(-100, 100));
+            std::vector<uint64_t> rowBase(numTiles);
+            std::vector<uint16_t> ids(numTiles);
+            for (size_t t = 0; t < numTiles; ++t) {
+                rowBase[t] = t * kRowsPerTile;
+                // 0 = no pattern assigned: the kernel must skip it.
+                ids[t] = static_cast<uint16_t>(
+                    rng.uniformInt(0, kRowsPerTile));
+            }
+            const auto w16a = randomValues<int16_t>(n, 81 + n);
+            const auto w16b = randomValues<int16_t>(n, 82 + n);
+            const auto w16c = randomValues<int16_t>(n, 83 + n);
+            const std::vector<const int16_t*> pos = {w16a.data(),
+                                                     w16b.data()};
+            const std::vector<const int16_t*> neg = {w16c.data()};
+
+            auto a = randomValues<int32_t>(n, 84 + n);
+            auto b = a;
+            refGather(a.data(), arena.data(), rowBase.data(),
+                      ids.data(), numTiles, stride, pos.data(),
+                      pos.size(), neg.data(), neg.size(), n);
+            krGather(b.data(), arena.data(), rowBase.data(),
+                     ids.data(), numTiles, stride, pos.data(),
+                     pos.size(), neg.data(), neg.size(), n);
+            EXPECT_EQ(a, b) << kr.name << " " << what << " tiles="
+                            << numTiles << " n=" << n;
+            (void)ref;
+        }
+    }
+}
+
+TEST(SimdKernels, PwpGatherMatchesScalarAtEveryWidth)
+{
+    const simd::Kernels& ref = simd::scalarKernels();
+    for (SimdIsa isa : simdBackends()) {
+        const simd::Kernels& kr = simd::kernels(isa);
+        checkPwpGather<int32_t>(ref, kr, ref.pwpGatherI32,
+                                kr.pwpGatherI32, "pwpGatherI32");
+        checkPwpGather<int16_t>(ref, kr, ref.pwpGatherI16,
+                                kr.pwpGatherI16, "pwpGatherI16");
+        checkPwpGather<int8_t>(ref, kr, ref.pwpGatherI8,
+                               kr.pwpGatherI8, "pwpGatherI8");
+    }
+}
+
 TEST(SimdKernels, PopcountAndHammingMatchScalar)
 {
     const simd::Kernels& ref = simd::scalarKernels();
