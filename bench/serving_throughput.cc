@@ -29,6 +29,12 @@
  *   with queue position — and once with a per-request deadline, where
  *   the dispatcher drops expired entries before compute and the p99 of
  *   the requests actually admitted stays bounded near the deadline.
+ * - network (Linux only): the same model served through the epoll TCP
+ *   frontend on loopback, swept over concurrent connections. Each
+ *   connection is a synchronous request/response client, so this
+ *   measures the full wire path — encode, kernel socket hop, frame
+ *   parse, engine dispatch, encode back — against the in-process
+ *   async numbers above it.
  *
  * Usage:  serving_throughput [out.json]
  *         writes a BENCH_serving.json-style report when a path is given.
@@ -47,9 +53,12 @@
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/pipeline.hh"
+#include "net/client.hh"
+#include "net/server.hh"
 #include "numeric/simd.hh"
 #include "runtime/async_engine.hh"
 #include "runtime/engine.hh"
+#include "runtime/registry.hh"
 #include "snn/activation_gen.hh"
 
 using namespace phi;
@@ -91,6 +100,17 @@ struct AsyncResult
     double meanLingerUs;
     uint64_t dispatches;
     uint64_t rejected;
+};
+
+struct NetworkResult
+{
+    int connections;
+    uint64_t requests;
+    double rps;
+    double rowsPerSec;
+    double p50Ms;
+    double p99Ms;
+    uint64_t errors;
 };
 
 struct ResilienceResult
@@ -306,10 +326,96 @@ runResilienceConfig(const CompiledModel& model,
             all.empty() ? 0.0 : all.back()};
 }
 
+#ifdef __linux__
+/**
+ * The wire-path capacity scenario: the compiled model is hosted behind
+ * a PhiServer on loopback, and @p connections synchronous clients each
+ * stream @p perConnection requests through their own socket. Achieved
+ * throughput is the total served over the slowest client's window —
+ * the number an operator sizing connection counts against a single
+ * server process actually gets.
+ */
+NetworkResult
+runNetworkConfig(const CompiledModel& model,
+                 const std::vector<BinaryMatrix>& requests,
+                 int connections, size_t perConnection)
+{
+    using Clock = std::chrono::steady_clock;
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->load("bench", model);
+
+    ExecutionConfig exec;
+    exec.threads = 4;
+    AsyncEngineConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxLingerMicros = 200;
+    cfg.maxQueueDepth = 1024;
+    cfg.backpressure = AsyncEngineConfig::Backpressure::Reject;
+    net::PhiServer server(registry, exec, cfg, net::PhiServerConfig{});
+    server.start();
+
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(connections));
+    std::atomic<uint64_t> errors{0};
+    const auto wallStart = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+        clients.emplace_back([&, c] {
+            net::PhiClient client("127.0.0.1", server.port());
+            for (size_t i = 0; i < perConnection; ++i) {
+                const BinaryMatrix& acts =
+                    requests[(static_cast<size_t>(c) * perConnection +
+                              i) %
+                             requests.size()];
+                const auto start = Clock::now();
+                try {
+                    client.request("bench", 0, acts);
+                    latencies[static_cast<size_t>(c)].push_back(
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count());
+                } catch (const std::exception&) {
+                    ++errors;
+                }
+            }
+        });
+    }
+    for (auto& t : clients)
+        t.join();
+    const double wallSec =
+        std::chrono::duration<double>(Clock::now() - wallStart).count();
+    server.requestDrain();
+    server.waitUntilStopped();
+
+    std::vector<double> all;
+    for (const auto& v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    auto pct = [&](double p) {
+        return all.empty()
+                   ? 0.0
+                   : all[static_cast<size_t>(
+                         p * static_cast<double>(all.size() - 1))];
+    };
+    const uint64_t served = static_cast<uint64_t>(all.size());
+    return {connections,
+            served,
+            wallSec > 0.0 ? static_cast<double>(served) / wallSec : 0.0,
+            wallSec > 0.0 ? static_cast<double>(served * kRequestRows) /
+                                wallSec
+                          : 0.0,
+            pct(0.50),
+            pct(0.99),
+            errors.load()};
+}
+#endif // __linux__
+
 void
 writeJson(const std::string& path, const std::vector<Result>& results,
           const std::vector<AsyncResult>& asyncResults,
-          const std::vector<ResilienceResult>& resilience)
+          const std::vector<ResilienceResult>& resilience,
+          const std::vector<NetworkResult>& network)
 {
     std::ofstream out(path);
     out << "{\n  \"benchmark\": \"serving_throughput\",\n"
@@ -362,6 +468,18 @@ writeJson(const std::string& path, const std::vector<Result>& results,
             << ", \"p99_served_ms\": " << r.p99ServedMs
             << ", \"max_served_ms\": " << r.maxServedMs << "}"
             << (i + 1 < resilience.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"network\": [\n";
+    for (size_t i = 0; i < network.size(); ++i) {
+        const NetworkResult& r = network[i];
+        out << "    {\"connections\": " << r.connections
+            << ", \"requests\": " << r.requests
+            << ", \"rps\": " << r.rps
+            << ", \"rows_per_sec\": " << r.rowsPerSec
+            << ", \"p50_ms\": " << r.p50Ms
+            << ", \"p99_ms\": " << r.p99Ms
+            << ", \"errors\": " << r.errors << "}"
+            << (i + 1 < network.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
 }
@@ -441,9 +559,30 @@ main(int argc, char** argv)
                  "client-observed latency of served requests):\n";
     rt.print(std::cout);
 
+    // Wire-path capacity: the same model behind the TCP frontend on
+    // loopback, swept over concurrent synchronous connections.
+    std::vector<NetworkResult> network;
+#ifdef __linux__
+    Table nt({"Conns", "Req/s", "kRows/s", "p50 ms", "p99 ms",
+              "Errors"});
+    for (int conns : {1, 4, 8, 16}) {
+        NetworkResult r = runNetworkConfig(model, requests, conns,
+                                           /*perConnection=*/32);
+        network.push_back(r);
+        nt.addRow({std::to_string(r.connections), Table::fmt(r.rps, 1),
+                   Table::fmt(r.rowsPerSec / 1e3, 1),
+                   Table::fmt(r.p50Ms, 3), Table::fmt(r.p99Ms, 3),
+                   std::to_string(r.errors)});
+        std::cerr << "  network conns=" << conns << " done\n";
+    }
+    std::cout << "\nTCP frontend on loopback (engine threads=4, "
+                 "synchronous clients):\n";
+    nt.print(std::cout);
+#endif
+
     if (argc > 1) {
         phi::bench::requireReleaseForJson(argv[1]);
-        writeJson(argv[1], results, asyncResults, resilience);
+        writeJson(argv[1], results, asyncResults, resilience, network);
         std::cerr << "wrote " << argv[1] << "\n";
     }
     return 0;

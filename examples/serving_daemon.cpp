@@ -1,29 +1,33 @@
 /**
  * @file
- * Serving daemon: many models, one process, hot-swapped under fire.
+ * Serving daemon: many models, one TCP frontend, hot-swapped under fire.
  *
  * Where quickstart.cpp shows the synchronous compile-once/serve-many
- * loop, this example is the serving-process shape the registry-routed
- * AsyncPhiEngine exists for: a ModelRegistry hosts two named models
- * ("vision" and "nlp"), four producer threads stream requests at both
- * through one futures-based frontend, and mid-run the main thread
- * swap()s "vision" to a new version — with zero downtime, zero
- * dropped responses, and every response reporting exactly which
- * {name, version} served it. Malformed requests still fail only their
- * own future with a typed EngineError, and the process never aborts
- * on bad traffic.
+ * loop, this example is the serving-process shape the network frontend
+ * exists for: a ModelRegistry hosts two named models ("vision" and
+ * "nlp") behind a PhiServer bound to loopback, four producer threads
+ * stream requests at both *over the wire* through PhiClient, and
+ * mid-run the main thread swap()s "vision" to a new version — with
+ * zero downtime, zero dropped responses, and every wire response
+ * reporting exactly which {name, version} served it. Malformed
+ * requests fail only themselves with a typed EngineError carried
+ * across the wire, a raw garbage frame kills only its own connection,
+ * and the process never aborts on bad traffic.
  *
  * The second half demonstrates the resilience layer: an
  * already-expired deadline is rejected before compute
  * (DeadlineExceeded), a saturated queue sheds its lowest-priority
  * entry to admit an outranking request (QueueFull for the victim,
- * a served value for the winner), and a hot-swap to a deliberately
+ * a served value for the winner), a hot-swap to a deliberately
  * corrupted .phim artifact is rejected by the per-section CRC check
- * while the previous version keeps serving bit-exact responses.
+ * while wire traffic keeps serving bit-exact from the previous
+ * version, and finally the server drains gracefully: in-flight work
+ * finishes, new connections are refused, and the process exits by the
+ * verdicts.
  *
  * stdout is deterministic (bit-exactness verdicts and counts only);
- * timing-dependent stats — including the per-model split — go to
- * stderr.
+ * timing-dependent stats — including the port and the per-model
+ * split — go to stderr.
  *
  * Build & run:  ./build/examples/example_serving_daemon
  */
@@ -34,7 +38,6 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <future>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -83,6 +86,8 @@ compileModel(size_t k, const Matrix<int16_t>& weights, uint64_t seed)
 
 } // namespace
 
+#ifdef __linux__
+
 int
 main()
 {
@@ -92,29 +97,35 @@ main()
     const Matrix<int16_t> visionW2 = randomWeights(256, 64, 3);
     const Matrix<int16_t> nlpW = randomWeights(128, 32, 4);
 
-    // Online: one registry, one async frontend over it. Models are
-    // named + versioned; handles route requests and stamp responses.
+    // Online: one registry, one TCP frontend over it. Models are
+    // named + versioned; requests route by name over the wire and
+    // every response stamps the {name, version} that served it.
     auto registry = std::make_shared<ModelRegistry>();
-    const ModelHandle vision =
-        registry->load("vision", compileModel(256, visionW1, 7));
-    const ModelHandle nlp =
-        registry->load("nlp", compileModel(128, nlpW, 8));
+    registry->load("vision", compileModel(256, visionW1, 7));
+    registry->load("nlp", compileModel(128, nlpW, 8));
 
     AsyncEngineConfig async_cfg;
     async_cfg.maxBatch = 8;
     async_cfg.maxLingerMicros = 200;
     async_cfg.maxQueueDepth = 64;
-    AsyncPhiEngine engine(registry, ExecutionConfig{}, async_cfg);
+    async_cfg.backpressure = AsyncEngineConfig::Backpressure::Reject;
+    net::PhiServerConfig net_cfg; // loopback, ephemeral port
+    net::PhiServer server(registry, ExecutionConfig{}, async_cfg,
+                          net_cfg);
+    server.start();
+    std::cerr << "listening on 127.0.0.1:" << server.port() << "\n";
 
-    std::cout << "Hosting " << registry->size() << " models: "
-              << vision.str() << ", " << nlp.str() << "\n";
+    std::cout << "Hosting " << registry->size()
+              << " models behind one TCP frontend\n";
 
-    // Four producers — two per model — stream deterministic request
-    // streams and check every future against the reference GEMM of
-    // the version the response says served it. Meanwhile the main
-    // thread swaps "vision" to v2 mid-traffic (unsynchronised: the
-    // race is the point; the swap is atomic and epoch-pinned, so
-    // requests serve whichever version they were submitted against).
+    // Four producers — two per model — each open their own PhiClient
+    // connection, stream deterministic request streams over the wire,
+    // and check every response against the reference GEMM of the
+    // version the response says served it. Meanwhile the main thread
+    // swaps "vision" to v2 mid-traffic (unsynchronised: the race is
+    // the point; the swap is atomic and epoch-pinned, so requests
+    // serve whichever version they were dispatched against — and the
+    // wire response reports which).
     constexpr size_t kProducers = 4;
     constexpr size_t kPerProducer = 12;
     std::vector<size_t> exact(kProducers, 0);
@@ -123,7 +134,7 @@ main()
     for (size_t p = 0; p < kProducers; ++p) {
         producers.emplace_back([&, p] {
             const bool onVision = p % 2 == 0;
-            const ModelHandle handle = onVision ? vision : nlp;
+            const std::string name = onVision ? "vision" : "nlp";
             const size_t k = onVision ? 256 : 128;
             ClusterGenConfig gen_cfg;
             gen_cfg.bitDensity = 0.10;
@@ -134,17 +145,16 @@ main()
             for (size_t i = 0; i < kPerProducer; ++i)
                 reqs.push_back(pgen.generate(192, prng));
 
-            std::vector<std::future<EngineResponse>> futures;
-            for (const BinaryMatrix& acts : reqs)
-                futures.push_back(engine.submit(handle, 0, acts));
-            for (size_t i = 0; i < futures.size(); ++i) {
-                EngineResponse resp = futures[i].get();
+            net::PhiClient client("127.0.0.1", server.port());
+            for (size_t i = 0; i < reqs.size(); ++i) {
+                const net::WireResponse resp =
+                    client.request(name, 0, reqs[i]);
                 const Matrix<int16_t>* w = nullptr;
-                if (!onVision && resp.model.version == 1)
+                if (!onVision && resp.version == 1)
                     w = &nlpW;
-                else if (onVision && resp.model.version == 1)
+                else if (onVision && resp.version == 1)
                     w = &visionW1;
-                else if (onVision && resp.model.version == 2)
+                else if (onVision && resp.version == 2)
                     w = &visionW2;
                 if (w != nullptr)
                     ++versioned[p];
@@ -165,8 +175,9 @@ main()
         versionedTotal += versioned[p];
     }
     const size_t total = kProducers * kPerProducer;
-    std::cout << "Served " << total << " requests from " << kProducers
-              << " concurrent producers across 2 models\n"
+    std::cout << "Served " << total << " requests over TCP from "
+              << kProducers
+              << " concurrent connections across 2 models\n"
               << "Every response on a valid version: "
               << (versionedTotal == total ? "YES" : "NO (bug!)") << "\n"
               << "Hot-swapped vision mid-run; lossless: "
@@ -174,28 +185,32 @@ main()
                                       : "NO (bug!)")
               << "\n";
 
-    // After the swap, stale handles keep working and route to v2.
-    engine.drain();
+    // After the swap, name-routed wire requests land on v2 — clients
+    // never reconnect, relink, or learn about the swap.
+    net::PhiClient client("127.0.0.1", server.port());
     ClusterGenConfig gen_cfg;
     gen_cfg.bitDensity = 0.10;
     gen_cfg.l2DensityTarget = 0.02;
     ClusteredSpikeGenerator vgen(gen_cfg, 256, 55);
     Rng vrng(56);
     BinaryMatrix after = vgen.generate(64, vrng);
-    EngineResponse resp = engine.submit(vision, 0, after).get();
-    std::cout << "Post-swap request on the old handle served by "
-              << resp.model.str() << ": "
-              << (resp.model == vision2 &&
-                          resp.out == spikeGemm(after, visionW2)
+    const net::WireResponse postSwap =
+        client.request("vision", 0, after);
+    std::cout << "Post-swap wire request served by vision:v"
+              << postSwap.version << ": "
+              << (postSwap.version == 2 &&
+                          postSwap.out == spikeGemm(after, visionW2)
                       ? "YES (new version, bit-exact)"
                       : "NO (bug!)")
               << "\n";
 
-    // Bad traffic is survivable: a malformed request rejects its own
-    // future with a typed EngineError and the daemon keeps serving.
+    // Bad traffic is survivable: a malformed request crosses the wire,
+    // fails typed in the engine, and comes back as the *same*
+    // EngineError a local caller would see — and only that request
+    // dies; the connection keeps serving.
     BinaryMatrix wrongK(4, 32);
     try {
-        engine.submit(vision, 0, wrongK).get();
+        client.request("vision", 0, wrongK);
         std::cout << "BUG: malformed request was accepted\n";
     } catch (const EngineError& e) {
         std::cout << "Malformed request recoverably rejected: "
@@ -203,21 +218,48 @@ main()
     }
     BinaryMatrix again = vgen.generate(64, vrng);
     const bool stillServing =
-        engine.submit(vision, 0, again).get().out ==
+        client.request("vision", 0, again).out ==
         spikeGemm(again, visionW2);
-    std::cout << "Still serving after the rejection: "
+    std::cout << "Still serving on the same connection: "
               << (stillServing ? "YES" : "NO (bug!)") << "\n";
+
+    // A connection that speaks garbage is severed with a typed
+    // connection-level error — and *only* that connection: the
+    // well-behaved client above never notices.
+    bool garbageTyped = false;
+    try {
+        net::PhiClient vandal("127.0.0.1", server.port());
+        const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+        vandal.sendRaw(junk, sizeof(junk) - 1);
+        vandal.readReply();
+    } catch (const net::NetError& e) {
+        garbageTyped = e.code() == net::WireErrorCode::BadMagic ||
+                       e.code() == net::WireErrorCode::ConnectionLost;
+    }
+    BinaryMatrix unbothered = vgen.generate(64, vrng);
+    const bool poolSurvives =
+        client.request("vision", 0, unbothered).out ==
+        spikeGemm(unbothered, visionW2);
+    std::cout << "Garbage frame severed only its own connection: "
+              << (garbageTyped && poolSurvives ? "YES (typed close)"
+                                               : "NO (bug!)")
+              << "\n";
 
     // ---- Resilience: time-aware admission ---------------------------
     // A request whose deadline has already passed is dropped before a
     // single cycle of compute is spent on it; its future fails with
-    // DeadlineExceeded and the expired counter records the drop.
+    // DeadlineExceeded and the expired counter records the drop. (Wire
+    // deadlines are relative budgets anchored at server receipt, so a
+    // pre-expired absolute deadline is an in-process demonstration —
+    // on the very engine the server serves from.)
     bool deadlineTyped = false;
     SubmitOptions lateOpts;
     lateOpts.deadline = std::chrono::steady_clock::now() -
                         std::chrono::milliseconds(1);
     try {
-        engine.submit(vision, 0, vgen.generate(64, vrng), lateOpts)
+        server.engine()
+            .submit(ModelHandle{"vision", 2}, 0,
+                    vgen.generate(64, vrng), lateOpts)
             .get();
     } catch (const EngineError& e) {
         deadlineTyped = e.code() == EngineError::Code::DeadlineExceeded;
@@ -238,6 +280,7 @@ main()
         shed_cfg.maxQueueDepth = 1;
         shed_cfg.backpressure = AsyncEngineConfig::Backpressure::Reject;
         AsyncPhiEngine shedEngine(registry, ExecutionConfig{}, shed_cfg);
+        const ModelHandle vision{"vision", 2};
         const BinaryMatrix lowActs = vgen.generate(64, vrng);
         const BinaryMatrix highActs = vgen.generate(64, vrng);
         auto lowFut = shedEngine.submit(vision, 0, lowActs); // priority 0
@@ -264,7 +307,8 @@ main()
     // Serialize a would-be v3 of "vision", flip one payload byte, and
     // try to swap it in from disk. The per-section CRC rejects the
     // artifact before the registry mutates: the IoError names the file
-    // and section, "vision" stays at v2, and traffic keeps serving.
+    // and section, "vision" stays at v2, and wire traffic keeps
+    // serving through the rejection.
     const std::string artifact =
         (std::filesystem::temp_directory_path() /
          ("phi_daemon_swap_" + std::to_string(::getpid()) + ".phim"))
@@ -291,20 +335,55 @@ main()
                          registry->current("vision")->version == 2;
     BinaryMatrix afterCorrupt = vgen.generate(64, vrng);
     const bool servesThroughIt =
-        engine.submit(vision, 0, afterCorrupt).get().out ==
+        client.request("vision", 0, afterCorrupt).out ==
         spikeGemm(afterCorrupt, visionW2);
     std::cout << "Corrupt .phim hot-swap rejected by its CRC: "
               << (corruptRejected ? "YES" : "NO (bug!)") << "\n"
               << "IoError names the file and the bad section: "
               << (errorNamesBoth ? "YES" : "NO (bug!)") << "\n"
-              << "Previous version kept serving through the rejection: "
+              << "Previous version kept serving over the wire: "
               << (stillV2 && servesThroughIt ? "YES (v2, bit-exact)"
                                              : "NO (bug!)")
               << "\n";
     std::remove(artifact.c_str());
 
-    engine.drain();
-    const ServingStats s = engine.stats();
+    // The STATS verb exports the per-model serving split over the same
+    // socket — no sidecar, no scrape port.
+    const std::string stats = client.statsText();
+    const bool statsComplete =
+        stats.find("model vision") != std::string::npos &&
+        stats.find("model nlp") != std::string::npos &&
+        stats.find("engine_requests") != std::string::npos;
+    std::cout << "STATS reports both models over the wire: "
+              << (statsComplete ? "YES" : "NO (bug!)") << "\n";
+    std::cerr << stats;
+
+    // ---- Graceful drain ---------------------------------------------
+    // requestDrain() is what a SIGTERM handler calls: stop accepting,
+    // serve everything already admitted, flush, release every fd.
+    server.requestDrain();
+    server.waitUntilStopped();
+    bool refusedAfterDrain = false;
+    try {
+        net::PhiClient late("127.0.0.1", server.port());
+        late.request("vision", 0, after);
+    } catch (const net::NetError&) {
+        refusedAfterDrain = true; // connect or request refused — drained
+    } catch (const EngineError&) {
+        refusedAfterDrain = true;
+    }
+    std::cout << "Graceful drain: in-flight served, sockets released: "
+              << (!server.running() ? "YES" : "NO (bug!)") << "\n"
+              << "New work refused after drain: "
+              << (refusedAfterDrain ? "YES" : "NO (bug!)") << "\n";
+
+    const auto& c = server.counters();
+    std::cerr << "server counters: accepted=" << c.accepted
+              << ", requests=" << c.requests << ", responses="
+              << c.responses << ", wire_errors=" << c.wireErrors
+              << ", protocol_errors=" << c.protocolErrors
+              << ", drain_rejected=" << c.drainRejected << "\n";
+    const ServingStats s = server.engine().stats();
     std::cerr << "stats: " << s.requests << " requests in " << s.batches
               << " batches, " << s.dispatches << " dispatches, rps="
               << s.throughputRps() << ", p99=" << s.latencyPercentileMs(99)
@@ -313,16 +392,30 @@ main()
               << "us, rejected=" << s.rejected << ", expired="
               << s.expired << ", shed=" << s.shed
               << ", watchdog restarts=" << s.watchdogRestarts << "\n";
-    for (const auto& [name, ms] : engine.perModelStats())
+    for (const auto& [name, ms] : server.engine().perModelStats())
         std::cerr << "  " << name << ": " << ms.requests
                   << " requests, p99=" << ms.latencyPercentileMs(99)
                   << "ms\n";
 
     const bool resilient = deadlineTyped && victimTyped && winnerServed &&
                            corruptRejected && errorNamesBoth && stillV2 &&
-                           servesThroughIt;
+                           servesThroughIt && garbageTyped &&
+                           poolSurvives && statsComplete &&
+                           refusedAfterDrain && !server.running();
     return exactTotal == total && versionedTotal == total &&
                    stillServing && resilient
                ? 0
                : 1;
 }
+
+#else // !__linux__
+
+int
+main()
+{
+    std::cout << "serving_daemon requires Linux (epoll TCP frontend); "
+                 "skipping\n";
+    return 0;
+}
+
+#endif // __linux__

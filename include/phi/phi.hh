@@ -25,6 +25,15 @@
  *     phi::EngineError           typed, recoverable request failures
  *     phi::ExecutionConfig       threads / tiling / SIMD knobs
  *
+ *   Network (serve over TCP)
+ *     phi::net::PhiServer        epoll frontend over AsyncPhiEngine:
+ *                                concurrent connections, timeouts,
+ *                                graceful SIGTERM drain
+ *     phi::net::PhiClient        blocking client; rethrows server
+ *                                errors as EngineError/IoError/
+ *                                NetError by band
+ *     phi::net::WireErrorCode    the typed wire error taxonomy
+ *
  * Everything under the sibling internal headers (installed at
  * <prefix>/include/phi/internal) is implementation detail: included
  * here transitively, reachable when you need to reach under the
@@ -61,5 +70,10 @@
 #include "runtime/registry.hh"
 #include "runtime/engine.hh"
 #include "runtime/async_engine.hh"
+
+// TCP serving frontend: wire protocol, server, client.
+#include "net/protocol.hh"
+#include "net/server.hh"
+#include "net/client.hh"
 
 #endif // PHI_PHI_HH

@@ -131,8 +131,9 @@ compiledIn()
 std::vector<std::string>
 allSites()
 {
-    return {sites::kIoRead, sites::kIoWrite, sites::kPoolTask,
-            sites::kDispatcherLoop};
+    return {sites::kIoRead,   sites::kIoWrite, sites::kPoolTask,
+            sites::kDispatcherLoop, sites::kNetAccept, sites::kNetRead,
+            sites::kNetWrite};
 }
 
 } // namespace phi::failpoint

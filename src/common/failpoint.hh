@@ -111,6 +111,13 @@ inline constexpr const char* kIoWrite = "io.write";
 inline constexpr const char* kPoolTask = "pool.task";
 /** AsyncPhiEngine dispatch loop: the dispatcher thread dies. */
 inline constexpr const char* kDispatcherLoop = "dispatcher.loop";
+/** PhiServer accept path: a freshly accepted connection is dropped as
+ *  if accept(2) had failed. */
+inline constexpr const char* kNetAccept = "net.accept";
+/** PhiServer read path: a connection's read fails mid-stream. */
+inline constexpr const char* kNetRead = "net.read";
+/** PhiServer write path: flushing a connection's responses fails. */
+inline constexpr const char* kNetWrite = "net.write";
 } // namespace sites
 
 /** Every site name above, for exhaustive chaos sweeps. */

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * PhiServer: the TCP serving frontend. A dependency-free epoll loop
+ * speaking the length-prefixed wire protocol (net/protocol.hh) over
+ * any number of concurrent non-blocking connections, wrapping one
+ * AsyncPhiEngine + ModelRegistry so the whole in-process serving
+ * stack — handle-based routing, deadlines, priorities, backpressure,
+ * hot-swap, per-model stats — is reachable over a socket.
+ *
+ * Threads:
+ *  - The *net thread* owns epoll, every socket, and all connection
+ *    state: it accepts, reads, parses frames, submits requests to the
+ *    engine, flushes write buffers, and sweeps timeouts. No socket is
+ *    ever touched from another thread.
+ *  - The *completion thread* waits on the engine futures in submit
+ *    order, serializes each result (or typed error) into the owning
+ *    connection's outbox, and wakes the net thread through an
+ *    eventfd. A connection that died mid-request simply has its
+ *    response dropped — the future is still consumed, so nothing
+ *    leaks and the engine never blocks on a vanished client.
+ *  - The engine's own dispatcher + pool threads compute, exactly as
+ *    in-process serving does.
+ *
+ * Hostile-reality contract (what the tests pin):
+ *  - Malformed traffic never hurts a neighbour: a frame with a bad
+ *    magic, a lying length, an oversized body, or an undecodable
+ *    payload yields a typed Error frame; framing-level corruption
+ *    additionally closes that one connection (the length prefix can
+ *    no longer be trusted), while a cleanly-framed bad body keeps the
+ *    connection serving.
+ *  - Slow and vanished clients are bounded: a connection whose write
+ *    buffer exceeds maxWriteBufferBytes, stalls a partial frame past
+ *    readTimeoutMs, makes no write progress past writeTimeoutMs, or
+ *    sits idle past idleTimeoutMs is disconnected — fd closed, state
+ *    freed, in-flight responses dropped on completion.
+ *  - Graceful drain: requestDrain() (async-signal-safe — call it
+ *    from a SIGTERM handler) stops accepting connections, answers
+ *    requests parsed after the drain began with ServerDraining,
+ *    serves everything already submitted, flushes every response,
+ *    then closes all sockets and stops the loop; run()/
+ *    waitUntilStopped() return and the process can exit 0. Laggards
+ *    are force-closed after drainTimeoutMs so drain always
+ *    terminates.
+ *  - Failpoints net.accept / net.read / net.write (PHI_FAILPOINTS
+ *    builds) fault each socket path deterministically; an injected
+ *    failure is indistinguishable from the real one, and the chaos
+ *    suite proves every one is survivable under live traffic.
+ */
+
+#ifndef PHI_NET_SERVER_HH
+#define PHI_NET_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hh"
+#include "runtime/async_engine.hh"
+
+namespace phi::net
+{
+
+/** Knobs of the TCP frontend (the engine keeps its own configs). */
+struct PhiServerConfig
+{
+    /** Address to bind; loopback by default (explicitly opt into
+     *  exposure). */
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (see PhiServer::port()). */
+    uint16_t port = 0;
+
+    int listenBacklog = 64;
+
+    /** Cap on concurrent connections; extras are told
+     *  TooManyConnections and closed. */
+    size_t maxConnections = 256;
+
+    /** Largest accepted frame body; larger is FrameTooLarge. */
+    size_t maxFrameBytes = kDefaultMaxFrameBytes;
+
+    /**
+     * Bound on unsent response bytes per connection. A client that
+     * reads slower than it submits hits this and is disconnected —
+     * one slow consumer must not grow server memory without bound.
+     */
+    size_t maxWriteBufferBytes = 8u << 20;
+
+    /** Longest a partial frame may stall before the connection is
+     *  closed (Timeout error, best effort). 0 = no limit. */
+    uint64_t readTimeoutMs = 10'000;
+
+    /** Longest a non-empty write buffer may go without the client
+     *  accepting a byte. 0 = no limit. */
+    uint64_t writeTimeoutMs = 10'000;
+
+    /** Longest a connection may sit idle (no traffic, nothing in
+     *  flight). 0 = no limit. */
+    uint64_t idleTimeoutMs = 60'000;
+
+    /** Ceiling on graceful drain; laggards are force-closed after
+     *  this so SIGTERM always terminates. */
+    uint64_t drainTimeoutMs = 10'000;
+};
+
+/** Socket-level counters, surfaced by STATS and the tests. */
+struct ServerCounters
+{
+    uint64_t accepted = 0;        // connections accepted
+    uint64_t closed = 0;          // connections closed (any reason)
+    uint64_t requests = 0;        // request frames submitted
+    uint64_t responses = 0;       // response frames queued
+    uint64_t wireErrors = 0;      // error frames queued
+    uint64_t protocolErrors = 0;  // framing/decoding violations
+    uint64_t timeouts = 0;        // read/idle timeout disconnects
+    uint64_t slowClientDrops = 0; // write cap / write stall drops
+    uint64_t acceptFailures = 0;  // accept path failures (net.accept)
+    uint64_t readFailures = 0;    // read path failures (net.read)
+    uint64_t writeFailures = 0;   // write path failures (net.write)
+    uint64_t statsServed = 0;     // STATS verbs answered
+    uint64_t drainRejected = 0;   // requests refused mid-drain
+};
+
+/**
+ * The TCP serving frontend over one AsyncPhiEngine. Construct, then
+ * start(); requests route through the shared ModelRegistry, which
+ * stays fully live — load/swap/unload from any thread while serving.
+ */
+class PhiServer
+{
+  public:
+    /**
+     * @throws EngineError (EmptyModel) on a null registry — same
+     * contract as AsyncPhiEngine.
+     */
+    explicit PhiServer(std::shared_ptr<ModelRegistry> registry,
+                       ExecutionConfig exec = {},
+                       AsyncEngineConfig engineConfig = {},
+                       PhiServerConfig serverConfig = {});
+
+    /** Hard-stops if still running (prefer requestDrain() +
+     *  waitUntilStopped() for a clean exit). */
+    ~PhiServer();
+
+    PhiServer(const PhiServer&) = delete;
+    PhiServer& operator=(const PhiServer&) = delete;
+
+    /**
+     * Bind + listen + spawn the net and completion threads. @throws
+     * NetError (ConnectError) when the socket cannot be bound.
+     * Idempotent-hostile: calling start() twice throws.
+     */
+    void start();
+
+    /** The bound TCP port (resolves port 0 to the real one). Valid
+     *  after start(). */
+    uint16_t port() const;
+
+    /**
+     * Begin graceful drain. Async-signal-safe (an atomic store and an
+     * eventfd write) — this is the SIGTERM handler's call. Returns
+     * immediately; waitUntilStopped() observes completion.
+     */
+    void requestDrain();
+
+    /** Hard stop: close everything now, drop undelivered responses
+     *  (their futures are still consumed). Idempotent. */
+    void stop();
+
+    /** Block until the net loop has exited (drain finished or stop()
+     *  was called) and both frontend threads are joined. */
+    void waitUntilStopped();
+
+    bool running() const;
+
+    /** True once requestDrain() has been observed by the loop. */
+    bool draining() const;
+
+    /** Live connection count (net-thread snapshot). */
+    size_t connectionCount() const;
+
+    ServerCounters counters() const;
+
+    /** The plaintext metrics block the STATS verb serves. */
+    std::string statsText() const;
+
+    AsyncPhiEngine& engine() { return asyncEngine; }
+    const std::shared_ptr<ModelRegistry>& registry() const
+    {
+        return asyncEngine.registry();
+    }
+    const PhiServerConfig& config() const { return serverConfig; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Connection;
+
+    /** One submitted request whose future the completion thread is
+     *  waiting on. */
+    struct InFlight
+    {
+        uint64_t connId = 0;
+        uint32_t requestId = 0;
+        uint32_t layer = 0;
+        std::future<EngineResponse> future;
+    };
+
+    void netLoop();
+    void completionLoop();
+
+    void acceptPending();
+    void handleReadable(Connection& conn);
+    void processBuffer(Connection& conn);
+    bool handleRequestFrame(Connection& conn, const ParsedFrame& frame);
+    void queueFrame(Connection& conn, std::vector<uint8_t> frame);
+    void flushWrites(Connection& conn);
+    void deliverOutboxes();
+    void sweepTimeouts(Clock::time_point now);
+    void beginDrain();
+    bool drainComplete();
+    void closeConnection(uint64_t connId, bool countClosed = true);
+    void closeAllConnections();
+    int64_t nextTimeoutMs(Clock::time_point now) const;
+
+    AsyncPhiEngine asyncEngine;
+    PhiServerConfig serverConfig;
+
+    int listenFd = -1;
+    int epollFd = -1;
+    int wakeFd = -1; // eventfd: completion deliveries + drain/stop
+    uint16_t boundPort = 0;
+
+    std::thread netThread;
+    std::thread completionThread;
+
+    std::atomic<bool> started{false};
+    std::atomic<bool> loopRunning{false};
+    std::atomic<bool> drainRequested{false};
+    std::atomic<bool> stopRequested{false};
+    std::atomic<bool> drainingFlag{false};
+
+    /** Guards connsById outboxes/inFlight counts + counters: shared
+     *  between the net thread and the completion thread. */
+    mutable std::mutex stateMutex;
+    std::map<uint64_t, Connection*> connsById;
+    ServerCounters stats;
+    size_t activeRequests = 0; // submitted, response not yet queued
+
+    /** Completion queue: net thread pushes, completion thread pops. */
+    std::mutex completionMutex;
+    std::condition_variable completionCv;
+    std::deque<InFlight> completionQueue;
+    bool completionStop = false;
+
+    /** Net-thread-only state. */
+    std::map<int, std::unique_ptr<Connection>> connsByFd;
+    uint64_t nextConnId = 1;
+    Clock::time_point drainDeadline{};
+
+    /** Serialises start()/stop()/waitUntilStopped() joins. */
+    std::mutex lifecycleMutex;
+};
+
+} // namespace phi::net
+
+#endif // PHI_NET_SERVER_HH

@@ -219,14 +219,21 @@ AsyncPhiEngine::recoverDispatcher(std::exception_ptr cause)
     engine.clearPending();
 
     watchdogRestarts.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::promise<void>> drained;
     {
         std::lock_guard<std::mutex> lock(mutex);
         inFlight = 0;
+        // The crash may have emptied the world: drainedFuture()
+        // waiters must not outlive the work they were waiting on.
+        if (pendingQueue.empty())
+            drained = std::move(drainWaiters);
     }
     // Both a blocked drain() (queue may now be empty) and blocked
     // submitters get to re-check the world.
     idle.notify_all();
     spaceAvailable.notify_all();
+    for (std::promise<void>& p : drained)
+        p.set_value();
 }
 
 void
@@ -392,9 +399,25 @@ AsyncPhiEngine::dispatchLoop()
 
         lock.lock();
         inFlight = 0;
-        if (pendingQueue.empty())
+        std::vector<std::promise<void>> drained;
+        if (pendingQueue.empty()) {
             idle.notify_all();
+            drained = std::move(drainWaiters);
+        }
+        lock.unlock();
+        for (std::promise<void>& p : drained)
+            p.set_value();
     }
+
+    // Clean stop: everything submitted has been resolved; any
+    // drainedFuture() still registered is satisfied by definition.
+    std::vector<std::promise<void>> drained;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        drained = std::move(drainWaiters);
+    }
+    for (std::promise<void>& p : drained)
+        p.set_value();
 }
 
 void
@@ -403,6 +426,26 @@ AsyncPhiEngine::drain()
     std::unique_lock<std::mutex> lock(mutex);
     idle.wait(lock,
               [this] { return pendingQueue.empty() && inFlight == 0; });
+}
+
+std::future<void>
+AsyncPhiEngine::drainedFuture()
+{
+    std::promise<void> promise;
+    std::future<void> future = promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!(pendingQueue.empty() && inFlight == 0)) {
+            // Not idle: park the promise for the dispatcher, which
+            // resolves it the moment the queue and in-flight batch
+            // are both empty (or on clean stop, when everything
+            // submitted has been resolved one way or the other).
+            drainWaiters.push_back(std::move(promise));
+            return future;
+        }
+    }
+    promise.set_value(); // already idle — resolved before returning
+    return future;
 }
 
 void

@@ -191,6 +191,19 @@ class AsyncPhiEngine
     void drain();
 
     /**
+     * The non-blocking form of drain(): a future that resolves once
+     * every request submitted before this call has been served (or
+     * failed typed). Callers that must interleave the wait with other
+     * work — a network frontend flushing responses while it watches
+     * the engine empty — poll or wait on this instead of parking a
+     * thread in drain(). Resolves immediately when the engine is
+     * already idle (including after shutdown()), and is never left
+     * broken: every returned future resolves even if the engine is
+     * destroyed or the dispatcher crashes and restarts.
+     */
+    std::future<void> drainedFuture();
+
+    /**
      * Stop accepting new work, serve everything queued, and join the
      * dispatcher. Idempotent. Blocked submitters and later submit()
      * calls resolve their futures with EngineError(Stopped).
@@ -279,6 +292,7 @@ class AsyncPhiEngine
     std::condition_variable idle; // queue empty and nothing in flight
     std::deque<Pending> pendingQueue;
     std::vector<std::string> statsDrops; // names for the dispatcher to prune
+    std::vector<std::promise<void>> drainWaiters; // drainedFuture() promises
     bool accepting = true;
     bool stopping = false;
     size_t inFlight = 0;     // requests popped but not yet resolved

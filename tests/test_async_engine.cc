@@ -293,6 +293,77 @@ TEST_F(AsyncPhiEngineTest, DrainWaitsForEverythingSubmitted)
         EXPECT_EQ(futures[i].get().out, expected(0, reqs[i]));
 }
 
+TEST_F(AsyncPhiEngineTest, DrainedFutureResolvesAfterPendingWork)
+{
+    AsyncEngineConfig cfg;
+    cfg.maxLingerMicros = 10'000;
+    AsyncPhiEngine engine(model, withThreads(2), cfg);
+    const std::vector<BinaryMatrix> reqs = makeRequests(9, 96, 811);
+    std::vector<std::future<EngineResponse>> futures;
+    for (const auto& acts : reqs)
+        futures.push_back(engine.submit(0, acts));
+
+    // The non-blocking drain: the caller keeps its thread and waits
+    // on the future instead.
+    std::future<void> drained = engine.drainedFuture();
+    ASSERT_EQ(drained.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    drained.get(); // must not throw, must not be broken
+
+    // Everything submitted before drainedFuture() is now ready.
+    for (auto& f : futures)
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+    for (size_t i = 0; i < futures.size(); ++i)
+        EXPECT_EQ(futures[i].get().out, expected(0, reqs[i]));
+}
+
+TEST_F(AsyncPhiEngineTest, DrainedFutureResolvesImmediatelyWhenIdle)
+{
+    AsyncPhiEngine engine(model);
+    std::future<void> drained = engine.drainedFuture();
+    EXPECT_EQ(drained.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    drained.get();
+
+    // And again after traffic has fully settled.
+    const BinaryMatrix acts = makeRequests(1, 96, 812)[0];
+    engine.submit(0, acts).get();
+    engine.drain();
+    std::future<void> after = engine.drainedFuture();
+    EXPECT_EQ(after.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+}
+
+TEST_F(AsyncPhiEngineTest, DrainedFutureIsNeverBrokenByShutdown)
+{
+    // A drainedFuture() outstanding when the engine shuts down (or is
+    // destroyed) must still resolve — a broken promise would turn a
+    // caller's wait into std::future_error.
+    std::future<void> drained;
+    {
+        AsyncEngineConfig cfg;
+        cfg.maxLingerMicros = 5'000;
+        AsyncPhiEngine engine(model, withThreads(2), cfg);
+        for (const auto& acts : makeRequests(6, 96, 813))
+            engine.submit(0, acts);
+        drained = engine.drainedFuture();
+        engine.shutdown();
+    }
+    ASSERT_EQ(drained.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    EXPECT_NO_THROW(drained.get());
+
+    // After shutdown() the engine is idle by definition: a fresh
+    // drainedFuture() resolves immediately.
+    AsyncPhiEngine engine(model);
+    engine.shutdown();
+    std::future<void> postShutdown = engine.drainedFuture();
+    EXPECT_EQ(postShutdown.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_NO_THROW(postShutdown.get());
+}
+
 TEST_F(AsyncPhiEngineTest, ShutdownServesQueuedThenRefusesNewWork)
 {
     const std::vector<BinaryMatrix> reqs = makeRequests(5, 96, 901);

@@ -19,10 +19,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.hh"
@@ -30,6 +33,8 @@
 #include "common/rng.hh"
 #include "core/pipeline.hh"
 #include "io/model_io.hh"
+#include "net/client.hh"
+#include "net/server.hh"
 #include "runtime/async_engine.hh"
 #include "test_support.hh"
 
@@ -112,6 +117,66 @@ class ChaosTest : public ::testing::Test
     expected(const BinaryMatrix& acts) const
     {
         return model.layer(0).compute(model.layer(0).decompose(acts));
+    }
+
+    /**
+     * The socket-level chaos workload: a live PhiServer under client
+     * traffic while net.* sites inject faults. Clients tolerate ONLY
+     * typed failures (NetError / EngineError / IoError) — anything
+     * else propagates and fails the test — and reconnect after
+     * transport faults, so injected connection kills keep being
+     * exercised rather than ending the run. Returns the number of
+     * successfully served (bit-consistent) responses.
+     */
+    size_t
+    runNetworkWorkload(size_t clients = 3, size_t perClient = 10)
+    {
+#ifndef __linux__
+        return 0;
+#else
+        auto registry = std::make_shared<ModelRegistry>();
+        registry->load("m", model);
+        AsyncEngineConfig engineCfg;
+        engineCfg.maxLingerMicros = 0;
+        engineCfg.backpressure =
+            AsyncEngineConfig::Backpressure::Reject;
+        net::PhiServer server(registry, {}, engineCfg, {});
+        server.start();
+
+        std::atomic<size_t> served{0};
+        std::vector<std::thread> threads;
+        for (size_t t = 0; t < clients; ++t) {
+            threads.emplace_back([&, t] {
+                std::unique_ptr<net::PhiClient> client;
+                for (size_t i = 0; i < perClient; ++i) {
+                    try {
+                        if (!client)
+                            client = std::make_unique<net::PhiClient>(
+                                "127.0.0.1", server.port(), 10'000);
+                        const BinaryMatrix acts =
+                            makeActs(700 + t * 50 + i);
+                        const net::WireResponse resp =
+                            client->request("m", 0, acts);
+                        if (resp.out == expected(acts))
+                            ++served;
+                    } catch (const net::NetError&) {
+                        client.reset(); // transport fault: reconnect
+                    } catch (const EngineError&) {
+                    } catch (const io::IoError&) {
+                    }
+                }
+            });
+        }
+        for (auto& th : threads)
+            th.join();
+
+        // Whatever was injected, the server must still drain to a
+        // stop — the SIGTERM path has to survive chaos too.
+        server.requestDrain();
+        server.waitUntilStopped();
+        EXPECT_FALSE(server.running());
+        return served.load();
+#endif
     }
 
     CompiledModel model;
@@ -264,6 +329,61 @@ TEST_F(ChaosTest, WatchdogSurvivesRepeatedDispatcherCrashes)
     EXPECT_GE(engine.stats().watchdogRestarts, 1u);
 }
 
+#ifdef __linux__
+
+TEST_F(ChaosTest, AcceptFailuresUnderLiveTrafficAreSurvivable)
+{
+    // Every second accept "fails": the fresh connection is reset.
+    // Clients see only typed transport errors, reconnect, and traffic
+    // keeps flowing; drain still completes.
+    failpoint::enable(failpoint::sites::kNetAccept,
+                      failpoint::Policy::everyNth(2));
+    const size_t served = runNetworkWorkload();
+    EXPECT_GE(failpoint::fires(failpoint::sites::kNetAccept), 1u);
+    EXPECT_GE(served, 1u)
+        << "no request survived an every-2nd accept failure";
+}
+
+TEST_F(ChaosTest, ReadFailuresUnderLiveTrafficAreSurvivable)
+{
+    failpoint::enable(failpoint::sites::kNetRead,
+                      failpoint::Policy::everyNth(3));
+    const size_t served = runNetworkWorkload();
+    EXPECT_GE(failpoint::fires(failpoint::sites::kNetRead), 1u);
+    EXPECT_GE(served, 1u);
+}
+
+TEST_F(ChaosTest, WriteFailuresUnderLiveTrafficAreSurvivable)
+{
+    failpoint::enable(failpoint::sites::kNetWrite,
+                      failpoint::Policy::everyNth(3));
+    const size_t served = runNetworkWorkload();
+    EXPECT_GE(failpoint::fires(failpoint::sites::kNetWrite), 1u);
+    EXPECT_GE(served, 1u);
+}
+
+TEST_F(ChaosTest, ServerKeepsServingCleanlyAfterNetChaosDisarms)
+{
+    // Probability-armed chaos across all three socket sites at once,
+    // then disarm and require bit-exact serving plus a clean drain —
+    // the engine behind the frontend must be untouched by the storm.
+    failpoint::enable(failpoint::sites::kNetAccept,
+                      failpoint::Policy::probability(0.3, 7));
+    failpoint::enable(failpoint::sites::kNetRead,
+                      failpoint::Policy::probability(0.3, 8));
+    failpoint::enable(failpoint::sites::kNetWrite,
+                      failpoint::Policy::probability(0.3, 9));
+    runNetworkWorkload(4, 12);
+    failpoint::reset();
+
+    // Storm over: a fresh server over the same model serves bit-exact
+    // and drains cleanly.
+    const size_t served = runNetworkWorkload(2, 6);
+    EXPECT_EQ(served, 12u);
+}
+
+#endif // __linux__
+
 TEST_F(ChaosTest, EveryRegisteredSiteIsSurvivable)
 {
     // The exhaustive sweep the acceptance criteria ask for: arm each
@@ -279,6 +399,20 @@ TEST_F(ChaosTest, EveryRegisteredSiteIsSurvivable)
             continue; // pool bypassed entirely on one hardware thread
         failpoint::reset();
         failpoint::enable(site, failpoint::Policy::everyNth(2));
+
+        // Socket sites are only reachable through a live server: run
+        // the network workload instead of the artifact+engine one.
+        if (site.rfind("net.", 0) == 0) {
+#ifdef __linux__
+            runNetworkWorkload();
+            EXPECT_GE(failpoint::fires(site), 1u)
+                << "the network workload never reached site " << site;
+            failpoint::disable(site);
+            // Disarmed: the wire serves and drains cleanly.
+            EXPECT_GE(runNetworkWorkload(1, 2), 2u);
+#endif
+            continue;
+        }
 
         // Artifact workload: saves and loads may only fail as IoError.
         for (int i = 0; i < 4; ++i) {

@@ -121,15 +121,13 @@ TEST_F(FailpointTest, ResetForgetsEverything)
 TEST_F(FailpointTest, AllSitesNamesTheWiredSites)
 {
     const std::vector<std::string> sites = failpoint::allSites();
-    EXPECT_EQ(sites.size(), 4u);
-    EXPECT_NE(std::find(sites.begin(), sites.end(), "io.read"),
-              sites.end());
-    EXPECT_NE(std::find(sites.begin(), sites.end(), "io.write"),
-              sites.end());
-    EXPECT_NE(std::find(sites.begin(), sites.end(), "pool.task"),
-              sites.end());
-    EXPECT_NE(std::find(sites.begin(), sites.end(), "dispatcher.loop"),
-              sites.end());
+    EXPECT_EQ(sites.size(), 7u);
+    for (const char* site :
+         {"io.read", "io.write", "pool.task", "dispatcher.loop",
+          "net.accept", "net.read", "net.write"})
+        EXPECT_NE(std::find(sites.begin(), sites.end(), site),
+                  sites.end())
+            << site;
 }
 
 } // namespace

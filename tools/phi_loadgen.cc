@@ -1,0 +1,236 @@
+/**
+ * @file
+ * phi_loadgen: a closed+paced load generator for PhiServer.
+ *
+ * Usage:
+ *   phi_loadgen --port P [--host H] [--conns N] [--rps R]
+ *               [--seconds S] [--model NAME] [--k COLS] [--rows M]
+ *               [--layer L] [--deadline-ms D] [--json]
+ *
+ * Opens N connections, each pacing requests so the aggregate offered
+ * load is R requests/second (R=0 = unpaced, submit as fast as replies
+ * return), for S seconds. Reports achieved rps, p50/p99/max latency,
+ * and a histogram of every typed error seen — one line per
+ * WireErrorCode/EngineErrorCode name — so a chaos run can assert
+ * "typed errors only". --json emits the same numbers as one JSON
+ * object on stdout (the capacity bench and CI smoke parse this).
+ *
+ * Exit code: 0 when every request resolved (served or typed error),
+ * 1 when the run aborted on an untyped/transport failure.
+ */
+
+#include <phi/phi.hh>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace phi;
+
+namespace
+{
+
+struct WorkerResult
+{
+    uint64_t sent = 0;
+    uint64_t served = 0;
+    std::map<std::string, uint64_t> errors; // typed errors by name
+    std::vector<double> latenciesMs;
+    bool transportDied = false;
+    std::string transportWhat;
+};
+
+BinaryMatrix
+randomActs(size_t rows, size_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    BinaryMatrix acts(rows, cols);
+    // ~10% density, the regime the paper's SNN traffic lives in.
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            if (rng.uniformInt(0, 9) == 0)
+                acts.set(r, c, true);
+    return acts;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    size_t conns = 4;
+    double rps = 0; // aggregate; 0 = unpaced
+    double seconds = 2.0;
+    std::string model = "vision";
+    size_t k = 256;
+    size_t rows = 32;
+    uint32_t layer = 0;
+    uint32_t deadlineMs = 0;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--host") host = next();
+        else if (arg == "--port")
+            port = static_cast<uint16_t>(std::stoi(next()));
+        else if (arg == "--conns") conns = std::stoul(next());
+        else if (arg == "--rps") rps = std::stod(next());
+        else if (arg == "--seconds") seconds = std::stod(next());
+        else if (arg == "--model") model = next();
+        else if (arg == "--k") k = std::stoul(next());
+        else if (arg == "--rows") rows = std::stoul(next());
+        else if (arg == "--layer")
+            layer = static_cast<uint32_t>(std::stoul(next()));
+        else if (arg == "--deadline-ms")
+            deadlineMs = static_cast<uint32_t>(std::stoul(next()));
+        else if (arg == "--json") json = true;
+        else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+    if (port == 0) {
+        std::cerr << "--port is required\n";
+        return 2;
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() +
+        std::chrono::microseconds(
+            static_cast<int64_t>(seconds * 1'000'000));
+    const double perConnRps = rps > 0 ? rps / conns : 0;
+
+    std::vector<WorkerResult> results(conns);
+    std::vector<std::thread> workers;
+    const auto startedAt = Clock::now();
+    for (size_t w = 0; w < conns; ++w) {
+        workers.emplace_back([&, w] {
+            WorkerResult& out = results[w];
+            try {
+                net::PhiClient client(host, port, 30'000);
+                const BinaryMatrix acts =
+                    randomActs(rows, k, 1000 + w);
+                auto nextSendAt = Clock::now();
+                while (Clock::now() < deadline) {
+                    if (perConnRps > 0) {
+                        std::this_thread::sleep_until(nextSendAt);
+                        nextSendAt += std::chrono::microseconds(
+                            static_cast<int64_t>(1e6 / perConnRps));
+                        if (Clock::now() >= deadline)
+                            break;
+                    }
+                    net::WireRequest req;
+                    req.model = model;
+                    req.layer = layer;
+                    req.deadlineMs = deadlineMs;
+                    req.acts = acts;
+                    const auto t0 = Clock::now();
+                    ++out.sent;
+                    try {
+                        client.request(req);
+                        ++out.served;
+                        out.latenciesMs.push_back(
+                            std::chrono::duration<double, std::milli>(
+                                Clock::now() - t0)
+                                .count());
+                    } catch (const EngineError& e) {
+                        ++out.errors[e.codeName()];
+                    } catch (const io::IoError&) {
+                        ++out.errors["IoFailure"];
+                    } catch (const net::NetError& e) {
+                        ++out.errors[e.codeName()];
+                        // The connection is unusable after a
+                        // transport-level failure; reconnect and keep
+                        // offering load (chaos runs sever us on
+                        // purpose).
+                        client = net::PhiClient(host, port, 30'000);
+                    }
+                }
+            } catch (const std::exception& e) {
+                out.transportDied = true;
+                out.transportWhat = e.what();
+            }
+        });
+    }
+    for (auto& t : workers)
+        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - startedAt)
+            .count();
+
+    uint64_t sent = 0, served = 0;
+    std::map<std::string, uint64_t> errors;
+    std::vector<double> latencies;
+    bool died = false;
+    std::string diedWhat;
+    for (const WorkerResult& r : results) {
+        sent += r.sent;
+        served += r.served;
+        for (const auto& [name, n] : r.errors)
+            errors[name] += n;
+        latencies.insert(latencies.end(), r.latenciesMs.begin(),
+                         r.latenciesMs.end());
+        if (r.transportDied && !died) {
+            died = true;
+            diedWhat = r.transportWhat;
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+        if (latencies.empty())
+            return 0.0;
+        const size_t idx = static_cast<size_t>(
+            p / 100.0 * static_cast<double>(latencies.size() - 1));
+        return latencies[idx];
+    };
+
+    const double achievedRps =
+        elapsed > 0 ? static_cast<double>(served) / elapsed : 0;
+
+    if (json) {
+        std::ostringstream os;
+        os << "{\"conns\": " << conns << ", \"offered_rps\": " << rps
+           << ", \"seconds\": " << elapsed << ", \"sent\": " << sent
+           << ", \"served\": " << served
+           << ", \"achieved_rps\": " << achievedRps
+           << ", \"p50_ms\": " << pct(50)
+           << ", \"p99_ms\": " << pct(99)
+           << ", \"max_ms\": "
+           << (latencies.empty() ? 0.0 : latencies.back())
+           << ", \"errors\": {";
+        bool first = true;
+        for (const auto& [name, n] : errors) {
+            os << (first ? "" : ", ") << "\"" << name << "\": " << n;
+            first = false;
+        }
+        os << "}, \"aborted\": " << (died ? "true" : "false") << "}";
+        std::cout << os.str() << "\n";
+    } else {
+        std::cout << "conns=" << conns << " sent=" << sent
+                  << " served=" << served << " achieved_rps="
+                  << achievedRps << " p50_ms=" << pct(50)
+                  << " p99_ms=" << pct(99) << "\n";
+        for (const auto& [name, n] : errors)
+            std::cout << "error " << name << " " << n << "\n";
+        if (died)
+            std::cout << "aborted: " << diedWhat << "\n";
+    }
+    return died ? 1 : 0;
+}

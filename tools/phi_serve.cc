@@ -1,0 +1,171 @@
+/**
+ * @file
+ * phi_serve: a standalone TCP serving daemon over PhiServer.
+ *
+ * Usage:
+ *   phi_serve [--port P] [--bind ADDR] [--model NAME=path.phim]...
+ *             [--threads N]
+ *
+ * With no --model arguments it self-compiles two demo models
+ * ("vision" K=256 and "nlp" K=128) so the daemon — and the CI smoke
+ * leg driving it — needs no artifacts on disk.
+ *
+ * On startup it prints one machine-parseable line to stdout:
+ *
+ *   listening on <addr>:<port> models=<name:k,...> pid=<pid>
+ *
+ * SIGTERM/SIGINT trigger a graceful drain: stop accepting, serve
+ * everything submitted, flush, exit 0. The CI leg asserts exactly
+ * that sequence.
+ */
+
+#include <phi/phi.hh>
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "snn/activation_gen.hh"
+
+using namespace phi;
+
+namespace
+{
+
+net::PhiServer* gServer = nullptr;
+
+void
+onSignal(int)
+{
+    if (gServer != nullptr)
+        gServer->requestDrain(); // async-signal-safe
+}
+
+Matrix<int16_t>
+randomWeights(size_t k, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<int16_t> w(k, n);
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            w(r, c) = static_cast<int16_t>(rng.uniformInt(-64, 63));
+    return w;
+}
+
+CompiledModel
+compileDemoModel(size_t k, uint64_t seed)
+{
+    ClusterGenConfig genCfg;
+    genCfg.bitDensity = 0.10;
+    genCfg.l2DensityTarget = 0.02;
+    ClusteredSpikeGenerator gen(genCfg, k, seed);
+    Rng rng(seed + 1);
+    BinaryMatrix train = gen.generate(768, rng);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 64;
+    Pipeline pipe(cfg);
+    pipe.addLayer("l0", {&train}).bindWeights(randomWeights(k, 64, seed));
+    return pipe.compile();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    net::PhiServerConfig serverCfg;
+    ExecutionConfig exec;
+    std::vector<std::pair<std::string, std::string>> modelPaths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port")
+            serverCfg.port = static_cast<uint16_t>(std::stoi(next()));
+        else if (arg == "--bind")
+            serverCfg.bindAddress = next();
+        else if (arg == "--threads")
+            exec.threads = std::stoi(next());
+        else if (arg == "--model") {
+            const std::string spec = next();
+            const size_t eq = spec.find('=');
+            if (eq == std::string::npos) {
+                std::cerr << "--model expects NAME=path.phim\n";
+                return 2;
+            }
+            modelPaths.emplace_back(spec.substr(0, eq),
+                                    spec.substr(eq + 1));
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    auto registry = std::make_shared<ModelRegistry>();
+    std::vector<std::pair<std::string, size_t>> hosted;
+    try {
+        if (modelPaths.empty()) {
+            registry->load("vision", compileDemoModel(256, 7));
+            registry->load("nlp", compileDemoModel(128, 8));
+            hosted = {{"vision", 256}, {"nlp", 128}};
+        } else {
+            for (const auto& [name, path] : modelPaths) {
+                registry->load(name, path);
+                const auto pin = registry->pin(name);
+                hosted.emplace_back(
+                    name, pin->layers()[0].weights().rows());
+            }
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "model load failed: " << e.what() << "\n";
+        return 1;
+    }
+
+    AsyncEngineConfig engineCfg;
+    engineCfg.maxBatch = 32;
+    engineCfg.maxQueueDepth = 1024;
+    // Reject, not Block: a full queue must never park the net thread
+    // (one stalled loop would stall every connection).
+    engineCfg.backpressure = AsyncEngineConfig::Backpressure::Reject;
+
+    net::PhiServer server(registry, exec, engineCfg, serverCfg);
+    try {
+        server.start();
+    } catch (const net::NetError& e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+
+    gServer = &server;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::cout << "listening on " << serverCfg.bindAddress << ":"
+              << server.port() << " models=";
+    for (size_t i = 0; i < hosted.size(); ++i)
+        std::cout << (i ? "," : "") << hosted[i].first << ":"
+                  << hosted[i].second;
+    std::cout << " pid=" << ::getpid() << "\n"
+              << std::flush;
+
+    server.waitUntilStopped();
+
+    const net::ServerCounters c = server.counters();
+    std::cerr << "drained: accepted=" << c.accepted
+              << " requests=" << c.requests
+              << " responses=" << c.responses
+              << " wire_errors=" << c.wireErrors
+              << " drain_rejected=" << c.drainRejected << "\n";
+    return 0;
+}
