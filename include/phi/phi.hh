@@ -54,6 +54,13 @@
 #include "common/error.hh"
 #include "common/parallel.hh"
 
+// Compiler-checked synchronisation primitives (phi::Mutex, CondVar,
+// scoped locks) and the thread-safety annotation macros (GUARDED_BY,
+// REQUIRES, EXCLUDES, ...). Consumers embedding the serving stack can
+// annotate their own shared state with the same layer; see README
+// "Static analysis & concurrency contracts".
+#include "common/sync.hh"
+
 // Offline compiler: calibration -> pattern tables -> bound weights ->
 // immutable CompiledModel.
 #include "core/compiled_model.hh"

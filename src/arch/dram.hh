@@ -58,7 +58,7 @@ struct DramTraffic
 class DramModel
 {
   public:
-    explicit DramModel(DramConfig cfg = {}) : cfg(cfg) {}
+    explicit DramModel(DramConfig dramCfg = {}) : cfg(dramCfg) {}
 
     const DramConfig& config() const { return cfg; }
 

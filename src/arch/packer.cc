@@ -5,8 +5,8 @@
 namespace phi
 {
 
-Packer::Packer(PackerConfig cfg, Sink sink)
-    : cfg(cfg), sink(std::move(sink)), windows(cfg.windows)
+Packer::Packer(PackerConfig packCfg, Sink sinkFn)
+    : cfg(packCfg), sink(std::move(sinkFn)), windows(cfg.windows)
 {
     phi_assert(cfg.windows >= 1, "packer needs at least one window");
     phi_assert(cfg.psumBanks >= 1, "packer needs at least one bank");

@@ -5,8 +5,8 @@
 namespace phi
 {
 
-PatternMatcher::PatternMatcher(const PatternSet& ps, int lanes)
-    : set(ps), lanes(lanes), pipelineDepth(ps.size())
+PatternMatcher::PatternMatcher(const PatternSet& ps, int laneCount)
+    : set(ps), lanes(laneCount), pipelineDepth(ps.size())
 {
     phi_assert(lanes >= 1, "matcher needs at least one lane");
 }

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "common/rng.hh"
+#include "common/sync.hh"
 
 namespace phi::failpoint
 {
@@ -21,9 +21,9 @@ struct SiteState
     uint64_t fired = 0;
 };
 
-std::mutex gMutex;
+Mutex gMutex;
 std::map<std::string, SiteState>& // NOLINT: intentional leak, avoids
-registry()                        // destruction-order races at exit
+registry() REQUIRES(gMutex)       // destruction-order races at exit
 {
     static auto* map = new std::map<std::string, SiteState>();
     return *map;
@@ -39,7 +39,7 @@ std::atomic<uint64_t> gArmedCount{0};
 void
 enable(const std::string& site, Policy policy)
 {
-    std::lock_guard<std::mutex> lock(gMutex);
+    MutexLock lock(gMutex);
     SiteState& s = registry()[site];
     if (!s.armed)
         gArmedCount.fetch_add(1, std::memory_order_relaxed);
@@ -53,7 +53,7 @@ enable(const std::string& site, Policy policy)
 void
 disable(const std::string& site)
 {
-    std::lock_guard<std::mutex> lock(gMutex);
+    MutexLock lock(gMutex);
     auto it = registry().find(site);
     if (it == registry().end() || !it->second.armed)
         return;
@@ -64,7 +64,7 @@ disable(const std::string& site)
 void
 reset()
 {
-    std::lock_guard<std::mutex> lock(gMutex);
+    MutexLock lock(gMutex);
     for (auto& [name, s] : registry())
         if (s.armed)
             gArmedCount.fetch_sub(1, std::memory_order_relaxed);
@@ -76,7 +76,7 @@ shouldFire(const char* site)
 {
     if (gArmedCount.load(std::memory_order_relaxed) == 0)
         return false;
-    std::lock_guard<std::mutex> lock(gMutex);
+    MutexLock lock(gMutex);
     auto it = registry().find(site);
     if (it == registry().end() || !it->second.armed)
         return false;
@@ -105,7 +105,7 @@ shouldFire(const char* site)
 uint64_t
 evaluations(const std::string& site)
 {
-    std::lock_guard<std::mutex> lock(gMutex);
+    MutexLock lock(gMutex);
     auto it = registry().find(site);
     return it == registry().end() ? 0 : it->second.evaluated;
 }
@@ -113,7 +113,7 @@ evaluations(const std::string& site)
 uint64_t
 fires(const std::string& site)
 {
-    std::lock_guard<std::mutex> lock(gMutex);
+    MutexLock lock(gMutex);
     auto it = registry().find(site);
     return it == registry().end() ? 0 : it->second.fired;
 }

@@ -1,7 +1,6 @@
 #include "common/parallel.hh"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -11,6 +10,7 @@
 
 #include "common/failpoint.hh"
 #include "common/logging.hh"
+#include "common/sync.hh"
 
 namespace phi
 {
@@ -63,24 +63,26 @@ struct ThreadPool::Impl
 
     /** Serialises whole jobs: held by a submitter for its entire run()
      *  so concurrent top-level submitters cannot clobber the one-job
-     *  state below. Nested calls never reach it (they run inline). */
-    std::mutex submitMtx;
+     *  state below. Nested calls never reach it (they run inline).
+     *  Lock order: submitMtx is taken strictly before mtx (only run()
+     *  holds both, briefly, to publish a job). */
+    Mutex submitMtx;
 
-    std::mutex mtx;
-    std::condition_variable wake;  // workers wait for a new job
-    std::condition_variable done;  // submitter waits for completion
-    bool shutdown = false;
+    Mutex mtx;
+    CondVar wake; // workers wait for a new job
+    CondVar done; // submitter waits for completion
+    bool shutdown GUARDED_BY(mtx) = false;
 
     // One job at a time. Published under mtx; chunk claims go through
     // the atomics so the drain loop itself is lock-free.
-    uint64_t generation = 0;
-    const std::function<void(size_t)>* fn = nullptr;
-    size_t chunkCount = 0;
+    uint64_t generation GUARDED_BY(mtx) = 0;
+    const std::function<void(size_t)>* fn GUARDED_BY(mtx) = nullptr;
+    size_t chunkCount GUARDED_BY(mtx) = 0;
     std::atomic<size_t> nextChunk{0};
     std::atomic<size_t> pendingChunks{0};
     std::atomic<int> activeSlots{0};
-    int drainers = 0; // workers currently inside the drain loop
-    std::exception_ptr firstError;
+    int drainers GUARDED_BY(mtx) = 0; // workers inside the drain loop
+    std::exception_ptr firstError GUARDED_BY(mtx);
 
     void
     drainChunks(const std::function<void(size_t)>& job, size_t chunks)
@@ -98,13 +100,13 @@ struct ThreadPool::Impl
                                   "'pool.task')"));
                 job(c);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mtx);
+                MutexLock lock(mtx);
                 if (!firstError)
                     firstError = std::current_exception();
             }
             if (pendingChunks.fetch_sub(1, std::memory_order_acq_rel) ==
                 1) {
-                std::lock_guard<std::mutex> lock(mtx);
+                MutexLock lock(mtx);
                 done.notify_all();
             }
         }
@@ -119,10 +121,9 @@ struct ThreadPool::Impl
             const std::function<void(size_t)>* job = nullptr;
             size_t chunks = 0;
             {
-                std::unique_lock<std::mutex> lock(mtx);
-                wake.wait(lock, [&] {
-                    return shutdown || generation != seen;
-                });
+                UniqueLock lock(mtx);
+                while (!shutdown && generation == seen)
+                    wake.wait(lock);
                 if (shutdown)
                     return;
                 seen = generation;
@@ -140,7 +141,7 @@ struct ThreadPool::Impl
             if (job)
                 drainChunks(*job, chunks);
             {
-                std::lock_guard<std::mutex> lock(mtx);
+                MutexLock lock(mtx);
                 --drainers;
                 done.notify_all();
             }
@@ -159,7 +160,7 @@ ThreadPool::ThreadPool(int workers) : impl(new Impl)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(impl->mtx);
+        MutexLock lock(impl->mtx);
         impl->shutdown = true;
     }
     impl->wake.notify_all();
@@ -197,15 +198,14 @@ ThreadPool::run(size_t numChunks, int maxThreads,
     // inline execution instead of idling on the lock, preserving
     // caller-level parallelism for applications that shard work across
     // their own threads.
-    std::unique_lock<std::mutex> submit(impl->submitMtx,
-                                        std::try_to_lock);
-    if (!submit.owns_lock()) {
+    if (!impl->submitMtx.try_lock()) {
         for (size_t c = 0; c < numChunks; ++c)
             fn(c);
         return;
     }
+    UniqueLock submit(impl->submitMtx, std::adopt_lock);
     {
-        std::lock_guard<std::mutex> lock(impl->mtx);
+        MutexLock lock(impl->mtx);
         impl->fn = &fn;
         impl->chunkCount = numChunks;
         impl->nextChunk.store(0, std::memory_order_relaxed);
@@ -222,12 +222,10 @@ ThreadPool::run(size_t numChunks, int maxThreads,
         impl->drainChunks(fn, numChunks);
     }
 
-    std::unique_lock<std::mutex> lock(impl->mtx);
-    impl->done.wait(lock, [&] {
-        return impl->pendingChunks.load(std::memory_order_acquire) ==
-                   0 &&
-               impl->drainers == 0;
-    });
+    UniqueLock lock(impl->mtx);
+    while (impl->pendingChunks.load(std::memory_order_acquire) != 0 ||
+           impl->drainers != 0)
+        impl->done.wait(lock);
     impl->fn = nullptr;
     if (impl->firstError) {
         std::exception_ptr err = impl->firstError;

@@ -91,6 +91,12 @@ struct ExecutionConfig
  * graph. One job at a time; workers grab chunk indices from a shared
  * atomic counter and the submitting thread participates, so a pool is
  * never slower than the sequential loop by more than the dispatch cost.
+ *
+ * Concurrency contract (compiler-checked in the impl via
+ * common/sync.hh): `submitMtx` serialises whole jobs and is taken
+ * strictly before `mtx`, which guards the one-job publication state;
+ * chunk claims go through atomics so the drain loop itself is
+ * lock-free. See README "Static analysis & concurrency contracts".
  */
 class ThreadPool
 {

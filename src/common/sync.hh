@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Compiler-checked synchronisation primitives: drop-in wrappers around
+ * std::mutex / std::condition_variable carrying Clang Thread Safety
+ * Analysis attributes, plus the annotation macro layer the rest of the
+ * runtime uses to declare its lock-protection contracts.
+ *
+ * The contract this header enables: every shared field names the mutex
+ * that guards it (GUARDED_BY), every function that must be called with
+ * a lock held says so (REQUIRES), and the documented lock hierarchy is
+ * expressed as EXCLUDES clauses — so a missed lock_guard, an access
+ * from the wrong side of a mutex, or a future lock-order inversion is
+ * a *compile error* under clang (-Werror=thread-safety), not a
+ * heisenbug the TSan leg has to get lucky to catch.
+ *
+ * Under any non-clang compiler every macro expands to nothing and the
+ * wrappers are exactly std::mutex / std::condition_variable /
+ * std::lock_guard / std::unique_lock with zero added state or runtime
+ * cost, so GCC builds are unchanged. The negative-compile CI check
+ * (tests/negative_thread_safety.cc) proves the clang leg is actually
+ * armed: a build where these macros silently expanded to nothing
+ * cannot pass it.
+ *
+ * Lock hierarchy conventions (see README "Static analysis &
+ * concurrency contracts" for the per-subsystem table):
+ *  - Mutexes are leaf-level unless explicitly documented: holding two
+ *    phi mutexes at once is the exception, and functions that must not
+ *    be entered with a given mutex held declare EXCLUDES(mu).
+ *  - Fields owned by exactly one thread (dispatcher-only, net-thread-
+ *    only) are *documented* as such rather than locked; accesses that
+ *    are deliberately outside the analysis (e.g. a CondVar wait that
+ *    releases and reacquires internally) use NO_THREAD_SAFETY_ANALYSIS
+ *    with a justification comment.
+ */
+
+#ifndef PHI_COMMON_SYNC_HH
+#define PHI_COMMON_SYNC_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---- Clang Thread Safety Analysis attribute macros -------------------
+// The canonical set from the clang documentation, expanding to nothing
+// on non-clang compilers. Kept unprefixed (GUARDED_BY, REQUIRES, ...)
+// to match the idiom the analysis documentation and most annotated
+// codebases use; #ifndef guards keep us composable with any other
+// header defining the same layer.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PHI_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PHI_THREAD_ANNOTATION
+#define PHI_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) PHI_THREAD_ANNOTATION(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY PHI_THREAD_ANNOTATION(scoped_lockable)
+#endif
+
+/** Field access requires the named mutex to be held. */
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) PHI_THREAD_ANNOTATION(guarded_by(x))
+#endif
+
+/** Pointee access requires the named mutex to be held. */
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) PHI_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+
+/** Declared lock-acquisition order between two mutexes. */
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+    PHI_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+    PHI_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#endif
+
+/** Caller must hold the named mutex(es) exclusively. */
+#ifndef REQUIRES
+#define REQUIRES(...) \
+    PHI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+    PHI_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#endif
+
+/** Function acquires the mutex(es) and holds them on return. */
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+    PHI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+
+/** Function releases the mutex(es) the caller held. */
+#ifndef RELEASE
+#define RELEASE(...) \
+    PHI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+
+/** Function acquires the mutex iff it returns the given value. */
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+    PHI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+
+/** Caller must NOT hold the named mutex(es) — the deadlock fence. */
+#ifndef EXCLUDES
+#define EXCLUDES(...) PHI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+
+/** Function returns a reference to the named mutex. */
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) PHI_THREAD_ANNOTATION(lock_returned(x))
+#endif
+
+/**
+ * Opt this function out of the analysis. Every use must carry a
+ * justification comment; the README enumerates the accepted reasons.
+ */
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+    PHI_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif
+
+namespace phi
+{
+
+/**
+ * std::mutex with a capability annotation: fields declared
+ * GUARDED_BY(oneOfThese) may only be touched while it is held, and
+ * clang proves it per translation unit. Same size, same codegen.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void
+    lock() ACQUIRE()
+    {
+        mu.lock();
+    }
+
+    void
+    unlock() RELEASE()
+    {
+        mu.unlock();
+    }
+
+    bool
+    try_lock() TRY_ACQUIRE(true)
+    {
+        return mu.try_lock();
+    }
+
+  private:
+    friend class CondVar;
+    friend class UniqueLock;
+    std::mutex mu;
+};
+
+/**
+ * std::lock_guard over a phi::Mutex: acquires for exactly one scope.
+ * The SCOPED_CAPABILITY annotation lets clang treat construction /
+ * destruction as acquire/release of the wrapped mutex.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& m) ACQUIRE(m) : mu(m) { mu.lock(); }
+
+    ~MutexLock() RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mu;
+};
+
+/**
+ * std::unique_lock over a phi::Mutex: scoped like MutexLock but
+ * relockable (lock()/unlock() mid-scope) and the handle CondVar::wait
+ * parks on. Internally *is* a std::unique_lock so waits hit the native
+ * condition-variable fast path.
+ */
+class SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex& m) ACQUIRE(m) : lk(m.mu) {}
+
+    /**
+     * Adopts a mutex the caller already locked (e.g. via a successful
+     * try_lock()): no acquisition happens here, the scope just takes
+     * over the obligation to release.
+     */
+    UniqueLock(Mutex& m, std::adopt_lock_t) REQUIRES(m)
+        : lk(m.mu, std::adopt_lock)
+    {
+    }
+
+    /** Releases the mutex iff still held (std::unique_lock rules). */
+    ~UniqueLock() RELEASE() {}
+
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+    void
+    lock() ACQUIRE()
+    {
+        lk.lock();
+    }
+
+    void
+    unlock() RELEASE()
+    {
+        lk.unlock();
+    }
+
+    bool owns_lock() const { return lk.owns_lock(); }
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lk;
+};
+
+/**
+ * std::condition_variable over phi::UniqueLock. Waits release and
+ * reacquire the lock internally — invisible to the static analysis,
+ * which (correctly) sees the mutex held across the call from the
+ * caller's perspective. Semantics are exactly the std primitive's:
+ * spurious wakeups happen, so use the predicate overloads.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() { cv.notify_one(); }
+    void notify_all() { cv.notify_all(); }
+
+    void
+    wait(UniqueLock& lock)
+    {
+        cv.wait(lock.lk);
+    }
+
+    template <typename Pred>
+    void
+    wait(UniqueLock& lock, Pred pred)
+    {
+        cv.wait(lock.lk, std::move(pred));
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status
+    wait_until(UniqueLock& lock,
+               const std::chrono::time_point<Clock, Duration>& at)
+    {
+        return cv.wait_until(lock.lk, at);
+    }
+
+    template <typename Clock, typename Duration, typename Pred>
+    bool
+    wait_until(UniqueLock& lock,
+               const std::chrono::time_point<Clock, Duration>& at,
+               Pred pred)
+    {
+        return cv.wait_until(lock.lk, at, std::move(pred));
+    }
+
+    template <typename Rep, typename Period>
+    std::cv_status
+    wait_for(UniqueLock& lock,
+             const std::chrono::duration<Rep, Period>& d)
+    {
+        return cv.wait_for(lock.lk, d);
+    }
+
+    template <typename Rep, typename Period, typename Pred>
+    bool
+    wait_for(UniqueLock& lock,
+             const std::chrono::duration<Rep, Period>& d, Pred pred)
+    {
+        return cv.wait_for(lock.lk, d, std::move(pred));
+    }
+
+  private:
+    std::condition_variable cv;
+};
+
+} // namespace phi
+
+#endif // PHI_COMMON_SYNC_HH

@@ -62,7 +62,7 @@ using WeightedRow = std::pair<uint64_t, uint64_t>;
 class BinaryKMeans
 {
   public:
-    explicit BinaryKMeans(KMeansConfig cfg) : cfg(cfg) {}
+    explicit BinaryKMeans(KMeansConfig kmCfg) : cfg(kmCfg) {}
 
     /**
      * Cluster a weighted histogram of k-bit rows.

@@ -25,8 +25,8 @@ class PatternSet
   public:
     PatternSet() : kBits(16) {}
 
-    PatternSet(int k, std::vector<uint64_t> pats)
-        : kBits(k), pats(std::move(pats))
+    PatternSet(int k, std::vector<uint64_t> patternBits)
+        : kBits(k), pats(std::move(patternBits))
     {
         phi_assert(k >= 1 && k <= 64, "pattern length must be in [1,64]");
         for (auto& p : this->pats)
@@ -59,8 +59,8 @@ class PatternTable
   public:
     PatternTable() : kBits(16) {}
 
-    PatternTable(int k, std::vector<PatternSet> parts)
-        : kBits(k), parts(std::move(parts))
+    PatternTable(int k, std::vector<PatternSet> partitionSets)
+        : kBits(k), parts(std::move(partitionSets))
     {
         for (const auto& ps : this->parts)
             phi_assert(ps.k() == k, "partition pattern length mismatch");

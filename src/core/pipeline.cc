@@ -18,13 +18,13 @@ LayerPipeline::bindWeights(Matrix<int16_t> weights)
     weightMatrix = std::move(weights);
 }
 
-Pipeline::Pipeline(CalibrationConfig cfg)
-    : cfg(cfg)
+Pipeline::Pipeline(CalibrationConfig calCfg)
+    : cfg(calCfg)
 {
 }
 
-Pipeline::Pipeline(CalibrationConfig cfg, ExecutionConfig exec)
-    : cfg(cfg)
+Pipeline::Pipeline(CalibrationConfig calCfg, ExecutionConfig exec)
+    : cfg(calCfg)
 {
     this->cfg.exec = exec;
 }

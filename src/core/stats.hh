@@ -2,6 +2,13 @@
  * @file
  * Sparsity accounting matching the paper's Table 4 and Fig. 7a, plus
  * the throughput/latency counters surfaced by the serving runtime.
+ *
+ * Everything here is plain data with no locking of its own: a stats
+ * block inherits its thread-safety from whoever holds it. The owners
+ * declare that relationship with GUARDED_BY — e.g. AsyncPhiEngine's
+ * published snapshots live under its statsMutex, PhiServer's
+ * ServerCounters under stateMutex — or by single-thread ownership
+ * (PhiEngine's per-model blocks belong to the dispatcher).
  */
 
 #ifndef PHI_CORE_STATS_HH

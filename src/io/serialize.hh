@@ -108,6 +108,11 @@ class ByteWriter
     void
     str(const std::string& s)
     {
+        // One grow for prefix + payload. Also keeps GCC 12's -O2
+        // stringop-overflow analysis from mistaking the u32 push_back
+        // growth for the insert's destination (a false positive that
+        // breaks -Werror builds).
+        buf.reserve(buf.size() + sizeof(uint32_t) + s.size());
         u32(static_cast<uint32_t>(s.size()));
         buf.insert(buf.end(), s.begin(), s.end());
     }

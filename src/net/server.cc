@@ -95,7 +95,7 @@ setNonBlocking(int fd)
 void
 PhiServer::start()
 {
-    std::lock_guard<std::mutex> lifecycle(lifecycleMutex);
+    MutexLock lifecycle(lifecycleMutex);
     if (started.load())
         throw NetError(WireErrorCode::ConnectError,
                        "start() on an already-started server");
@@ -196,7 +196,7 @@ PhiServer::stop()
 void
 PhiServer::waitUntilStopped()
 {
-    std::lock_guard<std::mutex> lifecycle(lifecycleMutex);
+    MutexLock lifecycle(lifecycleMutex);
     if (netThread.joinable())
         netThread.join();
     // The net loop set completionStop on its way out; the completion
@@ -223,14 +223,14 @@ PhiServer::draining() const
 size_t
 PhiServer::connectionCount() const
 {
-    std::lock_guard<std::mutex> lock(stateMutex);
+    MutexLock lock(stateMutex);
     return connsById.size();
 }
 
 ServerCounters
 PhiServer::counters() const
 {
-    std::lock_guard<std::mutex> lock(stateMutex);
+    MutexLock lock(stateMutex);
     return stats;
 }
 
@@ -344,7 +344,7 @@ PhiServer::netLoop()
     }
 
     {
-        std::lock_guard<std::mutex> lock(completionMutex);
+        MutexLock lock(completionMutex);
         completionStop = true;
     }
     completionCv.notify_all();
@@ -371,7 +371,7 @@ PhiServer::acceptPending()
             // established connection reset, exactly as if accept(2)
             // had errored after the handshake.
             ::close(fd);
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             ++stats.acceptFailures;
             continue;
         }
@@ -383,7 +383,7 @@ PhiServer::acceptPending()
 
         bool atCapacity;
         {
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             atCapacity = connsById.size() >= serverConfig.maxConnections;
         }
         if (atCapacity) {
@@ -413,7 +413,7 @@ PhiServer::acceptPending()
         ::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev);
 
         {
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             connsById[conn->id] = conn.get();
             ++stats.accepted;
         }
@@ -429,7 +429,7 @@ PhiServer::handleReadable(Connection& conn)
     if (injected) {
         // Read path failure: report it typed if the socket still
         // accepts bytes, then hang up — the stream position is gone.
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         ++stats.readFailures;
         conn.closeAfterFlush = true;
         conn.outbox.push_back(encodeErrorFrame(
@@ -471,7 +471,7 @@ PhiServer::handleReadable(Connection& conn)
         // just gone. Either way no new frames can arrive.
         bool idle;
         {
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             idle = conn.inFlight == 0 && conn.outbox.empty();
         }
         if (idle && conn.wbuf.size() == conn.woff)
@@ -507,7 +507,7 @@ PhiServer::processBuffer(Connection& conn)
                 if (data[eol] == '\n') {
                     const std::string text = statsText();
                     {
-                        std::lock_guard<std::mutex> lock(stateMutex);
+                        MutexLock lock(stateMutex);
                         ++stats.statsServed;
                         conn.outbox.emplace_back(text.begin(),
                                                  text.end());
@@ -532,7 +532,7 @@ PhiServer::processBuffer(Connection& conn)
             // The length prefix can no longer be trusted: report the
             // violation typed, then close this one connection. The
             // rest of the pool never notices.
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             ++stats.protocolErrors;
             ++stats.wireErrors;
             conn.outbox.push_back(
@@ -566,7 +566,7 @@ PhiServer::handleRequestFrame(Connection& conn,
         const std::string text = statsText();
         io::ByteWriter body;
         body.str(text);
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         ++stats.statsServed;
         conn.outbox.push_back(
             encodeFrame(FrameType::StatsReply, body.buffer()));
@@ -578,7 +578,7 @@ PhiServer::handleRequestFrame(Connection& conn,
         // Cleanly framed, but not something a client may send
         // (Response/Error/StatsReply are server-to-client). The
         // framing is intact, so the connection survives.
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         ++stats.protocolErrors;
         ++stats.wireErrors;
         conn.outbox.push_back(encodeErrorFrame(
@@ -596,7 +596,7 @@ PhiServer::handleRequestFrame(Connection& conn,
         // The frame was well-delimited but its body lies. This is a
         // per-request failure, not a stream desync: reject it typed
         // and keep serving the connection.
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         ++stats.protocolErrors;
         ++stats.wireErrors;
         conn.outbox.push_back(encodeErrorFrame(
@@ -609,7 +609,7 @@ PhiServer::handleRequestFrame(Connection& conn,
     // state: once requestDrain() has returned, no request parsed
     // afterwards is ever admitted — deterministically.
     if (drainRequested.load() || drainingFlag.load()) {
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         ++stats.drainRejected;
         ++stats.wireErrors;
         conn.outbox.push_back(encodeErrorFrame(
@@ -633,13 +633,13 @@ PhiServer::handleRequestFrame(Connection& conn,
         handle, req.layer, std::move(req.acts), opts);
 
     {
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         ++stats.requests;
         ++conn.inFlight;
         ++activeRequests;
     }
     {
-        std::lock_guard<std::mutex> lock(completionMutex);
+        MutexLock lock(completionMutex);
         completionQueue.push_back(
             {conn.id, req.id, req.layer, std::move(future)});
     }
@@ -652,7 +652,7 @@ PhiServer::deliverOutboxes()
 {
     std::vector<uint64_t> overflowed;
     {
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         for (auto& [fd, conn] : connsByFd) {
             while (!conn->outbox.empty()) {
                 std::vector<uint8_t>& f = conn->outbox.front();
@@ -690,7 +690,7 @@ PhiServer::deliverOutboxes()
 void
 PhiServer::queueFrame(Connection& conn, std::vector<uint8_t> frame)
 {
-    std::lock_guard<std::mutex> lock(stateMutex);
+    MutexLock lock(stateMutex);
     conn.outboxBytes += frame.size();
     conn.outbox.push_back(std::move(frame));
 }
@@ -707,7 +707,7 @@ PhiServer::flushWrites(Connection& conn)
             // hang up — the client sees ConnectionLost, a typed
             // client-side error, never a corrupt half-frame.
             {
-                std::lock_guard<std::mutex> lock(stateMutex);
+                MutexLock lock(stateMutex);
                 ++stats.writeFailures;
             }
             closeConnection(conn.id);
@@ -750,7 +750,7 @@ PhiServer::flushWrites(Connection& conn)
     bool moreQueued;
     size_t inFlightHere;
     {
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         moreQueued = !conn.outbox.empty();
         inFlightHere = conn.inFlight;
     }
@@ -780,14 +780,13 @@ PhiServer::sweepTimeouts(Clock::time_point now)
                now - since >= std::chrono::milliseconds(limitMs);
     };
 
-    std::vector<uint64_t> timedOut;
     std::vector<uint64_t> writeStalled;
     std::vector<uint64_t> drained;
     for (auto& [fd, conn] : connsByFd) {
         size_t inFlightHere;
         bool outboxEmpty;
         {
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             inFlightHere = conn->inFlight;
             outboxEmpty = conn->outbox.empty();
         }
@@ -807,7 +806,7 @@ PhiServer::sweepTimeouts(Clock::time_point now)
                            "partial frame stalled past the read "
                            "timeout"));
             {
-                std::lock_guard<std::mutex> lock(stateMutex);
+                MutexLock lock(stateMutex);
                 ++stats.timeouts;
                 ++stats.wireErrors;
             }
@@ -819,7 +818,7 @@ PhiServer::sweepTimeouts(Clock::time_point now)
         }
         if (expired(conn->writeStalledSince,
                     serverConfig.writeTimeoutMs)) {
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             ++stats.slowClientDrops;
             writeStalled.push_back(conn->id);
             continue;
@@ -827,14 +826,12 @@ PhiServer::sweepTimeouts(Clock::time_point now)
         if (inFlightHere == 0 && flushed && conn->rbuf.empty() &&
             !conn->closeAfterFlush &&
             expired(conn->lastActivity, serverConfig.idleTimeoutMs)) {
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             ++stats.timeouts;
             writeStalled.push_back(conn->id);
         }
     }
     for (uint64_t id : writeStalled)
-        closeConnection(id);
-    for (uint64_t id : timedOut)
         closeConnection(id);
     for (uint64_t id : drained)
         closeConnection(id);
@@ -861,11 +858,11 @@ bool
 PhiServer::drainComplete()
 {
     {
-        std::lock_guard<std::mutex> lock(completionMutex);
+        MutexLock lock(completionMutex);
         if (!completionQueue.empty())
             return false;
     }
-    std::lock_guard<std::mutex> lock(stateMutex);
+    MutexLock lock(stateMutex);
     return activeRequests == 0 && connsById.empty();
 }
 
@@ -874,7 +871,7 @@ PhiServer::closeConnection(uint64_t connId, bool countClosed)
 {
     int fd = -1;
     {
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         auto it = connsById.find(connId);
         if (it == connsById.end())
             return;
@@ -895,7 +892,7 @@ PhiServer::closeAllConnections()
 {
     std::vector<uint64_t> ids;
     {
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         for (const auto& [id, conn] : connsById)
             ids.push_back(id);
     }
@@ -915,7 +912,7 @@ PhiServer::nextTimeoutMs(Clock::time_point now) const
                           serverConfig.idleTimeoutMs > 0;
     bool anyConns;
     {
-        std::lock_guard<std::mutex> lock(stateMutex);
+        MutexLock lock(stateMutex);
         anyConns = !connsById.empty();
     }
     if (anyTimed && anyConns)
@@ -938,10 +935,9 @@ PhiServer::completionLoop()
     while (true) {
         InFlight work;
         {
-            std::unique_lock<std::mutex> lock(completionMutex);
-            completionCv.wait(lock, [&] {
-                return completionStop || !completionQueue.empty();
-            });
+            UniqueLock lock(completionMutex);
+            while (!completionStop && completionQueue.empty())
+                completionCv.wait(lock);
             if (completionQueue.empty() && completionStop)
                 return;
             work = std::move(completionQueue.front());
@@ -979,7 +975,7 @@ PhiServer::completionLoop()
 
         bool delivered = false;
         {
-            std::lock_guard<std::mutex> lock(stateMutex);
+            MutexLock lock(stateMutex);
             --activeRequests;
             auto it = connsById.find(work.connId);
             if (it != connsById.end()) {

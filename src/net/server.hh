@@ -51,17 +51,16 @@
 #define PHI_NET_SERVER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hh"
 #include "net/protocol.hh"
 #include "runtime/async_engine.hh"
 
@@ -185,12 +184,12 @@ class PhiServer
     bool draining() const;
 
     /** Live connection count (net-thread snapshot). */
-    size_t connectionCount() const;
+    size_t connectionCount() const EXCLUDES(stateMutex);
 
-    ServerCounters counters() const;
+    ServerCounters counters() const EXCLUDES(stateMutex);
 
     /** The plaintext metrics block the STATS verb serves. */
-    std::string statsText() const;
+    std::string statsText() const EXCLUDES(stateMutex);
 
     AsyncPhiEngine& engine() { return asyncEngine; }
     const std::shared_ptr<ModelRegistry>& registry() const
@@ -214,22 +213,27 @@ class PhiServer
         std::future<EngineResponse> future;
     };
 
-    void netLoop();
-    void completionLoop();
+    void netLoop() EXCLUDES(stateMutex, completionMutex);
+    void completionLoop() EXCLUDES(stateMutex, completionMutex);
 
-    void acceptPending();
-    void handleReadable(Connection& conn);
-    void processBuffer(Connection& conn);
-    bool handleRequestFrame(Connection& conn, const ParsedFrame& frame);
-    void queueFrame(Connection& conn, std::vector<uint8_t> frame);
-    void flushWrites(Connection& conn);
-    void deliverOutboxes();
-    void sweepTimeouts(Clock::time_point now);
-    void beginDrain();
-    bool drainComplete();
-    void closeConnection(uint64_t connId, bool countClosed = true);
-    void closeAllConnections();
-    int64_t nextTimeoutMs(Clock::time_point now) const;
+    void acceptPending() EXCLUDES(stateMutex);
+    void handleReadable(Connection& conn) EXCLUDES(stateMutex);
+    void processBuffer(Connection& conn)
+        EXCLUDES(stateMutex, completionMutex);
+    bool handleRequestFrame(Connection& conn, const ParsedFrame& frame)
+        EXCLUDES(stateMutex, completionMutex);
+    void queueFrame(Connection& conn, std::vector<uint8_t> frame)
+        EXCLUDES(stateMutex);
+    void flushWrites(Connection& conn) EXCLUDES(stateMutex);
+    void deliverOutboxes() EXCLUDES(stateMutex);
+    void sweepTimeouts(Clock::time_point now) EXCLUDES(stateMutex);
+    void beginDrain() EXCLUDES(stateMutex);
+    bool drainComplete() EXCLUDES(stateMutex);
+    void closeConnection(uint64_t connId, bool countClosed = true)
+        EXCLUDES(stateMutex);
+    void closeAllConnections() EXCLUDES(stateMutex);
+    int64_t nextTimeoutMs(Clock::time_point now) const
+        EXCLUDES(stateMutex);
 
     AsyncPhiEngine asyncEngine;
     PhiServerConfig serverConfig;
@@ -248,26 +252,39 @@ class PhiServer
     std::atomic<bool> stopRequested{false};
     std::atomic<bool> drainingFlag{false};
 
-    /** Guards connsById outboxes/inFlight counts + counters: shared
-     *  between the net thread and the completion thread. */
-    mutable std::mutex stateMutex;
-    std::map<uint64_t, Connection*> connsById;
-    ServerCounters stats;
-    size_t activeRequests = 0; // submitted, response not yet queued
+    /**
+     * Guards connsById + counters + activeRequests: shared between
+     * the net thread and the completion thread. The Connection fields
+     * the completion thread touches (outbox/outboxBytes/inFlight) are
+     * likewise stateMutex-guarded by convention — the analysis cannot
+     * express a guard across an aliased object (it matches
+     * expressions structurally, not through pointers), so those
+     * fields carry documentation rather than GUARDED_BY.
+     * stateMutex and completionMutex are both leaf mutexes: never
+     * held together, never held across a syscall or an engine call.
+     */
+    mutable Mutex stateMutex;
+    std::map<uint64_t, Connection*> connsById GUARDED_BY(stateMutex);
+    ServerCounters stats GUARDED_BY(stateMutex);
+    /** Submitted, response not yet queued. */
+    size_t activeRequests GUARDED_BY(stateMutex) = 0;
 
     /** Completion queue: net thread pushes, completion thread pops. */
-    std::mutex completionMutex;
-    std::condition_variable completionCv;
-    std::deque<InFlight> completionQueue;
-    bool completionStop = false;
+    Mutex completionMutex;
+    CondVar completionCv;
+    std::deque<InFlight> completionQueue GUARDED_BY(completionMutex);
+    bool completionStop GUARDED_BY(completionMutex) = false;
 
-    /** Net-thread-only state. */
+    /** Net-thread-only state: owned by exactly one thread, so
+     *  documented rather than locked (netLoop and everything it calls
+     *  are that thread). */
     std::map<int, std::unique_ptr<Connection>> connsByFd;
     uint64_t nextConnId = 1;
     Clock::time_point drainDeadline{};
 
-    /** Serialises start()/stop()/waitUntilStopped() joins. */
-    std::mutex lifecycleMutex;
+    /** Serialises start()/stop()/waitUntilStopped() joins. Leaf: only
+     *  lifecycle calls take it, never the serving threads. */
+    Mutex lifecycleMutex;
 };
 
 } // namespace phi::net

@@ -30,6 +30,7 @@ AsyncPhiEngine::AsyncPhiEngine(CompiledModel model, ExecutionConfig exec,
         asyncConfig.maxBatch = 1;
     if (asyncConfig.maxQueueDepth < 1)
         asyncConfig.maxQueueDepth = 1;
+    MutexLock join(joinMutex);
     dispatcher = std::thread([this] { superviseDispatch(); });
 }
 
@@ -42,6 +43,7 @@ AsyncPhiEngine::AsyncPhiEngine(std::shared_ptr<ModelRegistry> registry,
         asyncConfig.maxBatch = 1;
     if (asyncConfig.maxQueueDepth < 1)
         asyncConfig.maxQueueDepth = 1;
+    MutexLock join(joinMutex);
     dispatcher = std::thread([this] { superviseDispatch(); });
 }
 
@@ -72,7 +74,7 @@ AsyncPhiEngine::submit(const ModelHandle& handle, size_t layer,
         return future;
     }
 
-    std::unique_lock<std::mutex> lock(mutex);
+    UniqueLock lock(mutex);
     if (!accepting) {
         promise.set_exception(makeError(EngineError::Code::Stopped,
                                         "submit() on a stopped engine"));
@@ -131,10 +133,9 @@ AsyncPhiEngine::submit(const ModelHandle& handle, size_t layer,
                           "queue at maxQueueDepth under Reject policy"));
             return future;
         }
-        spaceAvailable.wait(lock, [this] {
-            return pendingQueue.size() < asyncConfig.maxQueueDepth ||
-                   !accepting;
-        });
+        while (pendingQueue.size() >= asyncConfig.maxQueueDepth &&
+               accepting)
+            spaceAvailable.wait(lock);
         if (!accepting) {
             promise.set_exception(
                 makeError(EngineError::Code::Stopped,
@@ -221,7 +222,7 @@ AsyncPhiEngine::recoverDispatcher(std::exception_ptr cause)
     watchdogRestarts.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::promise<void>> drained;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         inFlight = 0;
         // The crash may have emptied the world: drainedFuture()
         // waiters must not outlive the work they were waiting on.
@@ -240,11 +241,9 @@ void
 AsyncPhiEngine::dispatchLoop()
 {
     for (;;) {
-        std::unique_lock<std::mutex> lock(mutex);
-        workAvailable.wait(lock, [this] {
-            return !pendingQueue.empty() || stopping ||
-                   !statsDrops.empty();
-        });
+        UniqueLock lock(mutex);
+        while (pendingQueue.empty() && !stopping && statsDrops.empty())
+            workAvailable.wait(lock);
         // Prune per-model counters retired by dropStatsFor(): the
         // inner engine is dispatcher-owned, so the erase happens here.
         for (const std::string& name : statsDrops)
@@ -377,7 +376,10 @@ AsyncPhiEngine::dispatchLoop()
                 touched.emplace_back(name, engine.statsFor(name));
         }
         {
-            std::lock_guard<std::mutex> statsLock(statsMutex);
+            // `mutex` is not held here (unlocked above, before
+            // compute): the mutex/statsMutex exclusion the EXCLUDES
+            // contracts pin down.
+            MutexLock statsLock(statsMutex);
             publishedStats = std::move(snapshot);
             for (auto& [name, stats] : touched)
                 publishedModelStats[name] = std::move(stats);
@@ -413,7 +415,7 @@ AsyncPhiEngine::dispatchLoop()
     // drainedFuture() still registered is satisfied by definition.
     std::vector<std::promise<void>> drained;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         drained = std::move(drainWaiters);
     }
     for (std::promise<void>& p : drained)
@@ -423,9 +425,9 @@ AsyncPhiEngine::dispatchLoop()
 void
 AsyncPhiEngine::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex);
-    idle.wait(lock,
-              [this] { return pendingQueue.empty() && inFlight == 0; });
+    UniqueLock lock(mutex);
+    while (!(pendingQueue.empty() && inFlight == 0))
+        idle.wait(lock);
 }
 
 std::future<void>
@@ -434,7 +436,7 @@ AsyncPhiEngine::drainedFuture()
     std::promise<void> promise;
     std::future<void> future = promise.get_future();
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (!(pendingQueue.empty() && inFlight == 0)) {
             // Not idle: park the promise for the dispatcher, which
             // resolves it the moment the queue and in-flight batch
@@ -452,14 +454,14 @@ void
 AsyncPhiEngine::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         accepting = false;
         stopping = true;
     }
     workAvailable.notify_all();
     spaceAvailable.notify_all();
     {
-        std::lock_guard<std::mutex> lock(joinMutex);
+        MutexLock lock(joinMutex);
         if (dispatcher.joinable())
             dispatcher.join();
     }
@@ -468,7 +470,7 @@ AsyncPhiEngine::shutdown()
 size_t
 AsyncPhiEngine::queueDepth() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return pendingQueue.size();
 }
 
@@ -477,11 +479,11 @@ AsyncPhiEngine::stats() const
 {
     ServingStats snapshot;
     {
-        std::lock_guard<std::mutex> lock(statsMutex);
+        MutexLock lock(statsMutex);
         snapshot = publishedStats;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         snapshot.rejected = rejectedCount;
         snapshot.expired = resilienceStats.expired;
         snapshot.shed = resilienceStats.shed;
@@ -497,7 +499,7 @@ AsyncPhiEngine::stats() const
 ServingStats
 AsyncPhiEngine::statsFor(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(statsMutex);
+    MutexLock lock(statsMutex);
     auto it = publishedModelStats.find(name);
     return it == publishedModelStats.end() ? ServingStats{}
                                            : it->second;
@@ -506,7 +508,7 @@ AsyncPhiEngine::statsFor(const std::string& name) const
 std::map<std::string, ServingStats>
 AsyncPhiEngine::perModelStats() const
 {
-    std::lock_guard<std::mutex> lock(statsMutex);
+    MutexLock lock(statsMutex);
     return publishedModelStats;
 }
 
@@ -517,11 +519,11 @@ AsyncPhiEngine::dropStatsFor(const std::string& name)
     // copy is dispatcher-owned, so its erase is queued for the
     // dispatcher's next wake-up (forced right here).
     {
-        std::lock_guard<std::mutex> lock(statsMutex);
+        MutexLock lock(statsMutex);
         publishedModelStats.erase(name);
     }
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         statsDrops.push_back(name);
     }
     workAvailable.notify_one();

@@ -69,16 +69,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hh"
 #include "runtime/engine.hh"
 
 namespace phi
@@ -177,18 +176,20 @@ class AsyncPhiEngine
      */
     std::future<EngineResponse> submit(const ModelHandle& handle,
                                        size_t layer, BinaryMatrix acts,
-                                       SubmitOptions opts = {});
+                                       SubmitOptions opts = {})
+        EXCLUDES(mutex);
 
     /** submit() against the legacy default model. */
     std::future<EngineResponse> submit(size_t layer, BinaryMatrix acts,
-                                       SubmitOptions opts = {});
+                                       SubmitOptions opts = {})
+        EXCLUDES(mutex);
 
     /**
      * Block until every request submitted before this call has been
      * served. Intake stays open; requests racing in from other
      * threads during the drain may or may not be covered.
      */
-    void drain();
+    void drain() EXCLUDES(mutex);
 
     /**
      * The non-blocking form of drain(): a future that resolves once
@@ -201,17 +202,17 @@ class AsyncPhiEngine
      * broken: every returned future resolves even if the engine is
      * destroyed or the dispatcher crashes and restarts.
      */
-    std::future<void> drainedFuture();
+    std::future<void> drainedFuture() EXCLUDES(mutex);
 
     /**
      * Stop accepting new work, serve everything queued, and join the
      * dispatcher. Idempotent. Blocked submitters and later submit()
      * calls resolve their futures with EngineError(Stopped).
      */
-    void shutdown();
+    void shutdown() EXCLUDES(mutex, joinMutex);
 
     /** Requests queued but not yet dispatched (instantaneous). */
-    size_t queueDepth() const;
+    size_t queueDepth() const EXCLUDES(mutex);
 
     /** The registry requests route through — load/swap/unload through
      *  this from any thread, concurrently with serving. */
@@ -233,14 +234,16 @@ class AsyncPhiEngine
      * throughput uses the monotonic flush window, so overlapping
      * observation never double-counts time.
      */
-    ServingStats stats() const;
+    ServingStats stats() const EXCLUDES(mutex, statsMutex);
 
     /** Snapshot of one model's counters (zeroed when the name never
      *  served); same concurrency guarantees as stats(). */
-    ServingStats statsFor(const std::string& name) const;
+    ServingStats statsFor(const std::string& name) const
+        EXCLUDES(statsMutex);
 
     /** Snapshot of every served model's counters, keyed by name. */
-    std::map<std::string, ServingStats> perModelStats() const;
+    std::map<std::string, ServingStats> perModelStats() const
+        EXCLUDES(statsMutex);
 
     /**
      * Forget one model's per-model counters (merged stats untouched).
@@ -250,7 +253,8 @@ class AsyncPhiEngine
      * immediately; the dispatcher prunes its own copy on its next
      * wake-up.
      */
-    void dropStatsFor(const std::string& name);
+    void dropStatsFor(const std::string& name)
+        EXCLUDES(mutex, statsMutex);
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -267,7 +271,7 @@ class AsyncPhiEngine
         SubmitOptions opts;
     };
 
-    void dispatchLoop();
+    void dispatchLoop() EXCLUDES(mutex, statsMutex);
 
     /**
      * The watchdog: the dispatcher thread's real entry point. Runs
@@ -276,39 +280,57 @@ class AsyncPhiEngine
      * EngineError(Internal), restores the queue/engine invariants,
      * counts the restart, and relaunches the loop.
      */
-    void superviseDispatch();
+    void superviseDispatch() EXCLUDES(mutex, statsMutex);
 
     /** Post-crash cleanup: everything superviseDispatch() does
      *  between catching the escape and re-entering the loop. */
-    void recoverDispatcher(std::exception_ptr cause);
+    void recoverDispatcher(std::exception_ptr cause) EXCLUDES(mutex);
 
     PhiEngine engine; // touched only by the dispatcher thread
     AsyncEngineConfig asyncConfig;
 
-    /** Guards queue, intake flags, rejected count and inFlight. */
-    mutable std::mutex mutex;
-    std::condition_variable spaceAvailable; // queue below capacity
-    std::condition_variable workAvailable;  // queue non-empty / stop
-    std::condition_variable idle; // queue empty and nothing in flight
-    std::deque<Pending> pendingQueue;
-    std::vector<std::string> statsDrops; // names for the dispatcher to prune
-    std::vector<std::promise<void>> drainWaiters; // drainedFuture() promises
-    bool accepting = true;
-    bool stopping = false;
-    size_t inFlight = 0;     // requests popped but not yet resolved
-    uint64_t rejectedCount = 0;
+    /**
+     * Lock hierarchy (compiler-enforced; see README "Static analysis
+     * & concurrency contracts"):
+     *
+     *   mutex       queue + intake state; held for short, compute-free
+     *               sections only.
+     *   statsMutex  published snapshots; never held together with
+     *               `mutex` — every path that needs both (stats(),
+     *               dropStatsFor(), the dispatcher's publish step)
+     *               takes them strictly one after the other, and the
+     *               EXCLUDES clauses above make a future nesting of
+     *               one inside the other a compile error under clang.
+     *   joinMutex   dispatcher handle only; leaf, never held together
+     *               with the other two.
+     */
+    mutable Mutex mutex;
+    CondVar spaceAvailable; // queue below capacity
+    CondVar workAvailable;  // queue non-empty / stop
+    CondVar idle;           // queue empty and nothing in flight
+    std::deque<Pending> pendingQueue GUARDED_BY(mutex);
+    /** Names for the dispatcher to prune. */
+    std::vector<std::string> statsDrops GUARDED_BY(mutex);
+    /** drainedFuture() promises. */
+    std::vector<std::promise<void>> drainWaiters GUARDED_BY(mutex);
+    bool accepting GUARDED_BY(mutex) = true;
+    bool stopping GUARDED_BY(mutex) = false;
+    /** Requests popped but not yet resolved. */
+    size_t inFlight GUARDED_BY(mutex) = 0;
+    uint64_t rejectedCount GUARDED_BY(mutex) = 0;
 
-    /** Deadline/shedding accounting (expired, shed, miss histogram),
-     *  guarded by `mutex`: both the submitting threads (submit-time
-     *  expiry, shedding) and the dispatcher (dispatch-time expiry)
-     *  write it, and stats() folds it into every snapshot. */
-    ServingStats resilienceStats;
+    /** Deadline/shedding accounting (expired, shed, miss histogram):
+     *  both the submitting threads (submit-time expiry, shedding) and
+     *  the dispatcher (dispatch-time expiry) write it, and stats()
+     *  folds it into every snapshot. */
+    ServingStats resilienceStats GUARDED_BY(mutex);
 
     /** Dispatcher restarts performed by the watchdog. */
     std::atomic<uint64_t> watchdogRestarts{0};
 
     /**
-     * Dispatcher-thread state (no lock: superviseDispatch(),
+     * Dispatcher-thread state (no lock — single-thread ownership,
+     * documented rather than locked: superviseDispatch(),
      * dispatchLoop() and recoverDispatcher() all run on that one
      * thread). As members rather than loop locals so the watchdog can
      * fail the in-flight batch after a crash, and so the frontend
@@ -318,13 +340,15 @@ class AsyncPhiEngine
     ServingStats frontendStats;
 
     /** Guards the published stats snapshots (refreshed per batch). */
-    mutable std::mutex statsMutex;
-    ServingStats publishedStats;
-    std::map<std::string, ServingStats> publishedModelStats;
+    mutable Mutex statsMutex;
+    ServingStats publishedStats GUARDED_BY(statsMutex);
+    std::map<std::string, ServingStats>
+        publishedModelStats GUARDED_BY(statsMutex);
 
-    /** Serialises the dispatcher join across concurrent shutdowns. */
-    std::mutex joinMutex;
-    std::thread dispatcher;
+    /** Serialises the dispatcher launch/join across concurrent
+     *  shutdowns. */
+    Mutex joinMutex;
+    std::thread dispatcher GUARDED_BY(joinMutex);
 };
 
 } // namespace phi

@@ -1,3 +1,9 @@
+// PhiEngine holds no mutex by design: it is single-owner (the
+// dispatcher thread in the async stack — see engine.hh's
+// thread-ownership contract), so nothing in this TU takes a lock and
+// nothing here carries thread-safety annotations. Cross-thread state
+// it touches — the registry, the shared ThreadPool — is internally
+// synchronised behind annotated APIs.
 #include "runtime/engine.hh"
 
 #include <chrono>
@@ -28,8 +34,8 @@ epochSeconds(Clock::time_point t)
 
 } // namespace
 
-PhiEngine::PhiEngine(CompiledModel model, ExecutionConfig exec)
-    : models(std::make_shared<ModelRegistry>()), exec(exec)
+PhiEngine::PhiEngine(CompiledModel model, ExecutionConfig execCfg)
+    : models(std::make_shared<ModelRegistry>()), exec(execCfg)
 {
     // Throws EmptyModel for a layerless model, exactly as before the
     // registry existed.
@@ -38,8 +44,8 @@ PhiEngine::PhiEngine(CompiledModel model, ExecutionConfig exec)
 }
 
 PhiEngine::PhiEngine(std::shared_ptr<ModelRegistry> registry,
-                     ExecutionConfig exec)
-    : models(std::move(registry)), exec(exec)
+                     ExecutionConfig execCfg)
+    : models(std::move(registry)), exec(execCfg)
 {
     if (!models)
         throw EngineError(EngineError::Code::EmptyModel,

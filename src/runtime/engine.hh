@@ -28,6 +28,15 @@
  * model. Throughput and latency counters are surfaced as core/stats
  * ServingStats, per model (statsFor) and as a merged process view
  * (stats).
+ *
+ * Thread-ownership contract (see README "Static analysis &
+ * concurrency contracts"): a PhiEngine holds no mutex and is NOT
+ * thread-safe — it is owned by exactly one thread at a time. In the
+ * async stack that thread is AsyncPhiEngine's dispatcher, which is
+ * why these fields carry no GUARDED_BY annotations: single-thread
+ * ownership is the documented alternative the annotation layer
+ * leaves to prose. The only cross-thread traffic an engine sees is
+ * the registry (internally locked) and the shared ThreadPool.
  */
 
 #ifndef PHI_RUNTIME_ENGINE_HH

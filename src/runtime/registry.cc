@@ -14,7 +14,7 @@ ModelRegistry::publish(const std::string& name, CompiledModel model,
                           "model '" + name + "' has no layers");
     auto resident = std::make_shared<const CompiledModel>(std::move(model));
 
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     Entry& entry = entries[name];
     const bool isResident = entry.model != nullptr;
     if (mustExist && !isResident) {
@@ -75,7 +75,7 @@ ModelRegistry::swapFromFile(const std::string& name,
 void
 ModelRegistry::unload(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = entries.find(name);
     if (it == entries.end() || !it->second.model)
         throw EngineError(EngineError::Code::UnknownModel,
@@ -96,7 +96,7 @@ ModelRegistry::unload(const std::string& name)
 ModelRegistry::Pinned
 ModelRegistry::pin(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = entries.find(name);
     if (it == entries.end() || !it->second.model)
         throw EngineError(EngineError::Code::UnknownModel,
@@ -107,7 +107,7 @@ ModelRegistry::pin(const std::string& name) const
 std::optional<ModelHandle>
 ModelRegistry::current(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = entries.find(name);
     if (it == entries.end() || !it->second.model)
         return std::nullopt;
@@ -117,7 +117,7 @@ ModelRegistry::current(const std::string& name) const
 bool
 ModelRegistry::contains(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = entries.find(name);
     return it != entries.end() && it->second.model != nullptr;
 }
@@ -125,7 +125,7 @@ ModelRegistry::contains(const std::string& name) const
 std::vector<ModelHandle>
 ModelRegistry::list() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     std::vector<ModelHandle> handles;
     handles.reserve(entries.size());
     for (const auto& [name, entry] : entries)
@@ -137,7 +137,7 @@ ModelRegistry::list() const
 size_t
 ModelRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     size_t n = 0;
     for (const auto& [name, entry] : entries)
         if (entry.model)

@@ -31,13 +31,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/error.hh"
+#include "common/sync.hh"
 #include "core/compiled_model.hh"
 
 namespace phi
@@ -108,7 +108,8 @@ class ModelRegistry
      *         resident (replace running models with swap()), or
      *         EmptyModel for a model with no layers.
      */
-    ModelHandle load(const std::string& name, CompiledModel model);
+    ModelHandle load(const std::string& name, CompiledModel model)
+        EXCLUDES(mutex);
 
     /**
      * io::loadModel(@p path) + load(). When @p name is empty the name
@@ -116,7 +117,8 @@ class ModelRegistry
      * throws EngineError (UnknownModel) if neither names the model.
      * io::IoError propagates for unreadable/corrupt artifacts.
      */
-    ModelHandle load(const std::string& name, const std::string& path);
+    ModelHandle load(const std::string& name, const std::string& path)
+        EXCLUDES(mutex);
 
     /**
      * Atomically replace the resident model under @p name with
@@ -125,11 +127,12 @@ class ModelRegistry
      * call serve the new one. @throws EngineError UnknownModel when
      * the name is not resident, EmptyModel for a layerless model.
      */
-    ModelHandle swap(const std::string& name, CompiledModel model);
+    ModelHandle swap(const std::string& name, CompiledModel model)
+        EXCLUDES(mutex);
 
     /** io::loadModel(@p path) + swap(). */
     ModelHandle swapFromFile(const std::string& name,
-                             const std::string& path);
+                             const std::string& path) EXCLUDES(mutex);
 
     /**
      * Remove @p name from the registry. @throws EngineError
@@ -138,13 +141,13 @@ class ModelRegistry
      * registry refuses to race them; drain first, or swap() instead,
      * which never blocks on in-flight work).
      */
-    void unload(const std::string& name);
+    void unload(const std::string& name) EXCLUDES(mutex);
 
     /**
      * Pin the current version of @p name for serving. @throws
      * EngineError (UnknownModel) when the name is not resident.
      */
-    Pinned pin(const std::string& name) const;
+    Pinned pin(const std::string& name) const EXCLUDES(mutex);
 
     /**
      * Route a handle: pins the *current* version of handle.name —
@@ -155,21 +158,22 @@ class ModelRegistry
      * been unloaded.
      */
     Pinned
-    pin(const ModelHandle& handle) const
+    pin(const ModelHandle& handle) const EXCLUDES(mutex)
     {
         return pin(handle.name);
     }
 
     /** Current handle of @p name, or nullopt when not resident. */
-    std::optional<ModelHandle> current(const std::string& name) const;
+    std::optional<ModelHandle> current(const std::string& name) const
+        EXCLUDES(mutex);
 
-    bool contains(const std::string& name) const;
+    bool contains(const std::string& name) const EXCLUDES(mutex);
 
     /** Handles of every resident model, ordered by name. */
-    std::vector<ModelHandle> list() const;
+    std::vector<ModelHandle> list() const EXCLUDES(mutex);
 
     /** Number of resident models. */
-    size_t size() const;
+    size_t size() const EXCLUDES(mutex);
 
   private:
     /**
@@ -184,10 +188,12 @@ class ModelRegistry
 
     /** Insert/replace under the lock; all paths converge here. */
     ModelHandle publish(const std::string& name, CompiledModel model,
-                        bool mustExist);
+                        bool mustExist) EXCLUDES(mutex);
 
-    mutable std::mutex mutex;
-    std::map<std::string, Entry> entries;
+    /** Leaf mutex guarding only the name -> epoch map; never held
+     *  while touching a model or calling out. */
+    mutable Mutex mutex;
+    std::map<std::string, Entry> entries GUARDED_BY(mutex);
 };
 
 } // namespace phi

@@ -67,7 +67,7 @@ struct BaselineConfig
 class EyerissSim : public AcceleratorSim
 {
   public:
-    explicit EyerissSim(BaselineConfig cfg = {}) : cfg(cfg) {}
+    explicit EyerissSim(BaselineConfig baseCfg = {}) : cfg(baseCfg) {}
     std::string name() const override { return "Eyeriss"; }
     double areaMm2() const override { return 1.068; }
     SimResult run(const ModelTrace& trace) const override;
@@ -80,7 +80,7 @@ class EyerissSim : public AcceleratorSim
 class SpinalFlowSim : public AcceleratorSim
 {
   public:
-    explicit SpinalFlowSim(BaselineConfig cfg = {}) : cfg(cfg) {}
+    explicit SpinalFlowSim(BaselineConfig baseCfg = {}) : cfg(baseCfg) {}
     std::string name() const override { return "SpinalFlow"; }
     double areaMm2() const override { return 2.09; }
     SimResult run(const ModelTrace& trace) const override;
@@ -93,7 +93,7 @@ class SpinalFlowSim : public AcceleratorSim
 class SatoSim : public AcceleratorSim
 {
   public:
-    explicit SatoSim(BaselineConfig cfg = {}) : cfg(cfg) {}
+    explicit SatoSim(BaselineConfig baseCfg = {}) : cfg(baseCfg) {}
     std::string name() const override { return "SATO"; }
     double areaMm2() const override { return 1.13; }
     SimResult run(const ModelTrace& trace) const override;
@@ -106,7 +106,7 @@ class SatoSim : public AcceleratorSim
 class PtbSim : public AcceleratorSim
 {
   public:
-    explicit PtbSim(BaselineConfig cfg = {}) : cfg(cfg) {}
+    explicit PtbSim(BaselineConfig baseCfg = {}) : cfg(baseCfg) {}
     std::string name() const override { return "PTB"; }
     double areaMm2() const override { return 1.0; } // not reported
     SimResult run(const ModelTrace& trace) const override;
@@ -119,7 +119,7 @@ class PtbSim : public AcceleratorSim
 class StellarSim : public AcceleratorSim
 {
   public:
-    explicit StellarSim(BaselineConfig cfg = {}) : cfg(cfg) {}
+    explicit StellarSim(BaselineConfig baseCfg = {}) : cfg(baseCfg) {}
     std::string name() const override { return "Stellar"; }
     double areaMm2() const override { return 0.768; }
     SimResult run(const ModelTrace& trace) const override;

@@ -11,8 +11,8 @@ defaultOpEnergies()
     return OpEnergies{};
 }
 
-PhiAreaPowerModel::PhiAreaPowerModel(const PhiArchConfig& cfg)
-    : cfg(cfg)
+PhiAreaPowerModel::PhiAreaPowerModel(const PhiArchConfig& archCfg)
+    : cfg(archCfg)
 {
 }
 

@@ -12,9 +12,9 @@
 namespace phi
 {
 
-PhiSimulator::PhiSimulator(PhiArchConfig cfg, OpEnergies energies,
-                           ExecutionConfig exec)
-    : cfg(cfg), ops(energies), exec(exec)
+PhiSimulator::PhiSimulator(PhiArchConfig archCfg, OpEnergies energies,
+                           ExecutionConfig execCfg)
+    : cfg(archCfg), ops(energies), exec(execCfg)
 {
     phi_assert(cfg.tileK >= 1 && cfg.tileK <= 64,
                "tile k must be in [1,64]");

@@ -23,8 +23,8 @@ ClusterGenConfig::fromProfile(const ActivationProfile& p, int k)
 }
 
 ClusteredSpikeGenerator::ClusteredSpikeGenerator(
-    const ClusterGenConfig& cfg, size_t k_dim, uint64_t seed)
-    : cfg(cfg), kDim(k_dim)
+    const ClusterGenConfig& genCfg, size_t k_dim, uint64_t seed)
+    : cfg(genCfg), kDim(k_dim)
 {
     phi_assert(cfg.k >= 1 && cfg.k <= 64, "tile width must be in [1,64]");
     phi_assert(cfg.bitDensity > 0.0 && cfg.bitDensity < 1.0,

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Negative-compile proof that the thread-safety analysis is armed.
+ *
+ * This TU is NOT part of any build target. The static-analysis CI leg
+ * compiles it with clang and `-Werror=thread-safety` and requires the
+ * compile to FAIL (CMake test `negative_thread_safety_armed`,
+ * WILL_FAIL): every access below violates a GUARDED_BY/REQUIRES
+ * contract, so a toolchain where the sync.hh macros silently expanded
+ * to nothing — or where the warning flags were dropped — turns this
+ * into a clean compile and the leg goes red.
+ *
+ * Keep every violation deliberate and obvious; this file is the
+ * canary, not an example to follow.
+ */
+
+#include "common/sync.hh"
+
+namespace
+{
+
+phi::Mutex gMu;
+int gCounter GUARDED_BY(gMu) = 0;
+
+/** Violation 1: guarded field touched with no lock held. */
+int
+unguardedRead()
+{
+    return gCounter; // -Wthread-safety: reading without holding gMu
+}
+
+/** Violation 2: guarded field written with no lock held. */
+void
+unguardedWrite()
+{
+    gCounter += 1; // -Wthread-safety: writing without holding gMu
+}
+
+/** Violation 3: REQUIRES contract ignored by the caller. */
+void needsLock() REQUIRES(gMu);
+
+void
+needsLock()
+{
+    gCounter += 1;
+}
+
+void
+callsWithoutLock()
+{
+    needsLock(); // -Wthread-safety: calling without holding gMu
+}
+
+/** Violation 4: lock acquired and never released (scope leak). */
+void
+leaksLock()
+{
+    gMu.lock();
+} // -Wthread-safety: gMu still held at end of function
+
+} // namespace
+
+int
+main()
+{
+    unguardedRead();
+    unguardedWrite();
+    callsWithoutLock();
+    leaksLock();
+    return 0;
+}

@@ -444,5 +444,97 @@ TEST_F(AsyncPhiEngineTest, StatsSnapshotIsConsistentUnderLoad)
     EXPECT_LE(s.busySeconds, s.windowSeconds() + 1e-9);
 }
 
+// ---- lock-discipline regressions ------------------------------------
+// These pin the interleavings audited for the thread-safety annotation
+// pass: the mutex/statsMutex/joinMutex contracts now encoded as
+// EXCLUDES clauses in async_engine.hh. A future change that nests
+// these locks fails the clang analysis; these tests additionally prove
+// the *runtime* behavior (no deadlock, no broken promise) on every
+// compiler, and give the TSan leg the exact interleavings to race.
+
+TEST_F(AsyncPhiEngineTest, ConcurrentShutdownsWithDrainWaitersResolve)
+{
+    AsyncEngineConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxQueueDepth = 64;
+    AsyncPhiEngine engine(model, withThreads(2), cfg);
+
+    std::vector<std::future<EngineResponse>> futures;
+    const std::vector<BinaryMatrix> reqs = makeRequests(24, 96, 2201);
+    for (const auto& acts : reqs)
+        futures.push_back(engine.submit(0, acts));
+    std::vector<std::future<void>> drains;
+    for (int i = 0; i < 4; ++i)
+        drains.push_back(engine.drainedFuture());
+
+    // Racing shutdowns: each takes `mutex` (to stop intake), then the
+    // leaf `joinMutex` (to join the dispatcher) — never both at once.
+    // All must return; none may deadlock against the dispatcher's own
+    // mutex/statsMutex cycle or against each other.
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i)
+        stoppers.emplace_back([&engine] { engine.shutdown(); });
+    for (auto& t : stoppers)
+        t.join();
+
+    // Shutdown serves everything already queued...
+    for (auto& f : futures)
+        EXPECT_NO_THROW(f.get());
+    // ...and drain waiters registered before it are resolved, not
+    // leaked (a broken promise would throw std::future_error here).
+    for (auto& d : drains)
+        EXPECT_NO_THROW(d.get());
+}
+
+TEST_F(AsyncPhiEngineTest, DropStatsForRacingStatsReadersIsSafe)
+{
+    AsyncEngineConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxQueueDepth = 64;
+    AsyncPhiEngine engine(model, withThreads(2), cfg);
+    const std::string name = PhiEngine::kLegacyModelName;
+
+    // Readers hammer every stats surface (statsMutex) while a dropper
+    // interleaves dropStatsFor (statsMutex then mutex, sequentially)
+    // against live dispatch (mutex then statsMutex, also
+    // sequentially). The EXCLUDES contracts say these locks are never
+    // nested; this race proves the absence of the inversion deadlock
+    // the annotation pass audited for.
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+        while (!done.load()) {
+            (void)engine.stats();
+            (void)engine.statsFor(name);
+            (void)engine.perModelStats();
+            std::this_thread::yield();
+        }
+    });
+    std::thread dropper([&] {
+        while (!done.load()) {
+            engine.dropStatsFor(name);
+            std::this_thread::yield();
+        }
+    });
+
+    const std::vector<BinaryMatrix> reqs = makeRequests(48, 96, 2301);
+    std::vector<std::future<EngineResponse>> futures;
+    for (const auto& acts : reqs)
+        futures.push_back(engine.submit(0, acts));
+    for (size_t i = 0; i < futures.size(); ++i) {
+        EngineResponse resp = futures[i].get();
+        EXPECT_EQ(resp.out, expected(0, reqs[i])) << "request " << i;
+    }
+    engine.drain();
+    done.store(true);
+    reader.join();
+    dropper.join();
+
+    // Results stayed correct under the race; a final drop leaves the
+    // per-model snapshot genuinely empty.
+    engine.dropStatsFor(name);
+    engine.stats(); // must not throw or deadlock post-drop
+    EXPECT_EQ(engine.statsFor(name).requests, 0u);
+}
+
 } // namespace
 } // namespace phi

@@ -58,7 +58,7 @@ makeRow(uint32_t row_id, int nnz, bool psum = false,
     r.needsPsum = psum;
     for (int i = 0; i < nnz; ++i)
         r.entries.emplace_back(static_cast<uint16_t>(i),
-                               int8_t{i % 2 ? -1 : 1});
+                               static_cast<int8_t>(i % 2 ? -1 : 1));
     return r;
 }
 
@@ -186,8 +186,8 @@ TEST(Packer, ExactlyOnceAndCapacityInvariants)
         uint32_t part = static_cast<uint32_t>(rng.nextBounded(16));
         CompressedRow r = makeRow(row_id, nnz,
                                   rng.bernoulli(0.3), part);
-        for (const auto& e : r.entries)
-            expected[{row_id, part}] += 1;
+        expected[{row_id, part}] +=
+            static_cast<int>(r.entries.size());
         packer.push(r);
     }
     packer.flush();

@@ -114,10 +114,11 @@ TEST(Decompose, TileCsrLayoutIsConsistent)
             EXPECT_LT(tile.l2Entries[e].col, 16);
             EXPECT_TRUE(tile.l2Entries[e].sign == 1 ||
                         tile.l2Entries[e].sign == -1);
-            if (e + 1 < hi)
+            if (e + 1 < hi) {
                 EXPECT_LT(tile.l2Entries[e].col,
                           tile.l2Entries[e + 1].col)
                     << "entries must be column-sorted";
+            }
         }
     }
 }

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * common/sync.hh tests: the annotated wrappers must be behaviorally
+ * identical to the raw std primitives they wrap — same mutual
+ * exclusion, same try_lock semantics, same condition-variable
+ * wait/notify/timeout behavior — and cost nothing (same size as the
+ * std types, macros expanding to nothing off-clang). These tests run
+ * under the TSan CI leg, so a wrapper that dropped a release or
+ * reordered an acquire would be caught dynamically too.
+ *
+ * The test state itself is annotated (GUARDED_BY on every shared
+ * field), so this file doubles as a compile check that correctly
+ * locked code passes the analysis on the clang leg.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hh"
+
+namespace phi
+{
+namespace
+{
+
+using namespace std::chrono_literals;
+
+/** A counter whose every access is annotation-checked. */
+struct GuardedCounter
+{
+    Mutex mu;
+    long value GUARDED_BY(mu) = 0;
+
+    void
+    add()
+    {
+        MutexLock lock(mu);
+        ++value;
+    }
+
+    long
+    get()
+    {
+        MutexLock lock(mu);
+        return value;
+    }
+};
+
+/** The classic CV handshake, written with explicit wait loops (the
+ *  form the analysis can verify). */
+struct Flag
+{
+    Mutex mu;
+    CondVar cv;
+    bool ready GUARDED_BY(mu) = false;
+
+    void
+    set()
+    {
+        {
+            MutexLock lock(mu);
+            ready = true;
+        }
+        cv.notify_all();
+    }
+
+    void
+    wait()
+    {
+        UniqueLock lock(mu);
+        while (!ready)
+            cv.wait(lock);
+    }
+
+    template <typename Rep, typename Period>
+    bool
+    waitFor(const std::chrono::duration<Rep, Period>& d)
+    {
+        const auto deadline = std::chrono::steady_clock::now() + d;
+        UniqueLock lock(mu);
+        while (!ready)
+            if (cv.wait_until(lock, deadline) ==
+                std::cv_status::timeout)
+                return ready;
+        return true;
+    }
+};
+
+TEST(SyncTest, WrappersAddNoState)
+{
+    // The zero-cost claim, checked: each wrapper is exactly its std
+    // counterpart — no extra members, no vtable, nothing.
+    EXPECT_EQ(sizeof(Mutex), sizeof(std::mutex));
+    EXPECT_EQ(sizeof(CondVar), sizeof(std::condition_variable));
+    EXPECT_EQ(sizeof(UniqueLock), sizeof(std::unique_lock<std::mutex>));
+}
+
+TEST(SyncTest, MutexLockProvidesMutualExclusion)
+{
+    GuardedCounter counter;
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 20'000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kIncrements; ++i)
+                counter.add();
+        });
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(counter.get(), long{kThreads} * kIncrements);
+}
+
+TEST(SyncTest, TryLockReflectsContention)
+{
+    Mutex mu;
+    mu.lock();
+    // A second thread must see the mutex busy (std::mutex does not
+    // guarantee failure on same-thread recursion, so probe from
+    // another thread — which is also the only legal way).
+    bool acquired = true;
+    std::thread probe([&] {
+        acquired = mu.try_lock();
+        if (acquired)
+            mu.unlock();
+    });
+    probe.join();
+    EXPECT_FALSE(acquired);
+    mu.unlock();
+
+    std::thread probe2([&] {
+        acquired = mu.try_lock();
+        if (acquired)
+            mu.unlock();
+    });
+    probe2.join();
+    EXPECT_TRUE(acquired);
+}
+
+TEST(SyncTest, UniqueLockAdoptsTryLock)
+{
+    // The ThreadPool::run idiom: a raw try_lock whose success hands
+    // the release obligation to a scoped UniqueLock.
+    GuardedCounter counter;
+    // Plain branch rather than ASSERT_TRUE: the analysis tracks
+    // try_lock's result through `if`, not through gtest's
+    // AssertionResult conversion.
+    if (!counter.mu.try_lock())
+        FAIL() << "try_lock on an uncontended mutex failed";
+    {
+        UniqueLock lock(counter.mu, std::adopt_lock);
+        ++counter.value;
+    }
+    // Released by the scope above: another thread can take it.
+    bool acquired = false;
+    std::thread probe([&] {
+        acquired = counter.mu.try_lock();
+        if (acquired)
+            counter.mu.unlock();
+    });
+    probe.join();
+    EXPECT_TRUE(acquired);
+    EXPECT_EQ(counter.get(), 1);
+}
+
+TEST(SyncTest, UniqueLockRelocksMidScope)
+{
+    GuardedCounter counter;
+    UniqueLock lock(counter.mu);
+    EXPECT_TRUE(lock.owns_lock());
+    ++counter.value;
+    lock.unlock();
+    EXPECT_FALSE(lock.owns_lock());
+    lock.lock();
+    EXPECT_TRUE(lock.owns_lock());
+    ++counter.value;
+    lock.unlock();
+    EXPECT_EQ(counter.get(), 2);
+}
+
+TEST(SyncTest, CondVarHandshake)
+{
+    Flag flag;
+    std::thread waiter([&flag] { flag.wait(); });
+    // Give the waiter a moment to actually park (not required for
+    // correctness — notify-before-wait is handled by the predicate
+    // loop — but exercises the parked path most runs).
+    std::this_thread::sleep_for(1ms);
+    flag.set();
+    waiter.join();
+    SUCCEED();
+}
+
+TEST(SyncTest, CondVarWaitForTimesOut)
+{
+    Flag flag; // never set
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(flag.waitFor(30ms));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, 30ms);
+}
+
+TEST(SyncTest, CondVarWaitUntilSeesLateNotify)
+{
+    Flag flag;
+    std::thread setter([&flag] {
+        std::this_thread::sleep_for(5ms);
+        flag.set();
+    });
+    EXPECT_TRUE(flag.waitFor(5s)); // long deadline, short signal
+    setter.join();
+}
+
+TEST(SyncTest, NotifyOneWakesExactlyOneLogicalWaiter)
+{
+    // notify_one delegation check: with N waiters each consuming one
+    // token, N notify_one calls (each after producing a token) must
+    // let every waiter through — no lost wakeups, no deadlock.
+    struct Tokens
+    {
+        Mutex mu;
+        CondVar cv;
+        int available GUARDED_BY(mu) = 0;
+
+        void
+        produce()
+        {
+            {
+                MutexLock lock(mu);
+                ++available;
+            }
+            cv.notify_one();
+        }
+
+        void
+        consume()
+        {
+            UniqueLock lock(mu);
+            while (available == 0)
+                cv.wait(lock);
+            --available;
+        }
+    } tokens;
+
+    constexpr int kWaiters = 4;
+    std::vector<std::thread> waiters;
+    waiters.reserve(kWaiters);
+    for (int i = 0; i < kWaiters; ++i)
+        waiters.emplace_back([&tokens] { tokens.consume(); });
+    for (int i = 0; i < kWaiters; ++i)
+        tokens.produce();
+    for (auto& t : waiters)
+        t.join();
+    MutexLock lock(tokens.mu);
+    EXPECT_EQ(tokens.available, 0);
+}
+
+} // namespace
+} // namespace phi
