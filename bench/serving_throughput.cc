@@ -35,6 +35,12 @@
  *   measures the full wire path — encode, kernel socket hop, frame
  *   parse, engine dispatch, encode back — against the in-process
  *   async numbers above it.
+ * - sessions: stateful temporal serving. S concurrent sessions on a
+ *   two-layer model (K=256 -> 128 -> 64) each stream T spike frames
+ *   through SessionManager in 8-frame step calls; the pump batches
+ *   co-resident sessions' timesteps into shared engine submits per
+ *   layer. Reports aggregate temporal steps/sec and the p50/p99
+ *   latency of one pump round (one timestep through both layers).
  *
  * Usage:  serving_throughput [out.json]
  *         writes a BENCH_serving.json-style report when a path is given.
@@ -59,6 +65,7 @@
 #include "runtime/async_engine.hh"
 #include "runtime/engine.hh"
 #include "runtime/registry.hh"
+#include "runtime/session.hh"
 #include "snn/activation_gen.hh"
 
 using namespace phi;
@@ -111,6 +118,16 @@ struct NetworkResult
     double p50Ms;
     double p99Ms;
     uint64_t errors;
+};
+
+struct SessionResult
+{
+    size_t sessions;
+    size_t stepsPerSession;
+    uint64_t totalSteps;
+    double stepsPerSec;
+    double p50StepMs;
+    double p99StepMs;
 };
 
 struct ResilienceResult
@@ -326,6 +343,97 @@ runResilienceConfig(const CompiledModel& model,
             all.empty() ? 0.0 : all.back()};
 }
 
+/** The temporal chain the session sweep serves: K -> 128 -> 64. */
+CompiledModel
+buildSessionModel()
+{
+    ClusterGenConfig gen_cfg;
+    gen_cfg.bitDensity = 0.10;
+    gen_cfg.l2DensityTarget = 0.02;
+    ClusteredSpikeGenerator gen0(gen_cfg, kReductionK, /*seed=*/21);
+    ClusteredSpikeGenerator gen1(gen_cfg, 128, /*seed=*/22);
+    Rng rng(23);
+    BinaryMatrix train0 = gen0.generate(1024, rng);
+    BinaryMatrix train1 = gen1.generate(1024, rng);
+
+    CalibrationConfig cfg;
+    cfg.k = 16;
+    cfg.q = 64;
+    Pipeline pipe(cfg);
+    Rng wrng(24);
+    Matrix<int16_t> w0(kReductionK, 128), w1(128, 64);
+    for (size_t r = 0; r < w0.rows(); ++r)
+        for (size_t c = 0; c < w0.cols(); ++c)
+            w0(r, c) = static_cast<int16_t>(wrng.uniformInt(-64, 63));
+    for (size_t r = 0; r < w1.rows(); ++r)
+        for (size_t c = 0; c < w1.cols(); ++c)
+            w1(r, c) = static_cast<int16_t>(wrng.uniformInt(-64, 63));
+    pipe.addLayer("l0", {&train0}).bindWeights(w0);
+    pipe.addLayer("l1", {&train1}).bindWeights(w1);
+    return pipe.compile();
+}
+
+/**
+ * The stateful-session scenario: @p sessions concurrent streams each
+ * advance @p steps timesteps in 8-frame step() calls. At most 16
+ * driver threads submit for their owned sessions and wait the round,
+ * so the pump always sees many co-resident sessions to batch into
+ * shared per-layer submits. Step latency is the pump's per-round
+ * recording: one timestep through the whole layer chain.
+ */
+SessionResult
+runSessionConfig(const std::shared_ptr<ModelRegistry>& registry,
+                 size_t sessions, size_t steps)
+{
+    using Clock = std::chrono::steady_clock;
+    ExecutionConfig exec;
+    exec.threads = 4;
+    AsyncPhiEngine engine(registry, exec);
+    SessionConfig scfg;
+    scfg.maxSessions = sessions;
+    SessionManager mgr(engine, scfg);
+
+    constexpr size_t kChunk = 8;
+    Rng rng(31);
+    const BinaryMatrix chunk =
+        BinaryMatrix::random(kChunk, kReductionK, 0.10, rng);
+
+    std::vector<uint64_t> sids(sessions);
+    for (size_t i = 0; i < sessions; ++i)
+        sids[i] = mgr.open("sess");
+
+    const size_t workers = std::min<size_t>(sessions, 16);
+    const auto wallStart = Clock::now();
+    std::vector<std::thread> drivers;
+    drivers.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        drivers.emplace_back([&, w] {
+            for (size_t done = 0; done < steps; done += kChunk) {
+                std::vector<std::future<SessionStepResult>> futures;
+                for (size_t i = w; i < sessions; i += workers)
+                    futures.push_back(mgr.step(sids[i], chunk));
+                for (auto& f : futures)
+                    f.get();
+            }
+        });
+    }
+    for (auto& t : drivers)
+        t.join();
+    const double wallSec =
+        std::chrono::duration<double>(Clock::now() - wallStart).count();
+
+    const ServingStats s = mgr.stats();
+    for (uint64_t sid : sids)
+        mgr.close(sid);
+    const uint64_t total = static_cast<uint64_t>(sessions) * steps;
+    return {sessions,
+            steps,
+            total,
+            wallSec > 0.0 ? static_cast<double>(total) / wallSec : 0.0,
+            s.latencyPercentileMs(50),
+            s.latencyPercentileMs(99)};
+}
+
 #ifdef __linux__
 /**
  * The wire-path capacity scenario: the compiled model is hosted behind
@@ -415,7 +523,8 @@ void
 writeJson(const std::string& path, const std::vector<Result>& results,
           const std::vector<AsyncResult>& asyncResults,
           const std::vector<ResilienceResult>& resilience,
-          const std::vector<NetworkResult>& network)
+          const std::vector<NetworkResult>& network,
+          const std::vector<SessionResult>& sessionResults)
 {
     std::ofstream out(path);
     out << "{\n  \"benchmark\": \"serving_throughput\",\n"
@@ -480,6 +589,17 @@ writeJson(const std::string& path, const std::vector<Result>& results,
             << ", \"p99_ms\": " << r.p99Ms
             << ", \"errors\": " << r.errors << "}"
             << (i + 1 < network.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"sessions\": [\n";
+    for (size_t i = 0; i < sessionResults.size(); ++i) {
+        const SessionResult& r = sessionResults[i];
+        out << "    {\"sessions\": " << r.sessions
+            << ", \"steps_per_session\": " << r.stepsPerSession
+            << ", \"total_steps\": " << r.totalSteps
+            << ", \"steps_per_sec\": " << r.stepsPerSec
+            << ", \"p50_step_ms\": " << r.p50StepMs
+            << ", \"p99_step_ms\": " << r.p99StepMs << "}"
+            << (i + 1 < sessionResults.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
 }
@@ -580,9 +700,35 @@ main(int argc, char** argv)
     nt.print(std::cout);
 #endif
 
+    // Stateful sessions: S concurrent temporal streams on a two-layer
+    // chain, batched per round by the session pump.
+    std::cerr << "building session model (K=" << kReductionK
+              << " -> 128 -> 64)...\n";
+    auto sessionRegistry = std::make_shared<ModelRegistry>();
+    sessionRegistry->load("sess", buildSessionModel());
+    constexpr size_t kSessionSteps = 32;
+    std::vector<SessionResult> sessionResults;
+    Table st({"Sessions", "Steps", "Steps/s", "p50 step ms",
+              "p99 step ms"});
+    for (size_t s : {size_t{1}, size_t{8}, size_t{64}, size_t{256}}) {
+        SessionResult r =
+            runSessionConfig(sessionRegistry, s, kSessionSteps);
+        sessionResults.push_back(r);
+        st.addRow({std::to_string(r.sessions),
+                   std::to_string(r.stepsPerSession),
+                   Table::fmt(r.stepsPerSec, 1),
+                   Table::fmt(r.p50StepMs, 3),
+                   Table::fmt(r.p99StepMs, 3)});
+        std::cerr << "  sessions=" << s << " done\n";
+    }
+    std::cout << "\nStateful sessions (two-layer temporal chain, "
+                 "engine threads=4):\n";
+    st.print(std::cout);
+
     if (argc > 1) {
         phi::bench::requireReleaseForJson(argv[1]);
-        writeJson(argv[1], results, asyncResults, resilience, network);
+        writeJson(argv[1], results, asyncResults, resilience, network,
+                  sessionResults);
         std::cerr << "wrote " << argv[1] << "\n";
     }
     return 0;

@@ -21,9 +21,12 @@
  * a served value for the winner), a hot-swap to a deliberately
  * corrupted .phim artifact is rejected by the per-section CRC check
  * while wire traffic keeps serving bit-exact from the previous
- * version, and finally the server drains gracefully: in-flight work
- * finishes, new connections are refused, and the process exits by the
- * verdicts.
+ * version. A stateful session then streams spike frames with live LIF
+ * membrane state held server-side — two step calls over the wire
+ * bit-equal one offline reference — and finally the server drains
+ * gracefully: in-flight work finishes, new connections are refused,
+ * and the open session is snapshotted to a restorable .phis artifact
+ * instead of dropped.
  *
  * stdout is deterministic (bit-exactness verdicts and counts only);
  * timing-dependent stats — including the port and the per-model
@@ -34,6 +37,7 @@
 
 #include <phi/phi.hh>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -84,6 +88,26 @@ compileModel(size_t k, const Matrix<int16_t>& weights, uint64_t seed)
     return pipe.compile();
 }
 
+/** Offline session reference for a one-layer model: per timestep,
+ *  spikeGemm into a persistent LifPopulation — exactly what a
+ *  server-side session computes with live membrane state. */
+BinaryMatrix
+sessionReference(const BinaryMatrix& frames, const Matrix<int16_t>& w,
+                 LifPopulation& pop)
+{
+    BinaryMatrix out(frames.rows(), w.cols());
+    for (size_t t = 0; t < frames.rows(); ++t) {
+        BinaryMatrix cur(1, frames.cols());
+        for (size_t c = 0; c < frames.cols(); c += 64) {
+            const int len = static_cast<int>(
+                std::min<size_t>(64, frames.cols() - c));
+            cur.deposit(0, c, len, frames.extract(t, c, len));
+        }
+        pop.stepInto(spikeGemm(cur, w).rowPtr(0), out, t);
+    }
+    return out;
+}
+
 } // namespace
 
 #ifdef __linux__
@@ -110,6 +134,14 @@ main()
     async_cfg.maxQueueDepth = 64;
     async_cfg.backpressure = AsyncEngineConfig::Backpressure::Reject;
     net::PhiServerConfig net_cfg; // loopback, ephemeral port
+    // Open sessions survive the drain: SIGTERM writes them here, and a
+    // restarted daemon restores them (phi_serve --session-snapshot).
+    const std::string sessionPath =
+        (std::filesystem::temp_directory_path() /
+         ("phi_daemon_sessions_" + std::to_string(::getpid()) +
+          ".phis"))
+            .string();
+    net_cfg.sessionSnapshotPath = sessionPath;
     net::PhiServer server(registry, ExecutionConfig{}, async_cfg,
                           net_cfg);
     server.start();
@@ -358,6 +390,39 @@ main()
               << (statsComplete ? "YES" : "NO (bug!)") << "\n";
     std::cerr << stats;
 
+    // ---- Stateful sessions: streams, not requests -------------------
+    // Where a Request is one stateless GEMM, a session carries live
+    // LIF membrane state across step calls: it pins "vision" at the
+    // version current at open (v2, post-swap), and streaming 12 frames
+    // as two 6-frame steps must equal the offline LifPopulation
+    // reference computed over the same 12 frames in one piece — the
+    // membrane state crossed the wire boundary intact.
+    const net::WireSessionOpened sess = client.openSession("vision");
+    ClusteredSpikeGenerator sgen(gen_cfg, 256, 77);
+    Rng srng(78);
+    const BinaryMatrix chunkA = sgen.generate(6, srng);
+    const BinaryMatrix chunkB = sgen.generate(6, srng);
+    LifPopulation sessionRef(64);
+    const BinaryMatrix wantA =
+        sessionReference(chunkA, visionW2, sessionRef);
+    const BinaryMatrix wantB =
+        sessionReference(chunkB, visionW2, sessionRef);
+    const net::WireSessionStepped stepA =
+        client.stepSession(sess.sessionId, chunkA);
+    const net::WireSessionStepped stepB =
+        client.stepSession(sess.sessionId, chunkB);
+    const bool sessionExact = sess.version == 2 &&
+                              stepA.spikes == wantA &&
+                              stepB.firstStep == 6 &&
+                              stepB.spikes == wantB;
+    std::cout << "Stateful session pinned vision:v" << sess.version
+              << "; 2 step calls == one 12-step reference: "
+              << (sessionExact ? "YES (LIF state persisted)"
+                               : "NO (bug!)")
+              << "\n";
+    // Deliberately left open: the graceful drain below must snapshot
+    // it instead of dropping its membrane state.
+
     // ---- Graceful drain ---------------------------------------------
     // requestDrain() is what a SIGTERM handler calls: stop accepting,
     // serve everything already admitted, flush, release every fd.
@@ -376,6 +441,22 @@ main()
               << (!server.running() ? "YES" : "NO (bug!)") << "\n"
               << "New work refused after drain: "
               << (refusedAfterDrain ? "YES" : "NO (bug!)") << "\n";
+
+    // The drain wrote the open session — 12 temporal steps of live
+    // membrane state — to the snapshot a restarted daemon restores.
+    bool sessionSnapshotted = false;
+    try {
+        const io::SessionSnapshot snap = io::loadSessions(sessionPath);
+        sessionSnapshotted = snap.sessions.size() == 1 &&
+                             snap.sessions[0].steps == 12 &&
+                             snap.sessions[0].model == "vision";
+    } catch (const io::IoError&) {
+    }
+    std::cout << "Drain snapshotted the open session (12 steps): "
+              << (sessionSnapshotted ? "YES (restorable .phis)"
+                                     : "NO (bug!)")
+              << "\n";
+    std::remove(sessionPath.c_str());
 
     const auto& c = server.counters();
     std::cerr << "server counters: accepted=" << c.accepted
@@ -401,6 +482,7 @@ main()
                            corruptRejected && errorNamesBoth && stillV2 &&
                            servesThroughIt && garbageTyped &&
                            poolSurvives && statsComplete &&
+                           sessionExact && sessionSnapshotted &&
                            refusedAfterDrain && !server.running();
     return exactTotal == total && versionedTotal == total &&
                    stillServing && resilient

@@ -25,6 +25,14 @@
  *     phi::EngineError           typed, recoverable request failures
  *     phi::ExecutionConfig       threads / tiling / SIMD knobs
  *
+ *   Stateful temporal serving (streams, not requests)
+ *     phi::SessionManager        per-client sessions: pinned model
+ *                                epoch + live LIF membrane state,
+ *                                cross-session batched temporal
+ *                                forwards, idle-TTL eviction
+ *     phi::io::saveSessions      versioned .phis snapshots so
+ *     phi::io::loadSessions      sessions survive a restart
+ *
  *   Network (serve over TCP)
  *     phi::net::PhiServer        epoll frontend over AsyncPhiEngine:
  *                                concurrent connections, timeouts,
@@ -77,6 +85,10 @@
 #include "runtime/registry.hh"
 #include "runtime/engine.hh"
 #include "runtime/async_engine.hh"
+
+// Stateful sessions: live LIF state across timesteps, .phis
+// snapshots (io/session_io.hh comes in transitively).
+#include "runtime/session.hh"
 
 // TCP serving frontend: wire protocol, server, client.
 #include "net/protocol.hh"

@@ -48,6 +48,10 @@ enum class EngineErrorCode
     Internal,        // dispatcher died on an escaped exception; the
                      // watchdog failed this in-flight request and
                      // restarted the loop — retry is safe
+    SessionNotFound, // session id was never opened (or already closed)
+    SessionExpired,  // session was evicted by the idle TTL; its state
+                     // is gone and the stream must be reopened
+    TooManySessions, // SessionManager at its session cap
 };
 
 constexpr const char*
@@ -67,6 +71,9 @@ engineErrorCodeName(EngineErrorCode code)
     case EngineErrorCode::ModelBusy: return "ModelBusy";
     case EngineErrorCode::DeadlineExceeded: return "DeadlineExceeded";
     case EngineErrorCode::Internal: return "Internal";
+    case EngineErrorCode::SessionNotFound: return "SessionNotFound";
+    case EngineErrorCode::SessionExpired: return "SessionExpired";
+    case EngineErrorCode::TooManySessions: return "TooManySessions";
     }
     return "Unknown";
 }

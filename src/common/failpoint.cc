@@ -133,7 +133,7 @@ allSites()
 {
     return {sites::kIoRead,   sites::kIoWrite, sites::kPoolTask,
             sites::kDispatcherLoop, sites::kNetAccept, sites::kNetRead,
-            sites::kNetWrite};
+            sites::kNetWrite, sites::kSessionStep};
 }
 
 } // namespace phi::failpoint

@@ -118,6 +118,9 @@ inline constexpr const char* kNetAccept = "net.accept";
 inline constexpr const char* kNetRead = "net.read";
 /** PhiServer write path: flushing a connection's responses fails. */
 inline constexpr const char* kNetWrite = "net.write";
+/** SessionManager step path: one session's temporal step fails before
+ *  any of its LIF state is advanced. */
+inline constexpr const char* kSessionStep = "session.step";
 } // namespace sites
 
 /** Every site name above, for exhaustive chaos sweeps. */

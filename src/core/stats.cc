@@ -204,6 +204,22 @@ ServingStats::meanLatencyMs() const
     return sum / static_cast<double>(latencySeconds.size()) * 1e3;
 }
 
+uint64_t
+ServingStats::activeSessions() const
+{
+    const uint64_t gone = sessionsClosed + sessionsExpired;
+    return sessionsOpened > gone ? sessionsOpened - gone : 0;
+}
+
+double
+ServingStats::meanStepsPerSession() const
+{
+    return sessionsOpened > 0
+               ? static_cast<double>(sessionSteps) /
+                     static_cast<double>(sessionsOpened)
+               : 0.0;
+}
+
 void
 ServingStats::merge(const ServingStats& other)
 {
@@ -222,6 +238,11 @@ ServingStats::merge(const ServingStats& other)
     expired += other.expired;
     shed += other.shed;
     watchdogRestarts += other.watchdogRestarts;
+    sessionsOpened += other.sessionsOpened;
+    sessionsClosed += other.sessionsClosed;
+    sessionsExpired += other.sessionsExpired;
+    sessionsRejected += other.sessionsRejected;
+    sessionSteps += other.sessionSteps;
     for (size_t i = 0; i < kDeadlineMissBuckets; ++i)
         deadlineMissHistogram[i] += other.deadlineMissHistogram[i];
     // Replay the other ring oldest-first so this ring's recency order

@@ -136,6 +136,13 @@ struct ServingStats
     uint64_t shed = 0;    // queued requests evicted for higher priority
     uint64_t watchdogRestarts = 0; // dispatcher deaths survived
 
+    // -- session counters (SessionManager) ----------------------------
+    uint64_t sessionsOpened = 0;   // sessions opened (incl. restored)
+    uint64_t sessionsClosed = 0;   // sessions closed by their client
+    uint64_t sessionsExpired = 0;  // sessions evicted by the idle TTL
+    uint64_t sessionsRejected = 0; // opens refused at the session cap
+    uint64_t sessionSteps = 0;     // temporal steps served, all sessions
+
     /**
      * Deadline-miss histogram: how *late* each expired request was
      * when it was dropped (bucket upper bounds in
@@ -209,6 +216,13 @@ struct ServingStats
 
     /** Mean request latency in milliseconds. */
     double meanLatencyMs() const;
+
+    /** Sessions open right now (opened minus closed/expired; 0 when
+     *  the counters describe a finished workload). */
+    uint64_t activeSessions() const;
+
+    /** Mean temporal steps served per opened session. */
+    double meanStepsPerSession() const;
 
     /** Fold another stats block into this one. */
     void merge(const ServingStats& other);

@@ -159,7 +159,7 @@ PhiClient::readFrame(FrameType& type)
     const uint32_t rawType = h.u32();
     const uint32_t bodyLen = h.u32();
     if (rawType < static_cast<uint32_t>(FrameType::Request) ||
-        rawType > static_cast<uint32_t>(FrameType::StatsReply))
+        rawType > static_cast<uint32_t>(FrameType::SessionClosed))
         throw NetError(WireErrorCode::BadFrameType,
                        "server reply has unknown frame type " +
                            std::to_string(rawType));
@@ -261,6 +261,121 @@ PhiClient::request(const std::string& model, uint32_t layer,
     return request(req);
 }
 
+std::vector<uint8_t>
+PhiClient::roundTrip(FrameType sendType,
+                     const std::vector<uint8_t>& body,
+                     FrameType expect)
+{
+    const std::vector<uint8_t> frame = encodeFrame(sendType, body);
+    writeAll(frame.data(), frame.size());
+
+    FrameType type;
+    std::vector<uint8_t> reply = readFrame(type);
+    if (type == FrameType::Error) {
+        io::ByteReader r(reply.data(), reply.size());
+        WireError err;
+        try {
+            err = decodeError(r);
+        } catch (const io::IoError& e) {
+            throw NetError(WireErrorCode::MalformedFrame,
+                           std::string("undecodable server reply: ") +
+                               e.what());
+        }
+        throwWireError(err);
+    }
+    if (type != expect)
+        throw NetError(WireErrorCode::BadFrameType,
+                       "unexpected reply frame type");
+    return reply;
+}
+
+WireSessionOpened
+PhiClient::openSession(const std::string& model,
+                       std::vector<LifParams> params)
+{
+    WireOpenSession msg;
+    msg.id = nextId++;
+    msg.model = model;
+    msg.params = std::move(params);
+    io::ByteWriter body;
+    encodeOpenSession(body, msg);
+    const std::vector<uint8_t> reply = roundTrip(
+        FrameType::OpenSession, body.buffer(),
+        FrameType::SessionOpened);
+    io::ByteReader r(reply.data(), reply.size());
+    WireSessionOpened out;
+    try {
+        out = decodeSessionOpened(r);
+    } catch (const io::IoError& e) {
+        throw NetError(WireErrorCode::MalformedFrame,
+                       std::string("undecodable server reply: ") +
+                           e.what());
+    }
+    if (out.id != msg.id)
+        throw NetError(WireErrorCode::MalformedFrame,
+                       "reply id " + std::to_string(out.id) +
+                           " does not match request id " +
+                           std::to_string(msg.id));
+    return out;
+}
+
+WireSessionStepped
+PhiClient::stepSession(uint64_t sessionId, const BinaryMatrix& frames)
+{
+    WireStepSession msg;
+    msg.id = nextId++;
+    msg.sessionId = sessionId;
+    msg.frames = frames;
+    io::ByteWriter body;
+    encodeStepSession(body, msg);
+    const std::vector<uint8_t> reply = roundTrip(
+        FrameType::StepSession, body.buffer(),
+        FrameType::SessionStepped);
+    io::ByteReader r(reply.data(), reply.size());
+    WireSessionStepped out;
+    try {
+        out = decodeSessionStepped(r);
+    } catch (const io::IoError& e) {
+        throw NetError(WireErrorCode::MalformedFrame,
+                       std::string("undecodable server reply: ") +
+                           e.what());
+    }
+    if (out.id != msg.id)
+        throw NetError(WireErrorCode::MalformedFrame,
+                       "reply id " + std::to_string(out.id) +
+                           " does not match request id " +
+                           std::to_string(msg.id));
+    return out;
+}
+
+WireSessionClosed
+PhiClient::closeSession(uint64_t sessionId)
+{
+    WireCloseSession msg;
+    msg.id = nextId++;
+    msg.sessionId = sessionId;
+    io::ByteWriter body;
+    encodeCloseSession(body, msg);
+    const std::vector<uint8_t> reply = roundTrip(
+        FrameType::CloseSession, body.buffer(),
+        FrameType::SessionClosed);
+    io::ByteReader r(reply.data(), reply.size());
+    WireSessionClosed out;
+    try {
+        out = decodeSessionClosed(r);
+    } catch (const io::IoError& e) {
+        throw NetError(WireErrorCode::MalformedFrame,
+                       std::string("undecodable server reply: ") +
+                           e.what());
+    }
+    if (out.id != msg.id)
+        throw NetError(WireErrorCode::MalformedFrame,
+                       "reply id " + std::to_string(out.id) +
+                           " does not match request id " +
+                           std::to_string(msg.id));
+    return out;
+}
+
 std::string
 PhiClient::statsText()
 {
@@ -306,6 +421,21 @@ PhiClient::request(const std::string&, uint32_t, const BinaryMatrix&)
     return {};
 }
 std::string PhiClient::statsText() { return {}; }
+std::vector<uint8_t>
+PhiClient::roundTrip(FrameType, const std::vector<uint8_t>&, FrameType)
+{
+    return {};
+}
+WireSessionOpened
+PhiClient::openSession(const std::string&, std::vector<LifParams>)
+{
+    return {};
+}
+WireSessionStepped PhiClient::stepSession(uint64_t, const BinaryMatrix&)
+{
+    return {};
+}
+WireSessionClosed PhiClient::closeSession(uint64_t) { return {}; }
 
 #endif // __linux__
 

@@ -79,6 +79,29 @@ class PhiClient
     /** Fetch the server's plaintext metrics via a StatsRequest frame. */
     std::string statsText();
 
+    // ---- stateful sessions ------------------------------------------
+    // Synchronous session verbs (runtime/session.hh over the wire).
+    // The session id is server-scoped: it stays valid across
+    // reconnects, so a client may close its socket, reconnect, and
+    // keep stepping the same session. Typed failures rethrow by band
+    // exactly like request() — e.g. EngineError(SessionExpired).
+
+    /**
+     * Open a session against @p model's current version. @p params is
+     * the per-layer LIF configuration (empty = server defaults). The
+     * reply reports the pinned epoch and layer count.
+     */
+    WireSessionOpened openSession(const std::string& model,
+                                  std::vector<LifParams> params = {});
+
+    /** Stream T x K spike frames into a session; returns the final
+     *  layer's T x N spikes and the global index of frame 0. */
+    WireSessionStepped stepSession(uint64_t sessionId,
+                                   const BinaryMatrix& frames);
+
+    /** Close a session; returns the total steps it served. */
+    WireSessionClosed closeSession(uint64_t sessionId);
+
     /**
      * The raw socket fd — for tests that need to misbehave: send
      * truncated garbage, half-close, or disconnect mid-request.
@@ -96,6 +119,11 @@ class PhiClient
   private:
     std::vector<uint8_t> readFrame(FrameType& type);
     void writeAll(const void* data, size_t len);
+    /** Send one frame, read one reply: an Error frame rethrows by
+     *  band, any type other than @p expect throws BadFrameType. */
+    std::vector<uint8_t> roundTrip(FrameType sendType,
+                                   const std::vector<uint8_t>& body,
+                                   FrameType expect);
 
     int sock = -1;
     uint32_t nextId = 1;

@@ -33,6 +33,9 @@ wireErrorCodeName(WireErrorCode code)
     case WireErrorCode::ModelBusy: return "ModelBusy";
     case WireErrorCode::DeadlineExceeded: return "DeadlineExceeded";
     case WireErrorCode::Internal: return "Internal";
+    case WireErrorCode::SessionNotFound: return "SessionNotFound";
+    case WireErrorCode::SessionExpired: return "SessionExpired";
+    case WireErrorCode::TooManySessions: return "TooManySessions";
     case WireErrorCode::IoFailure: return "IoFailure";
     }
     return "Unknown";
@@ -63,6 +66,12 @@ wireCode(EngineErrorCode code)
     case EngineErrorCode::DeadlineExceeded:
         return WireErrorCode::DeadlineExceeded;
     case EngineErrorCode::Internal: return WireErrorCode::Internal;
+    case EngineErrorCode::SessionNotFound:
+        return WireErrorCode::SessionNotFound;
+    case EngineErrorCode::SessionExpired:
+        return WireErrorCode::SessionExpired;
+    case EngineErrorCode::TooManySessions:
+        return WireErrorCode::TooManySessions;
     }
     return WireErrorCode::Internal;
 }
@@ -92,6 +101,12 @@ engineCodeOf(WireErrorCode code)
     case WireErrorCode::DeadlineExceeded:
         return EngineErrorCode::DeadlineExceeded;
     case WireErrorCode::Internal: return EngineErrorCode::Internal;
+    case WireErrorCode::SessionNotFound:
+        return EngineErrorCode::SessionNotFound;
+    case WireErrorCode::SessionExpired:
+        return EngineErrorCode::SessionExpired;
+    case WireErrorCode::TooManySessions:
+        return EngineErrorCode::TooManySessions;
     default: return std::nullopt;
     }
 }
@@ -240,6 +255,175 @@ decodeError(io::ByteReader& r)
     return err;
 }
 
+namespace
+{
+
+/** LifParams cross the wire as IEEE-754 bit patterns so a session
+ *  opened remotely integrates bit-identically to a local one. */
+void
+encodeLifParams(io::ByteWriter& w, const LifParams& p)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &p.leak, sizeof(bits));
+    w.u32(bits);
+    std::memcpy(&bits, &p.threshold, sizeof(bits));
+    w.u32(bits);
+    w.u8(p.hardReset ? 1 : 0);
+    w.i32(p.refractory);
+}
+
+LifParams
+decodeLifParams(io::ByteReader& r)
+{
+    LifParams p;
+    uint32_t bits = r.u32();
+    std::memcpy(&p.leak, &bits, sizeof(p.leak));
+    bits = r.u32();
+    std::memcpy(&p.threshold, &bits, sizeof(p.threshold));
+    p.hardReset = r.u8() != 0;
+    p.refractory = r.i32();
+    return p;
+}
+
+void
+requireDrained(io::ByteReader& r, const char* what)
+{
+    if (r.remaining() != 0)
+        throw io::IoError(std::string(what) + " body has " +
+                          std::to_string(r.remaining()) +
+                          " trailing bytes");
+}
+
+} // namespace
+
+void
+encodeOpenSession(io::ByteWriter& w, const WireOpenSession& msg)
+{
+    w.u32(msg.id);
+    w.str(msg.model);
+    w.u32(static_cast<uint32_t>(msg.params.size()));
+    for (const LifParams& p : msg.params)
+        encodeLifParams(w, p);
+}
+
+WireOpenSession
+decodeOpenSession(io::ByteReader& r)
+{
+    WireOpenSession msg;
+    msg.id = r.u32();
+    msg.model = r.str();
+    const uint32_t count = r.u32();
+    // 13 encoded bytes per LifParams entry; reject counts the body
+    // cannot hold before sizing the allocation.
+    if (count > r.remaining() / 13)
+        throw io::IoError("LifParams count " + std::to_string(count) +
+                          " exceeds remaining body bytes");
+    msg.params.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        msg.params.push_back(decodeLifParams(r));
+    requireDrained(r, "open-session");
+    return msg;
+}
+
+void
+encodeSessionOpened(io::ByteWriter& w, const WireSessionOpened& msg)
+{
+    w.u32(msg.id);
+    w.u64(msg.sessionId);
+    w.str(msg.model);
+    w.u64(msg.version);
+    w.u32(msg.layers);
+}
+
+WireSessionOpened
+decodeSessionOpened(io::ByteReader& r)
+{
+    WireSessionOpened msg;
+    msg.id = r.u32();
+    msg.sessionId = r.u64();
+    msg.model = r.str();
+    msg.version = r.u64();
+    msg.layers = r.u32();
+    requireDrained(r, "session-opened");
+    return msg;
+}
+
+void
+encodeStepSession(io::ByteWriter& w, const WireStepSession& msg)
+{
+    w.u32(msg.id);
+    w.u64(msg.sessionId);
+    encodeActs(w, msg.frames);
+}
+
+WireStepSession
+decodeStepSession(io::ByteReader& r)
+{
+    WireStepSession msg;
+    msg.id = r.u32();
+    msg.sessionId = r.u64();
+    msg.frames = decodeActs(r);
+    requireDrained(r, "step-session");
+    return msg;
+}
+
+void
+encodeSessionStepped(io::ByteWriter& w, const WireSessionStepped& msg)
+{
+    w.u32(msg.id);
+    w.u64(msg.sessionId);
+    w.u64(msg.firstStep);
+    encodeActs(w, msg.spikes);
+}
+
+WireSessionStepped
+decodeSessionStepped(io::ByteReader& r)
+{
+    WireSessionStepped msg;
+    msg.id = r.u32();
+    msg.sessionId = r.u64();
+    msg.firstStep = r.u64();
+    msg.spikes = decodeActs(r);
+    requireDrained(r, "session-stepped");
+    return msg;
+}
+
+void
+encodeCloseSession(io::ByteWriter& w, const WireCloseSession& msg)
+{
+    w.u32(msg.id);
+    w.u64(msg.sessionId);
+}
+
+WireCloseSession
+decodeCloseSession(io::ByteReader& r)
+{
+    WireCloseSession msg;
+    msg.id = r.u32();
+    msg.sessionId = r.u64();
+    requireDrained(r, "close-session");
+    return msg;
+}
+
+void
+encodeSessionClosed(io::ByteWriter& w, const WireSessionClosed& msg)
+{
+    w.u32(msg.id);
+    w.u64(msg.sessionId);
+    w.u64(msg.steps);
+}
+
+WireSessionClosed
+decodeSessionClosed(io::ByteReader& r)
+{
+    WireSessionClosed msg;
+    msg.id = r.u32();
+    msg.sessionId = r.u64();
+    msg.steps = r.u64();
+    requireDrained(r, "session-closed");
+    return msg;
+}
+
 std::vector<uint8_t>
 encodeFrame(FrameType type, const std::vector<uint8_t>& body)
 {
@@ -287,7 +471,7 @@ tryParseFrame(const uint8_t* data, size_t len, size_t maxFrameBytes,
     const uint32_t type = header.u32();
     const uint32_t bodyLen = header.u32();
     if (type < static_cast<uint32_t>(FrameType::Request) ||
-        type > static_cast<uint32_t>(FrameType::StatsReply)) {
+        type > static_cast<uint32_t>(FrameType::SessionClosed)) {
         errCode = WireErrorCode::BadFrameType;
         errMsg = "unknown frame type " + std::to_string(type);
         return ParseStatus::Bad;

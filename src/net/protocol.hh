@@ -53,6 +53,7 @@
 #include "io/serialize.hh"
 #include "numeric/binary_matrix.hh"
 #include "numeric/matrix.hh"
+#include "snn/lif.hh"
 
 namespace phi::net
 {
@@ -74,6 +75,13 @@ enum class FrameType : uint32_t
     Error = 3,
     StatsRequest = 4,
     StatsReply = 5,
+    // -- stateful sessions (runtime/session.hh) ----------------------
+    OpenSession = 6,    // {id, model, per-layer LifParams}
+    StepSession = 7,    // {id, sessionId, T x K spike frames}
+    CloseSession = 8,   // {id, sessionId}
+    SessionOpened = 9,  // {id, sessionId, model@version, layers}
+    SessionStepped = 10, // {id, sessionId, firstStep, T x N spikes}
+    SessionClosed = 11, // {id, sessionId, steps served}
 };
 
 /**
@@ -111,6 +119,9 @@ enum class WireErrorCode : uint16_t
     ModelBusy = 110,
     DeadlineExceeded = 111,
     Internal = 112,
+    SessionNotFound = 113,
+    SessionExpired = 114,
+    TooManySessions = 115,
 
     // -- artifact band ------------------------------------------------
     IoFailure = 200,
@@ -199,6 +210,66 @@ struct WireError
     std::string message;
 };
 
+// ---- stateful-session frames ----------------------------------------
+// A session is opened against a model name, streamed spike frames
+// (each StepSession carries T timesteps of layer-0 input; the server
+// answers with the final layer's T x N spikes), and closed. The
+// session id is server-assigned and scoped to the *server*, not the
+// connection — it stays valid across reconnects until closed or
+// evicted by the idle TTL.
+
+/** Open a session against @p model's current version. */
+struct WireOpenSession
+{
+    uint32_t id = 0; // correlation id, echoed by SessionOpened/Error
+    std::string model;
+    /** LIF dynamics per layer; empty = server defaults for every
+     *  layer, otherwise exactly one entry per model layer. */
+    std::vector<LifParams> params;
+};
+
+/** Server's answer to OpenSession. */
+struct WireSessionOpened
+{
+    uint32_t id = 0;
+    uint64_t sessionId = 0;
+    std::string model;    // name the session serves
+    uint64_t version = 0; // exact epoch pinned for its lifetime
+    uint32_t layers = 0;  // depth of the temporal forward
+};
+
+/** Stream T timesteps of layer-0 spike input into a session. */
+struct WireStepSession
+{
+    uint32_t id = 0;
+    uint64_t sessionId = 0;
+    /** T x K: row t is the spike frame of timestep firstStep + t. */
+    BinaryMatrix frames;
+};
+
+/** Server's answer to StepSession: the last layer's spike raster. */
+struct WireSessionStepped
+{
+    uint32_t id = 0;
+    uint64_t sessionId = 0;
+    /** Global timestep index of row 0 of `spikes`. */
+    uint64_t firstStep = 0;
+    BinaryMatrix spikes; // T x N
+};
+
+struct WireCloseSession
+{
+    uint32_t id = 0;
+    uint64_t sessionId = 0;
+};
+
+struct WireSessionClosed
+{
+    uint32_t id = 0;
+    uint64_t sessionId = 0;
+    uint64_t steps = 0; // temporal steps the session served in total
+};
+
 // ---- body codecs ----------------------------------------------------
 // Encoders append to a ByteWriter; decoders read from a bounds-checked
 // ByteReader and throw io::IoError on truncated/corrupt bodies (the
@@ -212,6 +283,27 @@ WireResponse decodeResponse(io::ByteReader& r);
 
 void encodeError(io::ByteWriter& w, const WireError& err);
 WireError decodeError(io::ByteReader& r);
+
+void encodeOpenSession(io::ByteWriter& w, const WireOpenSession& msg);
+WireOpenSession decodeOpenSession(io::ByteReader& r);
+
+void encodeSessionOpened(io::ByteWriter& w,
+                         const WireSessionOpened& msg);
+WireSessionOpened decodeSessionOpened(io::ByteReader& r);
+
+void encodeStepSession(io::ByteWriter& w, const WireStepSession& msg);
+WireStepSession decodeStepSession(io::ByteReader& r);
+
+void encodeSessionStepped(io::ByteWriter& w,
+                          const WireSessionStepped& msg);
+WireSessionStepped decodeSessionStepped(io::ByteReader& r);
+
+void encodeCloseSession(io::ByteWriter& w, const WireCloseSession& msg);
+WireCloseSession decodeCloseSession(io::ByteReader& r);
+
+void encodeSessionClosed(io::ByteWriter& w,
+                         const WireSessionClosed& msg);
+WireSessionClosed decodeSessionClosed(io::ByteReader& r);
 
 /** A complete frame (header + body) ready to write to a socket. */
 std::vector<uint8_t> encodeFrame(FrameType type,

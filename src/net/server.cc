@@ -68,7 +68,8 @@ PhiServer::PhiServer(std::shared_ptr<ModelRegistry> registry,
                      AsyncEngineConfig engineConfig,
                      PhiServerConfig serverCfg)
     : asyncEngine(std::move(registry), exec, engineConfig),
-      serverConfig(std::move(serverCfg))
+      serverConfig(std::move(serverCfg)),
+      sessionManager(asyncEngine, serverConfig.sessionConfig)
 {
 }
 
@@ -254,6 +255,17 @@ PhiServer::statsText() const
     os << "write_failures " << c.writeFailures << "\n";
     os << "drain_rejected " << c.drainRejected << "\n";
     os << "stats_served " << c.statsServed << "\n";
+    os << "session_opens " << c.sessionOpens << "\n";
+    os << "session_closes " << c.sessionCloses << "\n";
+    os << "session_step_frames " << c.sessionStepFrames << "\n";
+    os << "sessions_snapshotted " << c.sessionsSnapshotted << "\n";
+    const ServingStats sess = sessionManager.stats();
+    os << "sessions_open " << sess.activeSessions() << "\n";
+    os << "sessions_opened " << sess.sessionsOpened << "\n";
+    os << "sessions_closed " << sess.sessionsClosed << "\n";
+    os << "sessions_expired " << sess.sessionsExpired << "\n";
+    os << "sessions_rejected " << sess.sessionsRejected << "\n";
+    os << "session_steps " << sess.sessionSteps << "\n";
     const ServingStats merged = asyncEngine.stats();
     os << "engine_requests " << merged.requests << "\n";
     os << "engine_expired " << merged.expired << "\n";
@@ -342,6 +354,12 @@ PhiServer::netLoop()
         ::close(listenFd);
         listenFd = -1;
     }
+
+    // Graceful drain persists (or closes) the stateful sessions; a
+    // hard stop() drops them, matching its everything-now contract —
+    // the manager's own shutdown still fails queued steps typed.
+    if (drainRequested.load() && !stopRequested.load())
+        finishSessionsForDrain();
 
     {
         MutexLock lock(completionMutex);
@@ -574,6 +592,13 @@ PhiServer::handleRequestFrame(Connection& conn,
         return true;
     }
 
+    if (frame.type == FrameType::OpenSession ||
+        frame.type == FrameType::StepSession ||
+        frame.type == FrameType::CloseSession) {
+        handleSessionFrame(conn, frame);
+        return true;
+    }
+
     if (frame.type != FrameType::Request) {
         // Cleanly framed, but not something a client may send
         // (Response/Error/StatsReply are server-to-client). The
@@ -639,12 +664,142 @@ PhiServer::handleRequestFrame(Connection& conn,
         ++activeRequests;
     }
     {
+        InFlight work;
+        work.connId = conn.id;
+        work.requestId = req.id;
+        work.layer = req.layer;
+        work.future = std::move(future);
         MutexLock lock(completionMutex);
-        completionQueue.push_back(
-            {conn.id, req.id, req.layer, std::move(future)});
+        completionQueue.push_back(std::move(work));
     }
     completionCv.notify_one();
     return true;
+}
+
+void
+PhiServer::handleSessionFrame(Connection& conn,
+                              const ParsedFrame& frame)
+{
+    // Body decoding mirrors handleRequestFrame: a well-delimited
+    // frame whose body lies is a per-request rejection, not a stream
+    // desync, so the connection keeps serving.
+    WireOpenSession openMsg;
+    WireStepSession stepMsg;
+    WireCloseSession closeMsg;
+    uint32_t requestId = 0;
+    try {
+        io::ByteReader body(frame.body, frame.bodyLen);
+        switch (frame.type) {
+        case FrameType::OpenSession:
+            openMsg = decodeOpenSession(body);
+            requestId = openMsg.id;
+            break;
+        case FrameType::StepSession:
+            stepMsg = decodeStepSession(body);
+            requestId = stepMsg.id;
+            break;
+        default:
+            closeMsg = decodeCloseSession(body);
+            requestId = closeMsg.id;
+            break;
+        }
+    } catch (const io::IoError& e) {
+        MutexLock lock(stateMutex);
+        ++stats.protocolErrors;
+        ++stats.wireErrors;
+        conn.outbox.push_back(encodeErrorFrame(
+            0, WireErrorCode::MalformedFrame, e.what()));
+        conn.outboxBytes += conn.outbox.back().size();
+        return;
+    }
+
+    // The same deterministic drain gate as stateless requests: no
+    // session frame parsed after requestDrain() is ever admitted —
+    // the drain epilogue is about to snapshot (or close) every
+    // session, and a step racing in behind it would not be covered.
+    if (drainRequested.load() || drainingFlag.load()) {
+        MutexLock lock(stateMutex);
+        ++stats.drainRejected;
+        ++stats.wireErrors;
+        conn.outbox.push_back(encodeErrorFrame(
+            requestId, WireErrorCode::ServerDraining,
+            "server is draining; retry against another instance"));
+        conn.outboxBytes += conn.outbox.back().size();
+        return;
+    }
+
+    try {
+        if (frame.type == FrameType::OpenSession) {
+            // open() is registry + allocation work only (no kernel,
+            // no engine queue), so serving it inline keeps the net
+            // loop's latency bounded.
+            const uint64_t sid = sessionManager.open(
+                openMsg.model, std::move(openMsg.params));
+            const SessionInfo info = sessionManager.info(sid);
+            io::ByteWriter body;
+            encodeSessionOpened(
+                body, {openMsg.id, sid, info.model.name,
+                       info.model.version,
+                       static_cast<uint32_t>(info.layerCount)});
+            MutexLock lock(stateMutex);
+            ++stats.sessionOpens;
+            ++stats.responses;
+            conn.outbox.push_back(
+                encodeFrame(FrameType::SessionOpened, body.buffer()));
+            conn.outboxBytes += conn.outbox.back().size();
+            return;
+        }
+
+        if (frame.type == FrameType::CloseSession) {
+            // close() waits at most one pump round for an in-flight
+            // frame — bounded, like open().
+            const uint64_t steps =
+                sessionManager.close(closeMsg.sessionId);
+            io::ByteWriter body;
+            encodeSessionClosed(
+                body, {closeMsg.id, closeMsg.sessionId, steps});
+            MutexLock lock(stateMutex);
+            ++stats.sessionCloses;
+            ++stats.responses;
+            conn.outbox.push_back(
+                encodeFrame(FrameType::SessionClosed, body.buffer()));
+            conn.outboxBytes += conn.outbox.back().size();
+            return;
+        }
+
+        // StepSession: the temporal forward runs on the pump + engine
+        // threads; its future rides the completion queue exactly like
+        // a stateless submit, so drain and half-close accounting see
+        // it as one in-flight request. step() never throws — typed
+        // failures (SessionNotFound/Expired, ShapeMismatch, rolled-
+        // back engine errors) resolve the future instead.
+        InFlight work;
+        work.connId = conn.id;
+        work.requestId = stepMsg.id;
+        work.kind = InFlight::Kind::SessionStep;
+        work.sessionFuture = sessionManager.step(
+            stepMsg.sessionId, std::move(stepMsg.frames));
+        {
+            MutexLock lock(stateMutex);
+            ++stats.requests;
+            ++stats.sessionStepFrames;
+            ++conn.inFlight;
+            ++activeRequests;
+        }
+        {
+            MutexLock lock(completionMutex);
+            completionQueue.push_back(std::move(work));
+        }
+        completionCv.notify_one();
+    } catch (const EngineError& e) {
+        // open()/close() lifecycle failures: typed, per-request, the
+        // connection survives.
+        MutexLock lock(stateMutex);
+        ++stats.wireErrors;
+        conn.outbox.push_back(
+            encodeErrorFrame(requestId, wireCode(e.code()), e.what()));
+        conn.outboxBytes += conn.outbox.back().size();
+    }
 }
 
 void
@@ -838,6 +993,42 @@ PhiServer::sweepTimeouts(Clock::time_point now)
 }
 
 void
+PhiServer::finishSessionsForDrain()
+{
+    // The drain gate stopped admitting session frames before
+    // drainComplete() observed an idle server, so this flush covers
+    // exactly the steps admitted before the drain began (or, after a
+    // deadline force-close, whatever is still in flight).
+    sessionManager.drain();
+    const size_t open = sessionManager.size();
+    if (open == 0)
+        return;
+
+    if (!serverConfig.sessionSnapshotPath.empty()) {
+        try {
+            io::saveSessions(sessionManager.snapshot(),
+                             serverConfig.sessionSnapshotPath);
+            MutexLock lock(stateMutex);
+            stats.sessionsSnapshotted += open;
+        } catch (const io::IoError&) {
+            // An unwritable snapshot must not hold SIGTERM hostage;
+            // the loss is visible as sessions_snapshotted staying 0.
+            MutexLock lock(stateMutex);
+            ++stats.writeFailures;
+        }
+        return;
+    }
+
+    for (const SessionInfo& s : sessionManager.list()) {
+        try {
+            sessionManager.close(s.id);
+        } catch (const EngineError&) {
+            // Raced with the idle TTL: already gone, which is fine.
+        }
+    }
+}
+
+void
 PhiServer::beginDrain()
 {
     drainingFlag.store(true);
@@ -950,14 +1141,26 @@ PhiServer::completionLoop()
         std::vector<uint8_t> frame;
         bool isError = false;
         try {
-            EngineResponse resp = work.future.get();
-            io::ByteWriter body;
-            encodeResponse(body,
-                           {work.requestId, resp.model.name,
-                            resp.model.version,
-                            static_cast<uint32_t>(resp.layer),
-                            std::move(resp.out)});
-            frame = encodeFrame(FrameType::Response, body.buffer());
+            if (work.kind == InFlight::Kind::SessionStep) {
+                SessionStepResult res = work.sessionFuture.get();
+                io::ByteWriter body;
+                encodeSessionStepped(body, {work.requestId,
+                                            res.sessionId,
+                                            res.firstStep,
+                                            std::move(res.spikes)});
+                frame = encodeFrame(FrameType::SessionStepped,
+                                    body.buffer());
+            } else {
+                EngineResponse resp = work.future.get();
+                io::ByteWriter body;
+                encodeResponse(body,
+                               {work.requestId, resp.model.name,
+                                resp.model.version,
+                                static_cast<uint32_t>(resp.layer),
+                                std::move(resp.out)});
+                frame =
+                    encodeFrame(FrameType::Response, body.buffer());
+            }
         } catch (const EngineError& e) {
             frame = encodeErrorFrame(work.requestId,
                                      wireCode(e.code()), e.what());
@@ -1029,6 +1232,8 @@ bool PhiServer::handleRequestFrame(Connection&, const ParsedFrame&)
 {
     return false;
 }
+void PhiServer::handleSessionFrame(Connection&, const ParsedFrame&) {}
+void PhiServer::finishSessionsForDrain() {}
 void PhiServer::queueFrame(Connection&, std::vector<uint8_t>) {}
 void PhiServer::flushWrites(Connection&) {}
 void PhiServer::deliverOutboxes() {}

@@ -5,7 +5,12 @@
  * any number of concurrent non-blocking connections, wrapping one
  * AsyncPhiEngine + ModelRegistry so the whole in-process serving
  * stack — handle-based routing, deadlines, priorities, backpressure,
- * hot-swap, per-model stats — is reachable over a socket.
+ * hot-swap, per-model stats — is reachable over a socket, and one
+ * SessionManager so stateful temporal streams (runtime/session.hh)
+ * are too: OpenSession/StepSession/CloseSession frames route to it,
+ * session ids stay valid across reconnects, and graceful drain
+ * snapshots open sessions to disk instead of dropping their LIF
+ * state.
  *
  * Threads:
  *  - The *net thread* owns epoll, every socket, and all connection
@@ -63,6 +68,7 @@
 #include "common/sync.hh"
 #include "net/protocol.hh"
 #include "runtime/async_engine.hh"
+#include "runtime/session.hh"
 
 namespace phi::net
 {
@@ -108,6 +114,18 @@ struct PhiServerConfig
     /** Ceiling on graceful drain; laggards are force-closed after
      *  this so SIGTERM always terminates. */
     uint64_t drainTimeoutMs = 10'000;
+
+    /** Knobs of the stateful-session subsystem (cap, idle TTL). */
+    SessionConfig sessionConfig;
+
+    /**
+     * Where drain persists open sessions as a `.phis` snapshot.
+     * Non-empty: after the drain gate has flushed every in-flight
+     * step, all open sessions are written here (atomically) so a
+     * restarted server can restore() them — sessions survive SIGTERM.
+     * Empty: drain closes sessions instead of snapshotting them.
+     */
+    std::string sessionSnapshotPath;
 };
 
 /** Socket-level counters, surfaced by STATS and the tests. */
@@ -126,6 +144,10 @@ struct ServerCounters
     uint64_t writeFailures = 0;   // write path failures (net.write)
     uint64_t statsServed = 0;     // STATS verbs answered
     uint64_t drainRejected = 0;   // requests refused mid-drain
+    uint64_t sessionOpens = 0;    // OpenSession frames served
+    uint64_t sessionCloses = 0;   // CloseSession frames served
+    uint64_t sessionStepFrames = 0;   // StepSession frames submitted
+    uint64_t sessionsSnapshotted = 0; // sessions persisted at drain
 };
 
 /**
@@ -192,6 +214,11 @@ class PhiServer
     std::string statsText() const EXCLUDES(stateMutex);
 
     AsyncPhiEngine& engine() { return asyncEngine; }
+
+    /** The stateful-session subsystem (restore snapshots through
+     *  this before start(); see PhiServerConfig::sessionSnapshotPath). */
+    SessionManager& sessions() { return sessionManager; }
+
     const std::shared_ptr<ModelRegistry>& registry() const
     {
         return asyncEngine.registry();
@@ -204,13 +231,22 @@ class PhiServer
     struct Connection;
 
     /** One submitted request whose future the completion thread is
-     *  waiting on. */
+     *  waiting on: either a stateless engine submit or a stateful
+     *  session step (exactly one of the two futures is valid). */
     struct InFlight
     {
+        enum class Kind
+        {
+            Engine,
+            SessionStep,
+        };
+
         uint64_t connId = 0;
         uint32_t requestId = 0;
         uint32_t layer = 0;
+        Kind kind = Kind::Engine;
         std::future<EngineResponse> future;
+        std::future<SessionStepResult> sessionFuture;
     };
 
     void netLoop() EXCLUDES(stateMutex, completionMutex);
@@ -222,6 +258,15 @@ class PhiServer
         EXCLUDES(stateMutex, completionMutex);
     bool handleRequestFrame(Connection& conn, const ParsedFrame& frame)
         EXCLUDES(stateMutex, completionMutex);
+    /** Serve one OpenSession/StepSession/CloseSession frame. Open and
+     *  close run inline on the net thread (no engine work — bounded
+     *  latency); steps go through the completion queue like stateless
+     *  requests. */
+    void handleSessionFrame(Connection& conn, const ParsedFrame& frame)
+        EXCLUDES(stateMutex, completionMutex);
+    /** Drain epilogue: flush the session pump, then snapshot open
+     *  sessions to sessionSnapshotPath (or close them when unset). */
+    void finishSessionsForDrain() EXCLUDES(stateMutex);
     void queueFrame(Connection& conn, std::vector<uint8_t> frame)
         EXCLUDES(stateMutex);
     void flushWrites(Connection& conn) EXCLUDES(stateMutex);
@@ -237,6 +282,11 @@ class PhiServer
 
     AsyncPhiEngine asyncEngine;
     PhiServerConfig serverConfig;
+
+    /** Stateful sessions over asyncEngine (declared after it: the
+     *  pump thread must stop before the engine destructs). Its own
+     *  mutex is a leaf, independent of stateMutex. */
+    SessionManager sessionManager;
 
     int listenFd = -1;
     int epollFd = -1;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/failpoint.hh"
+#include "common/logging.hh"
 
 namespace phi
 {
@@ -56,18 +57,33 @@ std::future<EngineResponse>
 AsyncPhiEngine::submit(const ModelHandle& handle, size_t layer,
                        BinaryMatrix acts, SubmitOptions opts)
 {
-    std::promise<EngineResponse> promise;
-    std::future<EngineResponse> future = promise.get_future();
-
-    // Pin + validate on the submitting thread, against the epoch that
-    // is current right now: a malformed request (or an unloaded
-    // model) resolves its own future right here and can never poison
-    // a batch or abort the process, and a swap() landing after this
-    // point cannot move the request off the version it was validated
-    // against.
+    // Pin on the submitting thread, against the epoch that is current
+    // right now: a swap() landing after this point cannot move the
+    // request off the version it was validated against.
     ModelRegistry::Pinned pin;
     try {
         pin = engine.registry()->pin(handle);
+    } catch (...) {
+        std::promise<EngineResponse> promise;
+        std::future<EngineResponse> future = promise.get_future();
+        promise.set_exception(std::current_exception());
+        return future;
+    }
+    return submitPinned(std::move(pin), layer, std::move(acts), opts);
+}
+
+std::future<EngineResponse>
+AsyncPhiEngine::submitPinned(ModelRegistry::Pinned pin, size_t layer,
+                             BinaryMatrix acts, SubmitOptions opts)
+{
+    phi_assert(pin.model != nullptr, "submitPinned() needs a pinned model");
+    std::promise<EngineResponse> promise;
+    std::future<EngineResponse> future = promise.get_future();
+
+    // Validate on the submitting thread: a malformed request resolves
+    // its own future right here and can never poison a batch or abort
+    // the process.
+    try {
         PhiEngine::validate(*pin, layer, acts);
     } catch (...) {
         promise.set_exception(std::current_exception());

@@ -185,6 +185,21 @@ class AsyncPhiEngine
         EXCLUDES(mutex);
 
     /**
+     * submit() against an epoch the caller already pinned. Where
+     * submit() pins the handle's *current* version, this serves
+     * exactly @p pin's model — the contract stateful sessions need: a
+     * stream pinned at open keeps serving its epoch even when the
+     * registry hot-swaps the name mid-stream. Validation and every
+     * other submit() semantic (backpressure, deadlines, priorities)
+     * are identical. @p pin must hold a model (asserted).
+     */
+    std::future<EngineResponse> submitPinned(ModelRegistry::Pinned pin,
+                                             size_t layer,
+                                             BinaryMatrix acts,
+                                             SubmitOptions opts = {})
+        EXCLUDES(mutex);
+
+    /**
      * Block until every request submitted before this call has been
      * served. Intake stays open; requests racing in from other
      * threads during the drain may or may not be covered.

@@ -4,13 +4,18 @@
  *
  * v[t+1] = leak * v[t] + I[t]; a spike fires when v crosses the
  * threshold, after which the membrane either resets to zero (hard reset)
- * or is reduced by the threshold (soft reset).
+ * or is reduced by the threshold (soft reset). An optional refractory
+ * period holds the neuron silent for a fixed number of steps after each
+ * spike: during refraction input is ignored and the membrane only
+ * decays. refractory = 0 (the default) reproduces the original
+ * dynamics bit for bit.
  */
 
 #ifndef PHI_SNN_LIF_HH
 #define PHI_SNN_LIF_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "numeric/binary_matrix.hh"
@@ -25,11 +30,27 @@ struct LifParams
     float leak = 0.5f;      // membrane decay per step, in [0, 1]
     float threshold = 1.0f; // firing threshold
     bool hardReset = true;  // true: v -> 0 on spike; false: v -= theta
+    /** Steps a neuron stays silent after firing (0 = none). */
+    int32_t refractory = 0;
+};
+
+/**
+ * A full snapshot of a population's dynamic state — what must persist
+ * for temporal serving to resume a stream exactly where it stopped.
+ * Plain data so the session snapshot format can serialize it.
+ */
+struct LifState
+{
+    std::vector<float> membrane;
+    /** Remaining silent steps per neuron (all zero when the params
+     *  have no refractory period). */
+    std::vector<int32_t> refractory;
 };
 
 /**
  * A population of LIF neurons advanced one timestep at a time.
- * Membrane potentials persist between step() calls until reset().
+ * Membrane potentials (and refractory counters) persist between step()
+ * calls until reset().
  */
 class LifPopulation
 {
@@ -39,7 +60,7 @@ class LifPopulation
     size_t size() const { return membrane.size(); }
     const LifParams& params() const { return prm; }
 
-    /** Zero all membrane potentials. */
+    /** Zero all membrane potentials and refractory counters. */
     void reset();
 
     /**
@@ -50,12 +71,39 @@ class LifPopulation
      */
     void step(const float* current, std::vector<uint8_t>& spikes);
 
+    /**
+     * Allocation-free step() for the serving path: writes the spike
+     * bits into row @p row of @p spikes (which must have size() cols),
+     * clearing the row first. Bit-identical to step().
+     */
+    void stepInto(const float* current, BinaryMatrix& spikes, size_t row);
+
+    /**
+     * stepInto() fed by a GEMM's int32 accumulator row — the exact
+     * shape the engine hands a session. The cast to float is the one
+     * conversion point, so the serving path and an offline reference
+     * that casts the same way stay bit-identical.
+     */
+    void stepInto(const int32_t* current, BinaryMatrix& spikes,
+                  size_t row);
+
+    /** Copy out the dynamic state (membrane + refractory vectors). */
+    LifState saveState() const;
+
+    /** Restore a state captured by saveState() on a population of the
+     *  same size (asserted — callers validate untrusted sizes first). */
+    void loadState(const LifState& state);
+
     /** Current membrane potential of a neuron (for tests). */
     float potential(size_t idx) const;
 
   private:
+    /** One neuron's advance; returns whether it spiked. */
+    bool advance(size_t i, float in);
+
     LifParams prm;
     std::vector<float> membrane;
+    std::vector<int32_t> refractCount;
 };
 
 /**

@@ -35,7 +35,10 @@
 #include "io/model_io.hh"
 #include "net/client.hh"
 #include "net/server.hh"
+#include "numeric/gemm.hh"
 #include "runtime/async_engine.hh"
+#include "runtime/session.hh"
+#include "snn/lif.hh"
 #include "test_support.hh"
 
 namespace phi
@@ -264,6 +267,81 @@ TEST_F(ChaosTest, PoolTaskFailureFailsTheBatchTypedAndEngineRecovers)
     EXPECT_EQ(engine.submit(0, after).get().out, expected(after));
 }
 
+TEST_F(ChaosTest, InjectedSessionStepFailsOneStreamTypedAndKeepsStateConsistent)
+{
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->load("m", model);
+    AsyncPhiEngine engine(registry);
+    SessionManager mgr(engine);
+    const Matrix<int16_t> weights = test::randomWeights(64, 16, 3);
+
+    // Three independent streams, each with its own offline reference.
+    constexpr size_t kStreams = 3;
+    std::vector<uint64_t> sids;
+    std::vector<LifPopulation> refs;
+    std::vector<BinaryMatrix> chunk1, chunk2, want1, want2;
+    for (size_t i = 0; i < kStreams; ++i) {
+        sids.push_back(mgr.open("m"));
+        refs.emplace_back(static_cast<size_t>(weights.cols()));
+        Rng rng(880 + i);
+        chunk1.push_back(BinaryMatrix::random(4, 64, 0.2, rng));
+        chunk2.push_back(BinaryMatrix::random(4, 64, 0.2, rng));
+        BinaryMatrix w1(4, weights.cols()), w2(4, weights.cols());
+        for (size_t t = 0; t < 4; ++t) {
+            BinaryMatrix cur(1, 64);
+            cur.deposit(0, 0, 64, chunk1.back().extract(t, 0, 64));
+            refs[i].stepInto(spikeGemm(cur, weights).rowPtr(0), w1, t);
+        }
+        for (size_t t = 0; t < 4; ++t) {
+            BinaryMatrix cur(1, 64);
+            cur.deposit(0, 0, 64, chunk2.back().extract(t, 0, 64));
+            refs[i].stepInto(spikeGemm(cur, weights).rowPtr(0), w2, t);
+        }
+        want1.push_back(std::move(w1));
+        want2.push_back(std::move(w2));
+    }
+
+    // First chunks flow clean.
+    for (size_t i = 0; i < kStreams; ++i)
+        EXPECT_TRUE(mgr.step(sids[i], chunk1[i]).get().spikes ==
+                    want1[i]);
+
+    // Arm exactly one injected step failure. The next step to reach
+    // the pump fails typed — before any of its state moves.
+    failpoint::enable(failpoint::sites::kSessionStep,
+                      failpoint::Policy::once());
+    try {
+        mgr.step(sids[0], chunk2[0]).get();
+        FAIL() << "expected the injected session.step failure";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineError::Code::Internal);
+        EXPECT_NE(std::string(e.what()).find("session.step"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("retry is safe"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(failpoint::fires(failpoint::sites::kSessionStep), 1u);
+
+    // The failed stream's state is unchanged: the retry of the SAME
+    // chunk produces the uninterrupted reference, bit for bit.
+    {
+        const SessionStepResult res = mgr.step(sids[0], chunk2[0]).get();
+        EXPECT_EQ(res.firstStep, 4u);
+        EXPECT_TRUE(res.spikes == want2[0])
+            << "injected failure corrupted the stream's LIF state";
+    }
+    // The blast radius was one session: the others keep stepping and
+    // stay exact.
+    for (size_t i = 1; i < kStreams; ++i)
+        EXPECT_TRUE(mgr.step(sids[i], chunk2[i]).get().spikes ==
+                    want2[i]);
+
+    // The failed step was not counted as served.
+    EXPECT_EQ(mgr.stats().sessionSteps, kStreams * 8u);
+    for (uint64_t sid : sids)
+        EXPECT_EQ(mgr.close(sid), 8u);
+}
+
 TEST_F(ChaosTest, DispatcherCrashIsCaughtByTheWatchdog)
 {
     AsyncEngineConfig cfg;
@@ -411,6 +489,47 @@ TEST_F(ChaosTest, EveryRegisteredSiteIsSurvivable)
             // Disarmed: the wire serves and drains cleanly.
             EXPECT_GE(runNetworkWorkload(1, 2), 2u);
 #endif
+            continue;
+        }
+
+        // The session site sits on the stateful streaming path: only
+        // a SessionManager pumping step futures can reach it.
+        if (site == failpoint::sites::kSessionStep) {
+            auto registry = std::make_shared<ModelRegistry>();
+            registry->load("m", model);
+            AsyncPhiEngine engine(registry);
+            SessionManager mgr(engine);
+            const uint64_t sid = mgr.open("m");
+            for (int i = 0; i < 8; ++i) {
+                Rng rng(700 + static_cast<uint64_t>(i));
+                const BinaryMatrix frame =
+                    BinaryMatrix::random(1, 64, 0.2, rng);
+                try {
+                    mgr.step(sid, frame).get();
+                } catch (const EngineError&) {
+                }
+            }
+            EXPECT_GE(failpoint::fires(site), 1u)
+                << "the streaming workload never reached site " << site;
+            failpoint::disable(site);
+
+            // Disarmed: a fresh stream matches the offline LIF
+            // reference bit for bit.
+            const Matrix<int16_t> weights =
+                test::randomWeights(64, 16, 3);
+            const uint64_t sid2 = mgr.open("m");
+            Rng rng(777);
+            const BinaryMatrix frames =
+                BinaryMatrix::random(4, 64, 0.2, rng);
+            LifPopulation ref(static_cast<size_t>(weights.cols()));
+            BinaryMatrix want(4, weights.cols());
+            for (size_t t = 0; t < 4; ++t) {
+                BinaryMatrix cur(1, 64);
+                cur.deposit(0, 0, 64, frames.extract(t, 0, 64));
+                ref.stepInto(spikeGemm(cur, weights).rowPtr(0), want,
+                             t);
+            }
+            EXPECT_TRUE(mgr.step(sid2, frames).get().spikes == want);
             continue;
         }
 

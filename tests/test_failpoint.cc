@@ -121,10 +121,10 @@ TEST_F(FailpointTest, ResetForgetsEverything)
 TEST_F(FailpointTest, AllSitesNamesTheWiredSites)
 {
     const std::vector<std::string> sites = failpoint::allSites();
-    EXPECT_EQ(sites.size(), 7u);
+    EXPECT_EQ(sites.size(), 8u);
     for (const char* site :
          {"io.read", "io.write", "pool.task", "dispatcher.loop",
-          "net.accept", "net.read", "net.write"})
+          "net.accept", "net.read", "net.write", "session.step"})
         EXPECT_NE(std::find(sites.begin(), sites.end(), site),
                   sites.end())
             << site;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "snn/lif.hh"
 
 namespace phi
@@ -122,6 +123,130 @@ TEST(Lif, InvalidParamsPanic)
     LifParams bad_thresh;
     bad_thresh.threshold = 0.0f;
     EXPECT_THROW(LifPopulation(1, bad_thresh), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+TEST(Lif, StepIntoMatchesStepBitForBit)
+{
+    LifParams p;
+    p.leak = 0.625f;
+    p.threshold = 1.5f;
+    p.hardReset = false;
+    p.refractory = 2;
+    LifPopulation a(70, p), b(70, p);
+    Rng rng(21);
+    std::vector<float> current(70);
+    std::vector<uint8_t> ref;
+    BinaryMatrix raster(5, 70);
+    for (size_t t = 0; t < 5; ++t) {
+        for (float& c : current)
+            c = static_cast<float>(rng.uniformInt(-2, 3));
+        a.step(current.data(), ref);
+        b.stepInto(current.data(), raster, t);
+        for (size_t i = 0; i < 70; ++i)
+            ASSERT_EQ(raster.get(t, i), ref[i] != 0)
+                << "t=" << t << " i=" << i;
+        for (size_t i = 0; i < 70; ++i)
+            ASSERT_EQ(a.potential(i), b.potential(i));
+    }
+}
+
+TEST(Lif, Int32StepIntoCastsOnce)
+{
+    // The engine hands sessions int32 accumulator rows; the float cast
+    // inside stepInto must match casting by hand.
+    LifParams p;
+    p.leak = 1.0f;
+    p.threshold = 3.0f;
+    LifPopulation viaInt(3, p), viaFloat(3, p);
+    const std::vector<int32_t> acc{2, -1, 5};
+    const std::vector<float> cast{2.0f, -1.0f, 5.0f};
+    BinaryMatrix ra(1, 3), rb(1, 3);
+    viaInt.stepInto(acc.data(), ra, 0);
+    viaFloat.stepInto(cast.data(), rb, 0);
+    EXPECT_TRUE(ra == rb);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(viaInt.potential(i), viaFloat.potential(i));
+}
+
+TEST(Lif, RefractoryHoldsNeuronSilent)
+{
+    // threshold 1, strong constant drive: without refraction the
+    // neuron would fire every step; with refractory=2 it fires, then
+    // ignores input for two steps (membrane only decays), then fires
+    // again — a 3-step period.
+    LifParams p;
+    p.leak = 0.5f;
+    p.threshold = 1.0f;
+    p.refractory = 2;
+    LifPopulation pop(1, p);
+    std::vector<uint8_t> spikes;
+    float drive = 2.0f;
+    std::vector<uint8_t> fired;
+    for (int t = 0; t < 9; ++t) {
+        pop.step(&drive, spikes);
+        fired.push_back(spikes[0]);
+    }
+    EXPECT_EQ(fired, (std::vector<uint8_t>{1, 0, 0, 1, 0, 0, 1, 0, 0}));
+    // During refraction input was ignored: after the hard reset at
+    // t=6, two decay-only steps leave the membrane at zero.
+    EXPECT_FLOAT_EQ(pop.potential(0), 0.0f);
+}
+
+TEST(Lif, ZeroRefractoryReproducesOriginalDynamics)
+{
+    LifParams p;
+    p.leak = 1.0f;
+    p.threshold = 1.0f;
+    Matrix<float> currents(8, 1, 0.5f);
+    BinaryMatrix withDefault = runLif(currents, p);
+    p.refractory = 0;
+    BinaryMatrix withExplicitZero = runLif(currents, p);
+    EXPECT_TRUE(withDefault == withExplicitZero);
+}
+
+TEST(Lif, SaveLoadStateRoundTripResumesExactly)
+{
+    LifParams p;
+    p.leak = 0.75f;
+    p.threshold = 2.0f;
+    p.refractory = 3;
+    LifPopulation pop(40, p);
+    Rng rng(33);
+    std::vector<float> current(40);
+    std::vector<uint8_t> spikes;
+    for (int t = 0; t < 7; ++t) {
+        for (float& c : current)
+            c = static_cast<float>(rng.uniformInt(-1, 4));
+        pop.step(current.data(), spikes);
+    }
+
+    const LifState snap = pop.saveState();
+    ASSERT_EQ(snap.membrane.size(), 40u);
+    ASSERT_EQ(snap.refractory.size(), 40u);
+
+    // Run the original forward, then rewind a fresh population to the
+    // snapshot and replay: both tails must match bit for bit.
+    LifPopulation resumed(40, p);
+    resumed.loadState(snap);
+    std::vector<uint8_t> a, b;
+    for (int t = 0; t < 7; ++t) {
+        for (float& c : current)
+            c = static_cast<float>(rng.uniformInt(-1, 4));
+        pop.step(current.data(), a);
+        resumed.step(current.data(), b);
+        ASSERT_EQ(a, b) << "diverged at resumed step " << t;
+    }
+    for (size_t i = 0; i < 40; ++i)
+        EXPECT_EQ(pop.potential(i), resumed.potential(i));
+}
+
+TEST(Lif, InvalidRefractoryPanics)
+{
+    detail::setThrowOnError(true);
+    LifParams bad;
+    bad.refractory = -1;
+    EXPECT_THROW(LifPopulation(1, bad), std::logic_error);
     detail::setThrowOnError(false);
 }
 

@@ -110,7 +110,8 @@ TEST(NetProtocol, EveryEngineCodeHasAUniqueWireImageAndInverse)
         EngineErrorCode::QueueFull,       EngineErrorCode::Stopped,
         EngineErrorCode::UnknownModel,    EngineErrorCode::ModelExists,
         EngineErrorCode::ModelBusy,       EngineErrorCode::DeadlineExceeded,
-        EngineErrorCode::Internal,
+        EngineErrorCode::Internal,        EngineErrorCode::SessionNotFound,
+        EngineErrorCode::SessionExpired,  EngineErrorCode::TooManySessions,
     };
     std::vector<WireErrorCode> images;
     for (EngineErrorCode c : all) {
@@ -248,6 +249,136 @@ TEST(NetProtocol, TrailingGarbageAfterBodyIsTyped)
     padded.push_back(0xAB);
     io::ByteReader r(padded.data(), padded.size());
     EXPECT_THROW(decodeRequest(r), io::IoError);
+}
+
+// ---- session frames -------------------------------------------------
+
+TEST(NetProtocol, SessionBodiesRoundTripBitExact)
+{
+    Rng rng(19);
+
+    WireOpenSession open;
+    open.id = 3;
+    open.model = "vision";
+    LifParams p;
+    p.leak = 0.875f;
+    p.threshold = 2.5f;
+    p.hardReset = false;
+    p.refractory = 4;
+    open.params = {p, LifParams{}};
+    {
+        io::ByteWriter w;
+        encodeOpenSession(w, open);
+        io::ByteReader r(w.buffer().data(), w.buffer().size());
+        const WireOpenSession back = decodeOpenSession(r);
+        EXPECT_EQ(back.id, 3u);
+        EXPECT_EQ(back.model, "vision");
+        ASSERT_EQ(back.params.size(), 2u);
+        // Exact float bits: the codec ships IEEE-754 patterns.
+        EXPECT_EQ(back.params[0].leak, 0.875f);
+        EXPECT_EQ(back.params[0].threshold, 2.5f);
+        EXPECT_FALSE(back.params[0].hardReset);
+        EXPECT_EQ(back.params[0].refractory, 4);
+        EXPECT_TRUE(back.params[1].hardReset);
+    }
+
+    const WireSessionOpened opened{4, 77, "vision", 2, 3};
+    {
+        io::ByteWriter w;
+        encodeSessionOpened(w, opened);
+        io::ByteReader r(w.buffer().data(), w.buffer().size());
+        const WireSessionOpened back = decodeSessionOpened(r);
+        EXPECT_EQ(back.id, 4u);
+        EXPECT_EQ(back.sessionId, 77u);
+        EXPECT_EQ(back.model, "vision");
+        EXPECT_EQ(back.version, 2u);
+        EXPECT_EQ(back.layers, 3u);
+    }
+
+    WireStepSession step;
+    step.id = 5;
+    step.sessionId = 77;
+    step.frames = BinaryMatrix::random(6, 130, 0.3, rng);
+    {
+        io::ByteWriter w;
+        encodeStepSession(w, step);
+        io::ByteReader r(w.buffer().data(), w.buffer().size());
+        const WireStepSession back = decodeStepSession(r);
+        EXPECT_EQ(back.id, 5u);
+        EXPECT_EQ(back.sessionId, 77u);
+        EXPECT_TRUE(back.frames == step.frames);
+    }
+
+    WireSessionStepped stepped;
+    stepped.id = 6;
+    stepped.sessionId = 77;
+    stepped.firstStep = 1234;
+    stepped.spikes = BinaryMatrix::random(6, 65, 0.4, rng);
+    {
+        io::ByteWriter w;
+        encodeSessionStepped(w, stepped);
+        io::ByteReader r(w.buffer().data(), w.buffer().size());
+        const WireSessionStepped back = decodeSessionStepped(r);
+        EXPECT_EQ(back.id, 6u);
+        EXPECT_EQ(back.sessionId, 77u);
+        EXPECT_EQ(back.firstStep, 1234u);
+        EXPECT_TRUE(back.spikes == stepped.spikes);
+    }
+
+    const WireCloseSession close{7, 77};
+    {
+        io::ByteWriter w;
+        encodeCloseSession(w, close);
+        io::ByteReader r(w.buffer().data(), w.buffer().size());
+        const WireCloseSession back = decodeCloseSession(r);
+        EXPECT_EQ(back.id, 7u);
+        EXPECT_EQ(back.sessionId, 77u);
+    }
+
+    const WireSessionClosed closed{8, 77, 4096};
+    {
+        io::ByteWriter w;
+        encodeSessionClosed(w, closed);
+        io::ByteReader r(w.buffer().data(), w.buffer().size());
+        const WireSessionClosed back = decodeSessionClosed(r);
+        EXPECT_EQ(back.id, 8u);
+        EXPECT_EQ(back.sessionId, 77u);
+        EXPECT_EQ(back.steps, 4096u);
+    }
+}
+
+TEST(NetProtocol, ParserAcceptsEverySessionFrameType)
+{
+    for (FrameType t :
+         {FrameType::OpenSession, FrameType::StepSession,
+          FrameType::CloseSession, FrameType::SessionOpened,
+          FrameType::SessionStepped, FrameType::SessionClosed}) {
+        io::ByteWriter body;
+        body.u64(1);
+        const std::vector<uint8_t> frame =
+            encodeFrame(t, body.buffer());
+        ParsedFrame out;
+        WireErrorCode code{};
+        std::string msg;
+        ASSERT_EQ(tryParseFrame(frame.data(), frame.size(),
+                                kDefaultMaxFrameBytes, out, code, msg),
+                  ParseStatus::Frame)
+            << static_cast<int>(t);
+        EXPECT_EQ(out.type, t);
+        EXPECT_EQ(out.frameLen, frame.size());
+    }
+}
+
+TEST(NetProtocol, LyingLifParamsCountIsTypedNotAnAllocationBomb)
+{
+    // An OpenSession body claiming 2^31 LifParams but carrying none:
+    // the decoder must bound the count by the bytes actually present.
+    io::ByteWriter w;
+    w.u32(1);        // request id
+    w.str("vision"); // model
+    w.u32(0x8000'0000u); // params count (a lie)
+    io::ByteReader r(w.buffer().data(), w.buffer().size());
+    EXPECT_THROW(decodeOpenSession(r), io::IoError);
 }
 
 TEST(NetProtocol, ActsWithRaggedColumnsSurviveTheWire)

@@ -17,8 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -30,9 +32,11 @@
 #include "common/rng.hh"
 #include "core/pipeline.hh"
 #include "io/model_io.hh"
+#include "io/session_io.hh"
 #include "net/client.hh"
 #include "net/server.hh"
 #include "numeric/gemm.hh"
+#include "snn/lif.hh"
 #include "test_support.hh"
 
 namespace phi::net
@@ -624,6 +628,178 @@ TEST_F(PhiServerTest, DrainCompletesWithNoTrafficAndReleasesFds)
         EXPECT_FALSE(server->running());
     }
     EXPECT_EQ(openFdCount(), fdsBefore);
+}
+
+// ---- stateful sessions over the wire --------------------------------
+
+/** Copy one row of @p src into row @p dstRow of @p dst. */
+void
+copyRow(const BinaryMatrix& src, size_t srcRow, BinaryMatrix& dst,
+        size_t dstRow)
+{
+    for (size_t c = 0; c < src.cols(); c += 64) {
+        const int len =
+            static_cast<int>(std::min<size_t>(64, src.cols() - c));
+        dst.deposit(dstRow, c, len, src.extract(srcRow, c, len));
+    }
+}
+
+/** Offline reference for the fixture's one-layer model: spikeGemm
+ *  into a persistent LifPopulation, one timestep at a time. */
+BinaryMatrix
+referenceSteps(const BinaryMatrix& frames,
+               const Matrix<int16_t>& weights, LifPopulation& pop)
+{
+    BinaryMatrix out(frames.rows(), weights.cols());
+    for (size_t t = 0; t < frames.rows(); ++t) {
+        BinaryMatrix cur(1, frames.cols());
+        copyRow(frames, t, cur, 0);
+        const Matrix<int32_t> acc = spikeGemm(cur, weights);
+        pop.stepInto(acc.rowPtr(0), out, t);
+    }
+    return out;
+}
+
+TEST_F(PhiServerTest, SessionStreamOverTheWireIsBitExact)
+{
+    auto server = startServer();
+    PhiClient client("127.0.0.1", server->port());
+
+    const WireSessionOpened opened = client.openSession("m");
+    EXPECT_EQ(opened.model, "m");
+    EXPECT_EQ(opened.version, 1u);
+    EXPECT_EQ(opened.layers, 1u);
+
+    LifPopulation ref(weights.cols());
+    uint64_t at = 0;
+    for (size_t chunk : {3u, 1u, 5u}) {
+        const BinaryMatrix frames = makeActs(chunk, 600 + chunk);
+        const BinaryMatrix expected =
+            referenceSteps(frames, weights, ref);
+        const WireSessionStepped got =
+            client.stepSession(opened.sessionId, frames);
+        EXPECT_EQ(got.sessionId, opened.sessionId);
+        EXPECT_EQ(got.firstStep, at);
+        EXPECT_TRUE(got.spikes == expected)
+            << "wire session diverged at step " << at;
+        at += chunk;
+    }
+
+    const WireSessionClosed closed =
+        client.closeSession(opened.sessionId);
+    EXPECT_EQ(closed.steps, at);
+
+    const ServerCounters c = server->counters();
+    EXPECT_EQ(c.sessionOpens, 1u);
+    EXPECT_EQ(c.sessionCloses, 1u);
+    EXPECT_EQ(c.sessionStepFrames, 3u);
+    EXPECT_EQ(c.wireErrors, 0u);
+}
+
+TEST_F(PhiServerTest, SessionSurvivesReconnectBecauseIdsAreServerScoped)
+{
+    auto server = startServer();
+    LifPopulation ref(weights.cols());
+    uint64_t sid = 0;
+    const BinaryMatrix half1 = makeActs(4, 700);
+    const BinaryMatrix half2 = makeActs(4, 701);
+    const BinaryMatrix want1 = referenceSteps(half1, weights, ref);
+    const BinaryMatrix want2 = referenceSteps(half2, weights, ref);
+    {
+        PhiClient client("127.0.0.1", server->port());
+        sid = client.openSession("m").sessionId;
+        EXPECT_TRUE(client.stepSession(sid, half1).spikes == want1);
+    } // drop the connection mid-stream
+    PhiClient again("127.0.0.1", server->port());
+    const WireSessionStepped got = again.stepSession(sid, half2);
+    EXPECT_EQ(got.firstStep, 4u);
+    EXPECT_TRUE(got.spikes == want2)
+        << "session state was lost across the reconnect";
+    EXPECT_EQ(again.closeSession(sid).steps, 8u);
+}
+
+TEST_F(PhiServerTest, SessionErrorsCrossTheWireTyped)
+{
+    auto server = startServer();
+    PhiClient client("127.0.0.1", server->port());
+
+    try {
+        client.stepSession(12345, makeActs(1, 800));
+        FAIL() << "step on an unknown session was served";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineError::Code::SessionNotFound);
+    }
+    try {
+        client.openSession("no-such-model");
+        FAIL() << "open against an unknown model succeeded";
+    } catch (const EngineError& e) {
+        EXPECT_EQ(e.code(), EngineError::Code::UnknownModel);
+    }
+    // The connection survived both typed failures.
+    const BinaryMatrix acts = makeActs(4, 801);
+    EXPECT_TRUE(client.request("m", 0, acts).out ==
+                spikeGemm(acts, weights));
+}
+
+TEST_F(PhiServerTest, DrainSnapshotsSessionsAndRestoreResumesExactly)
+{
+    const std::string path =
+        ::testing::TempDir() + "drain_sessions.phis";
+    std::remove(path.c_str());
+
+    LifPopulation ref(weights.cols());
+    const BinaryMatrix half1 = makeActs(5, 810);
+    const BinaryMatrix half2 = makeActs(5, 811);
+    const BinaryMatrix want1 = referenceSteps(half1, weights, ref);
+    const BinaryMatrix want2 = referenceSteps(half2, weights, ref);
+
+    uint64_t sid = 0;
+    {
+        PhiServerConfig cfg;
+        cfg.sessionSnapshotPath = path;
+        auto server = startServer(cfg);
+        PhiClient client("127.0.0.1", server->port());
+        sid = client.openSession("m").sessionId;
+        EXPECT_TRUE(client.stepSession(sid, half1).spikes == want1);
+        server->requestDrain();
+        server->waitUntilStopped();
+        EXPECT_EQ(server->counters().sessionsSnapshotted, 1u);
+    }
+
+    // A fresh server — the "restarted" process — restores the .phis
+    // and the stream resumes exactly where SIGTERM cut it.
+    auto server = startServer();
+    ASSERT_EQ(server->sessions().restore(io::loadSessions(path)), 1u);
+    PhiClient client("127.0.0.1", server->port());
+    const WireSessionStepped got = client.stepSession(sid, half2);
+    EXPECT_EQ(got.firstStep, 5u);
+    EXPECT_TRUE(got.spikes == want2)
+        << "restored stream diverged from the uninterrupted reference";
+    EXPECT_EQ(client.closeSession(sid).steps, 10u);
+    std::remove(path.c_str());
+}
+
+TEST_F(PhiServerTest, SessionVerbsAreRejectedTypedDuringDrain)
+{
+    PhiServerConfig cfg;
+    cfg.drainTimeoutMs = 5000;
+    auto server = startServer(cfg);
+    PhiClient client("127.0.0.1", server->port());
+    const uint64_t sid = client.openSession("m").sessionId;
+
+    server->requestDrain();
+
+    // Session verbs racing the drain: typed ServerDraining, or the
+    // drain already closed the socket — never served, never hung.
+    try {
+        client.stepSession(sid, makeActs(1, 820));
+        FAIL() << "post-drain step was served";
+    } catch (const NetError& e) {
+        EXPECT_TRUE(e.code() == WireErrorCode::ServerDraining ||
+                    e.code() == WireErrorCode::ConnectionLost)
+            << e.what();
+    }
+    server->waitUntilStopped();
 }
 
 TEST_F(PhiServerTest, StopIsIdempotentAndDestructorIsClean)

@@ -184,6 +184,42 @@ TEST(ServingStatsResilience, MergeReplaysWrappedRingOldestFirst)
                   merged.latencySeconds[i]);
 }
 
+TEST(ServingStatsSessions, MergeAddsSessionCounters)
+{
+    ServingStats a;
+    a.sessionsOpened = 4;
+    a.sessionsClosed = 1;
+    a.sessionsExpired = 1;
+    a.sessionsRejected = 2;
+    a.sessionSteps = 40;
+
+    ServingStats b;
+    b.sessionsOpened = 2;
+    b.sessionsClosed = 1;
+    b.sessionSteps = 10;
+
+    a.merge(b);
+    EXPECT_EQ(a.sessionsOpened, 6u);
+    EXPECT_EQ(a.sessionsClosed, 2u);
+    EXPECT_EQ(a.sessionsExpired, 1u);
+    EXPECT_EQ(a.sessionsRejected, 2u);
+    EXPECT_EQ(a.sessionSteps, 50u);
+    // Derived views over the merged counters.
+    EXPECT_EQ(a.activeSessions(), 3u); // 6 opened - 2 closed - 1 expired
+    EXPECT_DOUBLE_EQ(a.meanStepsPerSession(), 50.0 / 6.0);
+}
+
+TEST(ServingStatsSessions, DerivedViewsAreSafeOnEmptyStats)
+{
+    ServingStats s;
+    EXPECT_EQ(s.activeSessions(), 0u);
+    EXPECT_DOUBLE_EQ(s.meanStepsPerSession(), 0.0);
+    // Closed+expired exceeding opened (merged partial windows) must
+    // not underflow the active count.
+    s.sessionsClosed = 3;
+    EXPECT_EQ(s.activeSessions(), 0u);
+}
+
 TEST(ServingStatsResilience, MergeOfUnwrappedRingKeepsInsertionOrder)
 {
     ServingStats a;

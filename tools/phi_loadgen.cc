@@ -6,6 +6,13 @@
  *   phi_loadgen --port P [--host H] [--conns N] [--rps R]
  *               [--seconds S] [--model NAME] [--k COLS] [--rows M]
  *               [--layer L] [--deadline-ms D] [--json]
+ *               [--sessions N] [--steps T]
+ *
+ * --sessions N switches to stateful-session mode: N connections each
+ * open one session and stream StepSession frames (T timesteps per
+ * call, --steps) instead of stateless requests. A transport failure
+ * reconnects and keeps stepping the *same* session — session ids are
+ * server-scoped — so chaos runs exercise stream continuity.
  *
  * Opens N connections, each pacing requests so the aggregate offered
  * load is R requests/second (R=0 = unpaced, submit as fast as replies
@@ -76,6 +83,8 @@ main(int argc, char** argv)
     uint32_t layer = 0;
     uint32_t deadlineMs = 0;
     bool json = false;
+    size_t sessions = 0; // >0 switches to stateful-session mode
+    size_t steps = 4;    // timesteps per StepSession call
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -100,6 +109,8 @@ main(int argc, char** argv)
         else if (arg == "--deadline-ms")
             deadlineMs = static_cast<uint32_t>(std::stoul(next()));
         else if (arg == "--json") json = true;
+        else if (arg == "--sessions") sessions = std::stoul(next());
+        else if (arg == "--steps") steps = std::stoul(next());
         else {
             std::cerr << "unknown argument: " << arg << "\n";
             return 2;
@@ -109,6 +120,9 @@ main(int argc, char** argv)
         std::cerr << "--port is required\n";
         return 2;
     }
+    const bool sessionMode = sessions > 0;
+    if (sessionMode)
+        conns = sessions; // one session per connection
 
     using Clock = std::chrono::steady_clock;
     const auto deadline =
@@ -125,8 +139,11 @@ main(int argc, char** argv)
             WorkerResult& out = results[w];
             try {
                 net::PhiClient client(host, port, 30'000);
-                const BinaryMatrix acts =
-                    randomActs(rows, k, 1000 + w);
+                uint64_t sid = 0;
+                if (sessionMode)
+                    sid = client.openSession(model).sessionId;
+                const BinaryMatrix acts = randomActs(
+                    sessionMode ? steps : rows, k, 1000 + w);
                 auto nextSendAt = Clock::now();
                 while (Clock::now() < deadline) {
                     if (perConnRps > 0) {
@@ -136,15 +153,19 @@ main(int argc, char** argv)
                         if (Clock::now() >= deadline)
                             break;
                     }
-                    net::WireRequest req;
-                    req.model = model;
-                    req.layer = layer;
-                    req.deadlineMs = deadlineMs;
-                    req.acts = acts;
                     const auto t0 = Clock::now();
                     ++out.sent;
                     try {
-                        client.request(req);
+                        if (sessionMode) {
+                            client.stepSession(sid, acts);
+                        } else {
+                            net::WireRequest req;
+                            req.model = model;
+                            req.layer = layer;
+                            req.deadlineMs = deadlineMs;
+                            req.acts = acts;
+                            client.request(req);
+                        }
                         ++out.served;
                         out.latenciesMs.push_back(
                             std::chrono::duration<double, std::milli>(
@@ -159,8 +180,17 @@ main(int argc, char** argv)
                         // The connection is unusable after a
                         // transport-level failure; reconnect and keep
                         // offering load (chaos runs sever us on
-                        // purpose).
+                        // purpose). In session mode the same session
+                        // id keeps serving — ids are server-scoped.
                         client = net::PhiClient(host, port, 30'000);
+                    }
+                }
+                if (sessionMode) {
+                    try {
+                        client.closeSession(sid);
+                    } catch (const std::exception&) {
+                        // Best effort: the drain gate or an idle-TTL
+                        // eviction may have beaten us to it.
                     }
                 }
             } catch (const std::exception& e) {
@@ -206,7 +236,9 @@ main(int argc, char** argv)
 
     if (json) {
         std::ostringstream os;
-        os << "{\"conns\": " << conns << ", \"offered_rps\": " << rps
+        os << "{\"conns\": " << conns << ", \"sessions\": " << sessions
+           << ", \"steps_per_call\": " << (sessionMode ? steps : 0)
+           << ", \"offered_rps\": " << rps
            << ", \"seconds\": " << elapsed << ", \"sent\": " << sent
            << ", \"served\": " << served
            << ", \"achieved_rps\": " << achievedRps

@@ -4,7 +4,13 @@
  *
  * Usage:
  *   phi_serve [--port P] [--bind ADDR] [--model NAME=path.phim]...
- *             [--threads N]
+ *             [--threads N] [--session-snapshot PATH]
+ *             [--max-sessions N] [--session-ttl MS]
+ *
+ * --session-snapshot makes stateful sessions survive restarts: on
+ * boot, if PATH exists, every session in it is restored (model epoch
+ * re-pinned, LIF state resumed); on graceful drain, open sessions are
+ * written back to PATH instead of dropped.
  *
  * With no --model arguments it self-compiles two demo models
  * ("vision" K=256 and "nlp" K=128) so the daemon — and the CI smoke
@@ -97,6 +103,14 @@ main(int argc, char** argv)
             serverCfg.bindAddress = next();
         else if (arg == "--threads")
             exec.threads = std::stoi(next());
+        else if (arg == "--session-snapshot")
+            serverCfg.sessionSnapshotPath = next();
+        else if (arg == "--max-sessions")
+            serverCfg.sessionConfig.maxSessions =
+                static_cast<size_t>(std::stoul(next()));
+        else if (arg == "--session-ttl")
+            serverCfg.sessionConfig.idleTtlMillis =
+                std::stoull(next());
         else if (arg == "--model") {
             const std::string spec = next();
             const size_t eq = spec.find('=');
@@ -140,6 +154,22 @@ main(int argc, char** argv)
     engineCfg.backpressure = AsyncEngineConfig::Backpressure::Reject;
 
     net::PhiServer server(registry, exec, engineCfg, serverCfg);
+
+    // Restore sessions from a previous drain's snapshot before any
+    // traffic: step streams resume exactly where SIGTERM cut them.
+    size_t restored = 0;
+    if (!serverCfg.sessionSnapshotPath.empty() &&
+        ::access(serverCfg.sessionSnapshotPath.c_str(), F_OK) == 0) {
+        try {
+            restored = server.sessions().restore(
+                io::loadSessions(serverCfg.sessionSnapshotPath));
+        } catch (const std::exception& e) {
+            std::cerr << "session snapshot restore failed: "
+                      << e.what() << "\n";
+            return 1;
+        }
+    }
+
     try {
         server.start();
     } catch (const net::NetError& e) {
@@ -156,7 +186,8 @@ main(int argc, char** argv)
     for (size_t i = 0; i < hosted.size(); ++i)
         std::cout << (i ? "," : "") << hosted[i].first << ":"
                   << hosted[i].second;
-    std::cout << " pid=" << ::getpid() << "\n"
+    std::cout << " pid=" << ::getpid()
+              << " sessions_restored=" << restored << "\n"
               << std::flush;
 
     server.waitUntilStopped();
@@ -166,6 +197,8 @@ main(int argc, char** argv)
               << " requests=" << c.requests
               << " responses=" << c.responses
               << " wire_errors=" << c.wireErrors
-              << " drain_rejected=" << c.drainRejected << "\n";
+              << " drain_rejected=" << c.drainRejected
+              << " sessions_snapshotted=" << c.sessionsSnapshotted
+              << "\n";
     return 0;
 }
